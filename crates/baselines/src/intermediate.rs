@@ -1,0 +1,246 @@
+//! Materialised intermediate results and the pairwise physical operators.
+//!
+//! A Selinger-style engine evaluates a join query as a sequence of two-way joins,
+//! materialising each intermediate result. [`Intermediate`] is that materialised
+//! table: a variable schema plus rows. Two physical join implementations are
+//! provided — [`Intermediate::hash_join`] (row-store stand-in) and
+//! [`Intermediate::sort_merge_join`] (column-store stand-in) — along with the
+//! selection and filter operators the executor needs.
+
+use gj_query::VarId;
+use gj_storage::{Relation, Val};
+use std::collections::HashMap;
+
+/// A materialised intermediate relation over query variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intermediate {
+    /// The variables of each column.
+    pub vars: Vec<VarId>,
+    /// The rows (no particular order, duplicates preserved as in SQL semantics over
+    /// set inputs — they cannot arise here because base relations are sets and
+    /// schemas never drop columns).
+    pub rows: Vec<Vec<Val>>,
+}
+
+impl Intermediate {
+    /// Builds an intermediate from a base relation and the variables of its atom.
+    /// Atoms never repeat a variable (checked by the query validator).
+    pub fn from_relation(relation: &Relation, vars: &[VarId]) -> Self {
+        Intermediate {
+            vars: vars.to_vec(),
+            rows: relation.rows().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the intermediate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column index of `var`, if present.
+    pub fn col_of(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var)
+    }
+
+    /// The variables shared with another intermediate.
+    pub fn shared_vars(&self, other: &Intermediate) -> Vec<VarId> {
+        self.vars.iter().copied().filter(|v| other.col_of(*v).is_some()).collect()
+    }
+
+    /// Output schema of joining `self` with `other`: self's columns followed by
+    /// other's non-shared columns.
+    fn join_schema(&self, other: &Intermediate) -> (Vec<VarId>, Vec<usize>) {
+        let mut vars = self.vars.clone();
+        let mut extra_cols = Vec::new();
+        for (i, &v) in other.vars.iter().enumerate() {
+            if self.col_of(v).is_none() {
+                vars.push(v);
+                extra_cols.push(i);
+            }
+        }
+        (vars, extra_cols)
+    }
+
+    /// Key of a row on the given columns.
+    fn key(row: &[Val], cols: &[usize]) -> Vec<Val> {
+        cols.iter().map(|&c| row[c]).collect()
+    }
+
+    /// Hash join with `other` on all shared variables (cartesian product when there
+    /// are none, as a pairwise plan occasionally requires).
+    pub fn hash_join(&self, other: &Intermediate) -> Intermediate {
+        let shared = self.shared_vars(other);
+        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
+        let (vars, extra_cols) = self.join_schema(other);
+
+        // Build on the smaller side to keep the hash table small.
+        let mut table: HashMap<Vec<Val>, Vec<&Vec<Val>>> = HashMap::new();
+        for row in &other.rows {
+            table.entry(Self::key(row, &right_cols)).or_default().push(row);
+        }
+        let mut rows = Vec::new();
+        for lrow in &self.rows {
+            if let Some(matches) = table.get(&Self::key(lrow, &left_cols)) {
+                for rrow in matches {
+                    let mut out = lrow.clone();
+                    out.extend(extra_cols.iter().map(|&c| rrow[c]));
+                    rows.push(out);
+                }
+            }
+        }
+        Intermediate { vars, rows }
+    }
+
+    /// Sort-merge join with `other` on all shared variables.
+    pub fn sort_merge_join(&self, other: &Intermediate) -> Intermediate {
+        let shared = self.shared_vars(other);
+        if shared.is_empty() {
+            // Degenerate to the hash join's cartesian handling.
+            return self.hash_join(other);
+        }
+        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
+        let (vars, extra_cols) = self.join_schema(other);
+
+        let mut left: Vec<&Vec<Val>> = self.rows.iter().collect();
+        let mut right: Vec<&Vec<Val>> = other.rows.iter().collect();
+        left.sort_by_key(|r| Self::key(r, &left_cols));
+        right.sort_by_key(|r| Self::key(r, &right_cols));
+
+        let mut rows = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            let lk = Self::key(left[i], &left_cols);
+            let rk = Self::key(right[j], &right_cols);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Find the run of equal keys on both sides and emit the product.
+                    let i_end = (i..left.len())
+                        .find(|&x| Self::key(left[x], &left_cols) != lk)
+                        .unwrap_or(left.len());
+                    let j_end = (j..right.len())
+                        .find(|&x| Self::key(right[x], &right_cols) != rk)
+                        .unwrap_or(right.len());
+                    for lrow in &left[i..i_end] {
+                        for rrow in &right[j..j_end] {
+                            let mut out = (*lrow).clone();
+                            out.extend(extra_cols.iter().map(|&c| rrow[c]));
+                            rows.push(out);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        Intermediate { vars, rows }
+    }
+
+    /// Keeps only rows satisfying `binding[x] < binding[y]` for each applicable
+    /// filter (both variables must be present in the schema).
+    pub fn apply_filters(&mut self, filters: &[(VarId, VarId)]) {
+        let applicable: Vec<(usize, usize)> = filters
+            .iter()
+            .filter_map(|&(x, y)| Some((self.col_of(x)?, self.col_of(y)?)))
+            .collect();
+        if applicable.is_empty() {
+            return;
+        }
+        self.rows.retain(|r| applicable.iter().all(|&(cx, cy)| r[cx] < r[cy]));
+    }
+
+    /// Number of distinct values in the column of `var` (used by the optimizer's
+    /// cardinality estimates).
+    pub fn distinct_count(&self, var: VarId) -> usize {
+        let Some(col) = self.col_of(var) else { return 0 };
+        let mut values: Vec<Val> = self.rows.iter().map(|r| r[col]).collect();
+        values.sort_unstable();
+        values.dedup();
+        values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vars: &[VarId], rows: &[&[Val]]) -> Intermediate {
+        Intermediate { vars: vars.to_vec(), rows: rows.iter().map(|r| r.to_vec()).collect() }
+    }
+
+    #[test]
+    fn hash_join_on_one_shared_variable() {
+        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5]]);
+        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9]]);
+        let out = left.hash_join(&right);
+        assert_eq!(out.vars, vec![0, 1, 2]);
+        let mut rows = out.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 7], vec![2, 3, 8], vec![2, 3, 9]]);
+    }
+
+    #[test]
+    fn sort_merge_join_agrees_with_hash_join() {
+        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5], &[6, 3]]);
+        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9], &[5, 1]]);
+        let mut h = left.hash_join(&right).rows;
+        let mut s = left.sort_merge_join(&right).rows;
+        h.sort();
+        s.sort();
+        assert_eq!(h, s);
+        // (1,2)x(2,7), (2,3)x(3,8),(3,9), (6,3)x(3,8),(3,9), (4,5)x(5,1).
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn join_on_two_shared_variables() {
+        let left = r(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let right = r(&[0, 1, 2], &[&[1, 2, 9], &[1, 5, 8], &[3, 4, 7]]);
+        let out = left.hash_join(&right);
+        assert_eq!(out.vars, vec![0, 1, 2]);
+        let mut rows = out.rows;
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 9], vec![3, 4, 7]]);
+    }
+
+    #[test]
+    fn join_without_shared_variables_is_a_cross_product() {
+        let left = r(&[0], &[&[1], &[2]]);
+        let right = r(&[1], &[&[7], &[8]]);
+        let out = left.hash_join(&right);
+        assert_eq!(out.len(), 4);
+        let smj = left.sort_merge_join(&right);
+        assert_eq!(smj.len(), 4);
+    }
+
+    #[test]
+    fn filters_prune_rows_once_both_sides_are_present() {
+        let mut inter = r(&[0, 1], &[&[1, 2], &[3, 2], &[2, 2]]);
+        inter.apply_filters(&[(0, 1), (2, 3)]); // the second filter is not applicable
+        assert_eq!(inter.rows, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn distinct_counts_per_column() {
+        let inter = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 3]]);
+        assert_eq!(inter.distinct_count(0), 2);
+        assert_eq!(inter.distinct_count(1), 2);
+        assert_eq!(inter.distinct_count(9), 0);
+    }
+
+    #[test]
+    fn from_relation_preserves_rows() {
+        let rel = Relation::from_pairs(vec![(1, 2), (3, 4)]);
+        let inter = Intermediate::from_relation(&rel, &[5, 7]);
+        assert_eq!(inter.vars, vec![5, 7]);
+        assert_eq!(inter.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion comparison of all engines on one dataset — the statistically rigorous
+//! companion to Tables 6 and 7 (and to the `engine_shootout` example).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine, ExecLimits};
+use std::hint::black_box;
+
+fn bench_triangle_across_engines(c: &mut Criterion) {
+    let graph = Dataset::P2pGnutella04.generate_scaled(0.3);
+    let db = workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+    let q = CatalogQuery::ThreeClique.query();
+    let limits = ExecLimits::default();
+    let mut group = c.benchmark_group("triangle_engines");
+    group.sample_size(10);
+    for engine in [
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::HashJoin(limits),
+        Engine::SortMergeJoin(limits),
+        Engine::GraphEngine,
+    ] {
+        group.bench_function(engine.label(), |b| {
+            b.iter(|| black_box(db.count(&q, &engine).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_three_path_across_engines(c: &mut Criterion) {
+    let graph = Dataset::P2pGnutella04.generate_scaled(0.3);
+    let db = workload_database(&graph, CatalogQuery::ThreePath, 10, 1);
+    let q = CatalogQuery::ThreePath.query();
+    let limits = ExecLimits::default();
+    let mut group = c.benchmark_group("three_path_engines");
+    group.sample_size(10);
+    for engine in [
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::HashJoin(limits),
+        Engine::SortMergeJoin(limits),
+    ] {
+        group.bench_function(engine.label(), |b| {
+            b.iter(|| black_box(db.count(&q, &engine).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lollipop_hybrid(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let db = workload_database(&graph, CatalogQuery::TwoLollipop, 8, 1);
+    let q = CatalogQuery::TwoLollipop.query();
+    let mut group = c.benchmark_group("two_lollipop_engines");
+    group.sample_size(10);
+    for engine in [
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::hybrid_for(CatalogQuery::TwoLollipop).unwrap(),
+    ] {
+        group.bench_function(engine.label(), |b| {
+            b.iter(|| black_box(db.count(&q, &engine).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_triangle_across_engines,
+    bench_three_path_across_engines,
+    bench_lollipop_hybrid
+);
+criterion_main!(benches);

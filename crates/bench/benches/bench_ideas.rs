@@ -1,0 +1,47 @@
+//! Criterion ablation of Minesweeper's implementation ideas — the statistically
+//! rigorous companion to Tables 1–3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
+use std::hint::black_box;
+
+fn bench_ideas_4_and_6(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let db = workload_database(&graph, CatalogQuery::ThreePath, 10, 1);
+    let q = CatalogQuery::ThreePath.query();
+    let configs = [
+        ("no-ideas", MsConfig { idea4_gap_memo: false, idea6_complete_nodes: false, ..MsConfig::default() }),
+        ("idea4", MsConfig { idea6_complete_nodes: false, ..MsConfig::default() }),
+        ("idea4+6", MsConfig::default()),
+    ];
+    let mut group = c.benchmark_group("ms_ideas_4_6_three_path");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(db.count(&q, &Engine::Minesweeper(config.clone())).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_idea_7(c: &mut Criterion) {
+    let graph = Dataset::P2pGnutella04.generate_scaled(0.25);
+    let db = workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+    let q = CatalogQuery::ThreeClique.query();
+    let configs = [
+        ("no-idea7", MsConfig { idea7_skeleton: false, ..MsConfig::default() }),
+        ("idea7", MsConfig::default()),
+    ];
+    let mut group = c.benchmark_group("ms_idea_7_triangle");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(db.count(&q, &Engine::Minesweeper(config.clone())).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ideas_4_and_6, bench_idea_7);
+criterion_main!(benches);

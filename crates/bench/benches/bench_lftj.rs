@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for LeapFrog TrieJoin: the cyclic queries of Table 6 on
+//! a small, fixed synthetic graph (statistically rigorous companion to the
+//! `table6_cyclic` harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+use std::hint::black_box;
+
+fn bench_lftj_cyclic(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let mut group = c.benchmark_group("lftj_cyclic");
+    group.sample_size(10);
+    for query in [CatalogQuery::ThreeClique, CatalogQuery::FourClique, CatalogQuery::FourCycle] {
+        let db = workload_database(&graph, query, 1, 1);
+        let q = query.query();
+        group.bench_function(query.name(), |b| {
+            b.iter(|| black_box(db.count(&q, &Engine::Lftj).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lftj_index_build(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let mut group = c.benchmark_group("lftj_bind");
+    group.sample_size(10);
+    let db = workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+    let q = CatalogQuery::ThreeClique.query();
+    group.bench_function("bind_and_index_triangle", |b| {
+        b.iter(|| black_box(db.bind(&q, None).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lftj_cyclic, bench_lftj_index_build);
+criterion_main!(benches);

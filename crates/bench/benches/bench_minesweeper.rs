@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for Minesweeper: acyclic queries at two selectivities
+//! (the Table 7 regime) and one cyclic query with the Idea 7 skeleton (the Table 6
+//! regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+use std::hint::black_box;
+
+fn bench_ms_acyclic(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let mut group = c.benchmark_group("minesweeper_acyclic");
+    group.sample_size(10);
+    for query in [CatalogQuery::ThreePath, CatalogQuery::TwoComb, CatalogQuery::OneTree] {
+        for selectivity in [80u32, 8] {
+            let db = workload_database(&graph, query, selectivity, 1);
+            let q = query.query();
+            group.bench_function(format!("{}-sel{}", query.name(), selectivity), |b| {
+                b.iter(|| black_box(db.count(&q, &Engine::minesweeper()).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ms_cyclic(c: &mut Criterion) {
+    let graph = Dataset::CaGrQc.generate_scaled(0.3);
+    let mut group = c.benchmark_group("minesweeper_cyclic");
+    group.sample_size(10);
+    let db = workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+    let q = CatalogQuery::ThreeClique.query();
+    group.bench_function("3-clique", |b| {
+        b.iter(|| black_box(db.count(&q, &Engine::minesweeper()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ms_acyclic, bench_ms_cyclic);
+criterion_main!(benches);

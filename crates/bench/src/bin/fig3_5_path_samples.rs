@@ -1,0 +1,74 @@
+//! Figures 3–5 — 3-path on the LiveJournal-, Pokec- and Orkut-like graphs with node
+//! samples of increasing size `N`: LFTJ versus Minesweeper. As the samples grow the
+//! amount of redundant sub-path work grows with them, and Minesweeper's caching pulls
+//! ahead — the crossover the paper's figures show.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin fig3_5_path_samples -- --dataset soc-LiveJournal1
+//! ```
+//! (omit `--dataset` to sweep all three figures)
+
+use gj_bench::{time, HarnessOptions, Table};
+use gj_datagen::{node_sample, Dataset};
+use graphjoin::{CatalogQuery, Database, Engine};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let figures = [
+        ("Figure 3", Dataset::SocLiveJournal1),
+        ("Figure 4", Dataset::SocPokec),
+        ("Figure 5", Dataset::ComOrkut),
+    ];
+    let graphs = opts.generate(&[Dataset::SocLiveJournal1, Dataset::SocPokec, Dataset::ComOrkut]);
+
+    for (figure, dataset) in figures {
+        let Some((_, graph)) = graphs.iter().find(|(d, _)| *d == dataset) else {
+            continue;
+        };
+        println!(
+            "\n{figure}: 3-path on {} stand-in ({} nodes, {} directed edges)",
+            dataset.name(),
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        // Sample sizes N: powers of two up to ~5% of the nodes, like the paper's sweep.
+        let max_n = (graph.num_nodes() / 20).max(64);
+        let mut sizes = Vec::new();
+        let mut n = 64usize;
+        while n <= max_n {
+            sizes.push(n);
+            n *= 4;
+        }
+
+        let query = CatalogQuery::ThreePath;
+        let q = query.query();
+        let columns: Vec<String> = sizes.iter().map(|n| format!("N={n}")).collect();
+        let mut table = Table::new(format!("{figure}: duration in ms vs sample size"), columns);
+
+        let mut rows: Vec<(String, Vec<String>)> = vec![
+            ("lb/lftj".to_string(), Vec::new()),
+            ("lb/ms".to_string(), Vec::new()),
+        ];
+        for &n in &sizes {
+            // Selectivity that yields roughly n sampled nodes.
+            let selectivity = (graph.num_nodes() / n).max(1) as u32;
+            let mut db = Database::new();
+            db.add_graph(graph);
+            db.add_relation("v1", node_sample(graph.num_nodes(), selectivity, opts.seed));
+            db.add_relation("v2", node_sample(graph.num_nodes(), selectivity, opts.seed ^ 0xabcd));
+            let (lftj_count, lftj_time) = time(|| db.count(&q, &Engine::Lftj).unwrap());
+            let (ms_count, ms_time) = time(|| db.count(&q, &Engine::minesweeper()).unwrap());
+            assert_eq!(lftj_count, ms_count);
+            rows[0].1.push(format!("{:.1}", lftj_time.as_secs_f64() * 1e3));
+            rows[1].1.push(format!("{:.1}", ms_time.as_secs_f64() * 1e3));
+        }
+        for (label, cells) in rows {
+            table.row(label, cells);
+        }
+        table.print();
+        let path = table
+            .write_csv(&format!("fig3_5_{}", dataset.name().replace('-', "_")))
+            .expect("csv");
+        println!("csv: {}", path.display());
+    }
+}

@@ -1,0 +1,58 @@
+//! Figures 6 and 7 — 3-clique and 4-clique durations on increasingly large subsets of
+//! the LiveJournal-like graph (the paper's "subset of N edges" scaling study), across
+//! all systems. The worst-case optimal joins keep working orders of magnitude past
+//! the point where the pairwise baselines blow their budget, and LFTJ outlasts
+//! Minesweeper — the orderings the paper's figures show.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin fig6_7_scaling -- --scale 0.5
+//! ```
+
+use gj_bench::{run_cell, standard_engines, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&[Dataset::SocLiveJournal1]);
+    let (_, full_graph) = &graphs[0];
+    println!(
+        "LiveJournal stand-in: {} nodes, {} directed edges",
+        full_graph.num_nodes(),
+        full_graph.num_edges()
+    );
+
+    // Edge-count steps: powers of four up to the full graph.
+    let mut steps = Vec::new();
+    let mut n = 4096usize;
+    while n < full_graph.num_edges() {
+        steps.push(n);
+        n *= 4;
+    }
+    steps.push(full_graph.num_edges());
+
+    let mut engines = standard_engines(opts.limits());
+    engines.push(Engine::GraphEngine);
+
+    for (figure, query) in
+        [("Figure 6", CatalogQuery::ThreeClique), ("Figure 7", CatalogQuery::FourClique)]
+    {
+        let columns: Vec<String> = steps.iter().map(|n| format!("{n}")).collect();
+        let mut table =
+            Table::new(format!("{figure}: {} duration in ms vs edge count", query.name()), columns);
+        for engine in &engines {
+            let mut row = Vec::new();
+            for &edges in &steps {
+                let subset = full_graph.edge_prefix(edges);
+                let db = workload_database(&subset, query, 1, opts.seed);
+                row.push(run_cell(&db, &query, engine).render());
+            }
+            table.row(engine.label(), row);
+        }
+        table.print();
+        let path = table
+            .write_csv(&format!("fig6_7_{}", query.name().replace('-', "_")))
+            .expect("csv");
+        println!("csv: {}", path.display());
+    }
+}

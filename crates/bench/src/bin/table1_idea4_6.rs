@@ -1,0 +1,58 @@
+//! Table 1 — speed-up from Idea 4 (gap memo) and Ideas 4+6 (complete nodes) on the
+//! acyclic queries 2-comb, 3-path and 4-path, selectivity 8, across the small and
+//! medium datasets.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table1_idea4_6 -- --scale 0.25
+//! ```
+
+use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&Dataset::small_and_medium());
+    print_dataset_summary(&graphs);
+
+    let queries = [CatalogQuery::TwoComb, CatalogQuery::ThreePath, CatalogQuery::FourPath];
+    let selectivity = 8;
+
+    let without_ideas = MsConfig {
+        idea4_gap_memo: false,
+        idea6_complete_nodes: false,
+        ..MsConfig::default()
+    };
+    let with_idea4 = MsConfig { idea6_complete_nodes: false, ..MsConfig::default() };
+    let with_idea4_and_6 = MsConfig::default();
+
+    let columns: Vec<String> = graphs.iter().map(|(d, _)| d.name().to_string()).collect();
+    let mut table_idea4 = Table::new("Table 1 (top): speed-up with Idea 4", columns.clone());
+    let mut table_idea46 = Table::new("Table 1 (bottom): speed-up with Ideas 4 & 6", columns);
+
+    for query in queries {
+        let mut row4 = Vec::new();
+        let mut row46 = Vec::new();
+        for (_, graph) in &graphs {
+            let db = workload_database(graph, query, selectivity, opts.seed);
+            let q = query.query();
+            let (base_count, base) =
+                time(|| db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap());
+            let (c4, t4) = time(|| db.count(&q, &Engine::Minesweeper(with_idea4.clone())).unwrap());
+            let (c46, t46) =
+                time(|| db.count(&q, &Engine::Minesweeper(with_idea4_and_6.clone())).unwrap());
+            assert_eq!(base_count, c4, "idea 4 changed the answer");
+            assert_eq!(base_count, c46, "ideas 4+6 changed the answer");
+            row4.push(ratio(Some(base.as_secs_f64() * 1e3), Some(t4.as_secs_f64() * 1e3)));
+            row46.push(ratio(Some(base.as_secs_f64() * 1e3), Some(t46.as_secs_f64() * 1e3)));
+        }
+        table_idea4.row(query.name(), row4);
+        table_idea46.row(query.name(), row46);
+    }
+
+    table_idea4.print();
+    table_idea46.print();
+    let p1 = table_idea4.write_csv("table1_idea4").expect("csv");
+    let p2 = table_idea46.write_csv("table1_idea4_6").expect("csv");
+    println!("\ncsv: {} and {}", p1.display(), p2.display());
+}

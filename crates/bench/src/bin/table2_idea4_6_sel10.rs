@@ -1,0 +1,49 @@
+//! Table 2 — speed-up from Ideas 4 & 6 with selectivity 10 (same layout as Table 1's
+//! bottom block, lower selectivity = larger samples = more redundant work for the
+//! caching to remove).
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table2_idea4_6_sel10 -- --scale 0.25
+//! ```
+
+use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&Dataset::small_and_medium());
+    print_dataset_summary(&graphs);
+
+    let queries = [CatalogQuery::TwoComb, CatalogQuery::ThreePath, CatalogQuery::FourPath];
+    let selectivity = 10;
+
+    let without_ideas = MsConfig {
+        idea4_gap_memo: false,
+        idea6_complete_nodes: false,
+        ..MsConfig::default()
+    };
+    let with_ideas = MsConfig::default();
+
+    let columns: Vec<String> = graphs.iter().map(|(d, _)| d.name().to_string()).collect();
+    let mut table = Table::new("Table 2: speed-up with Ideas 4 & 6, selectivity 10", columns);
+
+    for query in queries {
+        let mut row = Vec::new();
+        for (_, graph) in &graphs {
+            let db = workload_database(graph, query, selectivity, opts.seed);
+            let q = query.query();
+            let (base_count, base) =
+                time(|| db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap());
+            let (count, improved) =
+                time(|| db.count(&q, &Engine::Minesweeper(with_ideas.clone())).unwrap());
+            assert_eq!(base_count, count, "ideas 4+6 changed the answer");
+            row.push(ratio(Some(base.as_secs_f64() * 1e3), Some(improved.as_secs_f64() * 1e3)));
+        }
+        table.row(query.name(), row);
+    }
+
+    table.print();
+    let path = table.write_csv("table2_idea4_6_sel10").expect("csv");
+    println!("\ncsv: {}", path.display());
+}

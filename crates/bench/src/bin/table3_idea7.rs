@@ -1,0 +1,46 @@
+//! Table 3 — speed-up from Idea 7 (the β-acyclic skeleton) on the cyclic queries
+//! 3-clique, 4-clique and 4-cycle. Without Idea 7, every atom inserts constraints
+//! into the CDS, the chain machinery cannot be used and the CDS sprouts one
+//! specialisation branch per value combination — which is the "thrashing" (`8`)
+//! behaviour the paper reports; the materialisation budget stands in for that
+//! timeout here.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table3_idea7 -- --scale 0.25
+//! ```
+
+use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&Dataset::small_and_medium());
+    print_dataset_summary(&graphs);
+
+    let queries = [CatalogQuery::ThreeClique, CatalogQuery::FourClique, CatalogQuery::FourCycle];
+    let with_idea7 = MsConfig::default();
+    let without_idea7 = MsConfig { idea7_skeleton: false, ..MsConfig::default() };
+
+    let columns: Vec<String> = graphs.iter().map(|(d, _)| d.name().to_string()).collect();
+    let mut table = Table::new("Table 3: speed-up with Idea 7 (cyclic queries)", columns);
+
+    for query in queries {
+        let mut row = Vec::new();
+        for (_, graph) in &graphs {
+            let db = workload_database(graph, query, 1, opts.seed);
+            let q = query.query();
+            let (slow_count, slow) =
+                time(|| db.count(&q, &Engine::Minesweeper(without_idea7.clone())).unwrap());
+            let (fast_count, fast) =
+                time(|| db.count(&q, &Engine::Minesweeper(with_idea7.clone())).unwrap());
+            assert_eq!(slow_count, fast_count, "idea 7 changed the answer");
+            row.push(ratio(Some(slow.as_secs_f64() * 1e3), Some(fast.as_secs_f64() * 1e3)));
+        }
+        table.row(query.name(), row);
+    }
+
+    table.print();
+    let path = table.write_csv("table3_idea7").expect("csv");
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! Table 4 — Minesweeper runtimes on the 4-path query under the seven representative
+//! global attribute orders of the paper: five nested elimination orders (NEOs) and
+//! two non-NEO orders. The NEO with the longest path (ABCDE) should be the fastest;
+//! the non-NEO orders lose the chain property (and with it the caching of Ideas 5/6)
+//! and are much slower.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table4_gao -- --scale 0.25
+//! ```
+
+use gj_bench::{time, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use gj_query::is_neo;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    // The paper's Table 4 uses the eight smallest datasets.
+    let datasets = [
+        Dataset::CaGrQc,
+        Dataset::P2pGnutella04,
+        Dataset::EgoFacebook,
+        Dataset::CaCondMat,
+        Dataset::WikiVote,
+        Dataset::P2pGnutella31,
+        Dataset::EmailEnron,
+        Dataset::LocBrightkite,
+    ];
+    let graphs = opts.generate(&datasets);
+
+    let query = CatalogQuery::FourPath;
+    let q = query.query();
+    let orders = ["abcde", "bacde", "bcade", "cbade", "cbdae", "abdce", "badce"];
+
+    let mut columns: Vec<String> = orders.iter().map(|s| s.to_uppercase()).collect();
+    columns.push("edges".to_string());
+    let mut table =
+        Table::new("Table 4: Minesweeper on 4-path under different GAOs (ms)", columns);
+
+    // Annotate which orders are NEOs (printed once, matches the paper's grouping).
+    let neo_flags: Vec<bool> = orders
+        .iter()
+        .map(|o| {
+            let gao: Vec<usize> = o.chars().map(|c| q.var(&c.to_string()).unwrap()).collect();
+            is_neo(&q, &gao)
+        })
+        .collect();
+    println!(
+        "NEO orders: {:?}; non-NEO orders: {:?}",
+        orders.iter().zip(&neo_flags).filter(|(_, &n)| n).map(|(o, _)| *o).collect::<Vec<_>>(),
+        orders.iter().zip(&neo_flags).filter(|(_, &n)| !n).map(|(o, _)| *o).collect::<Vec<_>>()
+    );
+
+    for (dataset, graph) in &graphs {
+        let db = workload_database(graph, query, 8, opts.seed);
+        let mut cells = Vec::new();
+        let mut reference: Option<u64> = None;
+        for order in orders {
+            let gao: Vec<usize> = order.chars().map(|c| q.var(&c.to_string()).unwrap()).collect();
+            let (count, elapsed) = time(|| {
+                db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap()
+            });
+            if let Some(r) = reference {
+                assert_eq!(r, count, "GAO {order} changed the answer on {}", dataset.name());
+            }
+            reference = Some(count);
+            cells.push(format!("{:.1}", elapsed.as_secs_f64() * 1e3));
+        }
+        cells.push(graph.num_edges().to_string());
+        table.row(dataset.name(), cells);
+    }
+
+    table.print();
+    let path = table.write_csv("table4_gao").expect("csv");
+    println!("\ncsv: {}", path.display());
+}

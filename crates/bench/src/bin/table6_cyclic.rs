@@ -1,0 +1,47 @@
+//! Table 6 — durations of the cyclic queries (3-clique, 4-clique, 4-cycle) across
+//! systems: LFTJ, Minesweeper, the pairwise hash-join and sort-merge baselines
+//! (PostgreSQL / MonetDB stand-ins) and the specialised graph engine (GraphLab
+//! stand-in, cliques only). `-` marks a blown materialisation budget — the analogue
+//! of the paper's 30-minute timeouts.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table6_cyclic -- --scale 0.25
+//! ```
+
+use gj_bench::{print_dataset_summary, run_cell, standard_engines, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&Dataset::all());
+    print_dataset_summary(&graphs);
+
+    let queries = [CatalogQuery::ThreeClique, CatalogQuery::FourClique, CatalogQuery::FourCycle];
+    let mut engines = standard_engines(opts.limits());
+    engines.push(Engine::GraphEngine);
+
+    let columns: Vec<String> = graphs.iter().map(|(d, _)| d.name().to_string()).collect();
+    let mut tables = Vec::new();
+
+    for query in queries {
+        let mut table = Table::new(
+            format!("Table 6: {} duration in ms (- = budget exceeded / unsupported)", query.name()),
+            columns.clone(),
+        );
+        for engine in &engines {
+            let mut row = Vec::new();
+            for (_, graph) in &graphs {
+                let db = workload_database(graph, query, 1, opts.seed);
+                row.push(run_cell(&db, &query, engine).render());
+            }
+            table.row(engine.label(), row);
+        }
+        table.print();
+        let path = table
+            .write_csv(&format!("table6_{}", query.name().replace('-', "_")))
+            .expect("csv");
+        println!("csv: {}", path.display());
+        tables.push(table);
+    }
+}

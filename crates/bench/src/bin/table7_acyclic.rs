@@ -1,0 +1,61 @@
+//! Table 7 — durations of the acyclic (and lollipop) queries with the paper's
+//! selectivities across systems: LFTJ, Minesweeper, the pairwise baselines, and the
+//! hybrid algorithm for the lollipop queries. Each dataset gets one column per
+//! selectivity (80/8 for the small datasets, 1000/100/10 for the larger ones).
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin table7_acyclic -- --scale 0.25
+//! ```
+
+use gj_bench::{paper_selectivities, print_dataset_summary, run_cell, standard_engines, HarnessOptions, Table};
+use gj_datagen::Dataset;
+use graphjoin::{workload_database, CatalogQuery, Engine};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let graphs = opts.generate(&Dataset::all());
+    print_dataset_summary(&graphs);
+
+    let queries = [
+        CatalogQuery::ThreePath,
+        CatalogQuery::FourPath,
+        CatalogQuery::OneTree,
+        CatalogQuery::TwoTree,
+        CatalogQuery::TwoComb,
+        CatalogQuery::TwoLollipop,
+        CatalogQuery::ThreeLollipop,
+    ];
+
+    for query in queries {
+        let mut engines = standard_engines(opts.limits());
+        if let Some(hybrid) = Engine::hybrid_for(query) {
+            engines.push(hybrid);
+        }
+        // One column per (dataset, selectivity) pair, like the paper's nested header.
+        let mut columns = Vec::new();
+        for (dataset, _) in &graphs {
+            for &s in paper_selectivities(*dataset) {
+                columns.push(format!("{}/{}", dataset.name(), s));
+            }
+        }
+        let mut table = Table::new(
+            format!("Table 7: {} duration in ms per dataset/selectivity", query.name()),
+            columns,
+        );
+        for engine in &engines {
+            let mut row = Vec::new();
+            for (dataset, graph) in &graphs {
+                for &selectivity in paper_selectivities(*dataset) {
+                    let db = workload_database(graph, query, selectivity, opts.seed);
+                    row.push(run_cell(&db, &query, engine).render());
+                }
+            }
+            table.row(engine.label(), row);
+        }
+        table.print();
+        let path = table
+            .write_csv(&format!("table7_{}", query.name().replace('-', "_")))
+            .expect("csv");
+        println!("csv: {}", path.display());
+    }
+}

@@ -1,0 +1,339 @@
+//! The [`Database`] façade and engine dispatch.
+//!
+//! A [`Database`] owns a set of named relations (and optionally the graph they came
+//! from) and evaluates [`Query`]s with whichever [`Engine`] the caller selects. This
+//! mirrors how the paper's experiments drive one system with many algorithms: the
+//! data and the query stay fixed, only the join algorithm changes.
+
+use gj_baselines::{pairwise_count, BaselineError, ExecLimits, GraphEngine, JoinAlgo};
+use gj_minesweeper::MsConfig;
+use gj_query::{BoundQuery, CatalogQuery, Instance, Query, VarId};
+use gj_storage::{Graph, Relation, Val};
+
+/// Which join engine evaluates a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Engine {
+    /// LeapFrog TrieJoin (worst-case optimal).
+    Lftj,
+    /// Minesweeper with the given configuration (beyond worst-case).
+    Minesweeper(MsConfig),
+    /// The Minesweeper + LFTJ hybrid of Section 4.12. `split` is the number of
+    /// leading variables forming the path part (see [`CatalogQuery::hybrid_split`]).
+    Hybrid { split: usize, config: MsConfig },
+    /// Selinger-style pairwise plans executed with hash joins (PostgreSQL stand-in).
+    HashJoin(ExecLimits),
+    /// Selinger-style pairwise plans executed with sort-merge joins (MonetDB
+    /// stand-in).
+    SortMergeJoin(ExecLimits),
+    /// Hand-specialised clique counting over adjacency lists (GraphLab stand-in).
+    /// Only supports the 3-clique and 4-clique catalog queries.
+    GraphEngine,
+}
+
+impl Engine {
+    /// Minesweeper with the default configuration (all ideas enabled, single thread).
+    pub fn minesweeper() -> Engine {
+        Engine::Minesweeper(MsConfig::default())
+    }
+
+    /// The hybrid engine for a catalog query that supports it.
+    pub fn hybrid_for(query: CatalogQuery) -> Option<Engine> {
+        query.hybrid_split().map(|split| Engine::Hybrid { split, config: MsConfig::default() })
+    }
+
+    /// Short name used in the benchmark tables (mirrors the paper's row labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Lftj => "lb/lftj",
+            Engine::Minesweeper(_) => "lb/ms",
+            Engine::Hybrid { .. } => "lb/hybrid",
+            Engine::HashJoin(_) => "psql",
+            Engine::SortMergeJoin(_) => "monetdb",
+            Engine::GraphEngine => "graphlab",
+        }
+    }
+}
+
+/// Errors surfaced by [`Database::count`] / [`Database::enumerate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query could not be bound against the stored relations.
+    Bind(String),
+    /// A pairwise baseline exceeded its materialisation budget or hit another error.
+    Baseline(BaselineError),
+    /// The selected engine does not support this query (e.g. the graph engine on a
+    /// path query, or the hybrid on a query that cannot be split).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Bind(msg) => write!(f, "binding failed: {msg}"),
+            EngineError::Baseline(err) => write!(f, "baseline execution failed: {err}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<BaselineError> for EngineError {
+    fn from(err: BaselineError) -> Self {
+        EngineError::Baseline(err)
+    }
+}
+
+/// The result of an enumeration: bindings in variable-id order.
+pub type QueryOutput = Vec<Vec<Val>>;
+
+/// An in-memory database of named relations plus an optional source graph.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    instance: Instance,
+    graph: Option<Graph>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn add_relation(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
+        self.instance.add_relation(name, relation);
+        self
+    }
+
+    /// Loads a graph: stores its symmetric `edge(a, b)` relation and keeps the graph
+    /// itself so the specialised graph engine can run on it.
+    pub fn add_graph(&mut self, graph: &Graph) -> &mut Self {
+        self.instance.add_relation("edge", graph.edge_relation());
+        self.graph = Some(graph.clone());
+        self
+    }
+
+    /// The underlying instance (relation catalog).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The stored graph, if any.
+    pub fn graph(&self) -> Option<&Graph> {
+        self.graph.as_ref()
+    }
+
+    /// Binds a query against the stored relations under an optional explicit GAO.
+    pub fn bind(&self, query: &Query, gao: Option<Vec<VarId>>) -> Result<BoundQuery, EngineError> {
+        BoundQuery::new(&self.instance, query, gao).map_err(EngineError::Bind)
+    }
+
+    /// Counts the query's output with the selected engine.
+    pub fn count(&self, query: &Query, engine: &Engine) -> Result<u64, EngineError> {
+        self.count_with_gao(query, engine, None)
+    }
+
+    /// Counts the query's output with the selected engine under an explicit GAO
+    /// (LFTJ and Minesweeper only; the other engines ignore the GAO).
+    pub fn count_with_gao(
+        &self,
+        query: &Query,
+        engine: &Engine,
+        gao: Option<Vec<VarId>>,
+    ) -> Result<u64, EngineError> {
+        match engine {
+            Engine::Lftj => Ok(gj_lftj::count(&self.bind(query, gao)?)),
+            Engine::Minesweeper(config) => {
+                let bq = self.bind(query, gao)?;
+                if config.threads > 1 {
+                    Ok(gj_minesweeper::par_count(&bq, config))
+                } else {
+                    Ok(gj_minesweeper::count(&bq, config))
+                }
+            }
+            Engine::Hybrid { split, config } => {
+                gj_minesweeper::hybrid_count(&self.instance, query, *split, config)
+                    .map_err(EngineError::Unsupported)
+            }
+            Engine::HashJoin(limits) => {
+                Ok(pairwise_count(&self.instance, query, JoinAlgo::Hash, limits)?)
+            }
+            Engine::SortMergeJoin(limits) => {
+                Ok(pairwise_count(&self.instance, query, JoinAlgo::SortMerge, limits)?)
+            }
+            Engine::GraphEngine => self.graph_engine_count(query),
+        }
+    }
+
+    /// Enumerates the query's output (bindings in variable-id order, sorted) with the
+    /// selected engine. The graph engine and the hybrid only produce counts.
+    pub fn enumerate(&self, query: &Query, engine: &Engine) -> Result<QueryOutput, EngineError> {
+        match engine {
+            Engine::Lftj => Ok(gj_lftj::enumerate(&self.bind(query, None)?)),
+            Engine::Minesweeper(config) => {
+                Ok(gj_minesweeper::enumerate(&self.bind(query, None)?, config))
+            }
+            Engine::Hybrid { .. } | Engine::GraphEngine => Err(EngineError::Unsupported(format!(
+                "{} only supports counting",
+                engine.label()
+            ))),
+            Engine::HashJoin(_) | Engine::SortMergeJoin(_) => {
+                // The pairwise baselines are only used for counting in the benchmark;
+                // enumerate through LFTJ for convenience.
+                Ok(gj_lftj::enumerate(&self.bind(query, None)?))
+            }
+        }
+    }
+
+    /// The specialised graph engine: recognises the 3-clique and 4-clique catalog
+    /// queries by structure and refuses everything else, like its real counterpart.
+    fn graph_engine_count(&self, query: &Query) -> Result<u64, EngineError> {
+        let Some(graph) = &self.graph else {
+            return Err(EngineError::Unsupported(
+                "the graph engine needs a graph loaded with add_graph".to_string(),
+            ));
+        };
+        let engine = GraphEngine::load(graph);
+        if same_shape(query, &CatalogQuery::ThreeClique.query()) {
+            Ok(engine.triangle_count())
+        } else if same_shape(query, &CatalogQuery::FourClique.query()) {
+            Ok(engine.four_clique_count())
+        } else {
+            Err(EngineError::Unsupported(format!(
+                "the graph engine only supports 3-clique and 4-clique, not {}",
+                query.name
+            )))
+        }
+    }
+}
+
+/// Structural equality of two queries up to variable names: same atoms (relation name
+/// + variable indices) and same filters.
+fn same_shape(a: &Query, b: &Query) -> bool {
+    a.num_vars() == b.num_vars()
+        && a.atoms.len() == b.atoms.len()
+        && a.atoms
+            .iter()
+            .zip(&b.atoms)
+            .all(|(x, y)| x.relation == y.relation && x.vars == y.vars)
+        && a.filters == b.filters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_query::naive_count;
+
+    fn two_triangle_db() -> Database {
+        let graph =
+            Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut db = Database::new();
+        db.add_graph(&graph);
+        db.add_relation("v1", Relation::from_values(vec![0, 1, 3]));
+        db.add_relation("v2", Relation::from_values(vec![2, 3, 4]));
+        db.add_relation("v3", Relation::from_values(vec![0, 2]));
+        db.add_relation("v4", Relation::from_values(vec![1, 4]));
+        db
+    }
+
+    #[test]
+    fn every_engine_counts_triangles_identically() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        let engines = [
+            Engine::Lftj,
+            Engine::minesweeper(),
+            Engine::HashJoin(ExecLimits::default()),
+            Engine::SortMergeJoin(ExecLimits::default()),
+            Engine::GraphEngine,
+        ];
+        for engine in engines {
+            assert_eq!(db.count(&q, &engine).unwrap(), 2, "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn all_catalog_queries_agree_across_general_purpose_engines() {
+        let db = two_triangle_db();
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let expected = naive_count(db.instance(), &q);
+            for engine in [
+                Engine::Lftj,
+                Engine::minesweeper(),
+                Engine::HashJoin(ExecLimits::default()),
+                Engine::SortMergeJoin(ExecLimits::default()),
+            ] {
+                assert_eq!(db.count(&q, &engine).unwrap(), expected, "{} {}", q.name, engine.label());
+            }
+            if let Some(hybrid) = Engine::hybrid_for(cq) {
+                assert_eq!(db.count(&q, &hybrid).unwrap(), expected, "{} hybrid", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_returns_sorted_bindings() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        let rows = db.enumerate(&q, &Engine::Lftj).unwrap();
+        assert_eq!(rows, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        assert_eq!(db.enumerate(&q, &Engine::minesweeper()).unwrap(), rows);
+    }
+
+    #[test]
+    fn graph_engine_rejects_non_clique_queries() {
+        let db = two_triangle_db();
+        let err = db.count(&CatalogQuery::ThreePath.query(), &Engine::GraphEngine).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn graph_engine_requires_a_loaded_graph() {
+        let mut db = Database::new();
+        db.add_relation("edge", Relation::from_pairs(vec![(0, 1)]));
+        let err = db.count(&CatalogQuery::ThreeClique.query(), &Engine::GraphEngine).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn missing_relation_is_a_bind_error() {
+        let db = Database::new();
+        let err = db.count(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap_err();
+        assert!(matches!(err, EngineError::Bind(_)));
+    }
+
+    #[test]
+    fn baseline_budget_errors_are_propagated() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::FourClique.query();
+        let tiny = ExecLimits { max_intermediate_rows: 1 };
+        let err = db.count(&q, &Engine::HashJoin(tiny)).unwrap_err();
+        assert!(matches!(err, EngineError::Baseline(_)));
+    }
+
+    #[test]
+    fn explicit_gao_is_honoured() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::FourPath.query();
+        let v = |s: &str| q.var(s).unwrap();
+        let gao = vec![v("c"), v("b"), v("a"), v("d"), v("e")];
+        let expected = db.count(&q, &Engine::Lftj).unwrap();
+        assert_eq!(db.count_with_gao(&q, &Engine::Lftj, Some(gao.clone())).unwrap(), expected);
+        assert_eq!(
+            db.count_with_gao(&q, &Engine::minesweeper(), Some(gao)).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn engine_labels_match_the_paper_rows() {
+        assert_eq!(Engine::Lftj.label(), "lb/lftj");
+        assert_eq!(Engine::minesweeper().label(), "lb/ms");
+        assert_eq!(Engine::hybrid_for(CatalogQuery::TwoLollipop).unwrap().label(), "lb/hybrid");
+        assert_eq!(Engine::HashJoin(ExecLimits::default()).label(), "psql");
+        assert_eq!(Engine::SortMergeJoin(ExecLimits::default()).label(), "monetdb");
+        assert_eq!(Engine::GraphEngine.label(), "graphlab");
+    }
+}

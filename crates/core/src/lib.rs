@@ -1,0 +1,50 @@
+//! # graphjoin
+//!
+//! A graph-pattern join engine with worst-case optimal and beyond-worst-case join
+//! algorithms behind one API — the Rust reproduction of *"Join Processing for Graph
+//! Patterns: An Old Dog with New Tricks"*.
+//!
+//! The library evaluates natural join queries (graph patterns) over in-memory
+//! relations with a choice of engines:
+//!
+//! * [`Engine::Lftj`] — LeapFrog TrieJoin, worst-case optimal (`gj-lftj`);
+//! * [`Engine::Minesweeper`] — the beyond-worst-case Minesweeper algorithm with the
+//!   paper's Ideas 1–8 (`gj-minesweeper`);
+//! * [`Engine::Hybrid`] — Minesweeper on the path part and LFTJ on the clique part of
+//!   a lollipop-style query (Section 4.12);
+//! * [`Engine::HashJoin`] / [`Engine::SortMergeJoin`] — Selinger-style pairwise
+//!   baselines standing in for PostgreSQL / MonetDB (`gj-baselines`);
+//! * [`Engine::GraphEngine`] — a hand-specialised clique counter standing in for
+//!   GraphLab (`gj-baselines`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use graphjoin::{CatalogQuery, Database, Engine};
+//! use gj_storage::Graph;
+//!
+//! // Two triangles sharing the edge (1, 2).
+//! let graph = Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+//! let mut db = Database::new();
+//! db.add_graph(&graph);
+//!
+//! let triangles = db.count(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap();
+//! assert_eq!(triangles, 2);
+//! let again = db.count(&CatalogQuery::ThreeClique.query(), &Engine::minesweeper()).unwrap();
+//! assert_eq!(again, 2);
+//! ```
+
+pub mod database;
+pub mod workload;
+
+pub use database::{Database, Engine, EngineError, QueryOutput};
+pub use workload::{workload_database, Workload};
+
+// Re-export the pieces users of the façade routinely need.
+pub use gj_baselines::{ExecLimits, JoinAlgo};
+pub use gj_datagen::{Dataset, DatasetSpec};
+pub use gj_minesweeper::MsConfig;
+pub use gj_query::{
+    agm_bound, BoundQuery, CatalogQuery, Hypergraph, Instance, Query, QueryBuilder, VarId,
+};
+pub use gj_storage::{Graph, Relation, TrieIndex, Val};

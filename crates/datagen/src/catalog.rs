@@ -1,0 +1,310 @@
+//! The dataset catalog: one synthetic stand-in per SNAP dataset used in the paper.
+//!
+//! Each [`Dataset`] records the statistics the paper reports (nodes, edges, triangle
+//! count — Section 5.1) and the generator parameters chosen to land in the same
+//! regime: triangle-poor Erdős–Rényi for the p2p-Gnutella graphs, powerlaw-cluster
+//! (preferential attachment with triangle closure) for the social, collaboration and
+//! communication networks. The three web-scale graphs (Pokec, LiveJournal, Orkut) are
+//! additionally scaled down by default so the full benchmark harness runs on a
+//! laptop; the scale factor is explicit and adjustable.
+
+use crate::generators::{erdos_renyi, powerlaw_cluster};
+use gj_storage::Graph;
+
+/// Which generator family a dataset uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Family {
+    /// Uniform random graph (triangle-poor).
+    ErdosRenyi,
+    /// Preferential attachment with triangle closure probability.
+    PowerlawCluster { triangle_prob: f64 },
+}
+
+/// A synthetic stand-in for one of the paper's SNAP datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    WikiVote,
+    P2pGnutella31,
+    P2pGnutella04,
+    LocBrightkite,
+    EgoFacebook,
+    EmailEnron,
+    CaGrQc,
+    CaCondMat,
+    EgoTwitter,
+    SocSlashdot0902,
+    SocSlashdot0811,
+    SocEpinions1,
+    SocPokec,
+    SocLiveJournal1,
+    ComOrkut,
+}
+
+/// Static description of a dataset: the paper's numbers plus our generator choice.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// SNAP name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Node count reported in the paper.
+    pub paper_nodes: usize,
+    /// (Directed) edge count reported in the paper.
+    pub paper_edges: usize,
+    /// Triangle count reported in the paper.
+    pub paper_triangles: u64,
+    /// Default down-scaling factor applied to the node count (1.0 = full size).
+    pub default_scale: f64,
+    family: Family,
+}
+
+impl Dataset {
+    /// All datasets, in the order of the paper's tables.
+    pub fn all() -> [Dataset; 15] {
+        [
+            Dataset::WikiVote,
+            Dataset::P2pGnutella31,
+            Dataset::P2pGnutella04,
+            Dataset::LocBrightkite,
+            Dataset::EgoFacebook,
+            Dataset::EmailEnron,
+            Dataset::CaGrQc,
+            Dataset::CaCondMat,
+            Dataset::EgoTwitter,
+            Dataset::SocSlashdot0902,
+            Dataset::SocSlashdot0811,
+            Dataset::SocEpinions1,
+            Dataset::SocPokec,
+            Dataset::SocLiveJournal1,
+            Dataset::ComOrkut,
+        ]
+    }
+
+    /// The small and medium datasets used in the ablation tables (Tables 1–4), i.e.
+    /// everything except the three web-scale graphs.
+    pub fn small_and_medium() -> Vec<Dataset> {
+        Dataset::all()
+            .into_iter()
+            .filter(|d| !matches!(d, Dataset::SocPokec | Dataset::SocLiveJournal1 | Dataset::ComOrkut))
+            .collect()
+    }
+
+    /// The dataset's static description.
+    pub fn spec(&self) -> DatasetSpec {
+        use Family::*;
+        match self {
+            Dataset::WikiVote => DatasetSpec {
+                name: "wiki-Vote",
+                paper_nodes: 7_115,
+                paper_edges: 103_689,
+                paper_triangles: 608_389,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.75 },
+            },
+            Dataset::P2pGnutella31 => DatasetSpec {
+                name: "p2p-Gnutella31",
+                paper_nodes: 62_586,
+                paper_edges: 147_892,
+                paper_triangles: 2_024,
+                default_scale: 1.0,
+                family: ErdosRenyi,
+            },
+            Dataset::P2pGnutella04 => DatasetSpec {
+                name: "p2p-Gnutella04",
+                paper_nodes: 10_876,
+                paper_edges: 39_994,
+                paper_triangles: 934,
+                default_scale: 1.0,
+                family: ErdosRenyi,
+            },
+            Dataset::LocBrightkite => DatasetSpec {
+                name: "loc-Brightkite",
+                paper_nodes: 58_228,
+                paper_edges: 428_156,
+                paper_triangles: 494_728,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.55 },
+            },
+            Dataset::EgoFacebook => DatasetSpec {
+                name: "ego-Facebook",
+                paper_nodes: 4_039,
+                paper_edges: 88_234,
+                paper_triangles: 1_612_010,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.95 },
+            },
+            Dataset::EmailEnron => DatasetSpec {
+                name: "email-Enron",
+                paper_nodes: 36_692,
+                paper_edges: 367_662,
+                paper_triangles: 727_044,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.6 },
+            },
+            Dataset::CaGrQc => DatasetSpec {
+                name: "ca-GrQc",
+                paper_nodes: 5_242,
+                paper_edges: 28_980,
+                paper_triangles: 48_260,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.8 },
+            },
+            Dataset::CaCondMat => DatasetSpec {
+                name: "ca-CondMat",
+                paper_nodes: 23_133,
+                paper_edges: 186_936,
+                paper_triangles: 173_361,
+                default_scale: 1.0,
+                family: PowerlawCluster { triangle_prob: 0.65 },
+            },
+            Dataset::EgoTwitter => DatasetSpec {
+                name: "ego-Twitter",
+                paper_nodes: 81_306,
+                paper_edges: 2_420_766,
+                paper_triangles: 13_082_506,
+                default_scale: 0.25,
+                family: PowerlawCluster { triangle_prob: 0.7 },
+            },
+            Dataset::SocSlashdot0902 => DatasetSpec {
+                name: "soc-Slashdot0902",
+                paper_nodes: 82_168,
+                paper_edges: 948_464,
+                paper_triangles: 602_592,
+                default_scale: 0.5,
+                family: PowerlawCluster { triangle_prob: 0.45 },
+            },
+            Dataset::SocSlashdot0811 => DatasetSpec {
+                name: "soc-Slashdot0811",
+                paper_nodes: 77_360,
+                paper_edges: 905_468,
+                paper_triangles: 551_724,
+                default_scale: 0.5,
+                family: PowerlawCluster { triangle_prob: 0.45 },
+            },
+            Dataset::SocEpinions1 => DatasetSpec {
+                name: "soc-Epinions1",
+                paper_nodes: 75_879,
+                paper_edges: 508_837,
+                paper_triangles: 1_624_481,
+                default_scale: 0.5,
+                family: PowerlawCluster { triangle_prob: 0.7 },
+            },
+            Dataset::SocPokec => DatasetSpec {
+                name: "soc-Pokec",
+                paper_nodes: 1_632_803,
+                paper_edges: 30_622_564,
+                paper_triangles: 32_557_458,
+                default_scale: 0.03,
+                family: PowerlawCluster { triangle_prob: 0.4 },
+            },
+            Dataset::SocLiveJournal1 => DatasetSpec {
+                name: "soc-LiveJournal1",
+                paper_nodes: 4_847_571,
+                paper_edges: 68_993_773,
+                paper_triangles: 285_730_264,
+                default_scale: 0.012,
+                family: PowerlawCluster { triangle_prob: 0.55 },
+            },
+            Dataset::ComOrkut => DatasetSpec {
+                name: "com-Orkut",
+                paper_nodes: 3_072_441,
+                paper_edges: 117_185_083,
+                paper_triangles: 627_584_181,
+                default_scale: 0.012,
+                family: PowerlawCluster { triangle_prob: 0.6 },
+            },
+        }
+    }
+
+    /// The dataset's name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Generates the synthetic stand-in at the dataset's default scale.
+    pub fn generate(&self) -> Graph {
+        self.generate_scaled(self.spec().default_scale)
+    }
+
+    /// Generates the synthetic stand-in with an explicit node-count scale factor
+    /// (`1.0` = the paper's node count). The average degree is preserved.
+    pub fn generate_scaled(&self, scale: f64) -> Graph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let spec = self.spec();
+        let nodes = ((spec.paper_nodes as f64 * scale).round() as usize).max(16);
+        // The paper's edge counts are directed; one undirected edge ~ 2 directed.
+        let undirected_edges = spec.paper_edges / 2;
+        let avg_degree = (undirected_edges as f64 / spec.paper_nodes as f64).max(1.0);
+        let seed = seed_for(spec.name);
+        match spec.family {
+            Family::ErdosRenyi => {
+                erdos_renyi(nodes, (nodes as f64 * avg_degree).round() as usize, seed)
+            }
+            Family::PowerlawCluster { triangle_prob } => {
+                powerlaw_cluster(nodes, avg_degree.round() as usize, triangle_prob, seed)
+            }
+        }
+    }
+}
+
+/// Stable per-dataset seed derived from the name (FNV-1a).
+fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_generates_a_nonempty_graph() {
+        for d in Dataset::all() {
+            // Generate at a tiny scale so the test is fast even for ego-Twitter.
+            let g = d.generate_scaled(d.spec().default_scale.min(0.05));
+            assert!(g.num_nodes() > 0, "{}", d.name());
+            assert!(g.num_undirected_edges() > 0, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::CaGrQc.generate_scaled(0.2);
+        let b = Dataset::CaGrQc.generate_scaled(0.2);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn facebook_like_graph_is_triangle_rich_and_gnutella_like_is_not() {
+        let fb = Dataset::EgoFacebook.generate_scaled(0.25);
+        let gnutella = Dataset::P2pGnutella04.generate_scaled(0.25);
+        let fb_ratio = fb.triangle_count() as f64 / fb.num_undirected_edges() as f64;
+        let gn_ratio = gnutella.triangle_count() as f64 / gnutella.num_undirected_edges() as f64;
+        assert!(
+            fb_ratio > 20.0 * gn_ratio.max(1e-3),
+            "facebook {fb_ratio} vs gnutella {gn_ratio}"
+        );
+    }
+
+    #[test]
+    fn average_degree_tracks_the_paper() {
+        let d = Dataset::CaCondMat;
+        let g = d.generate_scaled(0.3);
+        let spec = d.spec();
+        let paper_avg = spec.paper_edges as f64 / 2.0 / spec.paper_nodes as f64;
+        let ours = g.num_undirected_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            (ours - paper_avg).abs() / paper_avg < 0.35,
+            "avg degree {ours} vs paper {paper_avg}"
+        );
+    }
+
+    #[test]
+    fn small_and_medium_excludes_web_scale_graphs() {
+        let list = Dataset::small_and_medium();
+        assert_eq!(list.len(), 12);
+        assert!(!list.contains(&Dataset::ComOrkut));
+    }
+}

@@ -1,0 +1,155 @@
+//! Seeded random graph generators.
+//!
+//! Two families cover the regimes of the paper's datasets:
+//!
+//! * [`erdos_renyi`] — uniform random graphs; triangle-poor at the densities of the
+//!   p2p-Gnutella graphs;
+//! * [`powerlaw_cluster`] — preferential attachment (Barabási–Albert) with a
+//!   triangle-closure step (Holme–Kim), giving the heavy-tailed degree distributions
+//!   and high triangle counts of social/collaboration networks. The `triangle_prob`
+//!   parameter tunes how clique-rich the result is.
+//!
+//! Both are deterministic in the seed, so every harness run sees the same data.
+
+use gj_storage::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi style random graph: `target_edges` undirected edges sampled uniformly
+/// (duplicates and self-loops dropped, so the realised edge count can be slightly
+/// lower).
+pub fn erdos_renyi(num_nodes: usize, target_edges: usize, seed: u64) -> Graph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(target_edges);
+    for _ in 0..target_edges {
+        let a = rng.gen_range(0..num_nodes as u32);
+        let b = rng.gen_range(0..num_nodes as u32);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Graph::new_undirected(num_nodes, edges)
+}
+
+/// Powerlaw-cluster graph (Holme–Kim): each new node attaches to `edges_per_node`
+/// targets chosen by preferential attachment; after each attachment, with probability
+/// `triangle_prob` the next attachment goes to a random neighbour of the previous
+/// target, closing a triangle.
+pub fn powerlaw_cluster(
+    num_nodes: usize,
+    edges_per_node: usize,
+    triangle_prob: f64,
+    seed: u64,
+) -> Graph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&triangle_prob), "triangle_prob must be a probability");
+    let m = edges_per_node.max(1).min(num_nodes - 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // `targets_pool` holds one entry per edge endpoint, so sampling uniformly from it
+    // is preferential attachment. Adjacency lists support the triangle-closure step.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(num_nodes * m);
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * num_nodes * m);
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+
+    // Seed clique of m+1 nodes so early preferential choices are well defined.
+    let seed_nodes = (m + 1).min(num_nodes);
+    for a in 0..seed_nodes as u32 {
+        for b in (a + 1)..seed_nodes as u32 {
+            edges.push((a, b));
+            pool.push(a);
+            pool.push(b);
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+    }
+
+    for v in seed_nodes as u32..num_nodes as u32 {
+        let mut last_target: Option<u32> = None;
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < m && guard < 20 * m {
+            guard += 1;
+            let candidate = match last_target {
+                // Triangle-closure step: connect to a neighbour of the previous target.
+                Some(t) if rng.gen_bool(triangle_prob) && !adjacency[t as usize].is_empty() => {
+                    adjacency[t as usize][rng.gen_range(0..adjacency[t as usize].len())]
+                }
+                _ => pool[rng.gen_range(0..pool.len())],
+            };
+            if candidate == v || adjacency[v as usize].contains(&candidate) {
+                last_target = None;
+                continue;
+            }
+            edges.push((v, candidate));
+            pool.push(v);
+            pool.push(candidate);
+            adjacency[v as usize].push(candidate);
+            adjacency[candidate as usize].push(v);
+            last_target = Some(candidate);
+            added += 1;
+        }
+    }
+    Graph::new_undirected(num_nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_in_the_seed() {
+        let a = erdos_renyi(200, 800, 7);
+        let b = erdos_renyi(200, 800, 7);
+        let c = erdos_renyi(200, 800, 8);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_is_close_to_target() {
+        let g = erdos_renyi(500, 2000, 3);
+        let undirected = g.num_undirected_edges();
+        assert!(undirected > 1800 && undirected <= 2000, "got {undirected}");
+    }
+
+    #[test]
+    fn powerlaw_cluster_is_deterministic_and_connected_enough() {
+        let a = powerlaw_cluster(300, 4, 0.6, 11);
+        let b = powerlaw_cluster(300, 4, 0.6, 11);
+        assert_eq!(a.edges(), b.edges());
+        // Roughly m edges per added node.
+        let undirected = a.num_undirected_edges();
+        assert!(undirected >= 290 * 4 / 2, "got {undirected}");
+    }
+
+    #[test]
+    fn triangle_closure_raises_the_triangle_count() {
+        let flat = powerlaw_cluster(400, 4, 0.0, 5);
+        let clustered = powerlaw_cluster(400, 4, 0.9, 5);
+        assert!(
+            clustered.triangle_count() > 2 * flat.triangle_count(),
+            "clustered {} vs flat {}",
+            clustered.triangle_count(),
+            flat.triangle_count()
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_is_triangle_poor_at_gnutella_density() {
+        // ~2.4 average degree, like p2p-Gnutella: triangles should be rare.
+        let g = erdos_renyi(10_000, 24_000, 9);
+        let per_edge = g.triangle_count() as f64 / g.num_undirected_edges() as f64;
+        assert!(per_edge < 0.05, "triangles per edge {per_edge}");
+    }
+
+    #[test]
+    fn degenerate_sizes_still_work() {
+        let g = powerlaw_cluster(2, 3, 0.5, 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_undirected_edges(), 1);
+        let g = erdos_renyi(2, 10, 1);
+        assert!(g.num_undirected_edges() <= 1);
+    }
+}

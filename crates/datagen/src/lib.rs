@@ -1,0 +1,28 @@
+//! # gj-datagen
+//!
+//! Synthetic graph workloads for the benchmark harness.
+//!
+//! The paper evaluates on SNAP graphs (Section 5.1). Those downloads are not part of
+//! this repository, so the harness substitutes seeded synthetic graphs whose *regime*
+//! matches each SNAP dataset: comparable node count (scaled down for the largest
+//! graphs), comparable average degree, and a comparable triangle density — the three
+//! properties the paper's comparisons actually hinge on (clique-rich social networks
+//! versus triangle-poor peer-to-peer graphs, small versus large inputs). The
+//! substitution and its rationale are documented in `DESIGN.md`; `EXPERIMENTS.md`
+//! records the generated statistics next to the paper's.
+//!
+//! * [`generators`] — seeded Erdős–Rényi and powerlaw-cluster (preferential
+//!   attachment with triangle closure) generators;
+//! * [`catalog`] — one [`DatasetSpec`](catalog::DatasetSpec) per SNAP dataset used in
+//!   the paper, with the paper's statistics and the matched generator parameters;
+//! * [`sample`] — the random node samples (`v1`, `v2`, …) with selectivity `s`
+//!   (each node kept with probability `1/s`), as used by the path/tree/comb/lollipop
+//!   queries.
+
+pub mod catalog;
+pub mod generators;
+pub mod sample;
+
+pub use catalog::{Dataset, DatasetSpec};
+pub use generators::{erdos_renyi, powerlaw_cluster};
+pub use sample::{node_sample, sample_relations};

@@ -1,0 +1,90 @@
+//! Random node samples (`v1`, `v2`, …).
+//!
+//! Several benchmark queries restrict some pattern vertices to random node samples.
+//! The paper creates a sample by keeping each node with probability `1/s`, where `s`
+//! is called the *selectivity* (Section 5.1): selectivity 10 keeps roughly 10% of the
+//! nodes, selectivity 1000 roughly 0.1%. Different samples of the same graph use
+//! different seeds so `v1` and `v2` are independent draws, and the whole process is
+//! deterministic per (graph size, selectivity, seed).
+
+use gj_storage::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one node sample with the given selectivity (`1/selectivity` keep
+/// probability) over node ids `0..num_nodes`.
+pub fn node_sample(num_nodes: usize, selectivity: u32, seed: u64) -> Relation {
+    assert!(selectivity >= 1, "selectivity must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = 1.0 / selectivity as f64;
+    let values = (0..num_nodes as i64).filter(|_| rng.gen_bool(p));
+    Relation::from_values(values)
+}
+
+/// Draws the `k` independent samples `v1 … vk` a query needs, returning
+/// `(name, relation)` pairs ready to be added to an
+/// [`Instance`](gj_query::Instance).
+pub fn sample_relations(
+    num_nodes: usize,
+    selectivity: u32,
+    k: usize,
+    seed: u64,
+) -> Vec<(String, Relation)> {
+    (0..k)
+        .map(|i| {
+            let name = format!("v{}", i + 1);
+            let rel = node_sample(num_nodes, selectivity, seed.wrapping_add(i as u64 * 0x9e37_79b9));
+            (name, rel)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_tracks_the_selectivity() {
+        let n = 50_000;
+        for s in [8u32, 80, 1000] {
+            let sample = node_sample(n, s, 42);
+            let expected = n as f64 / s as f64;
+            let got = sample.len() as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.2 + 20.0,
+                "selectivity {s}: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_one_keeps_everything() {
+        let sample = node_sample(100, 1, 7);
+        assert_eq!(sample.len(), 100);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        assert_eq!(node_sample(1000, 10, 5), node_sample(1000, 10, 5));
+        assert_ne!(node_sample(1000, 10, 5), node_sample(1000, 10, 6));
+    }
+
+    #[test]
+    fn multiple_samples_are_independent_draws() {
+        let samples = sample_relations(5000, 10, 4, 99);
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].0, "v1");
+        assert_eq!(samples[3].0, "v4");
+        // Different seeds per sample -> almost surely different contents.
+        assert_ne!(samples[0].1, samples[1].1);
+    }
+
+    #[test]
+    fn sample_values_are_valid_node_ids() {
+        let n = 300;
+        let sample = node_sample(n, 3, 1);
+        for row in sample.rows() {
+            assert!(row[0] >= 0 && row[0] < n as i64);
+        }
+    }
+}

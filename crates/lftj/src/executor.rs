@@ -1,0 +1,273 @@
+//! The LeapFrog TrieJoin executor (Algorithm 1 of the paper, iterator formulation).
+//!
+//! For each variable in the GAO, the executor opens the trie iterators of every atom
+//! containing that variable, intersects their value lists with
+//! [`LeapfrogJoin`](crate::leapfrog::LeapfrogJoin), and recurses on each match; the
+//! recursion bottoming out at the last variable yields an output tuple.
+//!
+//! Order filters (`x < y`, used by the clique/cycle queries to report each pattern
+//! once) are pushed into the search: the filter's lower bound is applied with a
+//! leapfrog `seek`, and its upper bound truncates the scan of the current level.
+
+use crate::leapfrog::LeapfrogJoin;
+use gj_query::BoundQuery;
+use gj_storage::{TrieIterator, Val};
+
+/// Execution statistics, mostly for the benchmark harness and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LftjStats {
+    /// Number of output tuples produced (after filters).
+    pub results: u64,
+    /// Number of variable bindings explored (matches found at any level).
+    pub bindings_explored: u64,
+}
+
+/// LeapFrog TrieJoin executor over a [`BoundQuery`].
+pub struct LftjExecutor<'a> {
+    bq: &'a BoundQuery,
+    iters: Vec<TrieIterator<'a>>,
+    /// Per GAO position: indices of the atoms whose iterator participates.
+    participants: Vec<Vec<usize>>,
+    /// Per GAO position: filters `(earlier_gao_pos, earlier_is_smaller)`.
+    filters: Vec<Vec<(usize, bool)>>,
+    binding: Vec<Val>,
+    stats: LftjStats,
+}
+
+impl<'a> LftjExecutor<'a> {
+    /// Prepares an executor for the bound query.
+    ///
+    /// Panics if some query variable is contained in no atom (such a query has no
+    /// well-defined finite answer).
+    pub fn new(bq: &'a BoundQuery) -> Self {
+        let n = bq.num_vars();
+        let participants: Vec<Vec<usize>> = (0..n).map(|pos| bq.atoms_at_gao_pos(pos)).collect();
+        for (pos, parts) in participants.iter().enumerate() {
+            assert!(
+                !parts.is_empty(),
+                "variable {} is not contained in any atom",
+                bq.query.var_names[bq.gao[pos]]
+            );
+        }
+        let iters = bq.atoms.iter().map(|a| a.index.iter()).collect();
+        LftjExecutor {
+            bq,
+            iters,
+            participants,
+            filters: bq.filters_by_gao_pos(),
+            binding: vec![0; n],
+            stats: LftjStats::default(),
+        }
+    }
+
+    /// Runs the join, invoking `emit` with each output binding (indexed by GAO
+    /// position). Returns the execution statistics.
+    pub fn run<F: FnMut(&[Val])>(mut self, emit: &mut F) -> LftjStats {
+        if self.bq.num_vars() > 0 {
+            self.search(0, emit);
+        }
+        self.stats
+    }
+
+    /// Counts the output tuples.
+    pub fn count(self) -> u64 {
+        let mut n = 0u64;
+        self.run(&mut |_| n += 1);
+        n
+    }
+
+    /// Recursive triejoin over GAO positions `depth..n`.
+    fn search<F: FnMut(&[Val])>(&mut self, depth: usize, emit: &mut F) {
+        let parts = self.participants[depth].clone();
+        for &i in &parts {
+            self.iters[i].open();
+        }
+
+        let mut lf = LeapfrogJoin::new(parts.clone());
+        lf.init(&mut self.iters);
+
+        // Bounds induced by the order filters whose later variable sits at `depth`.
+        let mut lower: Option<Val> = None;
+        let mut upper: Option<Val> = None;
+        for &(earlier_pos, earlier_is_smaller) in &self.filters[depth] {
+            let bound = self.binding[earlier_pos];
+            if earlier_is_smaller {
+                lower = Some(lower.map_or(bound + 1, |l: Val| l.max(bound + 1)));
+            } else {
+                upper = Some(upper.map_or(bound, |u: Val| u.min(bound)));
+            }
+        }
+        if let (Some(lb), false) = (lower, lf.at_end()) {
+            lf.seek(lb, &mut self.iters);
+        }
+
+        while !lf.at_end() {
+            let v = lf.key();
+            if let Some(ub) = upper {
+                if v >= ub {
+                    break;
+                }
+            }
+            self.binding[depth] = v;
+            self.stats.bindings_explored += 1;
+            if depth + 1 == self.bq.num_vars() {
+                self.stats.results += 1;
+                emit(&self.binding);
+            } else {
+                self.search(depth + 1, emit);
+            }
+            lf.next(&mut self.iters);
+        }
+
+        for &i in &parts {
+            self.iters[i].up();
+        }
+    }
+}
+
+/// Counts the output of the bound query with LeapFrog TrieJoin.
+pub fn count(bq: &BoundQuery) -> u64 {
+    LftjExecutor::new(bq).count()
+}
+
+/// Enumerates the output of the bound query; bindings are returned **in variable-id
+/// order** (not GAO order), sorted lexicographically.
+pub fn enumerate(bq: &BoundQuery) -> Vec<Vec<Val>> {
+    let mut out = Vec::new();
+    LftjExecutor::new(bq).run(&mut |gao_binding| {
+        out.push(bq.binding_to_var_order(gao_binding));
+    });
+    out.sort_unstable();
+    out
+}
+
+/// Runs the bound query, calling `emit` for every output binding in GAO order, and
+/// returns the execution statistics.
+pub fn run<F: FnMut(&[Val])>(bq: &BoundQuery, emit: &mut F) -> LftjStats {
+    LftjExecutor::new(bq).run(emit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_query::{naive_join, CatalogQuery, Instance, QueryBuilder};
+    use gj_storage::{Graph, Relation};
+
+    fn instance_with_samples(g: &Graph, samples: &[(&str, Vec<i64>)]) -> Instance {
+        let mut inst = Instance::new();
+        inst.add_relation("edge", g.edge_relation());
+        for (name, vals) in samples {
+            inst.add_relation(*name, Relation::from_values(vals.clone()));
+        }
+        inst
+    }
+
+    fn two_triangle_graph() -> Graph {
+        Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn triangle_count_matches_naive() {
+        let g = two_triangle_graph();
+        let inst = instance_with_samples(&g, &[]);
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(count(&bq), 2);
+        assert_eq!(enumerate(&bq), naive_join(&inst, &q));
+    }
+
+    #[test]
+    fn triangle_count_equals_graph_triangle_count_on_random_graph() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+            .filter(|_| rng.gen_bool(0.15))
+            .collect();
+        let g = Graph::new_undirected(n as usize, edges);
+        let inst = instance_with_samples(&g, &[]);
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(count(&bq), g.triangle_count());
+    }
+
+    #[test]
+    fn all_catalog_queries_match_naive_on_small_graph() {
+        let g = two_triangle_graph();
+        let samples: Vec<(&str, Vec<i64>)> = vec![
+            ("v1", vec![0, 1, 3]),
+            ("v2", vec![2, 3, 4]),
+            ("v3", vec![0, 2]),
+            ("v4", vec![1, 4]),
+        ];
+        let inst = instance_with_samples(&g, &samples);
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let expected = naive_join(&inst, &q);
+            assert_eq!(enumerate(&bq), expected, "{}", q.name);
+            assert_eq!(count(&bq), expected.len() as u64, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn respects_explicit_gao() {
+        let g = two_triangle_graph();
+        let inst = instance_with_samples(&g, &[]);
+        let q = CatalogQuery::FourCycle.query();
+        let naive = naive_join(&inst, &q);
+        for gao in [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2]] {
+            let bq = BoundQuery::new(&inst, &q, Some(gao.clone())).unwrap();
+            assert_eq!(enumerate(&bq), naive, "GAO {gao:?}");
+        }
+    }
+
+    #[test]
+    fn filters_prune_via_seek_and_break() {
+        // Without filters the directed 2-cycle query would return both orders.
+        let mut inst = Instance::new();
+        inst.add_relation("edge", Relation::from_pairs(vec![(1, 2), (2, 1), (1, 3), (3, 1)]));
+        let q = QueryBuilder::new("ordered-pair")
+            .atom("edge", &["a", "b"])
+            .atom("edge", &["b", "a"])
+            .lt("a", "b")
+            .build();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(enumerate(&bq), vec![vec![1, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn empty_relation_yields_zero() {
+        let mut inst = Instance::new();
+        inst.add_relation("edge", Relation::empty(2));
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(count(&bq), 0);
+    }
+
+    #[test]
+    fn unary_sample_restricts_output() {
+        let g = two_triangle_graph();
+        let inst = instance_with_samples(&g, &[("v1", vec![0]), ("v2", vec![4])]);
+        let q = CatalogQuery::ThreePath.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let rows = enumerate(&bq);
+        assert_eq!(rows, naive_join(&inst, &q));
+        for r in &rows {
+            assert_eq!(r[0], 0);
+            assert_eq!(r[3], 4);
+        }
+    }
+
+    #[test]
+    fn stats_count_results() {
+        let g = two_triangle_graph();
+        let inst = instance_with_samples(&g, &[]);
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let stats = run(&bq, &mut |_| {});
+        assert_eq!(stats.results, 2);
+        assert!(stats.bindings_explored >= stats.results);
+    }
+}

@@ -1,0 +1,201 @@
+//! Unary leapfrog intersection.
+//!
+//! The heart of LeapFrog TrieJoin: given `k` trie iterators positioned at the same
+//! trie level, enumerate the intersection of their (sorted) value lists by repeatedly
+//! seeking the iterator with the smallest key to the current maximum key — each miss
+//! "leapfrogs" over a swath of values that cannot participate in the join.
+//!
+//! The iterators themselves live in the executor (one per atom); [`LeapfrogJoin`]
+//! only stores which iterators participate at this level and the rotation state, and
+//! receives the iterator storage as an argument on every call. That keeps the borrow
+//! structure simple while matching the classic presentation (leapfrog-init /
+//! leapfrog-search / leapfrog-next / leapfrog-seek).
+
+use gj_storage::{TrieIterator, Val};
+
+/// Leapfrog intersection state over a subset of the executor's trie iterators.
+#[derive(Debug, Clone)]
+pub struct LeapfrogJoin {
+    /// Indices (into the executor's iterator vector) of the participating atoms,
+    /// reordered by key during `init`.
+    participants: Vec<usize>,
+    /// Rotation pointer: the participant currently holding the smallest key.
+    p: usize,
+    /// Whether the intersection is exhausted.
+    at_end: bool,
+    /// The key of the current match (valid when `!at_end` after a successful search).
+    key: Val,
+}
+
+impl LeapfrogJoin {
+    /// Creates a leapfrog join over the given participant iterator indices.
+    /// `participants` must be non-empty.
+    pub fn new(participants: Vec<usize>) -> Self {
+        assert!(!participants.is_empty(), "leapfrog join needs at least one iterator");
+        LeapfrogJoin { participants, p: 0, at_end: false, key: 0 }
+    }
+
+    /// The participating iterator indices (in current rotation order).
+    pub fn participants(&self) -> &[usize] {
+        &self.participants
+    }
+
+    /// Whether the intersection is exhausted.
+    pub fn at_end(&self) -> bool {
+        self.at_end
+    }
+
+    /// The current match value. Only meaningful when `!at_end()`.
+    pub fn key(&self) -> Val {
+        self.key
+    }
+
+    /// `leapfrog-init`: to be called when every participating iterator has just been
+    /// opened at this level. Establishes the rotation order and finds the first match.
+    pub fn init(&mut self, iters: &mut [TrieIterator<'_>]) {
+        if self.participants.iter().any(|&i| iters[i].at_end()) {
+            self.at_end = true;
+            return;
+        }
+        self.at_end = false;
+        self.participants.sort_by_key(|&i| iters[i].key());
+        self.p = 0;
+        self.search(iters);
+    }
+
+    /// `leapfrog-search`: advances iterators until all participants agree on a key
+    /// (a match) or one of them is exhausted.
+    pub fn search(&mut self, iters: &mut [TrieIterator<'_>]) {
+        let k = self.participants.len();
+        // The participant "before" p currently holds the largest key.
+        let mut max_key = iters[self.participants[(self.p + k - 1) % k]].key();
+        loop {
+            let idx = self.participants[self.p];
+            let cur = iters[idx].key();
+            if cur == max_key {
+                self.key = cur;
+                return;
+            }
+            iters[idx].seek(max_key);
+            if iters[idx].at_end() {
+                self.at_end = true;
+                return;
+            }
+            max_key = iters[idx].key();
+            self.p = (self.p + 1) % k;
+        }
+    }
+
+    /// `leapfrog-next`: moves past the current match to the next one.
+    pub fn next(&mut self, iters: &mut [TrieIterator<'_>]) {
+        assert!(!self.at_end, "next() on an exhausted leapfrog join");
+        let idx = self.participants[self.p];
+        iters[idx].next();
+        if iters[idx].at_end() {
+            self.at_end = true;
+        } else {
+            self.p = (self.p + 1) % self.participants.len();
+            self.search(iters);
+        }
+    }
+
+    /// `leapfrog-seek`: moves to the first match with key `>= v`.
+    pub fn seek(&mut self, v: Val, iters: &mut [TrieIterator<'_>]) {
+        assert!(!self.at_end, "seek() on an exhausted leapfrog join");
+        if self.key >= v {
+            return;
+        }
+        let idx = self.participants[self.p];
+        iters[idx].seek(v);
+        if iters[idx].at_end() {
+            self.at_end = true;
+        } else {
+            self.p = (self.p + 1) % self.participants.len();
+            self.search(iters);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_storage::{Relation, TrieIndex};
+
+    /// Opens level 0 of each index and collects the full leapfrog intersection.
+    fn intersect(lists: &[&[Val]]) -> Vec<Val> {
+        let indexes: Vec<TrieIndex> = lists
+            .iter()
+            .map(|vs| TrieIndex::build_natural(&Relation::from_values(vs.to_vec())))
+            .collect();
+        let mut iters: Vec<TrieIterator> = indexes.iter().map(TrieIndex::iter).collect();
+        for it in &mut iters {
+            it.open();
+        }
+        let mut lf = LeapfrogJoin::new((0..iters.len()).collect());
+        lf.init(&mut iters);
+        let mut out = Vec::new();
+        while !lf.at_end() {
+            out.push(lf.key());
+            lf.next(&mut iters);
+        }
+        out
+    }
+
+    #[test]
+    fn intersection_of_the_classic_example() {
+        // The example from Veldhuizen's paper.
+        let a: &[Val] = &[0, 1, 3, 4, 5, 6, 7, 8, 9, 11];
+        let b: &[Val] = &[0, 2, 6, 7, 8, 9];
+        let c: &[Val] = &[2, 4, 5, 8, 10];
+        assert_eq!(intersect(&[a, b, c]), vec![8]);
+    }
+
+    #[test]
+    fn disjoint_lists_intersect_empty() {
+        assert_eq!(intersect(&[&[1, 3, 5], &[2, 4, 6]]), Vec::<Val>::new());
+    }
+
+    #[test]
+    fn identical_lists_intersect_to_themselves() {
+        assert_eq!(intersect(&[&[1, 5, 9], &[1, 5, 9]]), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn single_iterator_is_identity() {
+        assert_eq!(intersect(&[&[2, 4, 8]]), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_input_list_gives_empty_intersection() {
+        assert_eq!(intersect(&[&[1, 2, 3], &[]]), Vec::<Val>::new());
+    }
+
+    #[test]
+    fn seek_skips_ahead_within_intersection() {
+        let lists: Vec<&[Val]> = vec![&[1, 2, 3, 4, 5, 6, 7, 8], &[2, 4, 6, 8]];
+        let indexes: Vec<TrieIndex> = lists
+            .iter()
+            .map(|vs| TrieIndex::build_natural(&Relation::from_values(vs.to_vec())))
+            .collect();
+        let mut iters: Vec<TrieIterator> = indexes.iter().map(TrieIndex::iter).collect();
+        for it in &mut iters {
+            it.open();
+        }
+        let mut lf = LeapfrogJoin::new(vec![0, 1]);
+        lf.init(&mut iters);
+        assert_eq!(lf.key(), 2);
+        lf.seek(5, &mut iters);
+        assert_eq!(lf.key(), 6);
+        lf.seek(9, &mut iters);
+        assert!(lf.at_end());
+    }
+
+    #[test]
+    fn three_way_intersection_agrees_with_reference() {
+        let a: Vec<Val> = (0..200).filter(|x| x % 2 == 0).collect();
+        let b: Vec<Val> = (0..200).filter(|x| x % 3 == 0).collect();
+        let c: Vec<Val> = (0..200).filter(|x| x % 5 == 0).collect();
+        let expected: Vec<Val> = (0..200).filter(|x| x % 30 == 0).collect();
+        assert_eq!(intersect(&[&a, &b, &c]), expected);
+    }
+}

@@ -1,0 +1,23 @@
+//! # gj-lftj
+//!
+//! LeapFrog TrieJoin (LFTJ) — the worst-case optimal multiway join algorithm of
+//! Veldhuizen, as used inside LogicBlox and described in Section 2.2 / Algorithm 1 of
+//! the paper.
+//!
+//! LFTJ processes the query variables one at a time in the global attribute order.
+//! For the current variable it intersects, by *leapfrogging*, the sorted value lists
+//! exposed by the trie iterators of every atom that contains the variable; for each
+//! value in the intersection it descends into the next variable, and it backtracks
+//! when a level is exhausted. Its running time is `Õ(N + AGM(Q))` for every query —
+//! worst-case optimal — which is what lets it avoid the exploding intermediate
+//! results that pairwise (Selinger-style) plans materialise on cyclic graph patterns.
+//!
+//! The public entry points are [`LftjExecutor`], [`count`], [`enumerate`] and
+//! [`run`]; all of them consume a [`BoundQuery`] (query + GAO + GAO-consistent trie
+//! indexes) from `gj-query`.
+
+pub mod executor;
+pub mod leapfrog;
+
+pub use executor::{count, enumerate, run, LftjExecutor, LftjStats};
+pub use leapfrog::LeapfrogJoin;

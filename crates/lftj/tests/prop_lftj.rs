@@ -1,0 +1,69 @@
+//! Property-based tests: LeapFrog TrieJoin must agree with the naive reference join
+//! on random graphs for every catalog query, under any legal GAO, and its output size
+//! must respect the AGM bound.
+
+use gj_lftj::{count, enumerate};
+use gj_query::{agm_bound, naive_join, BoundQuery, CatalogQuery, Instance};
+use gj_storage::{Graph, Relation};
+use proptest::prelude::*;
+
+/// A random small graph plus sample relations, described by the raw edge choices.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..12, prop::collection::vec((0u32..12, 0u32..12), 0..60), prop::collection::vec(0i64..12, 0..8), prop::collection::vec(0i64..12, 0..8))
+        .prop_map(|(n, raw_edges, v1, v2)| {
+            let n = n.max(raw_edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(1));
+            let g = Graph::new_undirected(n, raw_edges);
+            let mut inst = Instance::new();
+            inst.add_relation("edge", g.edge_relation());
+            inst.add_relation("v1", Relation::from_values(v1.into_iter().filter(|&v| v < n as i64)));
+            inst.add_relation("v2", Relation::from_values(v2.into_iter().filter(|&v| v < n as i64)));
+            inst.add_relation("v3", Relation::from_values((0..n as i64).step_by(2)));
+            inst.add_relation("v4", Relation::from_values((0..n as i64).step_by(3)));
+            inst
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lftj_matches_naive_on_all_catalog_queries(inst in arb_instance()) {
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let expected = naive_join(&inst, &q);
+            prop_assert_eq!(enumerate(&bq), expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn lftj_is_gao_independent(inst in arb_instance(), seed in 0u64..1000) {
+        // Evaluate the 4-cycle under a pseudo-random GAO and the default one.
+        let q = CatalogQuery::FourCycle.query();
+        let n = q.num_vars();
+        let mut gao: Vec<usize> = (0..n).collect();
+        // Cheap deterministic shuffle from the seed.
+        for i in (1..n).rev() {
+            let j = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (i + 1);
+            gao.swap(i, j);
+        }
+        let default = BoundQuery::new(&inst, &q, None).unwrap();
+        let shuffled = BoundQuery::new(&inst, &q, Some(gao)).unwrap();
+        prop_assert_eq!(enumerate(&default), enumerate(&shuffled));
+    }
+
+    #[test]
+    fn output_size_respects_agm_bound(inst in arb_instance()) {
+        // The AGM bound ignores the order filters, so compare against the unfiltered
+        // variants of the cyclic queries (drop filters before counting).
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle] {
+            let mut q = cq.query();
+            q.filters.clear();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let bound = agm_bound(&q, &bq.atom_sizes());
+            let actual = count(&bq) as f64;
+            prop_assert!(actual <= bound.bound + 1e-6,
+                "{}: {} > AGM bound {}", q.name, actual, bound.bound);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The constraint data structure (CDS) — Sections 4.3, 4.4 and 4.7 of the paper.
+//!
+//! The CDS is a tree with one level per GAO attribute. A node is identified by the
+//! labels on the path from the root (its *pattern*: equality values or wildcards) and
+//! stores the open intervals of the constraints whose pattern is that path, plus the
+//! bookkeeping of Ideas 5, 6 and 8 (cached intervals, discovered free values,
+//! completeness, counts).
+//!
+//! Its two operations are exactly the paper's:
+//!
+//! * [`Cds::insert_constraint`] — add a gap box;
+//! * [`Cds::compute_free_tuple`] — find the lexicographically smallest tuple `≥` the
+//!   current frontier that is not covered by any stored gap box, walking the levels
+//!   with `getFreeValue` (Algorithm 5), backtracking and truncating (Algorithm 6) as
+//!   needed.
+//!
+//! One deliberate deviation from the pseudocode is documented inline: whenever the
+//! frontier value at a level is bumped during backtracking, the deeper frontier
+//! components are reset to `-1` immediately (the paper resets them lazily at the next
+//! descent, which as written can leave a stale suffix and skip tuples; resetting
+//! eagerly is always sound because it only lowers the frontier tail).
+
+use crate::constraint::{Constraint, PatternComp};
+use crate::node::{Node, NodeId};
+use gj_storage::{Val, POS_INF};
+
+/// Statistics the CDS keeps about its own operation (for the ablation tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CdsStats {
+    /// Number of constraints inserted (gap boxes from relations).
+    pub constraints_inserted: u64,
+    /// Number of intervals cached by `getFreeValue` (Idea 5).
+    pub cached_intervals: u64,
+    /// Number of branch truncations (Algorithm 6).
+    pub truncations: u64,
+    /// Number of free tuples handed out.
+    pub free_tuples: u64,
+    /// Number of times a complete node answered a `getFreeValue` call (Idea 6).
+    pub complete_node_hits: u64,
+}
+
+/// The constraint data structure.
+#[derive(Debug, Clone)]
+pub struct Cds {
+    /// Number of GAO attributes (tree depth).
+    n: usize,
+    /// Node arena; index 0 is the root.
+    nodes: Vec<Node>,
+    /// Parent link and incoming edge label of each node (`None` label = wildcard
+    /// edge). The root's entry is unused.
+    parents: Vec<(NodeId, Option<Val>)>,
+    /// The moving frontier (Idea 2).
+    frontier: Vec<Val>,
+    /// Whether `getFreeValue` may cache intervals into the bottom node (Idea 5).
+    /// Sound only when the constraint-inserting atoms form a β-acyclic skeleton and
+    /// the GAO is one of its nested elimination orders — the engine decides.
+    caching: bool,
+    /// Whether complete nodes short-circuit the chain walk (Idea 6; requires caching).
+    complete_nodes: bool,
+    /// Largest value that can appear in any output tuple (the maximum data value).
+    /// Free values beyond it are treated as exhausted, which keeps every level's
+    /// search bounded even when no constraint caps it yet.
+    domain_max: Val,
+    /// Statistics.
+    pub stats: CdsStats,
+}
+
+/// Result of a `getFreeValue` call.
+struct FreeValue {
+    /// The value found (may be `POS_INF` when backtracking).
+    value: Val,
+    /// Whether the caller must backtrack.
+    backtracked: bool,
+    /// The depth to continue at (only meaningful when `backtracked`); `-1` means the
+    /// whole output space is exhausted.
+    resume_depth: isize,
+}
+
+impl Cds {
+    /// Creates an empty CDS over `n` GAO attributes, with the frontier at
+    /// `(-1, …, -1)`.
+    pub fn new(n: usize, caching: bool, complete_nodes: bool) -> Self {
+        assert!(n > 0, "a query needs at least one variable");
+        Cds {
+            n,
+            nodes: vec![Node::new()],
+            parents: vec![(0, None)],
+            frontier: vec![-1; n],
+            caching,
+            complete_nodes: complete_nodes && caching,
+            domain_max: POS_INF,
+            stats: CdsStats::default(),
+        }
+    }
+
+    /// Bounds the search to values `<= domain_max` (the largest data value): anything
+    /// beyond it cannot belong to an output tuple, so a level whose next free value
+    /// exceeds the bound is treated as exhausted. The engine always sets this; the
+    /// default is unbounded.
+    pub fn with_domain_max(mut self, domain_max: Val) -> Self {
+        self.domain_max = domain_max;
+        self
+    }
+
+    /// Number of GAO attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.n
+    }
+
+    /// The current frontier.
+    pub fn frontier(&self) -> &[Val] {
+        &self.frontier
+    }
+
+    /// Replaces the frontier. The new frontier must be lexicographically `>=` the old
+    /// one (the CDS never moves backwards).
+    pub fn set_frontier(&mut self, frontier: Vec<Val>) {
+        debug_assert_eq!(frontier.len(), self.n);
+        debug_assert!(
+            frontier.as_slice() >= self.frontier.as_slice(),
+            "frontier may only move forward: {:?} -> {frontier:?}",
+            self.frontier
+        );
+        self.frontier = frontier;
+    }
+
+    /// Read access to a node (for tests and diagnostics).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of allocated nodes (including pruned/detached ones).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finds the node with exactly this pattern, if it exists.
+    pub fn find_node(&self, pattern: &[PatternComp]) -> Option<NodeId> {
+        let mut cur = 0;
+        for comp in pattern {
+            cur = match comp {
+                PatternComp::Wildcard => self.nodes[cur].wildcard_child()?,
+                PatternComp::Eq(v) => self.nodes[cur].child(*v)?,
+            };
+        }
+        Some(cur)
+    }
+
+    fn new_node(&mut self, parent: NodeId, label: Option<Val>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node::new());
+        self.parents.push((parent, label));
+        id
+    }
+
+    /// `InsConstraint(c)`: walks (creating as needed) the node with the constraint's
+    /// pattern and inserts the interval there.
+    pub fn insert_constraint(&mut self, c: &Constraint) {
+        debug_assert!(c.interval_pos() < self.n, "constraint interval beyond the last attribute");
+        let mut cur = 0;
+        for comp in &c.pattern {
+            cur = match comp {
+                PatternComp::Wildcard => match self.nodes[cur].wildcard_child() {
+                    Some(w) => w,
+                    None => {
+                        let id = self.new_node(cur, None);
+                        self.nodes[cur].set_wildcard_child(id);
+                        id
+                    }
+                },
+                PatternComp::Eq(v) => match self.nodes[cur].child(*v) {
+                    Some(ch) => ch,
+                    None => {
+                        let id = self.new_node(cur, Some(*v));
+                        self.nodes[cur].set_child(*v, id);
+                        id
+                    }
+                },
+            };
+        }
+        self.nodes[cur].insert_interval(c.interval.0, c.interval.1);
+        self.stats.constraints_inserted += 1;
+    }
+
+    /// `computeFreeTuple()`: advances the frontier to the lexicographically smallest
+    /// tuple `≥` the current frontier that is not covered by any stored constraint,
+    /// returning `false` when no such tuple exists (the space is exhausted).
+    ///
+    /// Following Algorithm 4, the walk may return early as soon as no CDS node
+    /// generalises the current prefix at the next level (in which case no deeper
+    /// constraint can apply either); the returned tuple is then still a sound
+    /// candidate because every value skipped so far was inside a stored
+    /// (output-free) gap box.
+    pub fn compute_free_tuple(&mut self) -> bool {
+        // Active sets: for each depth, the CDS nodes whose pattern generalises the
+        // current prefix, with their specificity (number of equality edges), sorted
+        // most-specific first.
+        let mut active: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); self.n];
+        active[0] = vec![(0, 0)];
+        let mut depth: isize = 0;
+
+        loop {
+            if depth < 0 {
+                return false;
+            }
+            let d = depth as usize;
+            let x = self.frontier[d];
+            let fv = self.get_free_value(x, &active[d], d);
+            if fv.backtracked {
+                depth = fv.resume_depth;
+                continue;
+            }
+            self.frontier[d] = fv.value;
+            if fv.value > x {
+                for i in d + 1..self.n {
+                    self.frontier[i] = -1;
+                }
+            }
+            if d + 1 == self.n {
+                self.stats.free_tuples += 1;
+                return true;
+            }
+
+            // Compute the next active set: children reached by the chosen label or by
+            // a wildcard edge.
+            let label = fv.value;
+            let mut next: Vec<(NodeId, u32)> = Vec::new();
+            for &(id, spec) in &active[d] {
+                if let Some(c) = self.nodes[id].child(label) {
+                    next.push((c, spec + 1));
+                }
+                if let Some(w) = self.nodes[id].wildcard_child() {
+                    next.push((w, spec));
+                }
+            }
+            next.sort_by(|a, b| b.1.cmp(&a.1));
+            let empty = next.is_empty();
+            active[d + 1] = next;
+            if empty {
+                // Algorithm 4, line 13–16: no CDS node generalises the prefix at the
+                // next level, hence none exists at any deeper level either (paths are
+                // connected), so the current frontier completion is already free.
+                // The deeper frontier components are left untouched: resetting them
+                // here could move the frontier backwards past an already-reported
+                // output, whereas keeping them is always sound.
+                self.stats.free_tuples += 1;
+                return true;
+            }
+            depth += 1;
+        }
+    }
+
+    /// `getFreeValue(x, G)` (Algorithm 5): the smallest value `>= x` not covered by
+    /// any interval of the nodes in the chain for depth `d`, caching the scan into
+    /// the bottom node (Idea 5), answering from complete nodes (Idea 6), and
+    /// triggering backtracking / truncation when the level is exhausted.
+    fn get_free_value(&mut self, x: Val, active_d: &[(NodeId, u32)], d: usize) -> FreeValue {
+        let chain: Vec<NodeId> = active_d
+            .iter()
+            .filter(|&&(id, _)| self.nodes[id].has_intervals() || self.nodes[id].is_complete())
+            .map(|&(id, _)| id)
+            .collect();
+        if chain.is_empty() {
+            if x > self.domain_max {
+                return self.backtrack_bump(d);
+            }
+            return FreeValue { value: x, backtracked: false, resume_depth: d as isize };
+        }
+        let bottom = chain[0];
+
+        // Idea 6: a complete bottom node already knows every value that can be free.
+        if self.complete_nodes && self.nodes[bottom].is_complete() {
+            self.stats.complete_node_hits += 1;
+            let mut y = self.nodes[bottom].next_free_point(x);
+            if y > self.domain_max {
+                y = POS_INF;
+            }
+            if y == POS_INF {
+                return self.backtrack_bump(d);
+            }
+            return FreeValue { value: y, backtracked: false, resume_depth: d as isize };
+        }
+
+        // Ping-pong to a fixpoint across the chain.
+        let mut y = x;
+        loop {
+            let mut y2 = y;
+            for &id in &chain {
+                y2 = self.nodes[id].next(y2);
+            }
+            if y2 == y || y2 == POS_INF {
+                y = y2;
+                break;
+            }
+            y = y2;
+        }
+        // Values beyond the largest data value cannot be outputs: treat them as
+        // exhausted so unconstrained levels still terminate.
+        if y > self.domain_max {
+            y = POS_INF;
+        }
+
+        if self.caching {
+            if y > x {
+                self.nodes[bottom].insert_interval(x - 1, y);
+                self.stats.cached_intervals += 1;
+            }
+            if y < POS_INF {
+                self.nodes[bottom].add_free_point(y, 1);
+            }
+            if self.nodes[bottom].has_no_free_value() {
+                let resume_depth = self.truncate(bottom, d);
+                return FreeValue { value: y, backtracked: true, resume_depth };
+            }
+        }
+
+        if y == POS_INF {
+            if self.complete_nodes {
+                self.nodes[bottom].record_wrap();
+            }
+            return self.backtrack_bump(d);
+        }
+        FreeValue { value: y, backtracked: false, resume_depth: d as isize }
+    }
+
+    /// Backtracking when a level has no free value `>=` its frontier value: move to
+    /// the previous attribute, bump its frontier value, and reset the deeper ones.
+    fn backtrack_bump(&mut self, d: usize) -> FreeValue {
+        if d >= 1 {
+            self.frontier[d - 1] += 1;
+            for i in d..self.n {
+                self.frontier[i] = -1;
+            }
+        }
+        FreeValue { value: POS_INF, backtracked: true, resume_depth: d as isize - 1 }
+    }
+
+    /// `truncate(u)` (Algorithm 6): walks from `u` towards the root; at the first
+    /// equality edge it rules that single value out at the parent and stops.
+    /// Returns the depth at which the walk stopped (`-1` means the root was passed,
+    /// i.e. the whole space is exhausted).
+    fn truncate(&mut self, u: NodeId, d: usize) -> isize {
+        self.stats.truncations += 1;
+        let mut depth = d as isize;
+        let mut cur = u;
+        loop {
+            depth -= 1;
+            if depth < 0 {
+                return depth;
+            }
+            let (parent, label) = self.parents[cur];
+            match label {
+                Some(x) => {
+                    self.nodes[parent].insert_interval(x - 1, x + 1);
+                    return depth;
+                }
+                None => cur = parent,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::PatternComp::{Eq, Wildcard};
+    use gj_storage::NEG_INF;
+
+    fn c(pattern: Vec<PatternComp>, interval: (Val, Val)) -> Constraint {
+        Constraint::new(pattern, interval)
+    }
+
+    /// Builds the CDS of Figure 2 in the paper (n = 5) and checks its shape.
+    #[test]
+    fn figure2_example() {
+        let mut cds = Cds::new(5, true, true);
+        cds.insert_constraint(&c(vec![Wildcard, Wildcard], (5, 7)));
+        cds.insert_constraint(&c(vec![Wildcard, Wildcard, Eq(7), Wildcard], (4, 9)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1)], (1, 3)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1)], (9, 10)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(2)], (10, 19)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(3), Eq(5)], (3, 9)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(3), Eq(5)], (1, 3)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(3), Eq(5)], (10, 14)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(3), Wildcard], (5, 10)));
+
+        // <*, *> holds (5,7) on A2.
+        let ww = cds.find_node(&[Wildcard, Wildcard]).unwrap();
+        assert_eq!(cds.node(ww).intervals(), &[(5, 7)]);
+        // <*, *, 7, *> holds (4,9) on A4.
+        let w7w = cds.find_node(&[Wildcard, Wildcard, Eq(7), Wildcard]).unwrap();
+        assert_eq!(cds.node(w7w).intervals(), &[(4, 9)]);
+        // <*, 1> holds (1,3) and (9,10).
+        let u1 = cds.find_node(&[Wildcard, Eq(1)]).unwrap();
+        assert_eq!(cds.node(u1).intervals(), &[(1, 3), (9, 10)]);
+        // <*, 1, 2> holds (10,19).
+        let u12 = cds.find_node(&[Wildcard, Eq(1), Eq(2)]).unwrap();
+        assert_eq!(cds.node(u12).intervals(), &[(10, 19)]);
+        // v = <*, 1, 3, 5> holds (1,3), (3,9), (10,14) — (1,3) and (3,9) are NOT merged
+        // because 3 itself is free.
+        let v = cds.find_node(&[Wildcard, Eq(1), Eq(3), Eq(5)]).unwrap();
+        assert_eq!(cds.node(v).intervals(), &[(1, 3), (3, 9), (10, 14)]);
+        // w = <*, 1, 3, *> holds (5,10).
+        let w = cds.find_node(&[Wildcard, Eq(1), Eq(3), Wildcard]).unwrap();
+        assert_eq!(cds.node(w).intervals(), &[(5, 10)]);
+        // u = <*, 1, 3> has child 5 -> v and wildcard child -> w (Figure 2, bottom).
+        let u = cds.find_node(&[Wildcard, Eq(1), Eq(3)]).unwrap();
+        assert_eq!(cds.node(u).child(5), Some(v));
+        assert_eq!(cds.node(u).wildcard_child(), Some(w));
+        assert_eq!(cds.stats.constraints_inserted, 9);
+    }
+
+    #[test]
+    fn free_tuple_on_empty_cds_is_the_frontier() {
+        let mut cds = Cds::new(3, true, true);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[-1, -1, -1]);
+        cds.set_frontier(vec![4, 2, 7]);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[4, 2, 7]);
+    }
+
+    #[test]
+    fn free_tuple_skips_root_level_gaps() {
+        let mut cds = Cds::new(2, true, true);
+        cds.insert_constraint(&c(vec![], (NEG_INF, 5)));
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[5, -1]);
+        // A second gap pushes it further.
+        cds.insert_constraint(&c(vec![], (4, 9)));
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[9, -1]);
+    }
+
+    #[test]
+    fn free_tuple_descends_into_pattern_specific_gaps() {
+        let mut cds = Cds::new(2, true, true);
+        // Under first attribute = 3, the second attribute is blocked below 8.
+        cds.insert_constraint(&c(vec![Eq(3)], (NEG_INF, 8)));
+        cds.set_frontier(vec![3, -1]);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[3, 8]);
+        // Under a different first value the constraint does not apply.
+        cds.set_frontier(vec![4, -1]);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[4, -1]);
+    }
+
+    #[test]
+    fn wildcard_gaps_apply_to_every_prefix() {
+        let mut cds = Cds::new(3, true, true);
+        cds.insert_constraint(&c(vec![Wildcard, Wildcard], (NEG_INF, 4)));
+        cds.set_frontier(vec![7, 2, -1]);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[7, 2, 4]);
+    }
+
+    #[test]
+    fn exhausted_space_returns_false() {
+        let mut cds = Cds::new(2, true, true);
+        // Everything is covered at the root level.
+        cds.insert_constraint(&c(vec![], (NEG_INF, POS_INF)));
+        assert!(!cds.compute_free_tuple());
+    }
+
+    #[test]
+    fn backtracking_bumps_the_parent_value() {
+        let mut cds = Cds::new(2, true, true);
+        // Under first attribute = 2 the second attribute is fully covered.
+        cds.insert_constraint(&c(vec![Eq(2)], (NEG_INF, POS_INF)));
+        cds.set_frontier(vec![2, -1]);
+        assert!(cds.compute_free_tuple());
+        // The CDS must move past first attribute 2 entirely.
+        assert!(cds.frontier()[0] >= 3, "frontier {:?}", cds.frontier());
+    }
+
+    #[test]
+    fn truncation_rules_out_the_branch_at_the_parent() {
+        let mut cds = Cds::new(3, true, true);
+        // Under (1, 5) the third attribute is fully covered.
+        cds.insert_constraint(&c(vec![Eq(1), Eq(5)], (NEG_INF, POS_INF)));
+        cds.set_frontier(vec![1, 5, -1]);
+        assert!(cds.compute_free_tuple());
+        let f = cds.frontier().to_vec();
+        assert!(f.as_slice() > [1, 5, POS_INF - 1].as_slice() || f[1] != 5, "frontier {f:?}");
+        // The parent node <1> must have an interval around 5 after the truncation.
+        let p = cds.find_node(&[Eq(1)]).unwrap();
+        assert!(cds.node(p).intervals().iter().any(|&(l, h)| l < 5 && 5 < h));
+        assert!(cds.stats.truncations >= 1);
+    }
+
+    #[test]
+    fn frontier_never_moves_backwards() {
+        let mut cds = Cds::new(2, true, true);
+        cds.set_frontier(vec![5, 5]);
+        assert!(cds.compute_free_tuple());
+        assert!(cds.frontier() >= &[5, 5][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn set_frontier_rejects_backward_moves() {
+        let mut cds = Cds::new(2, true, true);
+        cds.set_frontier(vec![5, 5]);
+        cds.set_frontier(vec![4, 0]);
+    }
+
+    #[test]
+    fn caching_inserts_intervals_into_the_bottom_node() {
+        let mut cds = Cds::new(2, true, true);
+        // Two constraints at different nodes of the chain for attribute 1.
+        cds.insert_constraint(&c(vec![Wildcard], (2, 6)));
+        cds.insert_constraint(&c(vec![Eq(1)], (5, 9)));
+        cds.set_frontier(vec![1, 3]);
+        assert!(cds.compute_free_tuple());
+        // 3..8 are covered by the union of the two gaps; the first free value is 9.
+        assert_eq!(cds.frontier(), &[1, 9]);
+        // The bottom node <1> must have cached the combined interval (Idea 5).
+        let bottom = cds.find_node(&[Eq(1)]).unwrap();
+        assert!(cds.node(bottom).next(3) >= 9, "cached: {:?}", cds.node(bottom).intervals());
+        assert!(cds.stats.cached_intervals >= 1);
+    }
+
+    #[test]
+    fn no_caching_still_computes_correct_free_values() {
+        let mut cds = Cds::new(2, false, false);
+        cds.insert_constraint(&c(vec![Wildcard], (2, 6)));
+        cds.insert_constraint(&c(vec![Eq(1)], (5, 9)));
+        cds.set_frontier(vec![1, 3]);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), &[1, 9]);
+        assert_eq!(cds.stats.cached_intervals, 0);
+    }
+}

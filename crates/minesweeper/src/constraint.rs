@@ -1,0 +1,139 @@
+//! Gap-box constraints and patterns (Definition 4.1 of the paper).
+//!
+//! A constraint is an `n`-dimensional tuple `⟨c₀, …, c_{n-1}⟩` whose components are
+//! equality values, wildcards, or exactly one open interval, after which every
+//! component is a wildcard. The components before the interval form the constraint's
+//! *pattern*. Geometrically a constraint is an axis-aligned box of the output space
+//! that is known to contain no output tuple (a *gap box*).
+
+use gj_storage::Val;
+
+/// One pattern component: either "any value" or "exactly this value".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternComp {
+    /// `˚` — matches every value of the attribute.
+    Wildcard,
+    /// Matches exactly this value.
+    Eq(Val),
+}
+
+impl PatternComp {
+    /// Whether the component matches `v`.
+    #[inline]
+    pub fn matches(&self, v: Val) -> bool {
+        match self {
+            PatternComp::Wildcard => true,
+            PatternComp::Eq(x) => *x == v,
+        }
+    }
+}
+
+/// A gap-box constraint: equality/wildcard pattern, one open interval, implicit
+/// wildcard suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The components before the interval (GAO positions `0 .. pattern.len()`).
+    pub pattern: Vec<PatternComp>,
+    /// The open interval `(low, high)` at GAO position `pattern.len()`. The ends may
+    /// be `NEG_INF` / `POS_INF`.
+    pub interval: (Val, Val),
+}
+
+impl Constraint {
+    /// Creates a constraint; `interval` must be a non-empty open interval.
+    pub fn new(pattern: Vec<PatternComp>, interval: (Val, Val)) -> Self {
+        debug_assert!(interval.0 < interval.1, "interval must be non-empty: {interval:?}");
+        Constraint { pattern, interval }
+    }
+
+    /// The GAO position carrying the interval.
+    pub fn interval_pos(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Whether the constraint's gap box contains the full tuple `t` (in GAO order).
+    /// Components after the interval are wildcards, so only the pattern and the
+    /// interval position are inspected.
+    pub fn covers(&self, t: &[Val]) -> bool {
+        debug_assert!(t.len() > self.pattern.len());
+        self.pattern.iter().zip(t).all(|(c, &v)| c.matches(v)) && {
+            let v = t[self.pattern.len()];
+            self.interval.0 < v && v < self.interval.1
+        }
+    }
+
+    /// Whether the pattern (only) matches the prefix of `t`.
+    pub fn pattern_matches(&self, t: &[Val]) -> bool {
+        self.pattern.iter().zip(t).all(|(c, &v)| c.matches(v))
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = self
+            .pattern
+            .iter()
+            .map(|c| match c {
+                PatternComp::Wildcard => "*".to_string(),
+                PatternComp::Eq(v) => v.to_string(),
+            })
+            .collect();
+        parts.push(format!("({}, {})", self.interval.0, self.interval.1));
+        write!(f, "<{}, *...>", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_storage::{NEG_INF, POS_INF};
+
+    #[test]
+    fn covers_checks_pattern_and_interval() {
+        // The paper's example (1): <*, *, (5,7), *, *, *, *>.
+        let c = Constraint::new(vec![PatternComp::Wildcard, PatternComp::Wildcard], (5, 7));
+        assert!(c.covers(&[2, 6, 6, 1, 3, 7, 9]));
+        assert!(!c.covers(&[2, 6, 7, 1, 3, 7, 9])); // 7 is not strictly inside (5,7)
+        assert!(!c.covers(&[2, 6, 5, 1, 3, 7, 9]));
+    }
+
+    #[test]
+    fn covers_with_equality_components() {
+        // The paper's example (2): <*, *, 7, *, (4,9), *, *>.
+        let c = Constraint::new(
+            vec![
+                PatternComp::Wildcard,
+                PatternComp::Wildcard,
+                PatternComp::Eq(7),
+                PatternComp::Wildcard,
+            ],
+            (4, 9),
+        );
+        assert!(c.covers(&[2, 6, 7, 1, 5, 8, 9]));
+        assert!(!c.covers(&[2, 6, 8, 1, 5, 8, 9])); // pattern mismatch on position 2
+        assert!(!c.covers(&[2, 6, 7, 1, 9, 8, 9])); // 9 not strictly inside
+    }
+
+    #[test]
+    fn infinite_ends_cover_everything_on_that_side() {
+        let c = Constraint::new(vec![], (NEG_INF, 5));
+        assert!(c.covers(&[-1, 0, 0]));
+        assert!(c.covers(&[4, 0, 0]));
+        assert!(!c.covers(&[5, 0, 0]));
+        let c = Constraint::new(vec![], (10, POS_INF));
+        assert!(c.covers(&[11, 0, 0]));
+        assert!(!c.covers(&[10, 0, 0]));
+    }
+
+    #[test]
+    fn interval_pos_is_pattern_length() {
+        let c = Constraint::new(vec![PatternComp::Eq(3)], (1, 9));
+        assert_eq!(c.interval_pos(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = Constraint::new(vec![PatternComp::Wildcard, PatternComp::Eq(7)], (4, 9));
+        assert_eq!(c.to_string(), "<*, 7, (4, 9), *...>");
+    }
+}

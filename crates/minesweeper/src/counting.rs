@@ -1,0 +1,153 @@
+//! #Minesweeper-style batch counting (Idea 8 of the paper).
+//!
+//! When a query is only executed as a count, enumerating each output tuple through a
+//! separate outer-loop iteration wastes a full CDS walk per tuple. The paper's
+//! #Minesweeper propagates per-point counts through the CDS instead; this module
+//! implements the workhorse special case of that idea: once a free tuple has been
+//! verified as an output, the whole *run* of outputs sharing its first `n-1`
+//! attributes is counted in one pass by intersecting the extension lists of the atoms
+//! that contain the last GAO attribute, and the frontier jumps past the entire block.
+
+use crate::gaps::AtomProber;
+use gj_query::BoundQuery;
+use gj_storage::{Val, POS_INF};
+
+/// Counts the outputs that share `t`'s first `n-1` attributes and whose last
+/// attribute is `>= t[n-1]` (subject to the query's order filters), and returns the
+/// frontier that skips past the whole block (`None` when the query has a single
+/// variable, in which case everything has been counted).
+///
+/// Precondition: `t` itself has been verified to be an output.
+pub fn count_last_level_run(
+    bq: &BoundQuery,
+    probers: &[AtomProber],
+    filters: &[Vec<(usize, bool)>],
+    t: &[Val],
+) -> (u64, Option<Vec<Val>>) {
+    let n = bq.num_vars();
+    let last = n - 1;
+
+    // Bounds induced by the order filters on the last attribute.
+    let mut lower = t[last];
+    let mut upper = POS_INF;
+    for &(other, other_is_smaller) in &filters[last] {
+        if other_is_smaller {
+            lower = lower.max(t[other] + 1);
+        } else {
+            upper = upper.min(t[other]);
+        }
+    }
+    // Filters whose *later-in-GAO* variable is not the last attribute can still
+    // mention it as the earlier side; varying the last value must keep them true.
+    for (pos, checks) in filters.iter().enumerate().take(last) {
+        for &(other, other_is_smaller) in checks {
+            if other == last {
+                if other_is_smaller {
+                    // t[pos] must stay greater than the last attribute.
+                    upper = upper.min(t[pos]);
+                } else {
+                    lower = lower.max(t[pos] + 1);
+                }
+            }
+        }
+    }
+
+    // Extension lists of every atom containing the last attribute.
+    let mut slices: Vec<&[Val]> = Vec::new();
+    for prober in probers {
+        if prober.positions().last() != Some(&last) {
+            continue;
+        }
+        let prefix: Vec<Val> =
+            prober.positions()[..prober.positions().len() - 1].iter().map(|&p| t[p]).collect();
+        match prober.extensions(&prefix) {
+            Some(slice) => slices.push(slice),
+            // `t` was verified as an output, so the prefix must exist; be defensive
+            // anyway and fall back to counting just `t`.
+            None => return (1, bump_prefix(t)),
+        }
+    }
+    if slices.is_empty() {
+        // Every variable of a valid query occurs in some atom, so this cannot happen;
+        // count just the verified tuple to stay safe.
+        return (1, bump_prefix(t));
+    }
+
+    let count = intersect_count(&slices, lower, upper);
+    (count.max(1), bump_prefix(t))
+}
+
+/// Counts the values present in every sorted slice within `[lower, upper)`.
+fn intersect_count(slices: &[&[Val]], lower: Val, upper: Val) -> u64 {
+    let mut cursors = vec![0usize; slices.len()];
+    // Position every cursor at the first value >= lower.
+    for (c, s) in cursors.iter_mut().zip(slices) {
+        *c = s.partition_point(|&v| v < lower);
+    }
+    let mut count = 0u64;
+    'outer: loop {
+        // Current maximum across cursors.
+        let mut target = Val::MIN;
+        for (c, s) in cursors.iter().zip(slices) {
+            if *c >= s.len() {
+                break 'outer;
+            }
+            target = target.max(s[*c]);
+        }
+        if target >= upper {
+            break;
+        }
+        // Advance every cursor to >= target.
+        let mut all_match = true;
+        for (c, s) in cursors.iter_mut().zip(slices) {
+            *c += s[*c..].partition_point(|&v| v < target);
+            if *c >= s.len() {
+                break 'outer;
+            }
+            if s[*c] != target {
+                all_match = false;
+            }
+        }
+        if all_match {
+            count += 1;
+            for c in cursors.iter_mut() {
+                *c += 1;
+            }
+        }
+    }
+    count
+}
+
+/// The frontier that skips every remaining tuple sharing `t`'s first `n-1`
+/// attributes: position `n-2` is incremented and the last position resets.
+fn bump_prefix(t: &[Val]) -> Option<Vec<Val>> {
+    if t.len() < 2 {
+        return None;
+    }
+    let mut f = t.to_vec();
+    let n = f.len();
+    f[n - 1] = -1;
+    f[n - 2] += 1;
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_count_basic() {
+        assert_eq!(intersect_count(&[&[1, 3, 5, 7], &[3, 5, 9]], 0, POS_INF), 2);
+        assert_eq!(intersect_count(&[&[1, 3, 5, 7], &[3, 5, 9]], 4, POS_INF), 1);
+        assert_eq!(intersect_count(&[&[1, 3, 5, 7], &[3, 5, 9]], 0, 5), 1);
+        assert_eq!(intersect_count(&[&[1, 2, 3]], 2, 4), 2);
+        assert_eq!(intersect_count(&[&[1, 2], &[3, 4]], 0, POS_INF), 0);
+        assert_eq!(intersect_count(&[&[], &[1]], 0, POS_INF), 0);
+    }
+
+    #[test]
+    fn bump_prefix_increments_the_second_to_last() {
+        assert_eq!(bump_prefix(&[4, 7, 9]), Some(vec![4, 8, -1]));
+        assert_eq!(bump_prefix(&[4]), None);
+    }
+}

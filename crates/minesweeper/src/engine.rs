@@ -1,0 +1,520 @@
+//! The Minesweeper outer loop (Algorithm 3 of the paper) with Ideas 2, 4 and 7.
+//!
+//! Each iteration asks the CDS for a free tuple, probes every atom around it, and
+//! either reports the tuple as an output (when every probe confirms membership and
+//! every order filter holds) or feeds the discovered gap boxes back:
+//!
+//! * gaps from **skeleton** atoms are inserted into the CDS;
+//! * gaps from **non-skeleton** atoms (Idea 7, cyclic queries only) and violated
+//!   order filters only advance the frontier past the gap;
+//! * in every case the frontier advances at least to the successor of the probed
+//!   tuple (Idea 2 — outputs never insert unit gaps; and a probed non-output can
+//!   always be stepped over, which also guarantees termination regardless of which
+//!   optimisations are enabled).
+
+use crate::cds::Cds;
+use crate::constraint::Constraint;
+use crate::counting::count_last_level_run;
+use crate::gaps::{build_probers, ProbeOutcome, ProbeStats};
+use gj_query::gao::is_neo;
+use gj_query::{acyclic_skeleton, BoundQuery, Hypergraph, Query};
+use gj_storage::{Val, POS_INF};
+
+/// Configuration of the Minesweeper executor. Every flag corresponds to one of the
+/// paper's implementation ideas so the ablation tables can be regenerated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsConfig {
+    /// Idea 4: remember the last gap per relation and skip redundant `seekGap` calls.
+    pub idea4_gap_memo: bool,
+    /// Idea 5: cache ping-pong results as intervals in the bottom chain node.
+    pub idea5_caching: bool,
+    /// Idea 6: complete nodes short-circuit the chain walk.
+    pub idea6_complete_nodes: bool,
+    /// Idea 7: for β-cyclic queries, only a β-acyclic skeleton of the atoms inserts
+    /// constraints; the other atoms' gaps just advance the frontier.
+    pub idea7_skeleton: bool,
+    /// Idea 8 (#Minesweeper-style counting): when only a count is requested, count
+    /// whole runs of outputs that share the first `n-1` attributes in one step
+    /// instead of enumerating them tuple by tuple.
+    pub idea8_batch_counting: bool,
+    /// Number of worker threads for [`crate::parallel::par_count`] (1 = sequential).
+    pub threads: usize,
+    /// Granularity factor `f` of Section 4.10: the output space is split into
+    /// `threads * granularity` jobs.
+    pub granularity: usize,
+}
+
+impl Default for MsConfig {
+    fn default() -> Self {
+        MsConfig {
+            idea4_gap_memo: true,
+            idea5_caching: true,
+            idea6_complete_nodes: true,
+            idea7_skeleton: true,
+            idea8_batch_counting: false,
+            threads: 1,
+            granularity: 1,
+        }
+    }
+}
+
+impl MsConfig {
+    /// The configuration used as the "no ideas" baseline of the ablation tables.
+    pub fn baseline() -> Self {
+        MsConfig {
+            idea4_gap_memo: false,
+            idea5_caching: true,
+            idea6_complete_nodes: false,
+            idea7_skeleton: false,
+            idea8_batch_counting: false,
+            threads: 1,
+            granularity: 1,
+        }
+    }
+}
+
+/// Execution statistics reported by the executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsStats {
+    /// Number of output tuples (after order filters).
+    pub results: u64,
+    /// Number of outer-loop iterations (free tuples probed).
+    pub iterations: u64,
+    /// Number of `seekGap` probes issued against the trie indexes.
+    pub probes: u64,
+    /// Number of probes avoided by the Idea 4 memo.
+    pub probes_skipped: u64,
+    /// Number of constraints inserted into the CDS.
+    pub constraints_inserted: u64,
+    /// Number of intervals cached by `getFreeValue` (Idea 5).
+    pub cached_intervals: u64,
+    /// Number of branch truncations.
+    pub truncations: u64,
+    /// Number of `getFreeValue` calls answered by a complete node (Idea 6).
+    pub complete_node_hits: u64,
+    /// Number of CDS nodes allocated.
+    pub cds_nodes: u64,
+}
+
+/// The Minesweeper executor for one bound query.
+pub struct MinesweeperExecutor<'a> {
+    bq: &'a BoundQuery,
+    config: MsConfig,
+    /// Per atom: whether it inserts constraints into the CDS (Idea 7).
+    skeleton: Vec<bool>,
+    /// Whether the skeleton atoms form a chain-compatible (β-acyclic + NEO) structure,
+    /// which is what makes interval caching into the bottom node sound.
+    chain_mode: bool,
+    /// Order filters indexed by the GAO position of their later variable.
+    filters: Vec<Vec<(usize, bool)>>,
+    /// Restriction of the first GAO attribute to `[lo, hi)` (parallel partitioning).
+    range0: Option<(Val, Val)>,
+}
+
+impl<'a> MinesweeperExecutor<'a> {
+    /// Prepares an executor.
+    pub fn new(bq: &'a BoundQuery, config: MsConfig) -> Self {
+        let query = &bq.query;
+        let beta_acyclic = Hypergraph::of_query(query).is_beta_acyclic();
+        let skeleton: Vec<bool> = if beta_acyclic {
+            vec![true; query.num_atoms()]
+        } else if config.idea7_skeleton {
+            acyclic_skeleton(query)
+        } else {
+            vec![true; query.num_atoms()]
+        };
+        let chain_mode = Self::skeleton_is_chain_compatible(query, &skeleton, &bq.gao);
+        MinesweeperExecutor {
+            bq,
+            config,
+            skeleton,
+            chain_mode,
+            filters: bq.filters_by_gao_pos(),
+            range0: None,
+        }
+    }
+
+    /// Restricts the executor to free tuples whose first GAO attribute lies in
+    /// `[lo, hi)` — the partitioning used by the multi-threaded driver (Section 4.10).
+    pub fn with_range0(mut self, lo: Val, hi: Val) -> Self {
+        self.range0 = Some((lo, hi));
+        self
+    }
+
+    /// Whether the caching machinery (Ideas 5/6) is active for this query and GAO.
+    pub fn chain_mode(&self) -> bool {
+        self.chain_mode
+    }
+
+    /// The skeleton flags in atom order (true = inserts constraints).
+    pub fn skeleton(&self) -> &[bool] {
+        &self.skeleton
+    }
+
+    /// The constraint-inserting atoms must form a β-acyclic (forest) subquery for
+    /// which the GAO is a nested elimination order; only then is it sound to cache
+    /// chain-walk results into the bottom node (Proposition 4.2).
+    fn skeleton_is_chain_compatible(query: &Query, skeleton: &[bool], gao: &[usize]) -> bool {
+        let sub = Query {
+            name: format!("{}-skeleton", query.name),
+            var_names: query.var_names.clone(),
+            atoms: query
+                .atoms
+                .iter()
+                .zip(skeleton)
+                .filter(|(_, &keep)| keep)
+                .map(|(a, _)| a.clone())
+                .collect(),
+            filters: Vec::new(),
+        };
+        Hypergraph::of_query(&sub).is_graph_forest() == Some(true) && is_neo(&sub, gao)
+    }
+
+    /// Runs the join, invoking `emit` with each output binding (in GAO order), and
+    /// returns the execution statistics.
+    pub fn run<F: FnMut(&[Val], u64)>(&mut self, emit: &mut F) -> MsStats {
+        let n = self.bq.num_vars();
+        let caching = self.config.idea5_caching && self.chain_mode;
+        // Idea 6 assumes that by the time a node wraps twice, every value that can
+        // still be free under its pattern has been *scanned* and recorded. Frontier
+        // jumps that bypass the CDS — escapes from non-skeleton gaps (Idea 7), from
+        // violated order filters, or from Idea 8 batch counting — skip values without
+        // scanning them, which would make a "complete" node silently drop outputs
+        // reached under a different prefix. Complete nodes are therefore only enabled
+        // when no such jump can occur: β-acyclic (all-skeleton), filter-free queries,
+        // which is exactly the setting of the paper's Section 4.7 and Tables 1–2.
+        let no_frontier_jumps = self.bq.query.filters.is_empty()
+            && self.skeleton.iter().all(|&s| s)
+            && !self.config.idea8_batch_counting;
+        let complete = self.config.idea6_complete_nodes && caching && no_frontier_jumps;
+        // No output tuple can contain a value larger than the largest data value, so
+        // the CDS search is bounded by it.
+        let domain_max =
+            self.bq.atoms.iter().filter_map(|a| a.index.max_value()).max().unwrap_or(-1);
+        let mut cds = Cds::new(n, caching, complete).with_domain_max(domain_max);
+        let mut probers = build_probers(self.bq, &self.skeleton);
+        let mut probe_stats = ProbeStats::default();
+        let mut stats = MsStats::default();
+
+        if let Some((lo, _)) = self.range0 {
+            let mut start = vec![-1; n];
+            start[0] = lo;
+            cds.set_frontier(start);
+        }
+
+        loop {
+            if !cds.compute_free_tuple() {
+                break;
+            }
+            let t = cds.frontier().to_vec();
+            if let Some((_, hi)) = self.range0 {
+                if t[0] >= hi {
+                    break;
+                }
+            }
+            stats.iterations += 1;
+            if std::env::var_os("MS_TRACE").is_some() {
+                eprintln!("[ms-trace] it={} t={:?}", stats.iterations, t);
+            }
+
+            // The frontier always advances at least past `t` (Idea 2 / termination).
+            let mut advance = successor(&t);
+            let mut exhausted = false;
+            let mut any_gap = false;
+
+            // Violated order filters rule out a whole band of the output space
+            // without touching any index; they contribute an escape to the frontier
+            // advance. The relations are still probed below — their gaps are what let
+            // the CDS eventually close off exhausted regions of the earlier
+            // attributes, which is what guarantees termination.
+            for (pos, checks) in self.filters.iter().enumerate() {
+                for &(other, other_is_smaller) in checks {
+                    let violated = if other_is_smaller { t[pos] <= t[other] } else { t[pos] >= t[other] };
+                    if violated {
+                        any_gap = true;
+                        let escape_to = if other_is_smaller { t[other] + 1 } else { POS_INF };
+                        match escape(&t, pos, escape_to) {
+                            Some(f) => {
+                                if f > advance {
+                                    advance = f;
+                                }
+                            }
+                            None => exhausted = true,
+                        }
+                    }
+                }
+            }
+
+            for prober in &mut probers {
+                match prober.probe(&t, self.config.idea4_gap_memo, &mut probe_stats) {
+                    ProbeOutcome::Member => {}
+                    ProbeOutcome::Gap { constraint, newly_discovered } => {
+                        any_gap = true;
+                        if prober.skeleton {
+                            if newly_discovered {
+                                cds.insert_constraint(&constraint);
+                            }
+                        } else {
+                            match escape_from_constraint(&t, &constraint) {
+                                Some(f) => {
+                                    if f > advance {
+                                        advance = f;
+                                    }
+                                }
+                                None => exhausted = true,
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !any_gap {
+                if self.config.idea8_batch_counting {
+                    let (run, next) = count_last_level_run(self.bq, &probers, &self.filters, &t);
+                    stats.results += run;
+                    emit(&t, run);
+                    match next {
+                        Some(f) => {
+                            if f > advance {
+                                advance = f;
+                            }
+                        }
+                        None => exhausted = true,
+                    }
+                } else {
+                    stats.results += 1;
+                    emit(&t, 1);
+                }
+            }
+
+            if exhausted {
+                break;
+            }
+            cds.set_frontier(advance);
+        }
+
+        stats.probes = probe_stats.probes;
+        stats.probes_skipped = probe_stats.probes_skipped;
+        stats.constraints_inserted = cds.stats.constraints_inserted;
+        stats.cached_intervals = cds.stats.cached_intervals;
+        stats.truncations = cds.stats.truncations;
+        stats.complete_node_hits = cds.stats.complete_node_hits;
+        stats.cds_nodes = cds.num_nodes() as u64;
+        stats
+    }
+
+    /// Counts the output tuples.
+    pub fn count(&mut self) -> u64 {
+        self.run(&mut |_, _| {}).results
+    }
+}
+
+/// The lexicographic successor of `t` (last component incremented).
+fn successor(t: &[Val]) -> Vec<Val> {
+    let mut s = t.to_vec();
+    *s.last_mut().expect("tuples are non-empty") += 1;
+    s
+}
+
+/// The smallest tuple `> t` outside the band "positions `0..pos` equal to `t`,
+/// position `pos` in `[t[pos], escape_to)`": position `pos` jumps to `escape_to` and
+/// the deeper positions reset. When `escape_to` is `POS_INF` the band extends to the
+/// end of the axis, so the escape has to increment position `pos - 1` instead;
+/// returns `None` when that is impossible (`pos == 0`), i.e. the whole remaining
+/// space is exhausted.
+fn escape(t: &[Val], pos: usize, escape_to: Val) -> Option<Vec<Val>> {
+    let mut f = t.to_vec();
+    for x in f.iter_mut().skip(pos + 1) {
+        *x = -1;
+    }
+    if escape_to < POS_INF {
+        f[pos] = escape_to;
+        Some(f)
+    } else if pos > 0 {
+        f[pos] = -1;
+        f[pos - 1] += 1;
+        Some(f)
+    } else {
+        None
+    }
+}
+
+/// Escape past a gap constraint that covers `t` (Idea 7: gaps from non-skeleton atoms
+/// only advance the frontier).
+fn escape_from_constraint(t: &[Val], c: &Constraint) -> Option<Vec<Val>> {
+    debug_assert!(c.covers(t), "escape requires the constraint to cover the tuple");
+    escape(t, c.interval_pos(), c.interval.1)
+}
+
+/// Counts the output of the bound query with Minesweeper.
+pub fn count(bq: &BoundQuery, config: &MsConfig) -> u64 {
+    MinesweeperExecutor::new(bq, config.clone()).count()
+}
+
+/// Runs the bound query, calling `emit(binding, multiplicity)` for every output (in
+/// GAO order; multiplicity is 1 unless Idea 8 batch counting is enabled), and returns
+/// the execution statistics.
+pub fn run<F: FnMut(&[Val], u64)>(bq: &BoundQuery, config: &MsConfig, emit: &mut F) -> MsStats {
+    MinesweeperExecutor::new(bq, config.clone()).run(emit)
+}
+
+/// Enumerates the output of the bound query; bindings are returned in variable-id
+/// order, sorted lexicographically. (Batch counting is disabled for enumeration.)
+pub fn enumerate(bq: &BoundQuery, config: &MsConfig) -> Vec<Vec<Val>> {
+    let mut cfg = config.clone();
+    cfg.idea8_batch_counting = false;
+    let mut out = Vec::new();
+    MinesweeperExecutor::new(bq, cfg).run(&mut |gao_binding, _| {
+        out.push(bq.binding_to_var_order(gao_binding));
+    });
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_query::{naive_join, CatalogQuery, Instance};
+    use gj_storage::{Graph, Relation};
+
+    fn two_triangle_instance() -> Instance {
+        let g = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut inst = Instance::new();
+        inst.add_relation("edge", g.edge_relation());
+        inst.add_relation("v1", Relation::from_values(vec![0, 1, 3]));
+        inst.add_relation("v2", Relation::from_values(vec![2, 3, 4]));
+        inst.add_relation("v3", Relation::from_values(vec![0, 2]));
+        inst.add_relation("v4", Relation::from_values(vec![1, 4]));
+        inst
+    }
+
+    #[test]
+    fn triangle_count_matches_naive() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(count(&bq, &MsConfig::default()), 2);
+    }
+
+    #[test]
+    fn all_catalog_queries_match_naive_with_default_config() {
+        let inst = two_triangle_instance();
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let expected = naive_join(&inst, &q);
+            assert_eq!(enumerate(&bq, &MsConfig::default()), expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn all_catalog_queries_match_naive_with_every_idea_disabled() {
+        let inst = two_triangle_instance();
+        let config = MsConfig {
+            idea4_gap_memo: false,
+            idea5_caching: false,
+            idea6_complete_nodes: false,
+            idea7_skeleton: false,
+            idea8_batch_counting: false,
+            threads: 1,
+            granularity: 1,
+        };
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let expected = naive_join(&inst, &q);
+            assert_eq!(enumerate(&bq, &config), expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn batch_counting_agrees_with_plain_counting() {
+        let inst = two_triangle_instance();
+        let mut config = MsConfig::default();
+        config.idea8_batch_counting = true;
+        for cq in [CatalogQuery::ThreePath, CatalogQuery::OneTree, CatalogQuery::TwoComb] {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            assert_eq!(
+                count(&bq, &config),
+                count(&bq, &MsConfig::default()),
+                "{}",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn chain_mode_is_on_for_acyclic_and_skeletonised_cyclic_queries() {
+        let inst = two_triangle_instance();
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let exec = MinesweeperExecutor::new(&bq, MsConfig::default());
+            assert!(exec.chain_mode(), "{} should run in chain mode with Idea 7", q.name);
+        }
+        // Without Idea 7 a cyclic query cannot use the chain machinery.
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let mut cfg = MsConfig::default();
+        cfg.idea7_skeleton = false;
+        let exec = MinesweeperExecutor::new(&bq, cfg);
+        assert!(!exec.chain_mode());
+    }
+
+    #[test]
+    fn non_neo_gao_disables_chain_mode_but_stays_correct() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::FourPath.query();
+        // GAO a, b, d, c, e is not a NEO (Table 4).
+        let v = |s: &str| q.var(s).unwrap();
+        let gao = vec![v("a"), v("b"), v("d"), v("c"), v("e")];
+        let bq = BoundQuery::new(&inst, &q, Some(gao)).unwrap();
+        let exec = MinesweeperExecutor::new(&bq, MsConfig::default());
+        assert!(!exec.chain_mode());
+        let expected = naive_join(&inst, &q);
+        assert_eq!(enumerate(&bq, &MsConfig::default()), expected);
+    }
+
+    #[test]
+    fn range_restriction_partitions_the_output() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let total = count(&bq, &MsConfig::default());
+        let lo_half = MinesweeperExecutor::new(&bq, MsConfig::default()).with_range0(-1, 2).count();
+        let hi_half =
+            MinesweeperExecutor::new(&bq, MsConfig::default()).with_range0(2, POS_INF).count();
+        assert_eq!(lo_half + hi_half, total);
+    }
+
+    #[test]
+    fn stats_reflect_the_work_done() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::ThreePath.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let stats = run(&bq, &MsConfig::default(), &mut |_, _| {});
+        assert_eq!(stats.results, gj_query::naive_count(&inst, &q));
+        assert!(stats.iterations >= stats.results);
+        assert!(stats.probes > 0);
+        assert!(stats.constraints_inserted > 0);
+    }
+
+    #[test]
+    fn empty_relation_yields_zero() {
+        let mut inst = Instance::new();
+        inst.add_relation("edge", Relation::empty(2));
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(count(&bq, &MsConfig::default()), 0);
+    }
+
+    #[test]
+    fn skeleton_for_cliques_drops_the_cycle_closing_atoms() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::FourClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let exec = MinesweeperExecutor::new(&bq, MsConfig::default());
+        assert_eq!(exec.skeleton().iter().filter(|&&s| s).count(), 3);
+    }
+}

@@ -1,0 +1,347 @@
+//! CDS nodes and their point lists (Idea 1 of the paper).
+//!
+//! Every CDS node stores, for the attribute one past its depth:
+//!
+//! * a set of **disjoint open intervals** — the gaps known to contain no output tuple
+//!   under this node's pattern (overlapping intervals are merged on insertion, and
+//!   children whose labels fall strictly inside a newly inserted interval are pruned);
+//! * the node's **children**: one per equality label plus at most one wildcard child;
+//! * the **free points** discovered so far (with multiplicity counts for
+//!   #Minesweeper) and the completeness bookkeeping of Idea 6.
+//!
+//! The paper fuses intervals, children and free values into a single sorted
+//! `pointList`. We keep them as three sorted vectors with the same asymptotic costs;
+//! the distinction is purely representational and every operation of the paper's
+//! pointList (`Next`, `hasNoFreeValue`, child pruning, complete-node iteration) is
+//! provided here.
+
+use gj_storage::{Val, NEG_INF, POS_INF};
+
+/// Identifier of a node inside the [`Cds`](crate::cds::Cds) arena.
+pub type NodeId = usize;
+
+/// One node of the constraint data structure.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// Disjoint open intervals, sorted by lower end. Values strictly inside any of
+    /// them are ruled out for every tuple matching this node's pattern.
+    intervals: Vec<(Val, Val)>,
+    /// Children reached by an equality label, sorted by label.
+    children: Vec<(Val, NodeId)>,
+    /// The wildcard (`˚`) child, if any.
+    wildcard_child: Option<NodeId>,
+    /// Free values discovered while this node was the bottom of the chain, with the
+    /// #Minesweeper count attached (1 for plain Minesweeper).
+    free_points: Vec<(Val, u64)>,
+    /// How many times the free-value scan wrapped past `+∞` at this node (Idea 6).
+    wraps: u8,
+    /// Whether the node is complete: its `free_points` enumerate every value that can
+    /// still be free under its pattern (Idea 6).
+    complete: bool,
+}
+
+impl Node {
+    /// Creates an empty node.
+    pub fn new() -> Self {
+        Node::default()
+    }
+
+    // ----- intervals -------------------------------------------------------------
+
+    /// The stored disjoint open intervals (sorted).
+    pub fn intervals(&self) -> &[(Val, Val)] {
+        &self.intervals
+    }
+
+    /// Whether the node has at least one interval (i.e. participates in `G_depth`).
+    pub fn has_intervals(&self) -> bool {
+        !self.intervals.is_empty()
+    }
+
+    /// Inserts the open interval `(low, high)`, merging it with every overlapping
+    /// stored interval, and removes children whose labels fall strictly inside the
+    /// merged interval. Returns the pruned children's node ids.
+    ///
+    /// Degenerate intervals (`high <= low`) are ignored; intervals with an empty
+    /// integer interior such as `(9, 10)` are kept, as in the paper's point lists.
+    pub fn insert_interval(&mut self, low: Val, high: Val) -> Vec<NodeId> {
+        if high <= low {
+            return Vec::new();
+        }
+        let mut new_low = low;
+        let mut new_high = high;
+        // Merge with every interval that overlaps (strictly, on the real line) the
+        // new one. Touching intervals like (1,5) and (5,9) stay separate because the
+        // shared endpoint 5 itself is still free.
+        self.intervals.retain(|&(l, h)| {
+            let overlaps = l < new_high && new_low < h;
+            if overlaps {
+                new_low = new_low.min(l);
+                new_high = new_high.max(h);
+            }
+            !overlaps
+        });
+        let pos = self.intervals.partition_point(|&(l, _)| l < new_low);
+        self.intervals.insert(pos, (new_low, new_high));
+
+        // Prune children strictly inside the merged interval (their whole branch is
+        // subsumed by the gap).
+        let mut pruned = Vec::new();
+        self.children.retain(|&(label, id)| {
+            let inside = new_low < label && label < new_high;
+            if inside {
+                pruned.push(id);
+            }
+            !inside
+        });
+        // Free points strictly inside the interval are no longer free.
+        self.free_points.retain(|&(v, _)| !(new_low < v && v < new_high));
+        pruned
+    }
+
+    /// `Next(x)`: the smallest value `y >= x` not strictly inside any stored interval.
+    pub fn next(&self, x: Val) -> Val {
+        // Find the interval with the greatest lower end <= x (candidates are sorted).
+        let idx = self.intervals.partition_point(|&(l, _)| l < x);
+        if idx > 0 {
+            let (l, h) = self.intervals[idx - 1];
+            if l < x && x < h {
+                return h;
+            }
+        }
+        x
+    }
+
+    /// `hasNoFreeValue()`: whether every value from `-1` upwards is covered, i.e.
+    /// `Next(-1) == +∞` (the paper's domains are the naturals; the frontier starts at
+    /// `-1`).
+    pub fn has_no_free_value(&self) -> bool {
+        self.next(-1) == POS_INF
+    }
+
+    // ----- children --------------------------------------------------------------
+
+    /// The equality-labelled children (sorted by label).
+    pub fn children(&self) -> &[(Val, NodeId)] {
+        &self.children
+    }
+
+    /// The wildcard child, if any.
+    pub fn wildcard_child(&self) -> Option<NodeId> {
+        self.wildcard_child
+    }
+
+    /// Looks up the child with equality label `v`.
+    pub fn child(&self, v: Val) -> Option<NodeId> {
+        self.children
+            .binary_search_by_key(&v, |&(label, _)| label)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+
+    /// Registers `id` as the child with equality label `v` (caller creates the node).
+    /// The label must not be covered by an existing interval and must not already
+    /// have a child.
+    pub fn set_child(&mut self, v: Val, id: NodeId) {
+        debug_assert!(self.child(v).is_none(), "child {v} already exists");
+        let pos = self.children.partition_point(|&(label, _)| label < v);
+        self.children.insert(pos, (v, id));
+    }
+
+    /// Registers `id` as the wildcard child.
+    pub fn set_wildcard_child(&mut self, id: NodeId) {
+        debug_assert!(self.wildcard_child.is_none(), "wildcard child already exists");
+        self.wildcard_child = Some(id);
+    }
+
+    // ----- free points, completeness, counts (Ideas 6 and 8) ---------------------
+
+    /// Records that `v` was found free while this node was the bottom of the chain.
+    /// `count` is the #Minesweeper multiplicity (1 for plain Minesweeper).
+    pub fn add_free_point(&mut self, v: Val, count: u64) {
+        if v <= NEG_INF || v >= POS_INF {
+            return;
+        }
+        match self.free_points.binary_search_by_key(&v, |&(p, _)| p) {
+            Ok(i) => self.free_points[i].1 = self.free_points[i].1.max(count),
+            Err(i) => self.free_points.insert(i, (v, count)),
+        }
+    }
+
+    /// Adds `delta` to the #Minesweeper count of free point `v` (creating it if
+    /// needed).
+    pub fn bump_count(&mut self, v: Val, delta: u64) {
+        match self.free_points.binary_search_by_key(&v, |&(p, _)| p) {
+            Ok(i) => self.free_points[i].1 += delta,
+            Err(i) => self.free_points.insert(i, (v, delta)),
+        }
+    }
+
+    /// The recorded free points (sorted) with their counts.
+    pub fn free_points(&self) -> &[(Val, u64)] {
+        &self.free_points
+    }
+
+    /// Sum of the counts of all recorded free points (#Minesweeper, Idea 8).
+    pub fn total_count(&self) -> u64 {
+        self.free_points.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// The smallest recorded free point `>= x` that is not covered by an interval, or
+    /// `POS_INF` if none. Used when the node is complete (Idea 6).
+    pub fn next_free_point(&self, x: Val) -> Val {
+        let start = self.free_points.partition_point(|&(v, _)| v < x);
+        self.free_points[start..]
+            .iter()
+            .map(|&(v, _)| v)
+            .find(|&v| self.next(v) == v)
+            .unwrap_or(POS_INF)
+    }
+
+    /// Records a wrap past `+∞` (Idea 6); the node becomes complete on the second
+    /// wrap. Returns whether the node is now complete.
+    pub fn record_wrap(&mut self) -> bool {
+        self.wraps = self.wraps.saturating_add(1);
+        if self.wraps >= 2 {
+            self.complete = true;
+        }
+        self.complete
+    }
+
+    /// Whether the node is complete (Idea 6).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlapping_intervals() {
+        let mut n = Node::new();
+        n.insert_interval(1, 10);
+        n.insert_interval(5, 12);
+        assert_eq!(n.intervals(), &[(1, 12)]);
+        n.insert_interval(3, 7); // contained
+        assert_eq!(n.intervals(), &[(1, 12)]);
+    }
+
+    #[test]
+    fn touching_intervals_stay_separate() {
+        // (1,10) and (10,20): 10 itself is free, exactly the paper's point-list example.
+        let mut n = Node::new();
+        n.insert_interval(1, 10);
+        n.insert_interval(10, 20);
+        assert_eq!(n.intervals(), &[(1, 10), (10, 20)]);
+        assert_eq!(n.next(5), 10);
+        assert_eq!(n.next(10), 10);
+        assert_eq!(n.next(11), 20);
+    }
+
+    #[test]
+    fn degenerate_intervals_are_ignored_but_empty_interiors_are_kept() {
+        let mut n = Node::new();
+        n.insert_interval(5, 5);
+        n.insert_interval(6, 4);
+        assert!(n.intervals().is_empty());
+        // (3, 4) has no integer inside but is a legal open interval (Figure 2 keeps
+        // (9, 10) in the point list); next() is unaffected.
+        n.insert_interval(3, 4);
+        assert_eq!(n.intervals(), &[(3, 4)]);
+        assert_eq!(n.next(3), 3);
+        assert_eq!(n.next(4), 4);
+    }
+
+    #[test]
+    fn next_outside_any_interval_is_identity() {
+        let mut n = Node::new();
+        n.insert_interval(5, 9);
+        assert_eq!(n.next(3), 3);
+        assert_eq!(n.next(5), 5);
+        assert_eq!(n.next(6), 9);
+        assert_eq!(n.next(9), 9);
+        assert_eq!(n.next(20), 20);
+    }
+
+    #[test]
+    fn has_no_free_value_requires_total_coverage() {
+        let mut n = Node::new();
+        n.insert_interval(NEG_INF, 50);
+        assert!(!n.has_no_free_value());
+        n.insert_interval(49, POS_INF);
+        assert_eq!(n.intervals(), &[(NEG_INF, POS_INF)]);
+        assert!(n.has_no_free_value());
+    }
+
+    #[test]
+    fn coverage_with_touching_endpoint_is_not_total() {
+        let mut n = Node::new();
+        n.insert_interval(NEG_INF, 5);
+        n.insert_interval(5, POS_INF);
+        assert!(!n.has_no_free_value()); // 5 is still free
+        assert_eq!(n.next(-1), 5);
+    }
+
+    #[test]
+    fn inserting_interval_prunes_children_inside() {
+        let mut n = Node::new();
+        n.set_child(3, 30);
+        n.set_child(7, 70);
+        n.set_child(10, 100);
+        let pruned = n.insert_interval(5, 10);
+        assert_eq!(pruned, vec![70]);
+        assert_eq!(n.child(3), Some(30));
+        assert_eq!(n.child(7), None);
+        assert_eq!(n.child(10), Some(100)); // 10 is the open end, not inside
+    }
+
+    #[test]
+    fn children_lookup_is_by_label() {
+        let mut n = Node::new();
+        n.set_child(8, 1);
+        n.set_child(2, 2);
+        assert_eq!(n.child(2), Some(2));
+        assert_eq!(n.child(8), Some(1));
+        assert_eq!(n.child(5), None);
+        assert_eq!(n.children(), &[(2, 2), (8, 1)]);
+        n.set_wildcard_child(9);
+        assert_eq!(n.wildcard_child(), Some(9));
+    }
+
+    #[test]
+    fn free_points_track_counts_and_completeness() {
+        let mut n = Node::new();
+        n.add_free_point(4, 1);
+        n.add_free_point(9, 1);
+        n.bump_count(4, 2);
+        assert_eq!(n.free_points(), &[(4, 3), (9, 1)]);
+        assert_eq!(n.total_count(), 4);
+        assert_eq!(n.next_free_point(0), 4);
+        assert_eq!(n.next_free_point(5), 9);
+        assert_eq!(n.next_free_point(10), POS_INF);
+        assert!(!n.is_complete());
+        assert!(!n.record_wrap());
+        assert!(n.record_wrap());
+        assert!(n.is_complete());
+    }
+
+    #[test]
+    fn free_points_inside_new_intervals_are_dropped() {
+        let mut n = Node::new();
+        n.add_free_point(4, 1);
+        n.add_free_point(9, 1);
+        n.insert_interval(3, 8);
+        assert_eq!(n.free_points(), &[(9, 1)]);
+        assert_eq!(n.next_free_point(0), 9);
+    }
+
+    #[test]
+    fn sentinel_free_points_are_ignored() {
+        let mut n = Node::new();
+        n.add_free_point(POS_INF, 1);
+        n.add_free_point(NEG_INF, 1);
+        assert!(n.free_points().is_empty());
+    }
+}

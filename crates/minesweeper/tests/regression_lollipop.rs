@@ -1,0 +1,63 @@
+//! Regression test for a miscount found during development: with complete nodes
+//! (Idea 6) enabled on a β-cyclic query, frontier escapes from non-skeleton gaps and
+//! violated order filters skipped values that the completeness bookkeeping assumed
+//! had been scanned, so Minesweeper under-counted 2-lollipops (402 instead of 440 on
+//! this instance). Complete nodes are now restricted to filter-free, all-skeleton
+//! queries; every configuration must agree with LFTJ and the naive join here.
+
+use gj_minesweeper::MsConfig;
+use gj_query::{naive_count, BoundQuery, CatalogQuery, Instance};
+use gj_storage::{Graph, Relation};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_instance(seed: u64, n: u32, p: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(p))
+        .collect();
+    let g = Graph::new_undirected(n as usize, edges);
+    let mut inst = Instance::new();
+    inst.add_relation("edge", g.edge_relation());
+    inst.add_relation("v1", Relation::from_values((0..n as i64).step_by(4)));
+    inst.add_relation("v2", Relation::from_values((0..n as i64).step_by(2)));
+    inst
+}
+
+fn configs() -> Vec<(&'static str, MsConfig)> {
+    let base = MsConfig::default();
+    vec![
+        ("default", base.clone()),
+        ("no idea6", MsConfig { idea6_complete_nodes: false, ..base.clone() }),
+        ("no idea5/6", MsConfig { idea5_caching: false, idea6_complete_nodes: false, ..base.clone() }),
+        ("no idea7", MsConfig { idea7_skeleton: false, ..base.clone() }),
+        ("no idea4", MsConfig { idea4_gap_memo: false, ..base.clone() }),
+        ("baseline", MsConfig::baseline()),
+    ]
+}
+
+#[test]
+fn two_lollipop_regression_instance_counts_correctly_in_every_config() {
+    let inst = random_instance(23, 30, 0.15);
+    let q = CatalogQuery::TwoLollipop.query();
+    let expected = naive_count(&inst, &q);
+    assert_eq!(expected, 440, "the regression instance changed");
+    let bq = BoundQuery::new(&inst, &q, None).unwrap();
+    assert_eq!(gj_lftj::count(&bq), expected);
+    for (name, cfg) in configs() {
+        assert_eq!(gj_minesweeper::count(&bq, &cfg), expected, "{name}");
+    }
+}
+
+#[test]
+fn cyclic_queries_with_filters_count_correctly_in_every_config() {
+    let inst = random_instance(59, 45, 0.12);
+    for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourClique, CatalogQuery::FourCycle] {
+        let q = cq.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let expected = gj_lftj::count(&bq);
+        for (name, cfg) in configs() {
+            assert_eq!(gj_minesweeper::count(&bq, &cfg), expected, "{} {name}", q.name);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Instances and GAO-bound queries.
+//!
+//! An [`Instance`] is a named catalog of relations (the database). A [`BoundQuery`]
+//! pairs a [`Query`] with a global attribute order and one GAO-consistent trie index
+//! per atom — the exact input shape both LeapFrog TrieJoin and Minesweeper expect
+//! (Section 4.1: the *GAO-consistency assumption*). Indexes are shared through
+//! [`Arc`] and cached per `(relation, permutation)`, so a query like 4-clique that
+//! mentions `edge` six times builds at most a handful of physical indexes.
+
+use crate::gao::{atom_gao_vars, atom_index_perm, select_gao};
+use crate::query::{Query, VarId};
+use gj_storage::{Relation, TrieIndex, Val};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A database instance: a set of named relations.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Adds (or replaces) a relation under `name`.
+    pub fn add_relation(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The names of all stored relations.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+/// One atom of a [`BoundQuery`]: the atom's variables in GAO order and the trie index
+/// whose level `d` corresponds to `vars[d]`.
+#[derive(Debug, Clone)]
+pub struct BoundAtom {
+    /// Index of the atom in the original [`Query::atoms`].
+    pub atom_idx: usize,
+    /// The atom's variables reordered by GAO position.
+    pub vars: Vec<VarId>,
+    /// GAO-consistent trie index over the atom's relation.
+    pub index: Arc<TrieIndex>,
+}
+
+/// A query bound to an instance: GAO, per-atom GAO-consistent indexes, and filter
+/// bookkeeping shared by every engine in this workspace.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The query being evaluated.
+    pub query: Query,
+    /// The global attribute order (a permutation of all `VarId`s).
+    pub gao: Vec<VarId>,
+    /// Position of each variable in the GAO (`var_pos[v]` is the GAO index of `v`).
+    pub var_pos: Vec<usize>,
+    /// One bound atom per query atom, in the query's atom order.
+    pub atoms: Vec<BoundAtom>,
+}
+
+impl BoundQuery {
+    /// Binds `query` against `instance` under the given GAO (or the GAO chosen by
+    /// [`select_gao`] when `gao` is `None`).
+    ///
+    /// Fails if a referenced relation is missing or has the wrong arity, or if the
+    /// GAO is not a permutation of the query's variables.
+    pub fn new(instance: &Instance, query: &Query, gao: Option<Vec<VarId>>) -> Result<Self, String> {
+        query.validate()?;
+        let gao = gao.unwrap_or_else(|| select_gao(query));
+        if gao.len() != query.num_vars() {
+            return Err(format!(
+                "GAO has {} entries but the query has {} variables",
+                gao.len(),
+                query.num_vars()
+            ));
+        }
+        let mut var_pos = vec![usize::MAX; query.num_vars()];
+        for (i, &v) in gao.iter().enumerate() {
+            if v >= query.num_vars() || var_pos[v] != usize::MAX {
+                return Err("GAO is not a permutation of the query variables".to_string());
+            }
+            var_pos[v] = i;
+        }
+
+        let mut index_cache: BTreeMap<(String, Vec<usize>), Arc<TrieIndex>> = BTreeMap::new();
+        let mut atoms = Vec::with_capacity(query.num_atoms());
+        for (atom_idx, atom) in query.atoms.iter().enumerate() {
+            let relation = instance
+                .relation(&atom.relation)
+                .ok_or_else(|| format!("relation {} not found in the instance", atom.relation))?;
+            if relation.arity() != atom.arity() {
+                return Err(format!(
+                    "relation {} has arity {} but the atom uses {} variables",
+                    atom.relation,
+                    relation.arity(),
+                    atom.arity()
+                ));
+            }
+            let perm = atom_index_perm(atom, &gao);
+            let key = (atom.relation.clone(), perm.clone());
+            let index = index_cache
+                .entry(key)
+                .or_insert_with(|| Arc::new(TrieIndex::build(relation, &perm)))
+                .clone();
+            atoms.push(BoundAtom { atom_idx, vars: atom_gao_vars(atom, &gao), index });
+        }
+        Ok(BoundQuery { query: query.clone(), gao, var_pos, atoms })
+    }
+
+    /// Number of query variables.
+    pub fn num_vars(&self) -> usize {
+        self.gao.len()
+    }
+
+    /// Converts a binding indexed by GAO position into one indexed by `VarId`.
+    pub fn binding_to_var_order(&self, gao_binding: &[Val]) -> Vec<Val> {
+        let mut out = vec![0; gao_binding.len()];
+        for (pos, &v) in self.gao.iter().enumerate() {
+            out[v] = gao_binding[pos];
+        }
+        out
+    }
+
+    /// The atoms (by position in `self.atoms`) that contain the variable at GAO
+    /// position `pos`.
+    pub fn atoms_at_gao_pos(&self, pos: usize) -> Vec<usize> {
+        let var = self.gao[pos];
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, ba)| ba.vars.contains(&var))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// For each GAO position, the filters `(x, y)` (meaning `x < y`) of the query
+    /// where this position holds the *later* of the two variables in the GAO; stored
+    /// as `(other_gao_pos, other_is_smaller)` pairs so engines can check a filter as
+    /// soon as both sides are bound.
+    pub fn filters_by_gao_pos(&self) -> Vec<Vec<(usize, bool)>> {
+        let mut per_pos: Vec<Vec<(usize, bool)>> = vec![Vec::new(); self.num_vars()];
+        for &(x, y) in &self.query.filters {
+            let (px, py) = (self.var_pos[x], self.var_pos[y]);
+            if px < py {
+                // y is bound later: when binding y, require binding[px] < value.
+                per_pos[py].push((px, true));
+            } else {
+                // x is bound later: when binding x, require value < binding[py].
+                per_pos[px].push((py, false));
+            }
+        }
+        per_pos
+    }
+
+    /// Sizes of the atoms' relations, in atom order (for AGM-bound computations).
+    pub fn atom_sizes(&self) -> Vec<u64> {
+        self.atoms.iter().map(|a| a.index.num_rows() as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogQuery;
+    use gj_storage::Graph;
+
+    fn small_instance() -> Instance {
+        let g = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let mut inst = Instance::new();
+        inst.add_relation("edge", g.edge_relation());
+        inst.add_relation("v1", Relation::from_values(vec![0, 1, 2, 3, 4]));
+        inst.add_relation("v2", Relation::from_values(vec![0, 1, 2, 3, 4]));
+        inst
+    }
+
+    #[test]
+    fn binding_caches_indexes_per_relation_and_perm() {
+        let inst = small_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        // All three edge atoms are indexed in natural order under GAO a,b,c, so they
+        // share one physical index.
+        assert!(Arc::ptr_eq(&bq.atoms[0].index, &bq.atoms[1].index));
+        assert!(Arc::ptr_eq(&bq.atoms[0].index, &bq.atoms[2].index));
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let inst = Instance::new();
+        let q = CatalogQuery::ThreeClique.query();
+        assert!(BoundQuery::new(&inst, &q, None).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let mut inst = Instance::new();
+        inst.add_relation("edge", Relation::from_values(vec![1, 2, 3]));
+        let q = CatalogQuery::ThreeClique.query();
+        assert!(BoundQuery::new(&inst, &q, None).is_err());
+    }
+
+    #[test]
+    fn invalid_gao_is_an_error() {
+        let inst = small_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        assert!(BoundQuery::new(&inst, &q, Some(vec![0, 0, 1])).is_err());
+        assert!(BoundQuery::new(&inst, &q, Some(vec![0, 1])).is_err());
+    }
+
+    #[test]
+    fn binding_conversion_roundtrips() {
+        let inst = small_instance();
+        let q = CatalogQuery::ThreePath.query();
+        // Force a non-trivial GAO: d, c, b, a.
+        let gao = vec![3, 2, 1, 0];
+        let bq = BoundQuery::new(&inst, &q, Some(gao)).unwrap();
+        let gao_binding = vec![40, 30, 20, 10]; // d=40, c=30, b=20, a=10
+        assert_eq!(bq.binding_to_var_order(&gao_binding), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn filters_by_gao_pos_split_correctly() {
+        let inst = small_instance();
+        let q = CatalogQuery::ThreeClique.query(); // a<b, b<c with natural GAO
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let per_pos = bq.filters_by_gao_pos();
+        assert!(per_pos[0].is_empty());
+        assert_eq!(per_pos[1], vec![(0, true)]);
+        assert_eq!(per_pos[2], vec![(1, true)]);
+        // Reversed GAO c,b,a: both filters now have their *first* variable later.
+        let bq = BoundQuery::new(&inst, &q, Some(vec![2, 1, 0])).unwrap();
+        let per_pos = bq.filters_by_gao_pos();
+        assert_eq!(per_pos[1], vec![(0, false)]); // binding b requires b < c
+        assert_eq!(per_pos[2], vec![(1, false)]); // binding a requires a < b
+    }
+
+    #[test]
+    fn atoms_at_gao_pos_matches_membership() {
+        let inst = small_instance();
+        let q = CatalogQuery::ThreePath.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        // Whatever GAO was selected, the atoms reported for position `p` must be
+        // exactly the atoms that mention the variable `gao[p]`.
+        for pos in 0..bq.num_vars() {
+            let var = bq.gao[pos];
+            let expected: Vec<usize> =
+                q.atoms.iter().enumerate().filter(|(_, a)| a.contains(var)).map(|(i, _)| i).collect();
+            assert_eq!(bq.atoms_at_gao_pos(pos), expected);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The benchmark query catalog (Section 5.1 of the paper).
+//!
+//! Every experiment in the paper runs one of ten graph-pattern queries over an
+//! `edge(a, b)` relation, optionally restricted by unary random-sample predicates
+//! `v1`, `v2`, … . This module builds those queries exactly as the paper's Datalog
+//! formulations state them, including the `a < b < c` order filters of the clique and
+//! cycle queries.
+
+use crate::query::{Query, QueryBuilder};
+
+/// One of the paper's benchmark queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CatalogQuery {
+    /// `edge(a,b), edge(b,c), edge(a,c), a<b<c` — the triangle query.
+    ThreeClique,
+    /// 4-clique with `a<b<c<d`.
+    FourClique,
+    /// `edge(a,b), edge(b,c), edge(c,d), edge(a,d), a<b<c<d`.
+    FourCycle,
+    /// `v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)`.
+    ThreePath,
+    /// `v1(a), v2(e), edge(a,b), edge(b,c), edge(c,d), edge(d,e)`.
+    FourPath,
+    /// `v1(b), v2(c), edge(a,b), edge(a,c)` — complete binary tree with 2 leaves.
+    OneTree,
+    /// Complete binary tree with 4 leaves, each drawn from a different sample.
+    TwoTree,
+    /// `v1(c), v2(d), edge(a,b), edge(a,c), edge(b,d)` — left-deep binary tree.
+    TwoComb,
+    /// 2-path followed by a 3-clique: `v1(a), (AB)(BC)(CD)(DE)(CE)`.
+    TwoLollipop,
+    /// 3-path followed by a 4-clique.
+    ThreeLollipop,
+}
+
+impl CatalogQuery {
+    /// All benchmark queries, in the order the paper's tables list them.
+    pub fn all() -> [CatalogQuery; 10] {
+        [
+            CatalogQuery::ThreeClique,
+            CatalogQuery::FourClique,
+            CatalogQuery::FourCycle,
+            CatalogQuery::ThreePath,
+            CatalogQuery::FourPath,
+            CatalogQuery::OneTree,
+            CatalogQuery::TwoTree,
+            CatalogQuery::TwoComb,
+            CatalogQuery::TwoLollipop,
+            CatalogQuery::ThreeLollipop,
+        ]
+    }
+
+    /// The name used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CatalogQuery::ThreeClique => "3-clique",
+            CatalogQuery::FourClique => "4-clique",
+            CatalogQuery::FourCycle => "4-cycle",
+            CatalogQuery::ThreePath => "3-path",
+            CatalogQuery::FourPath => "4-path",
+            CatalogQuery::OneTree => "1-tree",
+            CatalogQuery::TwoTree => "2-tree",
+            CatalogQuery::TwoComb => "2-comb",
+            CatalogQuery::TwoLollipop => "2-lollipop",
+            CatalogQuery::ThreeLollipop => "3-lollipop",
+        }
+    }
+
+    /// Whether the pattern is (β-)cyclic. The paper divides its experiments along this
+    /// line: Minesweeper is instance-optimal only for the acyclic ones.
+    pub fn is_cyclic(&self) -> bool {
+        matches!(
+            self,
+            CatalogQuery::ThreeClique
+                | CatalogQuery::FourClique
+                | CatalogQuery::FourCycle
+                | CatalogQuery::TwoLollipop
+                | CatalogQuery::ThreeLollipop
+        )
+    }
+
+    /// The unary random-sample relations the query expects (e.g. `["v1", "v2"]`),
+    /// in numbering order.
+    pub fn sample_relations(&self) -> &'static [&'static str] {
+        match self {
+            CatalogQuery::ThreeClique | CatalogQuery::FourClique | CatalogQuery::FourCycle => &[],
+            CatalogQuery::ThreePath
+            | CatalogQuery::FourPath
+            | CatalogQuery::OneTree
+            | CatalogQuery::TwoComb => &["v1", "v2"],
+            CatalogQuery::TwoTree => &["v1", "v2", "v3", "v4"],
+            CatalogQuery::TwoLollipop | CatalogQuery::ThreeLollipop => &["v1"],
+        }
+    }
+
+    /// For the lollipop queries: the number of leading variables (in the natural
+    /// variable order) that form the path part, including the vertex shared with the
+    /// clique. The hybrid algorithm of Section 4.12 runs Minesweeper over this prefix
+    /// and LeapFrog TrieJoin over the remaining clique variables.
+    pub fn hybrid_split(&self) -> Option<usize> {
+        match self {
+            CatalogQuery::TwoLollipop => Some(3),
+            CatalogQuery::ThreeLollipop => Some(4),
+            _ => None,
+        }
+    }
+
+    /// Builds the query.
+    pub fn query(&self) -> Query {
+        match self {
+            CatalogQuery::ThreeClique => QueryBuilder::new("3-clique")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["a", "c"])
+                .lt("a", "b")
+                .lt("b", "c")
+                .build(),
+            CatalogQuery::FourClique => QueryBuilder::new("4-clique")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["a", "c"])
+                .atom("edge", &["a", "d"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["b", "d"])
+                .atom("edge", &["c", "d"])
+                .lt("a", "b")
+                .lt("b", "c")
+                .lt("c", "d")
+                .build(),
+            CatalogQuery::FourCycle => QueryBuilder::new("4-cycle")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["c", "d"])
+                .atom("edge", &["a", "d"])
+                .lt("a", "b")
+                .lt("b", "c")
+                .lt("c", "d")
+                .build(),
+            CatalogQuery::ThreePath => QueryBuilder::new("3-path")
+                .atom("v1", &["a"])
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["c", "d"])
+                .atom("v2", &["d"])
+                .build(),
+            CatalogQuery::FourPath => QueryBuilder::new("4-path")
+                .atom("v1", &["a"])
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["c", "d"])
+                .atom("edge", &["d", "e"])
+                .atom("v2", &["e"])
+                .build(),
+            CatalogQuery::OneTree => QueryBuilder::new("1-tree")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["a", "c"])
+                .atom("v1", &["b"])
+                .atom("v2", &["c"])
+                .build(),
+            CatalogQuery::TwoTree => QueryBuilder::new("2-tree")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["a", "c"])
+                .atom("edge", &["b", "d"])
+                .atom("edge", &["b", "e"])
+                .atom("edge", &["c", "f"])
+                .atom("edge", &["c", "g"])
+                .atom("v1", &["d"])
+                .atom("v2", &["e"])
+                .atom("v3", &["f"])
+                .atom("v4", &["g"])
+                .build(),
+            CatalogQuery::TwoComb => QueryBuilder::new("2-comb")
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["a", "c"])
+                .atom("edge", &["b", "d"])
+                .atom("v1", &["c"])
+                .atom("v2", &["d"])
+                .build(),
+            CatalogQuery::TwoLollipop => QueryBuilder::new("2-lollipop")
+                .atom("v1", &["a"])
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["c", "d"])
+                .atom("edge", &["d", "e"])
+                .atom("edge", &["c", "e"])
+                .lt("d", "e")
+                .build(),
+            CatalogQuery::ThreeLollipop => QueryBuilder::new("3-lollipop")
+                .atom("v1", &["a"])
+                .atom("edge", &["a", "b"])
+                .atom("edge", &["b", "c"])
+                .atom("edge", &["c", "d"])
+                .atom("edge", &["d", "e"])
+                .atom("edge", &["d", "f"])
+                .atom("edge", &["d", "g"])
+                .atom("edge", &["e", "f"])
+                .atom("edge", &["e", "g"])
+                .atom("edge", &["f", "g"])
+                .lt("e", "f")
+                .lt("f", "g")
+                .build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::Hypergraph;
+
+    #[test]
+    fn all_queries_are_well_formed() {
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            assert!(q.validate().is_ok(), "{} invalid", q.name);
+            assert_eq!(q.name, cq.name());
+        }
+    }
+
+    #[test]
+    fn variable_and_atom_counts_match_the_paper() {
+        let expect = [
+            (CatalogQuery::ThreeClique, 3, 3),
+            (CatalogQuery::FourClique, 4, 6),
+            (CatalogQuery::FourCycle, 4, 4),
+            (CatalogQuery::ThreePath, 4, 5),
+            (CatalogQuery::FourPath, 5, 6),
+            (CatalogQuery::OneTree, 3, 4),
+            (CatalogQuery::TwoTree, 7, 10),
+            (CatalogQuery::TwoComb, 4, 5),
+            (CatalogQuery::TwoLollipop, 5, 6),
+            (CatalogQuery::ThreeLollipop, 7, 10),
+        ];
+        for (cq, vars, atoms) in expect {
+            let q = cq.query();
+            assert_eq!(q.num_vars(), vars, "{}", q.name);
+            assert_eq!(q.num_atoms(), atoms, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn cyclicity_classification_matches_the_paper() {
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let beta = Hypergraph::of_query(&q).is_beta_acyclic();
+            assert_eq!(beta, !cq.is_cyclic(), "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn sample_relations_are_referenced_by_the_query() {
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            for &s in cq.sample_relations() {
+                assert!(
+                    q.atoms.iter().any(|a| a.relation == s),
+                    "{} does not reference {s}",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lollipop_split_points_are_the_shared_vertex() {
+        let q2 = CatalogQuery::TwoLollipop.query();
+        assert_eq!(CatalogQuery::TwoLollipop.hybrid_split(), Some(3));
+        // Variable at index 2 ("c") is in both the path and the clique.
+        assert_eq!(q2.var_names[2], "c");
+        let q3 = CatalogQuery::ThreeLollipop.query();
+        assert_eq!(CatalogQuery::ThreeLollipop.hybrid_split(), Some(4));
+        assert_eq!(q3.var_names[3], "d");
+    }
+
+    #[test]
+    fn natural_variable_order_is_the_datalog_order() {
+        let q = CatalogQuery::ThreePath.query();
+        assert_eq!(q.var_names, vec!["a", "b", "c", "d"]);
+        let q = CatalogQuery::TwoLollipop.query();
+        assert_eq!(q.var_names, vec!["a", "b", "c", "d", "e"]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Query hypergraphs and acyclicity tests.
+//!
+//! The hypergraph `H(Q) = (V, E)` of a join query has the query variables as vertices
+//! and one (set-valued) edge per atom (Section 2.1). Two degrees of acyclicity matter
+//! in the paper:
+//!
+//! * **α-acyclicity** — the classical notion under which Yannakakis' algorithm runs in
+//!   linear time; tested here with the GYO reduction (ear removal).
+//! * **β-acyclicity** — the stronger notion required for Minesweeper's instance
+//!   optimality; tested with nest-point elimination (a vertex is a *nest point* when
+//!   the edges containing it form a chain under inclusion; a hypergraph is β-acyclic
+//!   iff repeatedly removing nest points empties it).
+//!
+//! For the paper's graph-pattern queries every atom is unary or binary, so both
+//! notions coincide with ordinary graph acyclicity of the pattern (noted in §2.1);
+//! [`Hypergraph::is_graph_forest`] provides that direct check as well.
+
+use crate::query::Query;
+use std::collections::BTreeSet;
+
+/// The hypergraph of a join query: one vertex per variable, one edge per atom.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<BTreeSet<usize>>,
+}
+
+impl Hypergraph {
+    /// Builds the hypergraph of a query.
+    pub fn of_query(q: &Query) -> Self {
+        let edges = q
+            .atoms
+            .iter()
+            .map(|a| a.vars.iter().copied().collect::<BTreeSet<usize>>())
+            .collect();
+        Hypergraph { num_vertices: q.num_vars(), edges }
+    }
+
+    /// Builds a hypergraph directly from edge sets (used by tests and by the skeleton
+    /// computation).
+    pub fn new(num_vertices: usize, edges: Vec<BTreeSet<usize>>) -> Self {
+        for e in &edges {
+            assert!(e.iter().all(|&v| v < num_vertices), "edge vertex out of range");
+        }
+        Hypergraph { num_vertices, edges }
+    }
+
+    /// Number of vertices (query variables).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The edges (atom variable sets).
+    pub fn edges(&self) -> &[BTreeSet<usize>] {
+        &self.edges
+    }
+
+    /// α-acyclicity via the GYO reduction: repeatedly delete vertices that occur in at
+    /// most one edge and edges contained in other edges; the hypergraph is α-acyclic
+    /// iff at most one non-empty edge survives.
+    pub fn is_alpha_acyclic(&self) -> bool {
+        let mut edges: Vec<BTreeSet<usize>> =
+            self.edges.iter().filter(|e| !e.is_empty()).cloned().collect();
+        loop {
+            let mut changed = false;
+
+            // Rule 1: remove vertices that appear in exactly one edge.
+            let mut occurrence = vec![0usize; self.num_vertices];
+            for e in &edges {
+                for &v in e {
+                    occurrence[v] += 1;
+                }
+            }
+            for e in &mut edges {
+                let before = e.len();
+                e.retain(|&v| occurrence[v] > 1);
+                if e.len() != before {
+                    changed = true;
+                }
+            }
+
+            // Rule 2: remove edges contained in another edge (including duplicates).
+            let mut keep = vec![true; edges.len()];
+            for i in 0..edges.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for j in 0..edges.len() {
+                    if i == j || !keep[j] {
+                        continue;
+                    }
+                    let subset = edges[i].is_subset(&edges[j]);
+                    let strictly_smaller =
+                        edges[i].len() < edges[j].len() || (subset && i > j);
+                    if subset && strictly_smaller {
+                        keep[i] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            let next: Vec<BTreeSet<usize>> = edges
+                .into_iter()
+                .zip(keep)
+                .filter(|(e, k)| *k && !e.is_empty())
+                .map(|(e, _)| e)
+                .collect();
+            edges = next;
+
+            if edges.len() <= 1 {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+
+    /// β-acyclicity via nest-point elimination.
+    ///
+    /// A vertex `v` is a *nest point* when the distinct edges containing it form a
+    /// chain under set inclusion. The hypergraph is β-acyclic iff repeatedly removing
+    /// nest points (and dropping emptied edges) removes every vertex. Returns the
+    /// elimination order when it exists.
+    pub fn beta_elimination_order(&self) -> Option<Vec<usize>> {
+        let mut edges: Vec<BTreeSet<usize>> =
+            self.edges.iter().filter(|e| !e.is_empty()).cloned().collect();
+        let mut alive: Vec<bool> = (0..self.num_vertices)
+            .map(|v| edges.iter().any(|e| e.contains(&v)))
+            .collect();
+        let mut order = Vec::new();
+
+        loop {
+            let remaining: Vec<usize> = (0..self.num_vertices).filter(|&v| alive[v]).collect();
+            if remaining.is_empty() {
+                // Vertices never mentioned by any edge are appended at the end; they
+                // are trivially eliminable.
+                let missing: Vec<usize> =
+                    (0..self.num_vertices).filter(|v| !order.contains(v)).collect();
+                order.extend(missing);
+                return Some(order);
+            }
+            let mut progressed = false;
+            for &v in &remaining {
+                let mut incident: Vec<&BTreeSet<usize>> =
+                    edges.iter().filter(|e| e.contains(&v)).collect();
+                incident.sort_by_key(|e| e.len());
+                incident.dedup();
+                let is_chain = incident.windows(2).all(|w| w[0].is_subset(w[1]));
+                if is_chain {
+                    for e in &mut edges {
+                        e.remove(&v);
+                    }
+                    edges.retain(|e| !e.is_empty());
+                    alive[v] = false;
+                    order.push(v);
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                return None;
+            }
+        }
+    }
+
+    /// Whether the hypergraph is β-acyclic.
+    pub fn is_beta_acyclic(&self) -> bool {
+        self.beta_elimination_order().is_some()
+    }
+
+    /// For queries whose atoms are all unary or binary (every benchmark query in the
+    /// paper), acyclicity reduces to the pattern graph being a forest. Returns `None`
+    /// if some atom has arity greater than two.
+    pub fn is_graph_forest(&self) -> Option<bool> {
+        if self.edges.iter().any(|e| e.len() > 2) {
+            return None;
+        }
+        // Union-find over vertices; a binary edge joining two vertices already in the
+        // same component closes a cycle. Duplicate binary edges are ignored (the same
+        // `edge` relation may appear once per orientation in a query).
+        let mut parent: Vec<usize> = (0..self.num_vertices).collect();
+        fn find(parent: &mut Vec<usize>, v: usize) -> usize {
+            if parent[v] != v {
+                let root = find(parent, parent[v]);
+                parent[v] = root;
+            }
+            parent[v]
+        }
+        let mut seen_pairs = BTreeSet::new();
+        for e in &self.edges {
+            if e.len() != 2 {
+                continue;
+            }
+            let mut it = e.iter();
+            let a = *it.next().unwrap();
+            let b = *it.next().unwrap();
+            if !seen_pairs.insert((a, b)) {
+                continue;
+            }
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra == rb {
+                return Some(false);
+            }
+            parent[ra] = rb;
+        }
+        Some(true)
+    }
+
+    /// The adjacency structure of the pattern graph (binary atoms only): for each
+    /// vertex, the sorted list of distinct neighbours.
+    pub fn graph_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![BTreeSet::new(); self.num_vertices];
+        for e in &self.edges {
+            if e.len() == 2 {
+                let mut it = e.iter();
+                let a = *it.next().unwrap();
+                let b = *it.next().unwrap();
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        adj.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogQuery;
+    use crate::query::QueryBuilder;
+
+    fn hg(q: &Query) -> Hypergraph {
+        Hypergraph::of_query(q)
+    }
+    use crate::query::Query;
+
+    #[test]
+    fn triangle_is_cyclic_in_both_senses() {
+        let q = CatalogQuery::ThreeClique.query();
+        let h = hg(&q);
+        assert!(!h.is_alpha_acyclic());
+        assert!(!h.is_beta_acyclic());
+        assert_eq!(h.is_graph_forest(), Some(false));
+    }
+
+    #[test]
+    fn paths_and_trees_are_acyclic() {
+        for cq in [
+            CatalogQuery::ThreePath,
+            CatalogQuery::FourPath,
+            CatalogQuery::OneTree,
+            CatalogQuery::TwoTree,
+            CatalogQuery::TwoComb,
+        ] {
+            let q = cq.query();
+            let h = hg(&q);
+            assert!(h.is_alpha_acyclic(), "{} should be alpha-acyclic", q.name);
+            assert!(h.is_beta_acyclic(), "{} should be beta-acyclic", q.name);
+            assert_eq!(h.is_graph_forest(), Some(true), "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn cliques_cycles_and_lollipops_are_beta_cyclic() {
+        for cq in [
+            CatalogQuery::ThreeClique,
+            CatalogQuery::FourClique,
+            CatalogQuery::FourCycle,
+            CatalogQuery::TwoLollipop,
+            CatalogQuery::ThreeLollipop,
+        ] {
+            let q = cq.query();
+            let h = hg(&q);
+            assert!(!h.is_beta_acyclic(), "{} should be beta-cyclic", q.name);
+            assert_eq!(h.is_graph_forest(), Some(false), "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn alpha_but_not_beta_acyclic_example() {
+        // The classical example: three "petals" sharing a common triangle of
+        // vertices plus a big edge covering all of them is alpha-acyclic, but the
+        // triangle of pairwise overlaps alone is not beta-acyclic.
+        let big: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let e01: BTreeSet<usize> = [0, 1].into_iter().collect();
+        let e12: BTreeSet<usize> = [1, 2].into_iter().collect();
+        let e02: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let h = Hypergraph::new(3, vec![big.clone(), e01.clone(), e12.clone(), e02.clone()]);
+        assert!(h.is_alpha_acyclic());
+        assert!(!h.is_beta_acyclic());
+        // Without the big edge it is neither.
+        let h2 = Hypergraph::new(3, vec![e01, e12, e02]);
+        assert!(!h2.is_alpha_acyclic());
+        assert!(!h2.is_beta_acyclic());
+    }
+
+    #[test]
+    fn nested_edges_are_beta_acyclic() {
+        let e1: BTreeSet<usize> = [0].into_iter().collect();
+        let e2: BTreeSet<usize> = [0, 1].into_iter().collect();
+        let e3: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let h = Hypergraph::new(3, vec![e1, e2, e3]);
+        assert!(h.is_beta_acyclic());
+        assert!(h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn elimination_order_covers_all_vertices() {
+        let q = CatalogQuery::FourPath.query();
+        let h = hg(&q);
+        let order = h.beta_elimination_order().expect("4-path is beta-acyclic");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..q.num_vars()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unary_only_query_is_acyclic() {
+        let q = QueryBuilder::new("unary").atom("v1", &["a"]).atom("v2", &["b"]).build();
+        let h = hg(&q);
+        assert!(h.is_alpha_acyclic());
+        assert!(h.is_beta_acyclic());
+        assert_eq!(h.is_graph_forest(), Some(true));
+    }
+
+    #[test]
+    fn graph_adjacency_ignores_unary_atoms() {
+        let q = CatalogQuery::ThreePath.query();
+        let h = hg(&q);
+        let adj = h.graph_adjacency();
+        let a = q.var("a").unwrap();
+        let b = q.var("b").unwrap();
+        assert_eq!(adj[a], vec![b]);
+    }
+}

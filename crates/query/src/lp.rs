@@ -1,0 +1,217 @@
+//! A small dense simplex solver.
+//!
+//! The AGM bound (Appendix A of the paper) is the optimum of the fractional edge
+//! cover linear program. The query hypergraphs in this workspace have at most a
+//! handful of vertices and edges, so a textbook dense tableau simplex is more than
+//! enough; Bland's rule keeps it cycle-free.
+//!
+//! The solver handles LPs of the form
+//!
+//! ```text
+//!     maximize    cᵀ y
+//!     subject to  A y ≤ b,   y ≥ 0,      with b ≥ 0
+//! ```
+//!
+//! which is exactly the shape of the *dual* of the fractional edge cover LP (the
+//! fractional vertex packing LP), whose right-hand sides are the non-negative
+//! `log₂ |R_F|` weights — so the all-slack basis is feasible and no phase-1 is needed.
+//! The optimal duals of this program (read off the slack reduced costs) are the
+//! fractional edge cover itself.
+
+/// Outcome of [`maximize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal(LpSolution),
+    /// The LP is unbounded above.
+    Unbounded,
+}
+
+/// An optimal solution of the LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// The optimal objective value `cᵀ y*`.
+    pub objective: f64,
+    /// The optimal primal values `y*` (length = number of variables).
+    pub primal: Vec<f64>,
+    /// The optimal dual values, one per constraint (the reduced costs of the slack
+    /// variables at the optimum).
+    pub dual: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `max cᵀy s.t. Ay ≤ b, y ≥ 0` with `b ≥ 0` by primal simplex (Bland's rule).
+///
+/// Panics if dimensions are inconsistent or some `b[i] < 0`.
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
+    let n = c.len();
+    let m = a.len();
+    assert_eq!(b.len(), m, "one rhs per constraint required");
+    for row in a {
+        assert_eq!(row.len(), n, "constraint row width must match variable count");
+    }
+    assert!(b.iter().all(|&x| x >= -EPS), "rhs must be non-negative for the slack start");
+
+    // Tableau: m constraint rows over columns [y_0..y_{n-1}, s_0..s_{m-1}, rhs].
+    let width = n + m + 1;
+    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut row = vec![0.0; width];
+        row[..n].copy_from_slice(&a[i]);
+        row[n + i] = 1.0;
+        row[width - 1] = b[i].max(0.0);
+        tab.push(row);
+    }
+    // Objective row: z - cᵀy = 0, stored as coefficients of [y, s | z-value].
+    let mut obj = vec![0.0; width];
+    for j in 0..n {
+        obj[j] = -c[j];
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    loop {
+        // Entering column: smallest index with a negative reduced cost (Bland).
+        let Some(enter) = (0..n + m).find(|&j| obj[j] < -EPS) else {
+            break;
+        };
+        // Ratio test: smallest rhs / pivot over positive pivot entries; ties broken by
+        // smallest basis variable index (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in tab.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[width - 1] / row[enter];
+                let better = ratio < best_ratio - EPS
+                    || ((ratio - best_ratio).abs() <= EPS
+                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return LpOutcome::Unbounded;
+        };
+
+        // Pivot on (leave, enter).
+        let pivot = tab[leave][enter];
+        for x in tab[leave].iter_mut() {
+            *x /= pivot;
+        }
+        for i in 0..m {
+            if i != leave && tab[i][enter].abs() > EPS {
+                let factor = tab[i][enter];
+                for j in 0..width {
+                    tab[i][j] -= factor * tab[leave][j];
+                }
+            }
+        }
+        if obj[enter].abs() > EPS {
+            let factor = obj[enter];
+            for j in 0..width {
+                obj[j] -= factor * tab[leave][j];
+            }
+        }
+        basis[leave] = enter;
+    }
+
+    let mut primal = vec![0.0; n];
+    for (i, &bi) in basis.iter().enumerate() {
+        if bi < n {
+            primal[bi] = tab[i][width - 1];
+        }
+    }
+    let dual = (0..m).map(|i| obj[n + i]).collect();
+    LpOutcome::Optimal(LpSolution { objective: obj[width - 1], primal, dual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_two_variable_lp() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2, y <= 3  -> x=2, y=2, z=10.
+        let sol = match maximize(
+            &[3.0, 2.0],
+            &[vec![1.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]],
+            &[4.0, 2.0, 3.0],
+        ) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        };
+        assert_close(sol.objective, 10.0);
+        assert_close(sol.primal[0], 2.0);
+        assert_close(sol.primal[1], 2.0);
+    }
+
+    #[test]
+    fn duals_solve_the_covering_lp() {
+        // Vertex packing dual of the triangle edge cover with unit weights:
+        // max y_a + y_b + y_c s.t. y_a + y_b <= 1, y_b + y_c <= 1, y_a + y_c <= 1.
+        // Optimum 1.5 at y = (0.5, 0.5, 0.5); duals (= fractional edge cover) are all 0.5.
+        let sol = match maximize(
+            &[1.0, 1.0, 1.0],
+            &[vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]],
+            &[1.0, 1.0, 1.0],
+        ) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        };
+        assert_close(sol.objective, 1.5);
+        for d in &sol.dual {
+            assert_close(*d, 0.5);
+        }
+        // Weak duality sanity: dual objective equals primal objective.
+        let dual_obj: f64 = sol.dual.iter().sum();
+        assert_close(dual_obj, sol.objective);
+    }
+
+    #[test]
+    fn zero_objective_is_trivially_optimal() {
+        let sol = match maximize(&[0.0, 0.0], &[vec![1.0, 1.0]], &[5.0]) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        };
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no binding constraint on x.
+        let out = maximize(&[1.0, 0.0], &[vec![0.0, 1.0]], &[1.0]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate constraints (redundant rows with zero rhs) must not cycle.
+        let out = maximize(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            &[0.0, 0.0, 1.0, 1.0],
+        );
+        match out {
+            LpOutcome::Optimal(s) => assert_close(s.objective, 1.0),
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        }
+    }
+
+    #[test]
+    fn binding_constraint_identification_via_duals() {
+        // max 2x s.t. x <= 3, x + y <= 10 -> only the first constraint binds.
+        let sol = match maximize(&[2.0, 0.0], &[vec![1.0, 0.0], vec![1.0, 1.0]], &[3.0, 10.0]) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        };
+        assert_close(sol.objective, 6.0);
+        assert_close(sol.dual[0], 2.0);
+        assert_close(sol.dual[1], 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A naive reference join: backtracking search over atoms.
+//!
+//! This enumerator exists so that every real engine in the workspace (LeapFrog
+//! TrieJoin, Minesweeper, the pairwise baselines) can be checked against an obviously
+//! correct implementation on small instances, both in unit tests and in the
+//! property-based tests. It is intentionally simple and makes no performance claims.
+
+use crate::bind::Instance;
+use crate::query::{Query, VarId};
+use gj_storage::{Tuple, Val};
+
+/// Enumerates the join result of `query` over `instance`, returning bindings indexed
+/// by [`VarId`] in sorted order. Panics if a referenced relation is missing or has
+/// the wrong arity (the reference engine is only used on well-formed test inputs).
+pub fn naive_join(instance: &Instance, query: &Query) -> Vec<Tuple> {
+    let n = query.num_vars();
+    let mut binding: Vec<Option<Val>> = vec![None; n];
+    let mut out = Vec::new();
+
+    // Order atoms so that atoms sharing variables with earlier ones come early; plain
+    // query order is fine for the benchmark queries, which are connected.
+    fn recurse(
+        instance: &Instance,
+        query: &Query,
+        atom_idx: usize,
+        binding: &mut Vec<Option<Val>>,
+        out: &mut Vec<Tuple>,
+    ) {
+        if atom_idx == query.num_atoms() {
+            let full: Vec<Val> = binding.iter().map(|b| b.expect("all variables bound")).collect();
+            if query.filters_satisfied(&full) {
+                out.push(full);
+            }
+            return;
+        }
+        let atom = &query.atoms[atom_idx];
+        let relation = instance
+            .relation(&atom.relation)
+            .unwrap_or_else(|| panic!("relation {} missing", atom.relation));
+        assert_eq!(relation.arity(), atom.arity(), "arity mismatch for {}", atom.relation);
+        for row in relation.rows() {
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            let mut ok = true;
+            for (col, &var) in atom.vars.iter().enumerate() {
+                match binding[var] {
+                    Some(v) if v == row[col] => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                    None => {
+                        binding[var] = Some(row[col]);
+                        newly_bound.push(var);
+                    }
+                }
+            }
+            if ok {
+                recurse(instance, query, atom_idx + 1, binding, out);
+            }
+            for var in newly_bound {
+                binding[var] = None;
+            }
+        }
+    }
+
+    // A variable bound by no atom would make the result ill-defined; the query
+    // validator prevents it for catalog queries, and we assert it here for safety.
+    for v in 0..n {
+        assert!(
+            query.atoms.iter().any(|a| a.contains(v)),
+            "variable {} is not bound by any atom",
+            query.var_names[v]
+        );
+    }
+    recurse(instance, query, 0, &mut binding, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Counts the join result of `query` over `instance`.
+pub fn naive_count(instance: &Instance, query: &Query) -> u64 {
+    naive_join(instance, query).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogQuery;
+    use crate::query::QueryBuilder;
+    use gj_storage::{Graph, Relation};
+
+    fn triangle_instance() -> Instance {
+        // Two triangles sharing edge (1,2): {0,1,2} and {1,2,3}, plus a dangling edge.
+        let g = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut inst = Instance::new();
+        inst.add_relation("edge", g.edge_relation());
+        inst
+    }
+
+    #[test]
+    fn counts_triangles_once_each() {
+        let inst = triangle_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        assert_eq!(naive_count(&inst, &q), 2);
+    }
+
+    #[test]
+    fn enumerates_ordered_triangles() {
+        let inst = triangle_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        let rows = naive_join(&inst, &q);
+        assert_eq!(rows, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn respects_unary_sample_relations() {
+        let mut inst = triangle_instance();
+        inst.add_relation("v1", Relation::from_values(vec![0]));
+        inst.add_relation("v2", Relation::from_values(vec![3]));
+        let q = CatalogQuery::ThreePath.query();
+        let rows = naive_join(&inst, &q);
+        // Paths of length 3 from 0 to 3.
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r[0], 0);
+            assert_eq!(r[3], 3);
+        }
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_result() {
+        let mut inst = Instance::new();
+        inst.add_relation("edge", Relation::empty(2));
+        let q = CatalogQuery::ThreeClique.query();
+        assert_eq!(naive_count(&inst, &q), 0);
+    }
+
+    #[test]
+    fn repeated_variable_across_atoms_joins_correctly() {
+        let mut inst = Instance::new();
+        inst.add_relation("r", Relation::from_pairs(vec![(1, 2), (2, 3)]));
+        inst.add_relation("s", Relation::from_pairs(vec![(2, 5), (3, 7), (3, 9)]));
+        let q = QueryBuilder::new("rs").atom("r", &["a", "b"]).atom("s", &["b", "c"]).build();
+        let rows = naive_join(&inst, &q);
+        assert_eq!(rows, vec![vec![1, 2, 5], vec![2, 3, 7], vec![2, 3, 9]]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gj-storage
+//!
+//! Storage substrate for the graph-pattern join engine.
+//!
+//! This crate implements the pieces of the LogicBlox storage layer that the paper's
+//! join algorithms rely on (Section 4.1, Figure 1 of the paper):
+//!
+//! * [`Relation`] — a sorted, deduplicated, fixed-arity relation of integer tuples.
+//! * [`TrieIndex`] — a *flat trie* built over a relation for a given attribute
+//!   permutation, exposing the LeapFrog TrieJoin iterator interface
+//!   ([`TrieIterator`]: `open`/`up`/`next`/`seek`) as well as the least-upper-bound /
+//!   greatest-lower-bound probes ([`TrieIndex::probe`]) that Minesweeper's gap
+//!   extraction (`seekGap`) needs.
+//! * [`Graph`] — an edge-list / CSR view of a graph used by the data generators, the
+//!   specialised graph-engine baseline, and the dataset catalog.
+//!
+//! Values are [`Val`] (`i64`). Minesweeper uses the sentinels [`NEG_INF`] and
+//! [`POS_INF`] for the open ends of gap intervals; real data must stay strictly within
+//! `(NEG_INF, POS_INF)`, which every loader in this workspace guarantees (node
+//! identifiers are non-negative and far below `i64::MAX`).
+
+pub mod graph;
+pub mod relation;
+pub mod trie;
+pub mod value;
+
+pub use graph::{Csr, Graph};
+pub use relation::Relation;
+pub use trie::{ProbeResult, TrieIndex, TrieIterator};
+pub use value::{Tuple, Val, NEG_INF, POS_INF};

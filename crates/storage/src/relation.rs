@@ -1,0 +1,169 @@
+//! Sorted, deduplicated relations.
+//!
+//! A [`Relation`] is the logical object the join algorithms consume: a set of
+//! fixed-arity tuples. Physically the tuples are kept sorted in lexicographic order
+//! and deduplicated, which makes building the [trie index](crate::trie::TrieIndex)
+//! a single linear pass and makes set semantics (no duplicate rows) explicit.
+
+use crate::value::{is_finite, Tuple, Val};
+
+/// A fixed-arity relation stored as sorted, deduplicated rows.
+///
+/// The row ordering is plain lexicographic order on the stored column order. To index
+/// a relation in a different attribute order (as required by GAO-consistency), build a
+/// [`TrieIndex`](crate::trie::TrieIndex) with the desired column permutation — the
+/// relation itself is never reordered in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, rows: Vec::new() }
+    }
+
+    /// Builds a relation from an arbitrary collection of rows.
+    ///
+    /// Rows are sorted and deduplicated. Panics if any row has the wrong arity or
+    /// contains a sentinel value (`NEG_INF`/`POS_INF`), because the join algorithms
+    /// reserve those for internal use.
+    pub fn from_rows(arity: usize, mut rows: Vec<Tuple>) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), arity, "row arity mismatch: {row:?} vs arity {arity}");
+            assert!(
+                row.iter().all(|&v| is_finite(v)),
+                "rows must not contain sentinel values: {row:?}"
+            );
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        Relation { arity, rows }
+    }
+
+    /// Builds a unary relation from a set of values.
+    pub fn from_values(values: impl IntoIterator<Item = Val>) -> Self {
+        Self::from_rows(1, values.into_iter().map(|v| vec![v]).collect())
+    }
+
+    /// Builds a binary relation from `(a, b)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Val, Val)>) -> Self {
+        Self::from_rows(2, pairs.into_iter().map(|(a, b)| vec![a, b]).collect())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sorted rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Membership test (binary search over the sorted rows).
+    pub fn contains(&self, row: &[Val]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+    }
+
+    /// Returns a new relation with the columns permuted by `perm` (`perm[i]` is the
+    /// source column of output column `i`), re-sorted for the new column order.
+    pub fn permute(&self, perm: &[usize]) -> Relation {
+        assert_eq!(perm.len(), self.arity);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| perm.iter().map(|&i| r[i]).collect::<Tuple>())
+            .collect();
+        Relation::from_rows(self.arity, rows)
+    }
+
+    /// Projects the relation onto the given columns (duplicates removed).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&i| r[i]).collect::<Tuple>())
+            .collect();
+        Relation::from_rows(cols.len(), rows)
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let r = Relation::from_rows(2, vec![vec![3, 1], vec![1, 2], vec![3, 1], vec![1, 1]]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows(), &[vec![1, 1], vec![1, 2], vec![3, 1]]);
+    }
+
+    #[test]
+    fn contains_uses_set_semantics() {
+        let r = Relation::from_pairs(vec![(1, 2), (2, 3), (1, 2)]);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[2, 3]));
+        assert!(!r.contains(&[2, 1]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn permute_reorders_columns() {
+        let r = Relation::from_pairs(vec![(1, 10), (2, 5)]);
+        let p = r.permute(&[1, 0]);
+        assert_eq!(p.rows(), &[vec![5, 2], vec![10, 1]]);
+    }
+
+    #[test]
+    fn project_removes_duplicates() {
+        let r = Relation::from_pairs(vec![(1, 10), (1, 20), (2, 10)]);
+        let p = r.project(&[0]);
+        assert_eq!(p.rows(), &[vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn unary_relation_from_values() {
+        let r = Relation::from_values(vec![5, 1, 5, 3]);
+        assert_eq!(r.rows(), &[vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        Relation::from_rows(2, vec![vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_values_rejected() {
+        Relation::from_rows(1, vec![vec![crate::value::POS_INF]]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(3);
+        assert!(r.is_empty());
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.len(), 0);
+    }
+}

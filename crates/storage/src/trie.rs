@@ -1,0 +1,499 @@
+//! Flat trie indexes and trie iterators.
+//!
+//! Both LeapFrog TrieJoin and Minesweeper assume every input relation is indexed by a
+//! search tree consistent with the global attribute order (GAO) — Section 4.1 and
+//! Figure 1 of the paper. We store that search tree as a *flat trie*: one sorted value
+//! array per level plus child-range offsets, the same layout used by in-memory
+//! worst-case-optimal join systems. The layout gives:
+//!
+//! * cache-friendly, allocation-free iteration for the LFTJ iterator interface
+//!   (`open` / `up` / `next` / `seek`), and
+//! * `O(log)` per-level prefix probes with greatest-lower-bound / least-upper-bound
+//!   answers, which is exactly what Minesweeper's `seekGap` (Idea 3) needs to build a
+//!   maximal gap box around a free tuple.
+
+use crate::relation::Relation;
+use crate::value::{Val, NEG_INF, POS_INF};
+
+/// A trie (prefix tree) index over a [`Relation`] in a chosen attribute order.
+///
+/// Level `d` stores one entry per distinct length-`d+1` prefix of the (permuted)
+/// relation; the entry records the last value of that prefix. `child_start[d][i]`
+/// gives the index in level `d+1` where the children of entry `i` begin, so the
+/// children of entry `i` occupy `child_start[d][i] .. child_start[d][i + 1]`.
+///
+/// The example of Figure 1 in the paper — `R(A2, A4, A5)` indexed in the order
+/// `A2, A4, A5` — produces level 0 = `[5, 7, 10]`, level 1 = `[1, 4, 9, 4]`, and
+/// level 2 = `[4, 7, 12, 6, 8, 13, 1]`.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    arity: usize,
+    num_rows: usize,
+    /// Column permutation used to build the index: output level `d` corresponds to
+    /// source column `perm[d]` of the original relation.
+    perm: Vec<usize>,
+    values: Vec<Vec<Val>>,
+    child_start: Vec<Vec<usize>>,
+}
+
+/// Result of probing a trie index with a full projected tuple (Minesweeper, Idea 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The whole tuple is present in the relation.
+    Found,
+    /// The prefix of length `depth` is present but extending it with the probed value
+    /// is not. `(lower, upper)` is the maximal open interval around the probed value
+    /// that contains no value extending that prefix; the ends are `NEG_INF` /
+    /// `POS_INF` when the probe falls before the first or after the last child.
+    Gap { depth: usize, lower: Val, upper: Val },
+}
+
+impl TrieIndex {
+    /// Builds a trie index over `relation`, indexing the columns in the order given by
+    /// `perm` (`perm[d]` is the source column that becomes trie level `d`).
+    ///
+    /// `perm` must be a permutation of `0..relation.arity()`.
+    pub fn build(relation: &Relation, perm: &[usize]) -> Self {
+        let arity = relation.arity();
+        assert_eq!(perm.len(), arity, "permutation length must equal relation arity");
+        {
+            let mut seen = vec![false; arity];
+            for &p in perm {
+                assert!(p < arity && !seen[p], "perm must be a permutation of 0..arity");
+                seen[p] = true;
+            }
+        }
+        let permuted = relation.permute(perm);
+        Self::from_sorted_rows(arity, permuted.rows(), perm.to_vec(), relation.len())
+    }
+
+    /// Builds a trie index over a relation in its natural column order.
+    pub fn build_natural(relation: &Relation) -> Self {
+        let perm: Vec<usize> = (0..relation.arity()).collect();
+        Self::build(relation, &perm)
+    }
+
+    fn from_sorted_rows(arity: usize, rows: &[Vec<Val>], perm: Vec<usize>, num_rows: usize) -> Self {
+        let mut values: Vec<Vec<Val>> = vec![Vec::new(); arity];
+        let mut child_start: Vec<Vec<usize>> = vec![Vec::new(); arity.saturating_sub(1)];
+
+        for (i, row) in rows.iter().enumerate() {
+            // First level at which this row differs from the previous one.
+            let diverge = if i == 0 {
+                0
+            } else {
+                let prev = &rows[i - 1];
+                let mut d = 0;
+                while d < arity && prev[d] == row[d] {
+                    d += 1;
+                }
+                d
+            };
+            for d in diverge..arity {
+                if d > 0 {
+                    // A new entry at level d opens under the current last entry of
+                    // level d-1; record where its children start.
+                    if child_start[d - 1].len() < values[d - 1].len() {
+                        child_start[d - 1].push(values[d].len());
+                    }
+                }
+                values[d].push(row[d]);
+            }
+        }
+        // Close the offset arrays with a final sentinel.
+        for d in 0..arity.saturating_sub(1) {
+            child_start[d].push(values[d + 1].len());
+        }
+
+        TrieIndex { arity, num_rows, perm, values, child_start }
+    }
+
+    /// Number of indexed attributes (trie depth).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows in the underlying relation.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The column permutation this index was built with.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The distinct values at trie level `d` (grouped by parent, each group sorted).
+    pub fn level_values(&self, d: usize) -> &[Val] {
+        &self.values[d]
+    }
+
+    /// The largest value appearing anywhere in the relation, or `None` when it is
+    /// empty. Minesweeper uses this to bound its search: values beyond the data
+    /// cannot appear in any output tuple.
+    pub fn max_value(&self) -> Option<Val> {
+        self.values.iter().flat_map(|level| level.iter().copied()).max()
+    }
+
+    /// The range of entries at level 0 (children of the conceptual root).
+    pub fn root_range(&self) -> (usize, usize) {
+        (0, self.values.first().map_or(0, Vec::len))
+    }
+
+    /// The range of children (at level `depth + 1`) of entry `idx` at level `depth`.
+    pub fn children_range(&self, depth: usize, idx: usize) -> (usize, usize) {
+        let cs = &self.child_start[depth];
+        (cs[idx], cs[idx + 1])
+    }
+
+    /// Locates the node reached by following `prefix` from the root.
+    ///
+    /// Returns the `(lo, hi)` range of that node's children at level `prefix.len()`,
+    /// or `None` if the prefix is not present in the relation. An empty prefix returns
+    /// the root range. A full-length prefix cannot be located this way (it has no
+    /// children); use [`TrieIndex::contains`] instead.
+    pub fn prefix_range(&self, prefix: &[Val]) -> Option<(usize, usize)> {
+        assert!(prefix.len() < self.arity, "prefix must be shorter than the arity");
+        let (mut lo, mut hi) = self.root_range();
+        for (d, &v) in prefix.iter().enumerate() {
+            let idx = self.find_in(d, lo, hi, v)?;
+            let (clo, chi) = self.children_range(d, idx);
+            lo = clo;
+            hi = chi;
+        }
+        Some((lo, hi))
+    }
+
+    /// Whether the full tuple `t` (of length `arity`) is present.
+    pub fn contains(&self, t: &[Val]) -> bool {
+        matches!(self.probe(t), ProbeResult::Found)
+    }
+
+    /// Probes the index with a full tuple `t` in index (GAO-projected) order.
+    ///
+    /// This is Minesweeper's `seekGap`: walk the trie level by level; at the first
+    /// level `d` where `t[d]` is absent among the children of the matched prefix,
+    /// return the maximal open gap interval `(lower, upper)` around `t[d]` at that
+    /// level. If every level matches, the tuple is in the relation.
+    pub fn probe(&self, t: &[Val]) -> ProbeResult {
+        assert_eq!(t.len(), self.arity, "probe tuple must have the index arity");
+        let (mut lo, mut hi) = self.root_range();
+        for d in 0..self.arity {
+            match self.find_in(d, lo, hi, t[d]) {
+                Some(idx) => {
+                    if d + 1 < self.arity {
+                        let (clo, chi) = self.children_range(d, idx);
+                        lo = clo;
+                        hi = chi;
+                    }
+                }
+                None => {
+                    let vals = &self.values[d][lo..hi];
+                    // partition_point: number of values < t[d] in the node.
+                    let pos = vals.partition_point(|&x| x < t[d]);
+                    let lower = if pos == 0 { NEG_INF } else { vals[pos - 1] };
+                    let upper = if pos == vals.len() { POS_INF } else { vals[pos] };
+                    return ProbeResult::Gap { depth: d, lower, upper };
+                }
+            }
+        }
+        ProbeResult::Found
+    }
+
+    /// Binary search for `v` among the entries `lo..hi` of level `d`.
+    fn find_in(&self, d: usize, lo: usize, hi: usize, v: Val) -> Option<usize> {
+        let vals = &self.values[d][lo..hi];
+        vals.binary_search(&v).ok().map(|i| lo + i)
+    }
+
+    /// Creates a fresh [`TrieIterator`] positioned at the root.
+    pub fn iter(&self) -> TrieIterator<'_> {
+        TrieIterator::new(self)
+    }
+}
+
+/// LeapFrog TrieJoin iterator over a [`TrieIndex`].
+///
+/// Implements the interface of Veldhuizen's LFTJ paper:
+///
+/// * [`open`](TrieIterator::open) — descend to the first child of the current node;
+/// * [`up`](TrieIterator::up) — return to the parent;
+/// * [`key`](TrieIterator::key) — the value at the current position;
+/// * [`next`](TrieIterator::next) — advance to the next sibling;
+/// * [`seek`](TrieIterator::seek) — advance to the least sibling `>= v` (galloping +
+///   binary search);
+/// * [`at_end`](TrieIterator::at_end) — whether the current level is exhausted.
+#[derive(Debug, Clone)]
+pub struct TrieIterator<'a> {
+    index: &'a TrieIndex,
+    /// One frame per open level: (current position, lo, hi) within `values[depth]`.
+    stack: Vec<(usize, usize, usize)>,
+    /// Set when `next`/`seek` runs past `hi` at the current level.
+    at_end: bool,
+}
+
+impl<'a> TrieIterator<'a> {
+    /// Creates an iterator positioned at the root (no level open).
+    pub fn new(index: &'a TrieIndex) -> Self {
+        TrieIterator { index, stack: Vec::with_capacity(index.arity()), at_end: false }
+    }
+
+    /// The number of currently open levels (0 = at root).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the iterator has run past the last sibling at the current level.
+    pub fn at_end(&self) -> bool {
+        self.at_end
+    }
+
+    /// The value at the current position. Panics if no level is open or the level is
+    /// exhausted.
+    pub fn key(&self) -> Val {
+        assert!(!self.at_end, "key() called on an exhausted level");
+        let &(pos, _, _) = self.stack.last().expect("key() called at the root");
+        self.index.values[self.stack.len() - 1][pos]
+    }
+
+    /// Opens the next trie level, positioning at the first child of the current node.
+    ///
+    /// At the root this opens level 0. Panics if the maximum depth is already open or
+    /// if the current level is exhausted.
+    pub fn open(&mut self) {
+        assert!(self.stack.len() < self.index.arity(), "open() past the last level");
+        assert!(!self.at_end, "open() on an exhausted level");
+        let (lo, hi) = if self.stack.is_empty() {
+            self.index.root_range()
+        } else {
+            let depth = self.stack.len() - 1;
+            let &(pos, _, _) = self.stack.last().unwrap();
+            self.index.children_range(depth, pos)
+        };
+        self.stack.push((lo, lo, hi));
+        self.at_end = lo >= hi;
+    }
+
+    /// Closes the current level and returns to the parent position.
+    pub fn up(&mut self) {
+        self.stack.pop().expect("up() called at the root");
+        self.at_end = false;
+    }
+
+    /// Advances to the next sibling. Sets `at_end` when the level is exhausted.
+    pub fn next(&mut self) {
+        assert!(!self.at_end, "next() on an exhausted level");
+        let frame = self.stack.last_mut().expect("next() called at the root");
+        frame.0 += 1;
+        self.at_end = frame.0 >= frame.2;
+    }
+
+    /// Positions at the least sibling with value `>= v`, or exhausts the level.
+    ///
+    /// `seek` never moves backwards; seeking to a value smaller than the current key
+    /// is a no-op (as specified by the LFTJ iterator contract).
+    pub fn seek(&mut self, v: Val) {
+        assert!(!self.at_end, "seek() on an exhausted level");
+        let depth = self.stack.len() - 1;
+        let frame = self.stack.last_mut().expect("seek() called at the root");
+        let values = &self.index.values[depth];
+        if values[frame.0] >= v {
+            return;
+        }
+        // Gallop forward to find a bracket, then binary search inside it.
+        let mut step = 1;
+        let mut lo = frame.0;
+        let mut hi = frame.0 + 1;
+        while hi < frame.2 && values[hi] < v {
+            lo = hi;
+            hi = (hi + step).min(frame.2);
+            step *= 2;
+        }
+        let off = values[lo..hi.min(frame.2)].partition_point(|&x| x < v);
+        frame.0 = lo + off;
+        // If the bracket ended before finding >= v, continue from there.
+        while frame.0 < frame.2 && values[frame.0] < v {
+            frame.0 += 1;
+        }
+        self.at_end = frame.0 >= frame.2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The relation of Figure 1 in the paper: R(A2, A4, A5).
+    fn figure1_relation() -> Relation {
+        Relation::from_rows(
+            3,
+            vec![
+                vec![5, 1, 4],
+                vec![5, 1, 7],
+                vec![5, 1, 12],
+                vec![7, 4, 6],
+                vec![7, 9, 8],
+                vec![7, 9, 13],
+                vec![10, 4, 1],
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1_trie_levels() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        assert_eq!(idx.level_values(0), &[5, 7, 10]);
+        assert_eq!(idx.level_values(1), &[1, 4, 9, 4]);
+        assert_eq!(idx.level_values(2), &[4, 7, 12, 6, 8, 13, 1]);
+        assert_eq!(idx.children_range(0, 0), (0, 1)); // 5 -> {1}
+        assert_eq!(idx.children_range(0, 1), (1, 3)); // 7 -> {4, 9}
+        assert_eq!(idx.children_range(0, 2), (3, 4)); // 10 -> {4}
+        assert_eq!(idx.children_range(1, 0), (0, 3)); // (5,1) -> {4,7,12}
+        assert_eq!(idx.children_range(1, 2), (4, 6)); // (7,9) -> {8,13}
+    }
+
+    #[test]
+    fn probe_reproduces_paper_gap_examples() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        // Section 4.2: free tuple projected to (6, 3, 7) -> gap between A2 = 5 and 7.
+        assert_eq!(
+            idx.probe(&[6, 3, 7]),
+            ProbeResult::Gap { depth: 0, lower: 5, upper: 7 }
+        );
+        // Free tuple projected to (7, 5, 8) -> band inside A2 = 7, 4 < A4 < 9.
+        assert_eq!(
+            idx.probe(&[7, 5, 8]),
+            ProbeResult::Gap { depth: 1, lower: 4, upper: 9 }
+        );
+        // A present tuple is Found.
+        assert_eq!(idx.probe(&[7, 9, 13]), ProbeResult::Found);
+    }
+
+    #[test]
+    fn probe_open_ends_use_sentinels() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        assert_eq!(
+            idx.probe(&[1, 0, 0]),
+            ProbeResult::Gap { depth: 0, lower: NEG_INF, upper: 5 }
+        );
+        assert_eq!(
+            idx.probe(&[20, 0, 0]),
+            ProbeResult::Gap { depth: 0, lower: 10, upper: POS_INF }
+        );
+        // Last level gap: prefix (5,1) exists, value 20 is past 12.
+        assert_eq!(
+            idx.probe(&[5, 1, 20]),
+            ProbeResult::Gap { depth: 2, lower: 12, upper: POS_INF }
+        );
+    }
+
+    #[test]
+    fn prefix_range_walks_the_trie() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        assert_eq!(idx.prefix_range(&[]), Some((0, 3)));
+        assert_eq!(idx.prefix_range(&[7]), Some((1, 3)));
+        assert_eq!(idx.prefix_range(&[7, 9]), Some((4, 6)));
+        assert_eq!(idx.prefix_range(&[6]), None);
+        assert_eq!(idx.prefix_range(&[7, 5]), None);
+    }
+
+    #[test]
+    fn contains_full_tuples() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        assert!(idx.contains(&[10, 4, 1]));
+        assert!(!idx.contains(&[10, 4, 2]));
+    }
+
+    #[test]
+    fn build_with_permutation_reorders_levels() {
+        // Index R(A,B) by (B,A).
+        let r = Relation::from_pairs(vec![(1, 10), (2, 10), (2, 20)]);
+        let idx = TrieIndex::build(&r, &[1, 0]);
+        assert_eq!(idx.level_values(0), &[10, 20]);
+        assert_eq!(idx.level_values(1), &[1, 2, 2]);
+        assert!(idx.contains(&[10, 1]));
+        assert!(idx.contains(&[20, 2]));
+        assert!(!idx.contains(&[20, 1]));
+    }
+
+    #[test]
+    fn iterator_walks_figure1() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        let mut it = idx.iter();
+        it.open();
+        assert_eq!(it.key(), 5);
+        it.next();
+        assert_eq!(it.key(), 7);
+        it.open();
+        assert_eq!(it.key(), 4);
+        it.next();
+        assert_eq!(it.key(), 9);
+        it.open();
+        assert_eq!(it.key(), 8);
+        it.next();
+        assert_eq!(it.key(), 13);
+        it.next();
+        assert!(it.at_end());
+        it.up();
+        assert_eq!(it.key(), 9);
+        it.up();
+        assert_eq!(it.key(), 7);
+        it.next();
+        assert_eq!(it.key(), 10);
+        it.next();
+        assert!(it.at_end());
+    }
+
+    #[test]
+    fn iterator_seek_moves_forward_only() {
+        let idx = TrieIndex::build_natural(&figure1_relation());
+        let mut it = idx.iter();
+        it.open();
+        it.seek(6);
+        assert_eq!(it.key(), 7);
+        // Seeking backwards is a no-op.
+        it.seek(1);
+        assert_eq!(it.key(), 7);
+        it.seek(8);
+        assert_eq!(it.key(), 10);
+        it.seek(11);
+        assert!(it.at_end());
+    }
+
+    #[test]
+    fn iterator_on_empty_relation() {
+        let idx = TrieIndex::build_natural(&Relation::empty(2));
+        let mut it = idx.iter();
+        it.open();
+        assert!(it.at_end());
+    }
+
+    #[test]
+    fn unary_relation_trie() {
+        let r = Relation::from_values(vec![3, 1, 4, 1, 5]);
+        let idx = TrieIndex::build_natural(&r);
+        assert_eq!(idx.level_values(0), &[1, 3, 4, 5]);
+        assert_eq!(idx.probe(&[2]), ProbeResult::Gap { depth: 0, lower: 1, upper: 3 });
+        assert_eq!(idx.probe(&[4]), ProbeResult::Found);
+        let mut it = idx.iter();
+        it.open();
+        it.seek(4);
+        assert_eq!(it.key(), 4);
+    }
+
+    #[test]
+    fn seek_gallop_long_runs() {
+        let r = Relation::from_values((0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        let idx = TrieIndex::build_natural(&r);
+        let mut it = idx.iter();
+        it.open();
+        for target in [1, 100, 101, 2500, 2997] {
+            it.seek(target);
+            assert!(!it.at_end());
+            let expected = ((target + 2) / 3) * 3; // least multiple of 3 >= target
+            assert_eq!(it.key(), expected, "seek({target})");
+        }
+        it.seek(2998);
+        assert!(it.at_end());
+    }
+}

@@ -1,0 +1,39 @@
+//! Domain values and tuples.
+//!
+//! The paper treats attribute domains as the natural numbers `N` and uses `-1` and
+//! `±∞` as sentinels inside Minesweeper (the moving frontier starts at `(-1, …, -1)`
+//! and gap intervals may be open at `-∞`/`+∞`). Using a signed 64-bit integer keeps
+//! all of those representable without a wrapper enum.
+
+/// A single domain value (a node identifier in the graph workloads).
+pub type Val = i64;
+
+/// A tuple of domain values.
+pub type Tuple = Vec<Val>;
+
+/// Sentinel for `-∞`: strictly smaller than every legal data value.
+pub const NEG_INF: Val = i64::MIN;
+
+/// Sentinel for `+∞`: strictly larger than every legal data value.
+pub const POS_INF: Val = i64::MAX;
+
+/// Returns `true` if `v` is a legal data value (strictly between the sentinels).
+#[inline]
+pub fn is_finite(v: Val) -> bool {
+    v > NEG_INF && v < POS_INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_bracket_all_data_values() {
+        assert!(NEG_INF < -1);
+        assert!(POS_INF > 0);
+        assert!(is_finite(0));
+        assert!(is_finite(-1));
+        assert!(!is_finite(NEG_INF));
+        assert!(!is_finite(POS_INF));
+    }
+}

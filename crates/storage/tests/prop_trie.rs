@@ -1,0 +1,94 @@
+//! Property-based tests for the trie index: every probe, seek and prefix walk must
+//! agree with a naive linear-scan reference over the same set of rows.
+
+use gj_storage::{ProbeResult, Relation, TrieIndex, NEG_INF, POS_INF};
+use proptest::prelude::*;
+
+/// Strategy: a small relation of the given arity with values in 0..20.
+fn rows(arity: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0i64..20, arity), 0..60)
+}
+
+/// Reference probe: scan all rows, restrict on the longest matching prefix.
+fn reference_probe(rows: &[Vec<i64>], t: &[i64]) -> ProbeResult {
+    let arity = t.len();
+    let mut candidates: Vec<&Vec<i64>> = rows.iter().collect();
+    for d in 0..arity {
+        let extending: Vec<&Vec<i64>> =
+            candidates.iter().copied().filter(|r| r[d] == t[d]).collect();
+        if extending.is_empty() {
+            let lower = candidates.iter().map(|r| r[d]).filter(|&v| v < t[d]).max().unwrap_or(NEG_INF);
+            let upper = candidates.iter().map(|r| r[d]).filter(|&v| v > t[d]).min().unwrap_or(POS_INF);
+            return ProbeResult::Gap { depth: d, lower, upper };
+        }
+        candidates = extending;
+    }
+    ProbeResult::Found
+}
+
+proptest! {
+    #[test]
+    fn probe_agrees_with_linear_scan(rows in rows(3), probes in prop::collection::vec(prop::collection::vec(0i64..20, 3), 1..20)) {
+        let rel = Relation::from_rows(3, rows);
+        let idx = TrieIndex::build_natural(&rel);
+        for t in &probes {
+            prop_assert_eq!(idx.probe(t), reference_probe(rel.rows(), t));
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_relation(rows in rows(2), probes in prop::collection::vec(prop::collection::vec(0i64..20, 2), 1..20)) {
+        let rel = Relation::from_rows(2, rows);
+        let idx = TrieIndex::build_natural(&rel);
+        for t in &probes {
+            prop_assert_eq!(idx.contains(t), rel.contains(t));
+        }
+    }
+
+    #[test]
+    fn permuted_index_is_permuted_relation(rows in rows(3)) {
+        let rel = Relation::from_rows(3, rows);
+        let perm = [2usize, 0, 1];
+        let idx = TrieIndex::build(&rel, &perm);
+        for row in rel.rows() {
+            let projected: Vec<i64> = perm.iter().map(|&i| row[i]).collect();
+            prop_assert!(idx.contains(&projected));
+        }
+        prop_assert_eq!(idx.num_rows(), rel.len());
+    }
+
+    #[test]
+    fn iterator_enumerates_level0_values(rows in rows(2)) {
+        let rel = Relation::from_rows(2, rows);
+        let idx = TrieIndex::build_natural(&rel);
+        let mut seen = Vec::new();
+        let mut it = idx.iter();
+        it.open();
+        while !it.at_end() {
+            seen.push(it.key());
+            it.next();
+        }
+        let mut expected: Vec<i64> = rel.rows().iter().map(|r| r[0]).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn seek_lands_on_least_geq(rows in rows(1), targets in prop::collection::vec(0i64..25, 1..10)) {
+        let rel = Relation::from_rows(1, rows);
+        let idx = TrieIndex::build_natural(&rel);
+        let values: Vec<i64> = rel.rows().iter().map(|r| r[0]).collect();
+        for &t in &targets {
+            let mut it = idx.iter();
+            it.open();
+            if it.at_end() { continue; }
+            it.seek(t);
+            let expected = values.iter().copied().find(|&v| v >= t);
+            match expected {
+                Some(v) => { prop_assert!(!it.at_end()); prop_assert_eq!(it.key(), v); }
+                None => prop_assert!(it.at_end()),
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine shoot-out: every engine on every catalog query over one dataset.
+//!
+//! A miniature, single-dataset rendition of the paper's Tables 6 and 7: rows are
+//! queries, columns are engines, cells are milliseconds (or `-` when an engine does
+//! not support the query or exceeds its materialisation budget — the paper's
+//! timeouts).
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout
+//! ```
+
+use graphjoin::{workload_database, CatalogQuery, Dataset, Engine, ExecLimits};
+use std::time::Instant;
+
+fn main() {
+    let dataset = Dataset::CaGrQc;
+    let graph = dataset.generate();
+    println!(
+        "dataset {} (synthetic stand-in): {} nodes, {} undirected edges\n",
+        dataset.name(),
+        graph.num_nodes(),
+        graph.num_undirected_edges()
+    );
+
+    // A small materialisation budget keeps the pairwise baselines from thrashing on
+    // the cyclic queries, mirroring the paper's 30-minute timeout.
+    let limits = ExecLimits { max_intermediate_rows: 5_000_000 };
+    let engines = vec![
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::HashJoin(limits),
+        Engine::SortMergeJoin(limits),
+        Engine::GraphEngine,
+    ];
+
+    print!("{:<12}", "query");
+    for e in &engines {
+        print!("{:>12}", e.label());
+    }
+    println!("{:>12}", "lb/hybrid");
+
+    for cq in CatalogQuery::all() {
+        let db = workload_database(&graph, cq, 8, 123);
+        let q = cq.query();
+        print!("{:<12}", cq.name());
+        for engine in &engines {
+            let start = Instant::now();
+            match db.count(&q, engine) {
+                Ok(_) => print!("{:>10}ms", start.elapsed().as_millis()),
+                Err(_) => print!("{:>12}", "-"),
+            }
+        }
+        match Engine::hybrid_for(cq) {
+            Some(hybrid) => {
+                let start = Instant::now();
+                match db.count(&q, &hybrid) {
+                    Ok(_) => println!("{:>10}ms", start.elapsed().as_millis()),
+                    Err(_) => println!("{:>12}", "-"),
+                }
+            }
+            None => println!("{:>12}", "-"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Friend-of-friend recommendation paths — the acyclic-query side of the paper.
+//!
+//! Builds a collaboration-network stand-in, samples a set of "source" users (`v1`)
+//! and a set of "candidate" users (`v2`), and counts the 3-paths and 4-paths
+//! connecting them at several selectivities. Minesweeper's caching makes it the
+//! right engine once the samples get large (low selectivity), which is exactly the
+//! effect behind Figures 3–5 of the paper.
+//!
+//! ```sh
+//! cargo run --release --example friend_recommendation
+//! ```
+
+use graphjoin::{workload_database, CatalogQuery, Dataset, Engine};
+use std::time::Instant;
+
+fn main() {
+    let dataset = Dataset::CaGrQc;
+    let graph = dataset.generate();
+    println!(
+        "{}-like graph: {} nodes, {} undirected edges",
+        dataset.name(),
+        graph.num_nodes(),
+        graph.num_undirected_edges()
+    );
+
+    for query in [CatalogQuery::ThreePath, CatalogQuery::FourPath] {
+        println!("\n== {}", query.name());
+        for selectivity in [80u32, 8] {
+            let db = workload_database(&graph, query, selectivity, 42);
+            let q = query.query();
+            print!("selectivity {selectivity:>3}: ");
+            for engine in [Engine::Lftj, Engine::minesweeper()] {
+                let start = Instant::now();
+                let count = db.count(&q, &engine).expect("path counting succeeds");
+                print!("{}={} ({:?})  ", engine.label(), count, start.elapsed());
+            }
+            println!();
+        }
+    }
+}

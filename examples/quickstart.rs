@@ -1,0 +1,36 @@
+//! Quickstart: load a small graph, run the triangle query with every engine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use graphjoin::{CatalogQuery, Database, Engine, ExecLimits, Graph};
+
+fn main() {
+    // A small social circle: two triangles sharing an edge plus a pendant node.
+    let graph = Graph::new_undirected(
+        6,
+        vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+    );
+    let mut db = Database::new();
+    db.add_graph(&graph);
+
+    let triangle = CatalogQuery::ThreeClique.query();
+    println!("query: {triangle}");
+
+    let engines = [
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::HashJoin(ExecLimits::default()),
+        Engine::SortMergeJoin(ExecLimits::default()),
+        Engine::GraphEngine,
+    ];
+    for engine in &engines {
+        let count = db.count(&triangle, engine).expect("triangle counting succeeds");
+        println!("{:>10}: {} triangles", engine.label(), count);
+    }
+
+    // Enumeration returns the actual matches (bindings in a, b, c order).
+    let matches = db.enumerate(&triangle, &Engine::Lftj).expect("enumeration succeeds");
+    println!("matches: {matches:?}");
+}

@@ -1,0 +1,13 @@
+//! Reproduction package for *"Join Processing for Graph Patterns: An Old Dog with New
+//! Tricks"*.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the cross-crate
+//! integration and property tests (`tests/`); the library itself lives in the
+//! workspace crates and is re-exported here for convenience:
+//!
+//! * [`graphjoin`] — the public façade ([`graphjoin::Database`], engines, catalog);
+//! * `gj-storage`, `gj-query`, `gj-lftj`, `gj-minesweeper`, `gj-baselines`,
+//!   `gj-datagen` — the individual building blocks;
+//! * `gj-bench` (not re-exported) — the table/figure harness binaries.
+
+pub use graphjoin;

@@ -1,0 +1,141 @@
+//! Ablation-oriented integration tests: every Minesweeper configuration (each of the
+//! paper's Ideas toggled individually) must stay correct, and the statistics must
+//! reflect what each idea is supposed to do. These are the correctness counterparts
+//! of the speed-up Tables 1–3.
+
+use gj_minesweeper::{run, MsConfig};
+use graphjoin::{workload_database, BoundQuery, CatalogQuery, Engine, Graph};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(p))
+        .collect();
+    Graph::new_undirected(n as usize, edges)
+}
+
+fn all_configs() -> Vec<(&'static str, MsConfig)> {
+    let base = MsConfig::default();
+    vec![
+        ("default", base.clone()),
+        ("no idea4", MsConfig { idea4_gap_memo: false, ..base.clone() }),
+        ("no idea5", MsConfig { idea5_caching: false, idea6_complete_nodes: false, ..base.clone() }),
+        ("no idea6", MsConfig { idea6_complete_nodes: false, ..base.clone() }),
+        ("no idea7", MsConfig { idea7_skeleton: false, ..base.clone() }),
+        ("baseline", MsConfig::baseline()),
+        (
+            "nothing",
+            MsConfig {
+                idea4_gap_memo: false,
+                idea5_caching: false,
+                idea6_complete_nodes: false,
+                idea7_skeleton: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn every_configuration_is_correct_on_every_query() {
+    let graph = random_graph(11, 28, 0.15);
+    for cq in CatalogQuery::all() {
+        let db = workload_database(&graph, cq, 3, 21);
+        let q = cq.query();
+        let expected = db.count(&q, &Engine::Lftj).unwrap();
+        for (name, config) in all_configs() {
+            let got = db.count(&q, &Engine::Minesweeper(config)).unwrap();
+            assert_eq!(got, expected, "{} with {name}", q.name);
+        }
+    }
+}
+
+#[test]
+fn idea4_reduces_index_probes() {
+    let graph = random_graph(12, 80, 0.08);
+    let db = workload_database(&graph, CatalogQuery::ThreePath, 5, 3);
+    let q = CatalogQuery::ThreePath.query();
+    let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
+
+    let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
+    let without = run(&bq, &MsConfig { idea4_gap_memo: false, ..MsConfig::default() }, &mut |_, _| {});
+    assert_eq!(with.results, without.results);
+    assert!(with.probes_skipped > 0, "the memo never fired");
+    assert!(
+        with.probes < without.probes,
+        "idea 4 should reduce probes: {} vs {}",
+        with.probes,
+        without.probes
+    );
+}
+
+#[test]
+fn idea6_produces_complete_node_hits_on_low_selectivity_paths() {
+    let graph = random_graph(13, 80, 0.08);
+    // Selectivity 2: half of the nodes in each sample -> lots of repeated sub-path work.
+    let db = workload_database(&graph, CatalogQuery::FourPath, 2, 3);
+    let q = CatalogQuery::FourPath.query();
+    let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
+
+    let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
+    let without = run(&bq, &MsConfig { idea6_complete_nodes: false, ..MsConfig::default() }, &mut |_, _| {});
+    assert_eq!(with.results, without.results);
+    assert!(with.complete_node_hits > 0, "complete nodes never fired");
+    assert_eq!(without.complete_node_hits, 0);
+}
+
+#[test]
+fn idea7_reduces_cds_growth_on_cyclic_queries() {
+    let graph = random_graph(14, 40, 0.2);
+    let db = workload_database(&graph, CatalogQuery::FourClique, 1, 1);
+    let q = CatalogQuery::FourClique.query();
+    let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
+
+    let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
+    let without = run(&bq, &MsConfig { idea7_skeleton: false, ..MsConfig::default() }, &mut |_, _| {});
+    assert_eq!(with.results, without.results);
+    assert!(
+        with.constraints_inserted <= without.constraints_inserted,
+        "idea 7 should not insert more constraints ({} vs {})",
+        with.constraints_inserted,
+        without.constraints_inserted
+    );
+}
+
+#[test]
+fn stats_results_match_the_actual_count_in_every_configuration() {
+    let graph = random_graph(15, 30, 0.18);
+    let db = workload_database(&graph, CatalogQuery::TwoComb, 2, 9);
+    let q = CatalogQuery::TwoComb.query();
+    let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
+    let expected = db.count(&q, &Engine::Lftj).unwrap();
+    for (name, config) in all_configs() {
+        let mut emitted = 0u64;
+        let stats = run(&bq, &config, &mut |_, m| emitted += m);
+        assert_eq!(stats.results, expected, "stats.results for {name}");
+        assert_eq!(emitted, expected, "emitted for {name}");
+        assert!(stats.iterations >= stats.results, "iterations for {name}");
+    }
+}
+
+#[test]
+fn non_neo_gaos_still_count_correctly() {
+    // Table 4 compares GAOs; whatever the GAO, the answer must not change.
+    let graph = random_graph(16, 40, 0.1);
+    let db = workload_database(&graph, CatalogQuery::FourPath, 4, 2);
+    let q = CatalogQuery::FourPath.query();
+    let expected = db.count(&q, &Engine::Lftj).unwrap();
+    let v = |s: &str| q.var(s).unwrap();
+    let gaos = [
+        vec![v("a"), v("b"), v("c"), v("d"), v("e")],
+        vec![v("c"), v("b"), v("a"), v("d"), v("e")],
+        vec![v("a"), v("b"), v("d"), v("c"), v("e")], // non-NEO
+        vec![v("b"), v("a"), v("d"), v("c"), v("e")], // non-NEO
+    ];
+    for gao in gaos {
+        let got = db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap();
+        assert_eq!(got, expected, "GAO {gao:?}");
+    }
+}
