@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn k5_counts() {
-        let edges: Vec<(u32, u32)> =
-            (0..5).flat_map(|a| (a + 1..5).map(move |b| (a, b))).collect();
+        let edges: Vec<(u32, u32)> = (0..5).flat_map(|a| (a + 1..5).map(move |b| (a, b))).collect();
         let k5 = Graph::new_undirected(5, edges);
         let engine = GraphEngine::load(&k5);
         assert_eq!(engine.triangle_count(), 10); // C(5,3)

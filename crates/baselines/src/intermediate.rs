@@ -26,10 +26,7 @@ impl Intermediate {
     /// Builds an intermediate from a base relation and the variables of its atom.
     /// Atoms never repeat a variable (checked by the query validator).
     pub fn from_relation(relation: &Relation, vars: &[VarId]) -> Self {
-        Intermediate {
-            vars: vars.to_vec(),
-            rows: relation.rows().to_vec(),
-        }
+        Intermediate { vars: vars.to_vec(), rows: relation.to_rows() }
     }
 
     /// Number of rows.
@@ -147,10 +144,8 @@ impl Intermediate {
     /// Keeps only rows satisfying `binding[x] < binding[y]` for each applicable
     /// filter (both variables must be present in the schema).
     pub fn apply_filters(&mut self, filters: &[(VarId, VarId)]) {
-        let applicable: Vec<(usize, usize)> = filters
-            .iter()
-            .filter_map(|&(x, y)| Some((self.col_of(x)?, self.col_of(y)?)))
-            .collect();
+        let applicable: Vec<(usize, usize)> =
+            filters.iter().filter_map(|&(x, y)| Some((self.col_of(x)?, self.col_of(y)?))).collect();
         if applicable.is_empty() {
             return;
         }

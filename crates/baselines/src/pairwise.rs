@@ -195,7 +195,11 @@ mod tests {
             pairwise_count_with_stats(&inst, &q, JoinAlgo::Hash, &ExecLimits::default()).unwrap();
         // The open-wedge intermediate is much bigger than the number of triangles —
         // the effect the paper blames for the relational systems' slowness.
-        assert!(stats.peak_intermediate > count, "peak {} vs count {count}", stats.peak_intermediate);
+        assert!(
+            stats.peak_intermediate > count,
+            "peak {} vs count {count}",
+            stats.peak_intermediate
+        );
     }
 
     #[test]
@@ -203,6 +207,9 @@ mod tests {
         let mut inst = Instance::new();
         inst.add_relation("edge", Relation::empty(2));
         let q = CatalogQuery::FourCycle.query();
-        assert_eq!(pairwise_count(&inst, &q, JoinAlgo::SortMerge, &ExecLimits::default()).unwrap(), 0);
+        assert_eq!(
+            pairwise_count(&inst, &q, JoinAlgo::SortMerge, &ExecLimits::default()).unwrap(),
+            0
+        );
     }
 }

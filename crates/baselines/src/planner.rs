@@ -82,10 +82,7 @@ pub fn plan_left_deep(query: &Query, relations: &[&Relation]) -> JoinPlan {
             if subset & (1 << next) != 0 {
                 continue;
             }
-            let connected = query.atoms[next]
-                .vars
-                .iter()
-                .any(|v| partial.ndv.contains_key(v));
+            let connected = query.atoms[next].vars.iter().any(|v| partial.ndv.contains_key(v));
             // Prefer connected extensions; allow a cartesian step only if no atom
             // outside the subset connects to it (disconnected query).
             if !connected {

@@ -1,0 +1,158 @@
+//! Machine-readable join benchmark: per-query, per-engine wall-clock **and**
+//! index-build (bind) time, written as `target/bench-results/BENCH_joins.json`
+//! next to the CSVs the table harnesses produce. The JSON is the cross-PR perf
+//! trajectory record: run it before and after a storage/engine change and diff
+//! the `bind_ms` / `run_ms` fields.
+//!
+//! ```sh
+//! cargo run --release -p gj-bench --bin bench_joins -- --nodes 30000 --degree 8
+//! ```
+//!
+//! Options: `--nodes <n>` `--degree <m>` `--seed <s>` `--reps <r>` `--out <path>`.
+//! Each measurement is the minimum over `reps` repetitions (bind and run are
+//! measured separately; `bind_ms` covers GAO selection plus construction of every
+//! GAO-consistent trie index the query needs).
+
+use gj_datagen::{powerlaw_cluster, sample_relations};
+use gj_query::BoundQuery;
+use graphjoin::{CatalogQuery, Engine, Instance, MsConfig, Query};
+use std::io::Write;
+use std::time::Instant;
+
+struct Opts {
+    nodes: usize,
+    degree: usize,
+    seed: u64,
+    reps: usize,
+    out: String,
+}
+
+impl Opts {
+    fn from_args() -> Opts {
+        let mut opts = Opts {
+            nodes: 30_000,
+            degree: 8,
+            seed: 0x5eed,
+            reps: 3,
+            out: "target/bench-results/BENCH_joins.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+            match arg.as_str() {
+                "--nodes" => opts.nodes = value("--nodes").parse().expect("numeric --nodes"),
+                "--degree" => opts.degree = value("--degree").parse().expect("numeric --degree"),
+                "--seed" => opts.seed = value("--seed").parse().expect("numeric --seed"),
+                "--reps" => opts.reps = value("--reps").parse().expect("numeric --reps"),
+                "--out" => opts.out = value("--out"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --nodes <n> --degree <m> --seed <s> --reps <r> --out <path>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; try --help"),
+            }
+        }
+        opts
+    }
+}
+
+/// Minimum duration of `f` over `reps` runs, in milliseconds, along with the last
+/// result (all runs must agree on it).
+fn min_ms<T: PartialEq + std::fmt::Debug>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &result {
+            assert_eq!(prev, &out, "benchmark runs must be deterministic");
+        }
+        result = Some(out);
+    }
+    (best, result.expect("at least one rep"))
+}
+
+fn engine_count(engine: &Engine, bq: &BoundQuery) -> u64 {
+    match engine {
+        Engine::Lftj => gj_lftj::count(bq),
+        Engine::Minesweeper(cfg) => gj_minesweeper::count(bq, cfg),
+        other => panic!("bench_joins does not drive {}", other.label()),
+    }
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let graph = powerlaw_cluster(opts.nodes, opts.degree, 0.4, opts.seed);
+    let mut instance = Instance::new();
+    instance.add_relation("edge", graph.edge_relation());
+    for (name, rel) in sample_relations(graph.num_nodes(), 10, 4, opts.seed) {
+        instance.add_relation(name, rel);
+    }
+    println!(
+        "graph: {} nodes, {} directed edges, {} triangles",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.triangle_count()
+    );
+
+    let queries = [
+        CatalogQuery::ThreeClique,
+        CatalogQuery::FourClique,
+        CatalogQuery::FourCycle,
+        CatalogQuery::ThreePath,
+    ];
+    let engines: Vec<(&str, Engine)> =
+        vec![("lb/lftj", Engine::Lftj), ("lb/ms", Engine::Minesweeper(MsConfig::default()))];
+
+    let mut records = Vec::new();
+    for cq in queries {
+        let q: Query = cq.query();
+        // Index-build cost: binding constructs every GAO-consistent trie index the
+        // query needs (shared across engines, so measured once per query). The
+        // timed span covers only BoundQuery::new; the last bound query is reused
+        // for the engine runs below.
+        let mut bind_ms = f64::INFINITY;
+        let mut bound: Option<BoundQuery> = None;
+        for _ in 0..opts.reps.max(1) {
+            let start = Instant::now();
+            let b = BoundQuery::new(&instance, &q, None).expect("bind");
+            bind_ms = bind_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            if let Some(prev) = &bound {
+                assert_eq!(prev.atom_sizes(), b.atom_sizes(), "binding must be deterministic");
+            }
+            bound = Some(b);
+        }
+        let bound = bound.expect("at least one bind rep");
+        for (label, engine) in &engines {
+            let (run_ms, count) = min_ms(opts.reps, || engine_count(engine, &bound));
+            println!(
+                "{:<10} {:<8} bind {:>9.3} ms   run {:>9.3} ms   count {}",
+                q.name, label, bind_ms, run_ms, count
+            );
+            records.push(format!(
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"bind_ms\": {:.3}, \"run_ms\": {:.3}, \"count\": {}}}",
+                q.name, label, bind_ms, run_ms, count
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"harness\": \"bench_joins\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        opts.seed,
+        opts.reps,
+        records.join(",\n")
+    );
+    let path = std::path::Path::new(&opts.out);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut file = std::fs::File::create(path).expect("create BENCH_joins.json");
+    file.write_all(json.as_bytes()).expect("write BENCH_joins.json");
+    println!("\njson: {}", path.display());
+}

@@ -45,10 +45,8 @@ fn main() {
         let columns: Vec<String> = sizes.iter().map(|n| format!("N={n}")).collect();
         let mut table = Table::new(format!("{figure}: duration in ms vs sample size"), columns);
 
-        let mut rows: Vec<(String, Vec<String>)> = vec![
-            ("lb/lftj".to_string(), Vec::new()),
-            ("lb/ms".to_string(), Vec::new()),
-        ];
+        let mut rows: Vec<(String, Vec<String>)> =
+            vec![("lb/lftj".to_string(), Vec::new()), ("lb/ms".to_string(), Vec::new())];
         for &n in &sizes {
             // Selectivity that yields roughly n sampled nodes.
             let selectivity = (graph.num_nodes() / n).max(1) as u32;
@@ -66,9 +64,8 @@ fn main() {
             table.row(label, cells);
         }
         table.print();
-        let path = table
-            .write_csv(&format!("fig3_5_{}", dataset.name().replace('-', "_")))
-            .expect("csv");
+        let path =
+            table.write_csv(&format!("fig3_5_{}", dataset.name().replace('-', "_"))).expect("csv");
         println!("csv: {}", path.display());
     }
 }

@@ -50,9 +50,8 @@ fn main() {
             table.row(engine.label(), row);
         }
         table.print();
-        let path = table
-            .write_csv(&format!("fig6_7_{}", query.name().replace('-', "_")))
-            .expect("csv");
+        let path =
+            table.write_csv(&format!("fig6_7_{}", query.name().replace('-', "_"))).expect("csv");
         println!("csv: {}", path.display());
     }
 }

@@ -18,11 +18,8 @@ fn main() {
     let queries = [CatalogQuery::TwoComb, CatalogQuery::ThreePath, CatalogQuery::FourPath];
     let selectivity = 8;
 
-    let without_ideas = MsConfig {
-        idea4_gap_memo: false,
-        idea6_complete_nodes: false,
-        ..MsConfig::default()
-    };
+    let without_ideas =
+        MsConfig { idea4_gap_memo: false, idea6_complete_nodes: false, ..MsConfig::default() };
     let with_idea4 = MsConfig { idea6_complete_nodes: false, ..MsConfig::default() };
     let with_idea4_and_6 = MsConfig::default();
 

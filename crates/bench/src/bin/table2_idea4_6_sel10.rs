@@ -18,11 +18,8 @@ fn main() {
     let queries = [CatalogQuery::TwoComb, CatalogQuery::ThreePath, CatalogQuery::FourPath];
     let selectivity = 10;
 
-    let without_ideas = MsConfig {
-        idea4_gap_memo: false,
-        idea6_complete_nodes: false,
-        ..MsConfig::default()
-    };
+    let without_ideas =
+        MsConfig { idea4_gap_memo: false, idea6_complete_nodes: false, ..MsConfig::default() };
     let with_ideas = MsConfig::default();
 
     let columns: Vec<String> = graphs.iter().map(|(d, _)| d.name().to_string()).collect();

@@ -34,8 +34,7 @@ fn main() {
 
     let mut columns: Vec<String> = orders.iter().map(|s| s.to_uppercase()).collect();
     columns.push("edges".to_string());
-    let mut table =
-        Table::new("Table 4: Minesweeper on 4-path under different GAOs (ms)", columns);
+    let mut table = Table::new("Table 4: Minesweeper on 4-path under different GAOs (ms)", columns);
 
     // Annotate which orders are NEOs (printed once, matches the paper's grouping).
     let neo_flags: Vec<bool> = orders
@@ -57,9 +56,8 @@ fn main() {
         let mut reference: Option<u64> = None;
         for order in orders {
             let gao: Vec<usize> = order.chars().map(|c| q.var(&c.to_string()).unwrap()).collect();
-            let (count, elapsed) = time(|| {
-                db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap()
-            });
+            let (count, elapsed) =
+                time(|| db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap());
             if let Some(r) = reference {
                 assert_eq!(r, count, "GAO {order} changed the answer on {}", dataset.name());
             }

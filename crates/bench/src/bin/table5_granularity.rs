@@ -32,10 +32,8 @@ fn main() {
     let granularities = [1usize, 2, 3, 4, 8, 12, 14];
 
     let columns: Vec<String> = granularities.iter().map(|g| g.to_string()).collect();
-    let mut table = Table::new(
-        "Table 5: average normalised runtime across partition granularity",
-        columns,
-    );
+    let mut table =
+        Table::new("Table 5: average normalised runtime across partition granularity", columns);
 
     for query in queries {
         // Average the normalised runtime over the datasets.
@@ -46,8 +44,7 @@ fn main() {
             let mut baseline_ms = 0.0;
             for (i, &granularity) in granularities.iter().enumerate() {
                 let config = MsConfig { threads, granularity, ..MsConfig::default() };
-                let (_, elapsed) =
-                    time(|| db.count(&q, &Engine::Minesweeper(config)).unwrap());
+                let (_, elapsed) = time(|| db.count(&q, &Engine::Minesweeper(config)).unwrap());
                 let ms = elapsed.as_secs_f64() * 1e3;
                 if i == 0 {
                     baseline_ms = ms.max(1e-3);

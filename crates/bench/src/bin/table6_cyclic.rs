@@ -38,9 +38,8 @@ fn main() {
             table.row(engine.label(), row);
         }
         table.print();
-        let path = table
-            .write_csv(&format!("table6_{}", query.name().replace('-', "_")))
-            .expect("csv");
+        let path =
+            table.write_csv(&format!("table6_{}", query.name().replace('-', "_"))).expect("csv");
         println!("csv: {}", path.display());
         tables.push(table);
     }

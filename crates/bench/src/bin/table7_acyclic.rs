@@ -7,7 +7,9 @@
 //! cargo run --release -p gj-bench --bin table7_acyclic -- --scale 0.25
 //! ```
 
-use gj_bench::{paper_selectivities, print_dataset_summary, run_cell, standard_engines, HarnessOptions, Table};
+use gj_bench::{
+    paper_selectivities, print_dataset_summary, run_cell, standard_engines, HarnessOptions, Table,
+};
 use gj_datagen::Dataset;
 use graphjoin::{workload_database, CatalogQuery, Engine};
 
@@ -53,9 +55,8 @@ fn main() {
             table.row(engine.label(), row);
         }
         table.print();
-        let path = table
-            .write_csv(&format!("table7_{}", query.name().replace('-', "_")))
-            .expect("csv");
+        let path =
+            table.write_csv(&format!("table7_{}", query.name().replace('-', "_"))).expect("csv");
         println!("csv: {}", path.display());
     }
 }

@@ -52,9 +52,8 @@ impl HarnessOptions {
         let mut opts = HarnessOptions::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
-            let mut value = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
             match arg.as_str() {
                 "--scale" => opts.scale = value("--scale").parse().expect("numeric --scale"),
                 "--budget" => opts.budget = value("--budget").parse().expect("numeric --budget"),
@@ -172,13 +171,8 @@ impl Table {
     /// Prints the table to stdout in a fixed-width layout.
     pub fn print(&self) {
         println!("\n== {}", self.title);
-        let label_width = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(8))
-            .max()
-            .unwrap_or(8);
+        let label_width =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(8)).max().unwrap_or(8);
         let col_width = self
             .columns
             .iter()
@@ -228,7 +222,10 @@ pub fn ratio(baseline_ms: Option<f64>, improved_ms: Option<f64>) -> String {
 /// Prints the per-dataset statistics header every harness starts with, so the
 /// generated stand-ins can be compared with the paper's Section 5.1 table.
 pub fn print_dataset_summary(graphs: &[(Dataset, Graph)]) {
-    println!("{:<18} {:>10} {:>12} {:>14} {:>14}", "dataset", "nodes", "edges(dir)", "triangles", "paper-tri");
+    println!(
+        "{:<18} {:>10} {:>12} {:>14} {:>14}",
+        "dataset", "nodes", "edges(dir)", "triangles", "paper-tri"
+    );
     for (d, g) in graphs {
         println!(
             "{:<18} {:>10} {:>12} {:>14} {:>14}",

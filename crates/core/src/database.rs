@@ -174,10 +174,9 @@ impl Database {
             Engine::Minesweeper(config) => {
                 Ok(gj_minesweeper::enumerate(&self.bind(query, None)?, config))
             }
-            Engine::Hybrid { .. } | Engine::GraphEngine => Err(EngineError::Unsupported(format!(
-                "{} only supports counting",
-                engine.label()
-            ))),
+            Engine::Hybrid { .. } | Engine::GraphEngine => {
+                Err(EngineError::Unsupported(format!("{} only supports counting", engine.label())))
+            }
             Engine::HashJoin(_) | Engine::SortMergeJoin(_) => {
                 // The pairwise baselines are only used for counting in the benchmark;
                 // enumerate through LFTJ for convenience.
@@ -213,10 +212,7 @@ impl Database {
 fn same_shape(a: &Query, b: &Query) -> bool {
     a.num_vars() == b.num_vars()
         && a.atoms.len() == b.atoms.len()
-        && a.atoms
-            .iter()
-            .zip(&b.atoms)
-            .all(|(x, y)| x.relation == y.relation && x.vars == y.vars)
+        && a.atoms.iter().zip(&b.atoms).all(|(x, y)| x.relation == y.relation && x.vars == y.vars)
         && a.filters == b.filters
 }
 
@@ -226,8 +222,7 @@ mod tests {
     use gj_query::naive_count;
 
     fn two_triangle_db() -> Database {
-        let graph =
-            Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let graph = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
         let mut db = Database::new();
         db.add_graph(&graph);
         db.add_relation("v1", Relation::from_values(vec![0, 1, 3]));
@@ -265,7 +260,13 @@ mod tests {
                 Engine::HashJoin(ExecLimits::default()),
                 Engine::SortMergeJoin(ExecLimits::default()),
             ] {
-                assert_eq!(db.count(&q, &engine).unwrap(), expected, "{} {}", q.name, engine.label());
+                assert_eq!(
+                    db.count(&q, &engine).unwrap(),
+                    expected,
+                    "{} {}",
+                    q.name,
+                    engine.label()
+                );
             }
             if let Some(hybrid) = Engine::hybrid_for(cq) {
                 assert_eq!(db.count(&q, &hybrid).unwrap(), expected, "{} hybrid", q.name);
@@ -321,10 +322,7 @@ mod tests {
         let gao = vec![v("c"), v("b"), v("a"), v("d"), v("e")];
         let expected = db.count(&q, &Engine::Lftj).unwrap();
         assert_eq!(db.count_with_gao(&q, &Engine::Lftj, Some(gao.clone())).unwrap(), expected);
-        assert_eq!(
-            db.count_with_gao(&q, &Engine::minesweeper(), Some(gao)).unwrap(),
-            expected
-        );
+        assert_eq!(db.count_with_gao(&q, &Engine::minesweeper(), Some(gao)).unwrap(), expected);
     }
 
     #[test]

@@ -82,14 +82,16 @@ mod tests {
     #[test]
     fn workloads_are_deterministic_per_seed() {
         let graph = Graph::new_undirected(200, (0..199).map(|i| (i, i + 1)).collect());
-        let w = Workload { dataset: Dataset::CaGrQc, query: CatalogQuery::ThreePath, selectivity: 10, seed: 3 };
+        let w = Workload {
+            dataset: Dataset::CaGrQc,
+            query: CatalogQuery::ThreePath,
+            selectivity: 10,
+            seed: 3,
+        };
         let a = w.database_over(&graph);
         let b = w.database_over(&graph);
         let q = CatalogQuery::ThreePath.query();
-        assert_eq!(
-            a.count(&q, &Engine::Lftj).unwrap(),
-            b.count(&q, &Engine::Lftj).unwrap()
-        );
+        assert_eq!(a.count(&q, &Engine::Lftj).unwrap(), b.count(&q, &Engine::Lftj).unwrap());
     }
 
     #[test]

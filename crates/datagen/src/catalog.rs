@@ -83,7 +83,9 @@ impl Dataset {
     pub fn small_and_medium() -> Vec<Dataset> {
         Dataset::all()
             .into_iter()
-            .filter(|d| !matches!(d, Dataset::SocPokec | Dataset::SocLiveJournal1 | Dataset::ComOrkut))
+            .filter(|d| {
+                !matches!(d, Dataset::SocPokec | Dataset::SocLiveJournal1 | Dataset::ComOrkut)
+            })
             .collect()
     }
 
@@ -282,10 +284,7 @@ mod tests {
         let gnutella = Dataset::P2pGnutella04.generate_scaled(0.25);
         let fb_ratio = fb.triangle_count() as f64 / fb.num_undirected_edges() as f64;
         let gn_ratio = gnutella.triangle_count() as f64 / gnutella.num_undirected_edges() as f64;
-        assert!(
-            fb_ratio > 20.0 * gn_ratio.max(1e-3),
-            "facebook {fb_ratio} vs gnutella {gn_ratio}"
-        );
+        assert!(fb_ratio > 20.0 * gn_ratio.max(1e-3), "facebook {fb_ratio} vs gnutella {gn_ratio}");
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub fn sample_relations(
     (0..k)
         .map(|i| {
             let name = format!("v{}", i + 1);
-            let rel = node_sample(num_nodes, selectivity, seed.wrapping_add(i as u64 * 0x9e37_79b9));
+            let rel =
+                node_sample(num_nodes, selectivity, seed.wrapping_add(i as u64 * 0x9e37_79b9));
             (name, rel)
         })
         .collect()
@@ -83,7 +84,7 @@ mod tests {
     fn sample_values_are_valid_node_ids() {
         let n = 300;
         let sample = node_sample(n, 3, 1);
-        for row in sample.rows() {
+        for row in sample.iter() {
             assert!(row[0] >= 0 && row[0] < n as i64);
         }
     }

@@ -19,6 +19,10 @@ pub struct LeapfrogJoin {
     /// Indices (into the executor's iterator vector) of the participating atoms,
     /// reordered by key during `init`.
     participants: Vec<usize>,
+    /// Cached current key of each participant (parallel to `participants`), so the
+    /// search loop touches the trie level arrays only when an iterator actually
+    /// moves, never to re-read a key it already knows.
+    keys: Vec<Val>,
     /// Rotation pointer: the participant currently holding the smallest key.
     p: usize,
     /// Whether the intersection is exhausted.
@@ -32,7 +36,8 @@ impl LeapfrogJoin {
     /// `participants` must be non-empty.
     pub fn new(participants: Vec<usize>) -> Self {
         assert!(!participants.is_empty(), "leapfrog join needs at least one iterator");
-        LeapfrogJoin { participants, p: 0, at_end: false, key: 0 }
+        let keys = vec![0; participants.len()];
+        LeapfrogJoin { participants, keys, p: 0, at_end: false, key: 0 }
     }
 
     /// The participating iterator indices (in current rotation order).
@@ -50,6 +55,17 @@ impl LeapfrogJoin {
         self.key
     }
 
+    /// Branch-free-wrap successor of a rotation position (`% k` costs a hardware
+    /// divide on every rotation step; the compare compiles to a conditional move).
+    #[inline]
+    fn rotate(p: usize, k: usize) -> usize {
+        if p + 1 == k {
+            0
+        } else {
+            p + 1
+        }
+    }
+
     /// `leapfrog-init`: to be called when every participating iterator has just been
     /// opened at this level. Establishes the rotation order and finds the first match.
     pub fn init(&mut self, iters: &mut [TrieIterator<'_>]) {
@@ -59,30 +75,34 @@ impl LeapfrogJoin {
         }
         self.at_end = false;
         self.participants.sort_by_key(|&i| iters[i].key());
+        self.keys.clear();
+        self.keys.extend(self.participants.iter().map(|&i| iters[i].key()));
         self.p = 0;
         self.search(iters);
     }
 
     /// `leapfrog-search`: advances iterators until all participants agree on a key
-    /// (a match) or one of them is exhausted.
+    /// (a match) or one of them is exhausted. Keys move only forward, so the cached
+    /// key of the participant before `p` is the current maximum — no re-read of the
+    /// max key after a `seek` is ever needed.
     pub fn search(&mut self, iters: &mut [TrieIterator<'_>]) {
         let k = self.participants.len();
-        // The participant "before" p currently holds the largest key.
-        let mut max_key = iters[self.participants[(self.p + k - 1) % k]].key();
+        let mut max_key = self.keys[if self.p == 0 { k - 1 } else { self.p - 1 }];
         loop {
-            let idx = self.participants[self.p];
-            let cur = iters[idx].key();
+            let cur = self.keys[self.p];
             if cur == max_key {
                 self.key = cur;
                 return;
             }
+            let idx = self.participants[self.p];
             iters[idx].seek(max_key);
             if iters[idx].at_end() {
                 self.at_end = true;
                 return;
             }
             max_key = iters[idx].key();
-            self.p = (self.p + 1) % k;
+            self.keys[self.p] = max_key;
+            self.p = Self::rotate(self.p, k);
         }
     }
 
@@ -94,7 +114,8 @@ impl LeapfrogJoin {
         if iters[idx].at_end() {
             self.at_end = true;
         } else {
-            self.p = (self.p + 1) % self.participants.len();
+            self.keys[self.p] = iters[idx].key();
+            self.p = Self::rotate(self.p, self.participants.len());
             self.search(iters);
         }
     }
@@ -110,7 +131,8 @@ impl LeapfrogJoin {
         if iters[idx].at_end() {
             self.at_end = true;
         } else {
-            self.p = (self.p + 1) % self.participants.len();
+            self.keys[self.p] = iters[idx].key();
+            self.p = Self::rotate(self.p, self.participants.len());
             self.search(iters);
         }
     }

@@ -9,14 +9,25 @@ use proptest::prelude::*;
 
 /// A random small graph plus sample relations, described by the raw edge choices.
 fn arb_instance() -> impl Strategy<Value = Instance> {
-    (2usize..12, prop::collection::vec((0u32..12, 0u32..12), 0..60), prop::collection::vec(0i64..12, 0..8), prop::collection::vec(0i64..12, 0..8))
+    (
+        2usize..12,
+        prop::collection::vec((0u32..12, 0u32..12), 0..60),
+        prop::collection::vec(0i64..12, 0..8),
+        prop::collection::vec(0i64..12, 0..8),
+    )
         .prop_map(|(n, raw_edges, v1, v2)| {
             let n = n.max(raw_edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(1));
             let g = Graph::new_undirected(n, raw_edges);
             let mut inst = Instance::new();
             inst.add_relation("edge", g.edge_relation());
-            inst.add_relation("v1", Relation::from_values(v1.into_iter().filter(|&v| v < n as i64)));
-            inst.add_relation("v2", Relation::from_values(v2.into_iter().filter(|&v| v < n as i64)));
+            inst.add_relation(
+                "v1",
+                Relation::from_values(v1.into_iter().filter(|&v| v < n as i64)),
+            );
+            inst.add_relation(
+                "v2",
+                Relation::from_values(v2.into_iter().filter(|&v| v < n as i64)),
+            );
             inst.add_relation("v3", Relation::from_values((0..n as i64).step_by(2)));
             inst.add_relation("v4", Relation::from_values((0..n as i64).step_by(3)));
             inst

@@ -233,7 +233,7 @@ impl Cds {
                     next.push((w, spec));
                 }
             }
-            next.sort_by(|a, b| b.1.cmp(&a.1));
+            next.sort_by_key(|&(_, spec)| std::cmp::Reverse(spec));
             let empty = next.is_empty();
             active[d + 1] = next;
             if empty {

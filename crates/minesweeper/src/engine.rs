@@ -229,7 +229,8 @@ impl<'a> MinesweeperExecutor<'a> {
             // attributes, which is what guarantees termination.
             for (pos, checks) in self.filters.iter().enumerate() {
                 for &(other, other_is_smaller) in checks {
-                    let violated = if other_is_smaller { t[pos] <= t[other] } else { t[pos] >= t[other] };
+                    let violated =
+                        if other_is_smaller { t[pos] <= t[other] } else { t[pos] >= t[other] };
                     if violated {
                         any_gap = true;
                         let escape_to = if other_is_smaller { t[other] + 1 } else { POS_INF };
@@ -430,17 +431,11 @@ mod tests {
     #[test]
     fn batch_counting_agrees_with_plain_counting() {
         let inst = two_triangle_instance();
-        let mut config = MsConfig::default();
-        config.idea8_batch_counting = true;
+        let config = MsConfig { idea8_batch_counting: true, ..MsConfig::default() };
         for cq in [CatalogQuery::ThreePath, CatalogQuery::OneTree, CatalogQuery::TwoComb] {
             let q = cq.query();
             let bq = BoundQuery::new(&inst, &q, None).unwrap();
-            assert_eq!(
-                count(&bq, &config),
-                count(&bq, &MsConfig::default()),
-                "{}",
-                q.name
-            );
+            assert_eq!(count(&bq, &config), count(&bq, &MsConfig::default()), "{}", q.name);
         }
     }
 
@@ -456,8 +451,7 @@ mod tests {
         // Without Idea 7 a cyclic query cannot use the chain machinery.
         let q = CatalogQuery::ThreeClique.query();
         let bq = BoundQuery::new(&inst, &q, None).unwrap();
-        let mut cfg = MsConfig::default();
-        cfg.idea7_skeleton = false;
+        let cfg = MsConfig { idea7_skeleton: false, ..MsConfig::default() };
         let exec = MinesweeperExecutor::new(&bq, cfg);
         assert!(!exec.chain_mode());
     }

@@ -97,7 +97,10 @@ impl AtomProber {
                     let (lo, hi) = c.interval;
                     if lo < v && v < hi {
                         stats.probes_skipped += 1;
-                        return ProbeOutcome::Gap { constraint: c.clone(), newly_discovered: false };
+                        return ProbeOutcome::Gap {
+                            constraint: c.clone(),
+                            newly_discovered: false,
+                        };
                     }
                     // On the finite endpoint of a last-attribute interval the
                     // projection is a member: the endpoint came from the index, and
@@ -144,10 +147,7 @@ impl AtomProber {
 /// Builds the probers for every atom of a bound query. `skeleton[i]` controls whether
 /// atom `i` inserts constraints into the CDS (Idea 7).
 pub fn build_probers(bq: &BoundQuery, skeleton: &[bool]) -> Vec<AtomProber> {
-    bq.atoms
-        .iter()
-        .map(|ba| AtomProber::new(ba, &bq.var_pos, skeleton[ba.atom_idx]))
-        .collect()
+    bq.atoms.iter().map(|ba| AtomProber::new(ba, &bq.var_pos, skeleton[ba.atom_idx])).collect()
 }
 
 #[cfg(test)]
@@ -242,7 +242,10 @@ mod tests {
         let mut stats = ProbeStats::default();
         let r = probers.iter_mut().find(|p| p.positions() == [2, 4, 5]).unwrap();
         let t1 = [2, 6, 6, 1, 3, 7, 9];
-        assert!(matches!(r.probe(&t1, true, &mut stats), ProbeOutcome::Gap { newly_discovered: true, .. }));
+        assert!(matches!(
+            r.probe(&t1, true, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: true, .. }
+        ));
         // A different free tuple whose A2 value is still inside (5, 7).
         let t2 = [3, 9, 6, 2, 8, 1, 0];
         match r.probe(&t2, true, &mut stats) {
@@ -252,7 +255,10 @@ mod tests {
         assert_eq!(stats.probes, 1);
         assert_eq!(stats.probes_skipped, 1);
         // With the memo disabled the probe is issued again.
-        assert!(matches!(r.probe(&t2, false, &mut stats), ProbeOutcome::Gap { newly_discovered: true, .. }));
+        assert!(matches!(
+            r.probe(&t2, false, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: true, .. }
+        ));
         assert_eq!(stats.probes, 2);
     }
 
@@ -263,10 +269,7 @@ mod tests {
         let mut inst = Instance::new();
         inst.add_relation("r", Relation::from_pairs(vec![(1, 5), (1, 9)]));
         inst.add_relation("u", Relation::from_values(0..10));
-        let q = QueryBuilder::new("q")
-            .atom("u", &["a"])
-            .atom("r", &["b", "c"])
-            .build();
+        let q = QueryBuilder::new("q").atom("u", &["a"]).atom("r", &["b", "c"]).build();
         let bq = BoundQuery::new(&inst, &q, Some(vec![0, 1, 2])).unwrap();
         let mut probers = build_probers(&bq, &[true, true]);
         let r = probers.iter_mut().find(|p| p.positions() == [1, 2]).unwrap();

@@ -8,7 +8,7 @@
 //! count of its endpoint. Because the two parts share only the split vertex, the sum
 //! equals the size of the full join.
 
-use crate::engine::{MsConfig, MinesweeperExecutor};
+use crate::engine::{MinesweeperExecutor, MsConfig};
 use gj_query::{BoundQuery, Instance, Query, QueryBuilder, VarId};
 use std::collections::HashMap;
 
@@ -65,12 +65,8 @@ pub fn hybrid_count(
     }
 
     // --- clique part: LFTJ, grouped by the shared vertex ------------------------
-    let clique_query = build_subquery(
-        &format!("{}-clique", query.name),
-        query,
-        &clique_atoms,
-        &clique_filters,
-    );
+    let clique_query =
+        build_subquery(&format!("{}-clique", query.name), query, &clique_atoms, &clique_filters);
     let clique_joint = clique_query
         .var(&query.var_names[joint])
         .expect("the shared variable occurs in the clique part");

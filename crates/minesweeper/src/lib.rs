@@ -45,6 +45,6 @@ pub mod parallel;
 
 pub use cds::Cds;
 pub use constraint::{Constraint, PatternComp};
-pub use engine::{count, enumerate, run, MsConfig, MsStats, MinesweeperExecutor};
+pub use engine::{count, enumerate, run, MinesweeperExecutor, MsConfig, MsStats};
 pub use hybrid::hybrid_count;
 pub use parallel::par_count;

@@ -133,10 +133,7 @@ impl Node {
 
     /// Looks up the child with equality label `v`.
     pub fn child(&self, v: Val) -> Option<NodeId> {
-        self.children
-            .binary_search_by_key(&v, |&(label, _)| label)
-            .ok()
-            .map(|i| self.children[i].1)
+        self.children.binary_search_by_key(&v, |&(label, _)| label).ok().map(|i| self.children[i].1)
     }
 
     /// Registers `id` as the child with equality label `v` (caller creates the node).
@@ -159,7 +156,7 @@ impl Node {
     /// Records that `v` was found free while this node was the bottom of the chain.
     /// `count` is the #Minesweeper multiplicity (1 for plain Minesweeper).
     pub fn add_free_point(&mut self, v: Val, count: u64) {
-        if v <= NEG_INF || v >= POS_INF {
+        if v == NEG_INF || v == POS_INF {
             return;
         }
         match self.free_points.binary_search_by_key(&v, |&(p, _)| p) {

@@ -11,7 +11,7 @@
 use crate::engine::{MinesweeperExecutor, MsConfig};
 use gj_query::BoundQuery;
 use gj_storage::{Val, POS_INF};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Counts the output of the bound query with Minesweeper using
 /// `config.threads` worker threads and `config.threads * config.granularity` jobs.
@@ -28,23 +28,25 @@ pub fn par_count(bq: &BoundQuery, config: &MsConfig) -> u64 {
         return crate::engine::count(bq, config);
     }
 
+    // A shared job queue: workers claim the next unclaimed range with a single
+    // fetch_add, which gives the same work-stealing behaviour as a channel
+    // without any external dependency.
     let total = AtomicU64::new(0);
-    let (sender, receiver) = crossbeam::channel::unbounded::<(Val, Val)>();
-    for r in ranges {
-        sender.send(r).expect("job queue is open");
-    }
-    drop(sender);
+    let jobs: Vec<(Val, Val)> = ranges;
+    let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let receiver = receiver.clone();
             let total = &total;
+            let next = &next;
+            let jobs = &jobs;
             scope.spawn(move || {
                 let mut local = 0u64;
-                while let Ok((lo, hi)) = receiver.recv() {
-                    local += MinesweeperExecutor::new(bq, config.clone())
-                        .with_range0(lo, hi)
-                        .count();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(lo, hi)) = jobs.get(i) else { break };
+                    local +=
+                        MinesweeperExecutor::new(bq, config.clone()).with_range0(lo, hi).count();
                 }
                 total.fetch_add(local, Ordering::Relaxed);
             });

@@ -46,7 +46,7 @@ pub fn agm_bound(q: &Query, atom_sizes: &[u64]) -> AgmBound {
             q.var_names[v]
         );
     }
-    if atom_sizes.iter().any(|&s| s == 0) {
+    if atom_sizes.contains(&0) {
         return AgmBound { log2_bound: f64::NEG_INFINITY, bound: 0.0, cover: vec![0.0; m] };
     }
 
@@ -66,11 +66,9 @@ pub fn agm_bound(q: &Query, atom_sizes: &[u64]) -> AgmBound {
     let b: Vec<f64> = atom_sizes.iter().map(|&s| (s as f64).log2()).collect();
 
     match maximize(&c, &a, &b) {
-        LpOutcome::Optimal(sol) => AgmBound {
-            log2_bound: sol.objective,
-            bound: sol.objective.exp2(),
-            cover: sol.dual,
-        },
+        LpOutcome::Optimal(sol) => {
+            AgmBound { log2_bound: sol.objective, bound: sol.objective.exp2(), cover: sol.dual }
+        }
         LpOutcome::Unbounded => {
             unreachable!("packing LP is bounded because every variable is covered")
         }

@@ -78,7 +78,11 @@ impl BoundQuery {
     ///
     /// Fails if a referenced relation is missing or has the wrong arity, or if the
     /// GAO is not a permutation of the query's variables.
-    pub fn new(instance: &Instance, query: &Query, gao: Option<Vec<VarId>>) -> Result<Self, String> {
+    pub fn new(
+        instance: &Instance,
+        query: &Query,
+        gao: Option<Vec<VarId>>,
+    ) -> Result<Self, String> {
         query.validate()?;
         let gao = gao.unwrap_or_else(|| select_gao(query));
         if gao.len() != query.num_vars() {
@@ -257,8 +261,13 @@ mod tests {
         // exactly the atoms that mention the variable `gao[p]`.
         for pos in 0..bq.num_vars() {
             let var = bq.gao[pos];
-            let expected: Vec<usize> =
-                q.atoms.iter().enumerate().filter(|(_, a)| a.contains(var)).map(|(i, _)| i).collect();
+            let expected: Vec<usize> = q
+                .atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.contains(var))
+                .map(|(i, _)| i)
+                .collect();
             assert_eq!(bq.atoms_at_gao_pos(pos), expected);
         }
     }

@@ -148,8 +148,8 @@ pub fn select_gao(q: &Query) -> Vec<VarId> {
         }
     }
     // Variables that appear only in unary atoms (or nowhere) go last.
-    for v in 0..n {
-        if !visited[v] {
+    for (v, &seen) in visited.iter().enumerate() {
+        if !seen {
             order.push(v);
         }
     }
@@ -303,7 +303,12 @@ mod tests {
             .filter(|(_, &k)| k)
             .map(|(a, _)| a.clone())
             .collect::<Vec<_>>();
-        let sub = Query { name: "skel".into(), var_names: q.var_names.clone(), atoms: kept, filters: vec![] };
+        let sub = Query {
+            name: "skel".into(),
+            var_names: q.var_names.clone(),
+            atoms: kept,
+            filters: vec![],
+        };
         assert_eq!(Hypergraph::of_query(&sub).is_graph_forest(), Some(true));
     }
 

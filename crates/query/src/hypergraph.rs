@@ -28,11 +28,8 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Builds the hypergraph of a query.
     pub fn of_query(q: &Query) -> Self {
-        let edges = q
-            .atoms
-            .iter()
-            .map(|a| a.vars.iter().copied().collect::<BTreeSet<usize>>())
-            .collect();
+        let edges =
+            q.atoms.iter().map(|a| a.vars.iter().copied().collect::<BTreeSet<usize>>()).collect();
         Hypergraph { num_vertices: q.num_vars(), edges }
     }
 
@@ -90,8 +87,7 @@ impl Hypergraph {
                         continue;
                     }
                     let subset = edges[i].is_subset(&edges[j]);
-                    let strictly_smaller =
-                        edges[i].len() < edges[j].len() || (subset && i > j);
+                    let strictly_smaller = edges[i].len() < edges[j].len() || (subset && i > j);
                     if subset && strictly_smaller {
                         keep[i] = false;
                         changed = true;
@@ -125,9 +121,8 @@ impl Hypergraph {
     pub fn beta_elimination_order(&self) -> Option<Vec<usize>> {
         let mut edges: Vec<BTreeSet<usize>> =
             self.edges.iter().filter(|e| !e.is_empty()).cloned().collect();
-        let mut alive: Vec<bool> = (0..self.num_vertices)
-            .map(|v| edges.iter().any(|e| e.contains(&v)))
-            .collect();
+        let mut alive: Vec<bool> =
+            (0..self.num_vertices).map(|v| edges.iter().any(|e| e.contains(&v))).collect();
         let mut order = Vec::new();
 
         loop {

@@ -70,11 +70,8 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
     }
     let mut basis: Vec<usize> = (n..n + m).collect();
 
-    loop {
-        // Entering column: smallest index with a negative reduced cost (Bland).
-        let Some(enter) = (0..n + m).find(|&j| obj[j] < -EPS) else {
-            break;
-        };
+    // Entering column: smallest index with a negative reduced cost (Bland).
+    while let Some(enter) = (0..n + m).find(|&j| obj[j] < -EPS) {
         // Ratio test: smallest rhs / pivot over positive pivot entries; ties broken by
         // smallest basis variable index (Bland).
         let mut leave: Option<usize> = None;
@@ -84,7 +81,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
                 let ratio = row[width - 1] / row[enter];
                 let better = ratio < best_ratio - EPS
                     || ((ratio - best_ratio).abs() <= EPS
-                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                        && leave.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -100,18 +97,19 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
         for x in tab[leave].iter_mut() {
             *x /= pivot;
         }
-        for i in 0..m {
-            if i != leave && tab[i][enter].abs() > EPS {
-                let factor = tab[i][enter];
-                for j in 0..width {
-                    tab[i][j] -= factor * tab[leave][j];
+        let pivot_row = tab[leave].clone();
+        for (i, row) in tab.iter_mut().enumerate() {
+            if i != leave && row[enter].abs() > EPS {
+                let factor = row[enter];
+                for (x, &p) in row.iter_mut().zip(&pivot_row) {
+                    *x -= factor * p;
                 }
             }
         }
         if obj[enter].abs() > EPS {
             let factor = obj[enter];
-            for j in 0..width {
-                obj[j] -= factor * tab[leave][j];
+            for (x, &p) in obj.iter_mut().zip(&pivot_row) {
+                *x -= factor * p;
             }
         }
         basis[leave] = enter;

@@ -38,7 +38,7 @@ pub fn naive_join(instance: &Instance, query: &Query) -> Vec<Tuple> {
             .relation(&atom.relation)
             .unwrap_or_else(|| panic!("relation {} missing", atom.relation));
         assert_eq!(relation.arity(), atom.arity(), "arity mismatch for {}", atom.relation);
-        for row in relation.rows() {
+        for row in relation.iter() {
             let mut newly_bound: Vec<VarId> = Vec::new();
             let mut ok = true;
             for (col, &var) in atom.vars.iter().enumerate() {

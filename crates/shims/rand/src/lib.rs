@@ -1,0 +1,172 @@
+//! Offline stand-in for the tiny subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the workspace
+//! vendors this shim under the `rand` package name. It implements exactly the API
+//! surface the seed code calls — `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! half-open integer ranges, and `Rng::gen_bool` — with a deterministic
+//! xoshiro256++ generator seeded through SplitMix64 (the same construction the
+//! real `rand` documents for seeding). Streams are NOT bit-compatible with the
+//! real crate, but every consumer in this workspace only relies on determinism
+//! per seed, which this shim guarantees.
+
+use std::ops::Range;
+
+/// Seeding interface: the workspace only ever seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value interface: uniform integers in a half-open range and
+/// Bernoulli draws.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open, `start < end` required).
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`. `p` must lie in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0, 1]: {p}");
+        // 53 uniform mantissa bits give a float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Integer types that can be sampled uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased-enough bounded sample via Lemire's multiply-shift. The spans used in
+/// this workspace are tiny relative to 2^64, so the modulo bias of the plain
+/// multiply-shift is far below anything the statistical tests can see.
+fn below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range needs a non-empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range needs a non-empty range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the shim's stand-in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..500 {
+            let v = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+}

@@ -244,10 +244,7 @@ mod tests {
     fn triangle_count_small() {
         assert_eq!(small_graph().triangle_count(), 1);
         // K4 has 4 triangles.
-        let k4 = Graph::new_undirected(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let k4 = Graph::new_undirected(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(k4.triangle_count(), 4);
         // A path has none.
         let path = Graph::new_undirected(4, vec![(0, 1), (1, 2), (2, 3)]);

@@ -1,36 +1,96 @@
-//! Sorted, deduplicated relations.
+//! Sorted, deduplicated relations in a flat columnar-strided layout.
 //!
 //! A [`Relation`] is the logical object the join algorithms consume: a set of
-//! fixed-arity tuples. Physically the tuples are kept sorted in lexicographic order
-//! and deduplicated, which makes building the [trie index](crate::trie::TrieIndex)
-//! a single linear pass and makes set semantics (no duplicate rows) explicit.
+//! fixed-arity tuples. Physically the tuples live in **one contiguous buffer** of
+//! `len × arity` values in row-major order, kept sorted in lexicographic order and
+//! deduplicated. There is no per-row allocation: a row is a `&[Val]` slice into the
+//! buffer ([`Relation::row`]), and every reordering operation (sorting on
+//! construction, [`Relation::sorted_row_order`] for index builds) works on row
+//! *indices* over that buffer rather than on materialized row copies. This is what
+//! lets [`TrieIndex::build`](crate::trie::TrieIndex::build) construct a
+//! GAO-consistent index in any attribute order without ever materializing a permuted
+//! copy of the relation.
 
 use crate::value::{is_finite, Tuple, Val};
+use std::cmp::Ordering;
 
-/// A fixed-arity relation stored as sorted, deduplicated rows.
+/// A fixed-arity relation stored as sorted, deduplicated rows in one flat buffer.
 ///
 /// The row ordering is plain lexicographic order on the stored column order. To index
 /// a relation in a different attribute order (as required by GAO-consistency), build a
 /// [`TrieIndex`](crate::trie::TrieIndex) with the desired column permutation — the
-/// relation itself is never reordered in place.
+/// relation itself is never reordered or copied.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     arity: usize,
-    rows: Vec<Tuple>,
+    len: usize,
+    /// Row-major flat buffer of `len * arity` values; rows are sorted and distinct.
+    values: Vec<Val>,
+    /// Cached largest value in the relation (`None` when empty). Column order does
+    /// not affect it, so every [`TrieIndex`](crate::trie::TrieIndex) built over this
+    /// relation shares it instead of rescanning its levels.
+    max_value: Option<Val>,
 }
 
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, rows: Vec::new() }
+        assert!(arity > 0, "relations need at least one attribute");
+        Relation { arity, len: 0, values: Vec::new(), max_value: None }
+    }
+
+    /// Builds a relation from a flat row-major buffer of `values.len() / arity` rows.
+    ///
+    /// Rows are sorted and deduplicated in place (by index permutation — no per-row
+    /// allocation). Panics if the buffer length is not a multiple of the arity or if
+    /// any value is a sentinel (`NEG_INF`/`POS_INF`), because the join algorithms
+    /// reserve those for internal use.
+    pub fn from_flat(arity: usize, values: Vec<Val>) -> Self {
+        assert!(arity > 0, "relations need at least one attribute");
+        assert_eq!(
+            values.len() % arity,
+            0,
+            "flat buffer length {} is not a multiple of arity {arity}",
+            values.len()
+        );
+        assert!(values.iter().all(|&v| is_finite(v)), "rows must not contain sentinel values");
+        Self::from_flat_unchecked(arity, values)
+    }
+
+    /// `from_flat` without the finiteness re-validation, for internal callers whose
+    /// values are already known to be legal data values.
+    fn from_flat_unchecked(arity: usize, mut values: Vec<Val>) -> Self {
+        assert!(arity > 0, "relations need at least one attribute");
+        let len = values.len() / arity;
+        assert!(len <= u32::MAX as usize, "relation exceeds u32 row indexing");
+        let row = |i: usize| &values[i * arity..(i + 1) * arity];
+
+        // Fast path: many loaders (graph edge lists, ranges) already hand us sorted,
+        // distinct rows; detect that with one linear scan and skip the sort entirely.
+        let sorted_unique = (1..len).all(|i| row(i - 1) < row(i));
+        if !sorted_unique {
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            order.sort_unstable_by(|&a, &b| row(a as usize).cmp(row(b as usize)));
+            // Gather in sorted order, dropping duplicates of the previous row.
+            let mut gathered: Vec<Val> = Vec::with_capacity(values.len());
+            for &i in &order {
+                let r = row(i as usize);
+                if gathered.is_empty() || &gathered[gathered.len() - arity..] != r {
+                    gathered.extend_from_slice(r);
+                }
+            }
+            values = gathered;
+        }
+        let len = values.len() / arity;
+        let max_value = values.iter().copied().max();
+        Relation { arity, len, values, max_value }
     }
 
     /// Builds a relation from an arbitrary collection of rows.
     ///
     /// Rows are sorted and deduplicated. Panics if any row has the wrong arity or
-    /// contains a sentinel value (`NEG_INF`/`POS_INF`), because the join algorithms
-    /// reserve those for internal use.
-    pub fn from_rows(arity: usize, mut rows: Vec<Tuple>) -> Self {
+    /// contains a sentinel value (`NEG_INF`/`POS_INF`).
+    pub fn from_rows(arity: usize, rows: Vec<Tuple>) -> Self {
         for row in &rows {
             assert_eq!(row.len(), arity, "row arity mismatch: {row:?} vs arity {arity}");
             assert!(
@@ -38,19 +98,29 @@ impl Relation {
                 "rows must not contain sentinel values: {row:?}"
             );
         }
-        rows.sort_unstable();
-        rows.dedup();
-        Relation { arity, rows }
+        let mut values = Vec::with_capacity(rows.len() * arity);
+        for row in &rows {
+            values.extend_from_slice(row);
+        }
+        Self::from_flat_unchecked(arity, values)
     }
 
     /// Builds a unary relation from a set of values.
     pub fn from_values(values: impl IntoIterator<Item = Val>) -> Self {
-        Self::from_rows(1, values.into_iter().map(|v| vec![v]).collect())
+        let flat: Vec<Val> = values.into_iter().collect();
+        assert!(flat.iter().all(|&v| is_finite(v)), "values must not contain sentinels");
+        Self::from_flat_unchecked(1, flat)
     }
 
     /// Builds a binary relation from `(a, b)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Val, Val)>) -> Self {
-        Self::from_rows(2, pairs.into_iter().map(|(a, b)| vec![a, b]).collect())
+        let mut flat = Vec::new();
+        for (a, b) in pairs {
+            assert!(is_finite(a) && is_finite(b), "values must not contain sentinels");
+            flat.push(a);
+            flat.push(b);
+        }
+        Self::from_flat_unchecked(2, flat)
     }
 
     /// Number of attributes.
@@ -60,50 +130,125 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// The sorted rows.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// Row `i` as a zero-copy slice into the flat buffer.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.values[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The flat row-major buffer (`len() * arity()` values, rows sorted, distinct).
+    pub fn flat_values(&self) -> &[Val] {
+        &self.values
+    }
+
+    /// The largest value appearing anywhere in the relation (`None` when empty).
+    /// Cached at construction; independent of column order.
+    pub fn max_value(&self) -> Option<Val> {
+        self.max_value
+    }
+
+    /// Materializes the rows as owned tuples (convenience for tests and engines that
+    /// need owned intermediates; the hot paths use [`Relation::row`] /
+    /// [`Relation::iter`] instead).
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        self.iter().map(<[Val]>::to_vec).collect()
     }
 
     /// Membership test (binary search over the sorted rows).
     pub fn contains(&self, row: &[Val]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
-        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.row(mid).cmp(row) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The order of this relation's row indices when rows are compared through the
+    /// column permutation `perm` (`perm[d]` is the source column compared at
+    /// position `d`). For the identity permutation the rows are already in order
+    /// and no sort happens.
+    ///
+    /// This is the primitive behind zero-materialization index builds: a consumer
+    /// walks `order` and reads `row(order[k])[perm[d]]` instead of materializing a
+    /// permuted, re-sorted copy of the relation. Because the stored rows are
+    /// distinct and `perm` is a full permutation, the permuted rows are distinct
+    /// too — no deduplication pass is needed.
+    pub fn sorted_row_order(&self, perm: &[usize]) -> Vec<u32> {
+        assert_permutation(perm, self.arity);
+        let mut order: Vec<u32> = (0..self.len as u32).collect();
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return order;
+        }
+        order.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (self.row(a as usize), self.row(b as usize));
+            for &c in perm {
+                match ra[c].cmp(&rb[c]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+        order
     }
 
     /// Returns a new relation with the columns permuted by `perm` (`perm[i]` is the
     /// source column of output column `i`), re-sorted for the new column order.
+    ///
+    /// The index builds do **not** use this (see [`Relation::sorted_row_order`]); it
+    /// remains as a general relational operator and as the reference implementation
+    /// the property tests compare the zero-materialization build against.
     pub fn permute(&self, perm: &[usize]) -> Relation {
-        assert_eq!(perm.len(), self.arity);
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| perm.iter().map(|&i| r[i]).collect::<Tuple>())
-            .collect();
-        Relation::from_rows(self.arity, rows)
+        let order = self.sorted_row_order(perm);
+        let mut values = Vec::with_capacity(self.values.len());
+        for &i in &order {
+            let r = self.row(i as usize);
+            values.extend(perm.iter().map(|&c| r[c]));
+        }
+        // Distinct rows stay distinct under a full column permutation, and `order`
+        // already sorted them, so no normalization pass is needed.
+        Relation { arity: self.arity, len: self.len, values, max_value: self.max_value }
     }
 
     /// Projects the relation onto the given columns (duplicates removed).
     pub fn project(&self, cols: &[usize]) -> Relation {
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| cols.iter().map(|&i| r[i]).collect::<Tuple>())
-            .collect();
-        Relation::from_rows(cols.len(), rows)
+        let mut values = Vec::with_capacity(self.len * cols.len());
+        for r in self.iter() {
+            values.extend(cols.iter().map(|&c| r[c]));
+        }
+        Self::from_flat_unchecked(cols.len(), values)
     }
 
-    /// Iterates over the rows.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    /// Iterates over the rows as zero-copy slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[Val]> {
+        self.values.chunks_exact(self.arity)
+    }
+}
+
+/// Asserts that `perm` is a permutation of `0..arity`. Both [`Relation::permute`]
+/// and the zero-materialization index build rely on full permutations keeping
+/// distinct rows distinct, so a duplicate column must fail loudly here rather than
+/// silently produce a relation with duplicate rows.
+fn assert_permutation(perm: &[usize], arity: usize) {
+    assert_eq!(perm.len(), arity, "permutation length must equal the arity");
+    let mut seen = vec![false; arity];
+    for &p in perm {
+        assert!(p < arity && !seen[p], "perm must be a permutation of 0..{arity}: {perm:?}");
+        seen[p] = true;
     }
 }
 
@@ -112,10 +257,23 @@ mod tests {
     use super::*;
 
     #[test]
+    #[should_panic(expected = "must be a permutation")]
+    fn permute_rejects_duplicate_columns() {
+        Relation::from_pairs(vec![(1, 2), (1, 3)]).permute(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_projection_rejected() {
+        Relation::from_pairs(vec![(1, 2)]).project(&[]);
+    }
+
+    #[test]
     fn from_rows_sorts_and_dedups() {
         let r = Relation::from_rows(2, vec![vec![3, 1], vec![1, 2], vec![3, 1], vec![1, 1]]);
         assert_eq!(r.len(), 3);
-        assert_eq!(r.rows(), &[vec![1, 1], vec![1, 2], vec![3, 1]]);
+        assert_eq!(r.to_rows(), vec![vec![1, 1], vec![1, 2], vec![3, 1]]);
+        assert_eq!(r.flat_values(), &[1, 1, 1, 2, 3, 1]);
     }
 
     #[test]
@@ -131,20 +289,58 @@ mod tests {
     fn permute_reorders_columns() {
         let r = Relation::from_pairs(vec![(1, 10), (2, 5)]);
         let p = r.permute(&[1, 0]);
-        assert_eq!(p.rows(), &[vec![5, 2], vec![10, 1]]);
+        assert_eq!(p.to_rows(), vec![vec![5, 2], vec![10, 1]]);
     }
 
     #[test]
     fn project_removes_duplicates() {
         let r = Relation::from_pairs(vec![(1, 10), (1, 20), (2, 10)]);
         let p = r.project(&[0]);
-        assert_eq!(p.rows(), &[vec![1], vec![2]]);
+        assert_eq!(p.to_rows(), vec![vec![1], vec![2]]);
     }
 
     #[test]
     fn unary_relation_from_values() {
         let r = Relation::from_values(vec![5, 1, 5, 3]);
-        assert_eq!(r.rows(), &[vec![1], vec![3], vec![5]]);
+        assert_eq!(r.to_rows(), vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn rows_are_zero_copy_slices_into_the_flat_buffer() {
+        let r = Relation::from_rows(3, vec![vec![4, 5, 6], vec![1, 2, 3]]);
+        assert_eq!(r.row(0), &[1, 2, 3]);
+        assert_eq!(r.row(1), &[4, 5, 6]);
+        let collected: Vec<&[Val]> = r.iter().collect();
+        assert_eq!(collected, vec![&[1, 2, 3][..], &[4, 5, 6][..]]);
+        // Row slices alias the single flat buffer.
+        let base = r.flat_values().as_ptr();
+        assert_eq!(r.row(1).as_ptr(), unsafe { base.add(3) });
+    }
+
+    #[test]
+    fn sorted_row_order_identity_is_a_no_op() {
+        let r = Relation::from_pairs(vec![(2, 1), (1, 2), (1, 1)]);
+        assert_eq!(r.sorted_row_order(&[0, 1]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sorted_row_order_matches_permuted_relation() {
+        let r = Relation::from_rows(
+            3,
+            vec![vec![5, 1, 4], vec![5, 1, 7], vec![7, 4, 6], vec![7, 9, 8], vec![10, 4, 1]],
+        );
+        let perm = [2usize, 0, 1];
+        let order = r.sorted_row_order(&perm);
+        let via_order: Vec<Vec<Val>> =
+            order.iter().map(|&i| perm.iter().map(|&c| r.row(i as usize)[c]).collect()).collect();
+        assert_eq!(via_order, r.permute(&perm).to_rows());
+    }
+
+    #[test]
+    fn max_value_is_cached_and_correct() {
+        assert_eq!(Relation::empty(2).max_value(), None);
+        assert_eq!(Relation::from_pairs(vec![(3, 9), (12, 0)]).max_value(), Some(12));
+        assert_eq!(Relation::from_values(vec![-5, -2]).max_value(), Some(-2));
     }
 
     #[test]
@@ -157,6 +353,12 @@ mod tests {
     #[should_panic(expected = "sentinel")]
     fn sentinel_values_rejected() {
         Relation::from_rows(1, vec![vec![crate::value::POS_INF]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of arity")]
+    fn ragged_flat_buffer_rejected() {
+        Relation::from_flat(2, vec![1, 2, 3]);
     }
 
     #[test]

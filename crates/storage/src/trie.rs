@@ -32,6 +32,9 @@ pub struct TrieIndex {
     /// Column permutation used to build the index: output level `d` corresponds to
     /// source column `perm[d]` of the original relation.
     perm: Vec<usize>,
+    /// Largest value in the underlying relation, cached at build time (probe loops —
+    /// Minesweeper binds it per free tuple — must not rescan the levels).
+    max_value: Option<Val>,
     values: Vec<Vec<Val>>,
     child_start: Vec<Vec<usize>>,
 }
@@ -53,41 +56,40 @@ impl TrieIndex {
     /// `perm` (`perm[d]` is the source column that becomes trie level `d`).
     ///
     /// `perm` must be a permutation of `0..relation.arity()`.
+    ///
+    /// The build is **zero-materialization**: it sorts a row-index permutation of the
+    /// relation's flat buffer ([`Relation::sorted_row_order`] — a no-op for the
+    /// identity permutation, since relations store their rows sorted) and streams the
+    /// trie levels directly out of the buffer through that order. No permuted copy of
+    /// the relation is ever created, so building the six GAO-consistent `edge`
+    /// indexes of a 4-clique query allocates only the level arrays themselves.
     pub fn build(relation: &Relation, perm: &[usize]) -> Self {
         let arity = relation.arity();
-        assert_eq!(perm.len(), arity, "permutation length must equal relation arity");
-        {
-            let mut seen = vec![false; arity];
-            for &p in perm {
-                assert!(p < arity && !seen[p], "perm must be a permutation of 0..arity");
-                seen[p] = true;
-            }
-        }
-        let permuted = relation.permute(perm);
-        Self::from_sorted_rows(arity, permuted.rows(), perm.to_vec(), relation.len())
-    }
+        // sorted_row_order validates that perm is a permutation of 0..arity.
+        let order = relation.sorted_row_order(perm);
 
-    /// Builds a trie index over a relation in its natural column order.
-    pub fn build_natural(relation: &Relation) -> Self {
-        let perm: Vec<usize> = (0..relation.arity()).collect();
-        Self::build(relation, &perm)
-    }
-
-    fn from_sorted_rows(arity: usize, rows: &[Vec<Val>], perm: Vec<usize>, num_rows: usize) -> Self {
         let mut values: Vec<Vec<Val>> = vec![Vec::new(); arity];
         let mut child_start: Vec<Vec<usize>> = vec![Vec::new(); arity.saturating_sub(1)];
+        if arity > 0 {
+            // The deepest level has one entry per row (rows are distinct, and they
+            // stay distinct under a full column permutation).
+            values[arity - 1].reserve_exact(relation.len());
+        }
 
-        for (i, row) in rows.iter().enumerate() {
-            // First level at which this row differs from the previous one.
-            let diverge = if i == 0 {
-                0
-            } else {
-                let prev = &rows[i - 1];
-                let mut d = 0;
-                while d < arity && prev[d] == row[d] {
-                    d += 1;
+        let mut prev: Option<&[Val]> = None;
+        for &ri in &order {
+            let row = relation.row(ri as usize);
+            // First level at which this row differs from the previous one, in the
+            // permuted attribute order.
+            let diverge = match prev {
+                None => 0,
+                Some(p) => {
+                    let mut d = 0;
+                    while d < arity && p[perm[d]] == row[perm[d]] {
+                        d += 1;
+                    }
+                    d
                 }
-                d
             };
             for d in diverge..arity {
                 if d > 0 {
@@ -97,15 +99,29 @@ impl TrieIndex {
                         child_start[d - 1].push(values[d].len());
                     }
                 }
-                values[d].push(row[d]);
+                values[d].push(row[perm[d]]);
             }
+            prev = Some(row);
         }
         // Close the offset arrays with a final sentinel.
         for d in 0..arity.saturating_sub(1) {
             child_start[d].push(values[d + 1].len());
         }
 
-        TrieIndex { arity, num_rows, perm, values, child_start }
+        TrieIndex {
+            arity,
+            num_rows: relation.len(),
+            perm: perm.to_vec(),
+            max_value: relation.max_value(),
+            values,
+            child_start,
+        }
+    }
+
+    /// Builds a trie index over a relation in its natural column order.
+    pub fn build_natural(relation: &Relation) -> Self {
+        let perm: Vec<usize> = (0..relation.arity()).collect();
+        Self::build(relation, &perm)
     }
 
     /// Number of indexed attributes (trie depth).
@@ -130,9 +146,10 @@ impl TrieIndex {
 
     /// The largest value appearing anywhere in the relation, or `None` when it is
     /// empty. Minesweeper uses this to bound its search: values beyond the data
-    /// cannot appear in any output tuple.
+    /// cannot appear in any output tuple. Cached at build time — calling it per
+    /// bind is free.
     pub fn max_value(&self) -> Option<Val> {
-        self.values.iter().flat_map(|level| level.iter().copied()).max()
+        self.max_value
     }
 
     /// The range of entries at level 0 (children of the conceptual root).
@@ -144,6 +161,13 @@ impl TrieIndex {
     pub fn children_range(&self, depth: usize, idx: usize) -> (usize, usize) {
         let cs = &self.child_start[depth];
         (cs[idx], cs[idx + 1])
+    }
+
+    /// The raw child-offset array of level `d` (one entry per level-`d` value plus a
+    /// closing sentinel). Exposed so equivalence tests can compare two builds
+    /// structurally; engine code should use [`TrieIndex::children_range`].
+    pub fn child_offsets(&self, d: usize) -> &[usize] {
+        &self.child_start[d]
     }
 
     /// Locates the node reached by following `prefix` from the root.
@@ -178,8 +202,8 @@ impl TrieIndex {
     pub fn probe(&self, t: &[Val]) -> ProbeResult {
         assert_eq!(t.len(), self.arity, "probe tuple must have the index arity");
         let (mut lo, mut hi) = self.root_range();
-        for d in 0..self.arity {
-            match self.find_in(d, lo, hi, t[d]) {
+        for (d, &tv) in t.iter().enumerate() {
+            match self.find_in(d, lo, hi, tv) {
                 Some(idx) => {
                     if d + 1 < self.arity {
                         let (clo, chi) = self.children_range(d, idx);
@@ -189,8 +213,8 @@ impl TrieIndex {
                 }
                 None => {
                     let vals = &self.values[d][lo..hi];
-                    // partition_point: number of values < t[d] in the node.
-                    let pos = vals.partition_point(|&x| x < t[d]);
+                    // partition_point: number of values < tv in the node.
+                    let pos = vals.partition_point(|&x| x < tv);
                     let lower = if pos == 0 { NEG_INF } else { vals[pos - 1] };
                     let upper = if pos == vals.len() { POS_INF } else { vals[pos] };
                     return ProbeResult::Gap { depth: d, lower, upper };
@@ -356,15 +380,9 @@ mod tests {
     fn probe_reproduces_paper_gap_examples() {
         let idx = TrieIndex::build_natural(&figure1_relation());
         // Section 4.2: free tuple projected to (6, 3, 7) -> gap between A2 = 5 and 7.
-        assert_eq!(
-            idx.probe(&[6, 3, 7]),
-            ProbeResult::Gap { depth: 0, lower: 5, upper: 7 }
-        );
+        assert_eq!(idx.probe(&[6, 3, 7]), ProbeResult::Gap { depth: 0, lower: 5, upper: 7 });
         // Free tuple projected to (7, 5, 8) -> band inside A2 = 7, 4 < A4 < 9.
-        assert_eq!(
-            idx.probe(&[7, 5, 8]),
-            ProbeResult::Gap { depth: 1, lower: 4, upper: 9 }
-        );
+        assert_eq!(idx.probe(&[7, 5, 8]), ProbeResult::Gap { depth: 1, lower: 4, upper: 9 });
         // A present tuple is Found.
         assert_eq!(idx.probe(&[7, 9, 13]), ProbeResult::Found);
     }
@@ -372,10 +390,7 @@ mod tests {
     #[test]
     fn probe_open_ends_use_sentinels() {
         let idx = TrieIndex::build_natural(&figure1_relation());
-        assert_eq!(
-            idx.probe(&[1, 0, 0]),
-            ProbeResult::Gap { depth: 0, lower: NEG_INF, upper: 5 }
-        );
+        assert_eq!(idx.probe(&[1, 0, 0]), ProbeResult::Gap { depth: 0, lower: NEG_INF, upper: 5 });
         assert_eq!(
             idx.probe(&[20, 0, 0]),
             ProbeResult::Gap { depth: 0, lower: 10, upper: POS_INF }

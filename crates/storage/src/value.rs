@@ -28,6 +28,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the contract here
     fn sentinels_bracket_all_data_values() {
         assert!(NEG_INF < -1);
         assert!(POS_INF > 0);

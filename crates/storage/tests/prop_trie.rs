@@ -1,7 +1,9 @@
 //! Property-based tests for the trie index: every probe, seek and prefix walk must
-//! agree with a naive linear-scan reference over the same set of rows.
+//! agree with a naive linear-scan reference over the same set of rows, and the
+//! zero-materialization build must be structurally identical to a reference build
+//! through an explicitly permuted relation.
 
-use gj_storage::{ProbeResult, Relation, TrieIndex, NEG_INF, POS_INF};
+use gj_storage::{ProbeResult, Relation, TrieIndex, Val, NEG_INF, POS_INF};
 use proptest::prelude::*;
 
 /// Strategy: a small relation of the given arity with values in 0..20.
@@ -17,13 +19,26 @@ fn reference_probe(rows: &[Vec<i64>], t: &[i64]) -> ProbeResult {
         let extending: Vec<&Vec<i64>> =
             candidates.iter().copied().filter(|r| r[d] == t[d]).collect();
         if extending.is_empty() {
-            let lower = candidates.iter().map(|r| r[d]).filter(|&v| v < t[d]).max().unwrap_or(NEG_INF);
-            let upper = candidates.iter().map(|r| r[d]).filter(|&v| v > t[d]).min().unwrap_or(POS_INF);
+            let lower =
+                candidates.iter().map(|r| r[d]).filter(|&v| v < t[d]).max().unwrap_or(NEG_INF);
+            let upper =
+                candidates.iter().map(|r| r[d]).filter(|&v| v > t[d]).min().unwrap_or(POS_INF);
             return ProbeResult::Gap { depth: d, lower, upper };
         }
         candidates = extending;
     }
     ProbeResult::Found
+}
+
+/// Deterministic permutation of `0..n` derived from a seed (Fisher–Yates with a
+/// cheap multiplicative stream).
+fn seeded_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (seed as usize).wrapping_mul(2654435761).wrapping_add(i * 40503) % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
 }
 
 proptest! {
@@ -32,7 +47,7 @@ proptest! {
         let rel = Relation::from_rows(3, rows);
         let idx = TrieIndex::build_natural(&rel);
         for t in &probes {
-            prop_assert_eq!(idx.probe(t), reference_probe(rel.rows(), t));
+            prop_assert_eq!(idx.probe(t), reference_probe(&rel.to_rows(), t));
         }
     }
 
@@ -50,11 +65,62 @@ proptest! {
         let rel = Relation::from_rows(3, rows);
         let perm = [2usize, 0, 1];
         let idx = TrieIndex::build(&rel, &perm);
-        for row in rel.rows() {
+        for row in rel.iter() {
             let projected: Vec<i64> = perm.iter().map(|&i| row[i]).collect();
             prop_assert!(idx.contains(&projected));
         }
         prop_assert_eq!(idx.num_rows(), rel.len());
+    }
+
+    /// The tentpole invariant of the columnar refactor: building straight from the
+    /// flat buffer via a sorted row-index permutation produces an index that is
+    /// structurally identical — every level's value array and every child-offset
+    /// array — to the reference build that materializes an explicitly permuted
+    /// relation first, for random relations, arities and permutations.
+    #[test]
+    fn flat_build_is_identical_to_build_through_permuted_relation(
+        raw in prop::collection::vec(prop::collection::vec(0i64..12, 4), 0..80),
+        arity in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let rows: Vec<Vec<i64>> = raw.into_iter().map(|r| r[..arity].to_vec()).collect();
+        let rel = Relation::from_rows(arity, rows);
+        let perm = seeded_perm(arity, seed);
+
+        // Zero-materialization build in the permuted order.
+        let flat = TrieIndex::build(&rel, &perm);
+        // Reference: materialize the permuted relation, then index it naturally.
+        let reference = TrieIndex::build_natural(&rel.permute(&perm));
+
+        prop_assert_eq!(flat.arity(), reference.arity());
+        prop_assert_eq!(flat.num_rows(), reference.num_rows());
+        prop_assert_eq!(flat.max_value(), reference.max_value());
+        for d in 0..arity {
+            prop_assert_eq!(
+                flat.level_values(d),
+                reference.level_values(d),
+                "level {} values differ under perm {:?}", d, &perm
+            );
+        }
+        for d in 0..arity.saturating_sub(1) {
+            prop_assert_eq!(
+                flat.child_offsets(d),
+                reference.child_offsets(d),
+                "level {} child offsets differ under perm {:?}", d, &perm
+            );
+        }
+    }
+
+    /// `max_value` is cached at build time and equals the true maximum across all
+    /// levels regardless of the indexing order.
+    #[test]
+    fn cached_max_value_is_the_level_maximum(rows in rows(3), seed in 0u64..1000) {
+        let rel = Relation::from_rows(3, rows);
+        let perm = seeded_perm(3, seed);
+        let idx = TrieIndex::build(&rel, &perm);
+        let scanned = (0..3).flat_map(|d| idx.level_values(d).iter().copied()).max();
+        prop_assert_eq!(idx.max_value(), scanned);
+        prop_assert_eq!(idx.max_value(), rel.max_value());
     }
 
     #[test]
@@ -68,7 +134,7 @@ proptest! {
             seen.push(it.key());
             it.next();
         }
-        let mut expected: Vec<i64> = rel.rows().iter().map(|r| r[0]).collect();
+        let mut expected: Vec<i64> = rel.iter().map(|r| r[0]).collect();
         expected.sort_unstable();
         expected.dedup();
         prop_assert_eq!(seen, expected);
@@ -78,7 +144,7 @@ proptest! {
     fn seek_lands_on_least_geq(rows in rows(1), targets in prop::collection::vec(0i64..25, 1..10)) {
         let rel = Relation::from_rows(1, rows);
         let idx = TrieIndex::build_natural(&rel);
-        let values: Vec<i64> = rel.rows().iter().map(|r| r[0]).collect();
+        let values: Vec<Val> = rel.iter().map(|r| r[0]).collect();
         for &t in &targets {
             let mut it = idx.iter();
             it.open();

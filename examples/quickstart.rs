@@ -8,10 +8,8 @@ use graphjoin::{CatalogQuery, Database, Engine, ExecLimits, Graph};
 
 fn main() {
     // A small social circle: two triangles sharing an edge plus a pendant node.
-    let graph = Graph::new_undirected(
-        6,
-        vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
-    );
+    let graph =
+        Graph::new_undirected(6, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
     let mut db = Database::new();
     db.add_graph(&graph);
 

@@ -7,10 +7,8 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// A seeded random undirected graph over `n` nodes with edge probability `p`.
 fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let edges: Vec<(u32, u32)> = (0..n)
-        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
-        .filter(|_| rng.gen_bool(p))
-        .collect();
+    let edges: Vec<(u32, u32)> =
+        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).filter(|_| rng.gen_bool(p)).collect();
     Graph::new_undirected(n as usize, edges)
 }
 
@@ -84,7 +82,8 @@ fn parallel_minesweeper_agrees_with_sequential() {
         let q = cq.query();
         let sequential = db.count(&q, &Engine::minesweeper()).unwrap();
         let f = if cq.is_cyclic() { 8 } else { 1 };
-        let parallel = Engine::Minesweeper(MsConfig { threads: 4, granularity: f, ..MsConfig::default() });
+        let parallel =
+            Engine::Minesweeper(MsConfig { threads: 4, granularity: f, ..MsConfig::default() });
         assert_eq!(db.count(&q, &parallel).unwrap(), sequential, "{}", q.name);
     }
 }

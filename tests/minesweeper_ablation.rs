@@ -9,10 +9,8 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let edges: Vec<(u32, u32)> = (0..n)
-        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
-        .filter(|_| rng.gen_bool(p))
-        .collect();
+    let edges: Vec<(u32, u32)> =
+        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).filter(|_| rng.gen_bool(p)).collect();
     Graph::new_undirected(n as usize, edges)
 }
 
@@ -21,7 +19,10 @@ fn all_configs() -> Vec<(&'static str, MsConfig)> {
     vec![
         ("default", base.clone()),
         ("no idea4", MsConfig { idea4_gap_memo: false, ..base.clone() }),
-        ("no idea5", MsConfig { idea5_caching: false, idea6_complete_nodes: false, ..base.clone() }),
+        (
+            "no idea5",
+            MsConfig { idea5_caching: false, idea6_complete_nodes: false, ..base.clone() },
+        ),
         ("no idea6", MsConfig { idea6_complete_nodes: false, ..base.clone() }),
         ("no idea7", MsConfig { idea7_skeleton: false, ..base.clone() }),
         ("baseline", MsConfig::baseline()),
@@ -60,7 +61,8 @@ fn idea4_reduces_index_probes() {
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
     let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
-    let without = run(&bq, &MsConfig { idea4_gap_memo: false, ..MsConfig::default() }, &mut |_, _| {});
+    let without =
+        run(&bq, &MsConfig { idea4_gap_memo: false, ..MsConfig::default() }, &mut |_, _| {});
     assert_eq!(with.results, without.results);
     assert!(with.probes_skipped > 0, "the memo never fired");
     assert!(
@@ -80,7 +82,8 @@ fn idea6_produces_complete_node_hits_on_low_selectivity_paths() {
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
     let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
-    let without = run(&bq, &MsConfig { idea6_complete_nodes: false, ..MsConfig::default() }, &mut |_, _| {});
+    let without =
+        run(&bq, &MsConfig { idea6_complete_nodes: false, ..MsConfig::default() }, &mut |_, _| {});
     assert_eq!(with.results, without.results);
     assert!(with.complete_node_hits > 0, "complete nodes never fired");
     assert_eq!(without.complete_node_hits, 0);
@@ -94,7 +97,8 @@ fn idea7_reduces_cds_growth_on_cyclic_queries() {
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
     let with = run(&bq, &MsConfig::default(), &mut |_, _| {});
-    let without = run(&bq, &MsConfig { idea7_skeleton: false, ..MsConfig::default() }, &mut |_, _| {});
+    let without =
+        run(&bq, &MsConfig { idea7_skeleton: false, ..MsConfig::default() }, &mut |_, _| {});
     assert_eq!(with.results, without.results);
     assert!(
         with.constraints_inserted <= without.constraints_inserted,

@@ -5,9 +5,7 @@
 //! the pairwise planner shows up here.
 
 use gj_query::naive_join;
-use graphjoin::{
-    agm_bound, CatalogQuery, Database, Engine, ExecLimits, Graph, MsConfig, Relation,
-};
+use graphjoin::{agm_bound, CatalogQuery, Database, Engine, ExecLimits, Graph, MsConfig, Relation};
 use proptest::prelude::*;
 
 /// Strategy: a random undirected graph (as raw edge picks) plus two node samples.
