@@ -25,5 +25,8 @@ pub mod planner;
 
 pub use graph_engine::GraphEngine;
 pub use intermediate::Intermediate;
-pub use pairwise::{pairwise_count, BaselineError, ExecLimits, JoinAlgo};
+pub use pairwise::{
+    pairwise_count, pairwise_count_with_stats, pairwise_run, BaselineError, ExecLimits, JoinAlgo,
+    PairwiseStats,
+};
 pub use planner::{plan_left_deep, JoinPlan};

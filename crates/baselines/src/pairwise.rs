@@ -15,6 +15,7 @@
 use crate::intermediate::Intermediate;
 use crate::planner::plan_left_deep;
 use gj_query::{Instance, Query};
+use std::ops::ControlFlow;
 
 /// Which physical pairwise join operator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,18 @@ pub fn pairwise_count_with_stats(
     algo: JoinAlgo,
     limits: &ExecLimits,
 ) -> Result<(u64, PairwiseStats), BaselineError> {
+    let (current, stats) = execute_plan(instance, query, algo, limits)?;
+    Ok((current.len() as u64, stats))
+}
+
+/// Runs the left-deep plan to completion, returning the final materialised
+/// intermediate (whose schema covers every query variable) and the statistics.
+fn execute_plan(
+    instance: &Instance,
+    query: &Query,
+    algo: JoinAlgo,
+    limits: &ExecLimits,
+) -> Result<(Intermediate, PairwiseStats), BaselineError> {
     let relations: Vec<&gj_storage::Relation> = query
         .atoms
         .iter()
@@ -114,7 +127,50 @@ pub fn pairwise_count_with_stats(
         current.apply_filters(&query.filters);
         track(&mut stats, &current, limits)?;
     }
-    Ok((current.len() as u64, stats))
+    Ok((current, stats))
+}
+
+/// Runs the pairwise plan and streams the output rows, re-ordered into
+/// **variable-id order** and sorted lexicographically, to `emit`; emission stops as
+/// soon as `emit` returns [`ControlFlow::Break`]. Returns the number of rows emitted
+/// and the materialisation statistics.
+///
+/// A pairwise engine materialises every intermediate (and the deterministic order
+/// requires a full sort of the result), so the early exit only saves the per-row
+/// projection and emission — exactly the limitation the paper attributes to these
+/// systems (a worst-case optimal engine can stop mid-search instead). The sort and
+/// projection work over a row-index permutation and a scratch row: no second copy
+/// of the result is ever materialised.
+pub fn pairwise_run(
+    instance: &Instance,
+    query: &Query,
+    algo: JoinAlgo,
+    limits: &ExecLimits,
+    emit: &mut impl FnMut(&[gj_storage::Val]) -> ControlFlow<()>,
+) -> Result<(u64, PairwiseStats), BaselineError> {
+    let (last, stats) = execute_plan(instance, query, algo, limits)?;
+    // The final intermediate joins every atom, so its schema contains each query
+    // variable exactly once; project columns back to variable-id order.
+    let cols: Vec<usize> = (0..query.num_vars())
+        .map(|v| last.col_of(v).expect("the final intermediate covers every query variable"))
+        .collect();
+    let mut order: Vec<usize> = (0..last.rows.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (ra, rb) = (&last.rows[a], &last.rows[b]);
+        cols.iter().map(|&c| ra[c]).cmp(cols.iter().map(|&c| rb[c]))
+    });
+    let mut scratch = vec![0; cols.len()];
+    let mut emitted = 0u64;
+    for &i in &order {
+        for (slot, &c) in scratch.iter_mut().zip(&cols) {
+            *slot = last.rows[i][c];
+        }
+        emitted += 1;
+        if emit(&scratch).is_break() {
+            break;
+        }
+    }
+    Ok((emitted, stats))
 }
 
 fn track(
@@ -200,6 +256,37 @@ mod tests {
             "peak {} vs count {count}",
             stats.peak_intermediate
         );
+    }
+
+    #[test]
+    fn pairwise_run_streams_sorted_rows_and_stops_on_break() {
+        let inst = random_instance(34, 20, 0.25);
+        let q = CatalogQuery::ThreeClique.query();
+        let mut rows = Vec::new();
+        let (emitted, _) =
+            pairwise_run(&inst, &q, JoinAlgo::Hash, &ExecLimits::default(), &mut |r| {
+                rows.push(r.to_vec());
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(emitted, rows.len() as u64);
+        assert_eq!(emitted, naive_count(&inst, &q));
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted and distinct");
+        // Early exit after two rows yields exactly the first two.
+        let mut prefix = Vec::new();
+        let (two, _) = pairwise_run(&inst, &q, JoinAlgo::SortMerge, &ExecLimits::default(), {
+            &mut |r: &[gj_storage::Val]| {
+                prefix.push(r.to_vec());
+                if prefix.len() == 2 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(two, 2);
+        assert_eq!(prefix, rows[..2].to_vec());
     }
 
     #[test]

@@ -1,21 +1,27 @@
-//! Machine-readable join benchmark: per-query, per-engine wall-clock **and**
-//! index-build (bind) time, written as `target/bench-results/BENCH_joins.json`
-//! next to the CSVs the table harnesses produce. The JSON is the cross-PR perf
-//! trajectory record: run it before and after a storage/engine change and diff
-//! the `bind_ms` / `run_ms` fields.
+//! Machine-readable join benchmark: per-query, per-engine **prepare** (GAO +
+//! trie-index construction) versus **execute** wall-clock, cold and warm, written as
+//! `target/bench-results/BENCH_joins.json` next to the CSVs the table harnesses
+//! produce. The JSON is the cross-PR perf trajectory record: run it before and after
+//! a storage/engine change and diff the `prepare_ms` / `run_ms` fields.
 //!
 //! ```sh
 //! cargo run --release -p gj-bench --bin bench_joins -- --nodes 30000 --degree 8
 //! ```
 //!
 //! Options: `--nodes <n>` `--degree <m>` `--seed <s>` `--reps <r>` `--out <path>`.
-//! Each measurement is the minimum over `reps` repetitions (bind and run are
-//! measured separately; `bind_ms` covers GAO selection plus construction of every
-//! GAO-consistent trie index the query needs).
+//! Each measurement is the minimum over `reps` repetitions. Per query and engine the
+//! record reports:
+//!
+//! * `prepare_ms` — cold preparation: the shared index cache is cleared first, so
+//!   this covers GAO selection plus construction of every trie index the query
+//!   needs;
+//! * `warm_prepare_ms` — preparing the same query again with the cache warm (the
+//!   prepared-statement steady state: should be near zero);
+//! * `run_ms` — one execution of the prepared query;
+//! * `rerun_ms` — a warm re-execution of the same prepared query (the per-request
+//!   cost under repeated traffic).
 
-use gj_datagen::{powerlaw_cluster, sample_relations};
-use gj_query::BoundQuery;
-use graphjoin::{CatalogQuery, Engine, Instance, MsConfig, Query};
+use graphjoin::{CatalogQuery, Database, Engine, MsConfig, PreparedQuery, Query};
 use std::io::Write;
 use std::time::Instant;
 
@@ -76,28 +82,22 @@ fn min_ms<T: PartialEq + std::fmt::Debug>(reps: usize, mut f: impl FnMut() -> T)
     (best, result.expect("at least one rep"))
 }
 
-fn engine_count(engine: &Engine, bq: &BoundQuery) -> u64 {
-    match engine {
-        Engine::Lftj => gj_lftj::count(bq),
-        Engine::Minesweeper(cfg) => gj_minesweeper::count(bq, cfg),
-        other => panic!("bench_joins does not drive {}", other.label()),
-    }
-}
-
 fn main() {
     let opts = Opts::from_args();
-    let graph = powerlaw_cluster(opts.nodes, opts.degree, 0.4, opts.seed);
-    let mut instance = Instance::new();
-    instance.add_relation("edge", graph.edge_relation());
-    for (name, rel) in sample_relations(graph.num_nodes(), 10, 4, opts.seed) {
-        instance.add_relation(name, rel);
-    }
+    let graph = gj_datagen::powerlaw_cluster(opts.nodes, opts.degree, 0.4, opts.seed);
+    let mut db = Database::new();
     println!(
-        "graph: {} nodes, {} directed edges, {} triangles",
+        "graph: {} nodes, {} directed edges, {} triangles ({} prepare threads)",
         graph.num_nodes(),
         graph.num_edges(),
-        graph.triangle_count()
+        graph.triangle_count(),
+        db.prepare_threads()
     );
+    db.add_graph(graph);
+    let num_nodes = db.graph().expect("graph just loaded").num_nodes();
+    for (name, rel) in gj_datagen::sample_relations(num_nodes, 10, 4, opts.seed) {
+        db.add_relation(name, rel);
+    }
 
     let queries = [
         CatalogQuery::ThreeClique,
@@ -111,35 +111,48 @@ fn main() {
     let mut records = Vec::new();
     for cq in queries {
         let q: Query = cq.query();
-        // Index-build cost: binding constructs every GAO-consistent trie index the
-        // query needs (shared across engines, so measured once per query). The
-        // timed span covers only BoundQuery::new; the last bound query is reused
-        // for the engine runs below.
-        let mut bind_ms = f64::INFINITY;
-        let mut bound: Option<BoundQuery> = None;
-        for _ in 0..opts.reps.max(1) {
-            let start = Instant::now();
-            let b = BoundQuery::new(&instance, &q, None).expect("bind");
-            bind_ms = bind_ms.min(start.elapsed().as_secs_f64() * 1e3);
-            if let Some(prev) = &bound {
-                assert_eq!(prev.atom_sizes(), b.atom_sizes(), "binding must be deterministic");
-            }
-            bound = Some(b);
-        }
-        let bound = bound.expect("at least one bind rep");
         for (label, engine) in &engines {
-            let (run_ms, count) = min_ms(opts.reps, || engine_count(engine, &bound));
+            // Cold prepare: every rep clears the shared cache first, so the timing
+            // covers GAO selection plus every trie-index build.
+            let mut prepare_ms = f64::INFINITY;
+            let mut prepared: Option<PreparedQuery<'_>> = None;
+            for _ in 0..opts.reps.max(1) {
+                db.cache().clear();
+                let start = Instant::now();
+                let p = db.prepare(&q, engine).expect("prepare");
+                prepare_ms = prepare_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                assert!(p.indexes_built() > 0, "a cold prepare must build indexes");
+                prepared = Some(p);
+            }
+            let prepared = prepared.expect("at least one prepare rep");
+            let threads = prepared.build_threads();
+
+            // First execution of the prepared query, then a warm re-execution —
+            // identical work here, but reported separately so regressions in either
+            // phase of the prepare/execute split show up in the diff.
+            let (run_ms, count) = min_ms(opts.reps, || prepared.count().expect("count"));
+            let (rerun_ms, recount) = min_ms(opts.reps, || prepared.count().expect("count"));
+            assert_eq!(count, recount, "re-execution must be deterministic");
+
+            // Warm prepare: the cache already holds every index this query needs.
+            let (warm_prepare_ms, warm_built) = min_ms(opts.reps, || {
+                let p = db.prepare(&q, engine).expect("warm prepare");
+                p.indexes_built()
+            });
+            assert_eq!(warm_built, 0, "a warm prepare must build nothing");
+
             println!(
-                "{:<10} {:<8} bind {:>9.3} ms   run {:>9.3} ms   count {}",
-                q.name, label, bind_ms, run_ms, count
+                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   count {}",
+                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"bind_ms\": {:.3}, \"run_ms\": {:.3}, \"count\": {}}}",
-                q.name, label, bind_ms, run_ms, count
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"build_threads\": {}, \"count\": {}}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, threads, count
             ));
         }
     }
 
+    let graph = db.graph().expect("graph loaded");
     let json = format!(
         "{{\n  \"harness\": \"bench_joins\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         graph.num_nodes(),

@@ -8,7 +8,7 @@
 //! ```
 //! (omit `--dataset` to sweep all three figures)
 
-use gj_bench::{time, HarnessOptions, Table};
+use gj_bench::{time_cold, HarnessOptions, Table};
 use gj_datagen::{node_sample, Dataset};
 use graphjoin::{CatalogQuery, Database, Engine};
 
@@ -51,11 +51,12 @@ fn main() {
             // Selectivity that yields roughly n sampled nodes.
             let selectivity = (graph.num_nodes() / n).max(1) as u32;
             let mut db = Database::new();
-            db.add_graph(graph);
+            db.add_graph(std::sync::Arc::clone(graph));
             db.add_relation("v1", node_sample(graph.num_nodes(), selectivity, opts.seed));
             db.add_relation("v2", node_sample(graph.num_nodes(), selectivity, opts.seed ^ 0xabcd));
-            let (lftj_count, lftj_time) = time(|| db.count(&q, &Engine::Lftj).unwrap());
-            let (ms_count, ms_time) = time(|| db.count(&q, &Engine::minesweeper()).unwrap());
+            let (lftj_count, lftj_time) = time_cold(&db, || db.count(&q, &Engine::Lftj).unwrap());
+            let (ms_count, ms_time) =
+                time_cold(&db, || db.count(&q, &Engine::minesweeper()).unwrap());
             assert_eq!(lftj_count, ms_count);
             rows[0].1.push(format!("{:.1}", lftj_time.as_secs_f64() * 1e3));
             rows[1].1.push(format!("{:.1}", ms_time.as_secs_f64() * 1e3));

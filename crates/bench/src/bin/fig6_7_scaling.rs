@@ -44,7 +44,7 @@ fn main() {
             let mut row = Vec::new();
             for &edges in &steps {
                 let subset = full_graph.edge_prefix(edges);
-                let db = workload_database(&subset, query, 1, opts.seed);
+                let db = workload_database(subset, query, 1, opts.seed);
                 row.push(run_cell(&db, &query, engine).render());
             }
             table.row(engine.label(), row);

@@ -6,7 +6,7 @@
 //! cargo run --release -p gj-bench --bin table1_idea4_6 -- --scale 0.25
 //! ```
 
-use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_bench::{print_dataset_summary, ratio, time_cold, HarnessOptions, Table};
 use gj_datagen::Dataset;
 use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
 
@@ -31,13 +31,16 @@ fn main() {
         let mut row4 = Vec::new();
         let mut row46 = Vec::new();
         for (_, graph) in &graphs {
-            let db = workload_database(graph, query, selectivity, opts.seed);
+            let db = workload_database(graph.clone(), query, selectivity, opts.seed);
             let q = query.query();
-            let (base_count, base) =
-                time(|| db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap());
-            let (c4, t4) = time(|| db.count(&q, &Engine::Minesweeper(with_idea4.clone())).unwrap());
-            let (c46, t46) =
-                time(|| db.count(&q, &Engine::Minesweeper(with_idea4_and_6.clone())).unwrap());
+            let (base_count, base) = time_cold(&db, || {
+                db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap()
+            });
+            let (c4, t4) =
+                time_cold(&db, || db.count(&q, &Engine::Minesweeper(with_idea4.clone())).unwrap());
+            let (c46, t46) = time_cold(&db, || {
+                db.count(&q, &Engine::Minesweeper(with_idea4_and_6.clone())).unwrap()
+            });
             assert_eq!(base_count, c4, "idea 4 changed the answer");
             assert_eq!(base_count, c46, "ideas 4+6 changed the answer");
             row4.push(ratio(Some(base.as_secs_f64() * 1e3), Some(t4.as_secs_f64() * 1e3)));

@@ -6,7 +6,7 @@
 //! cargo run --release -p gj-bench --bin table2_idea4_6_sel10 -- --scale 0.25
 //! ```
 
-use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_bench::{print_dataset_summary, ratio, time_cold, HarnessOptions, Table};
 use gj_datagen::Dataset;
 use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
 
@@ -28,12 +28,13 @@ fn main() {
     for query in queries {
         let mut row = Vec::new();
         for (_, graph) in &graphs {
-            let db = workload_database(graph, query, selectivity, opts.seed);
+            let db = workload_database(graph.clone(), query, selectivity, opts.seed);
             let q = query.query();
-            let (base_count, base) =
-                time(|| db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap());
+            let (base_count, base) = time_cold(&db, || {
+                db.count(&q, &Engine::Minesweeper(without_ideas.clone())).unwrap()
+            });
             let (count, improved) =
-                time(|| db.count(&q, &Engine::Minesweeper(with_ideas.clone())).unwrap());
+                time_cold(&db, || db.count(&q, &Engine::Minesweeper(with_ideas.clone())).unwrap());
             assert_eq!(base_count, count, "ideas 4+6 changed the answer");
             row.push(ratio(Some(base.as_secs_f64() * 1e3), Some(improved.as_secs_f64() * 1e3)));
         }

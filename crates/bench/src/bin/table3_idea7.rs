@@ -9,7 +9,7 @@
 //! cargo run --release -p gj-bench --bin table3_idea7 -- --scale 0.25
 //! ```
 
-use gj_bench::{print_dataset_summary, ratio, time, HarnessOptions, Table};
+use gj_bench::{print_dataset_summary, ratio, time_cold, HarnessOptions, Table};
 use gj_datagen::Dataset;
 use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
 
@@ -28,12 +28,13 @@ fn main() {
     for query in queries {
         let mut row = Vec::new();
         for (_, graph) in &graphs {
-            let db = workload_database(graph, query, 1, opts.seed);
+            let db = workload_database(graph.clone(), query, 1, opts.seed);
             let q = query.query();
-            let (slow_count, slow) =
-                time(|| db.count(&q, &Engine::Minesweeper(without_idea7.clone())).unwrap());
+            let (slow_count, slow) = time_cold(&db, || {
+                db.count(&q, &Engine::Minesweeper(without_idea7.clone())).unwrap()
+            });
             let (fast_count, fast) =
-                time(|| db.count(&q, &Engine::Minesweeper(with_idea7.clone())).unwrap());
+                time_cold(&db, || db.count(&q, &Engine::Minesweeper(with_idea7.clone())).unwrap());
             assert_eq!(slow_count, fast_count, "idea 7 changed the answer");
             row.push(ratio(Some(slow.as_secs_f64() * 1e3), Some(fast.as_secs_f64() * 1e3)));
         }

@@ -8,7 +8,7 @@
 //! cargo run --release -p gj-bench --bin table4_gao -- --scale 0.25
 //! ```
 
-use gj_bench::{time, HarnessOptions, Table};
+use gj_bench::{time_cold, HarnessOptions, Table};
 use gj_datagen::Dataset;
 use gj_query::is_neo;
 use graphjoin::{workload_database, CatalogQuery, Engine};
@@ -51,13 +51,14 @@ fn main() {
     );
 
     for (dataset, graph) in &graphs {
-        let db = workload_database(graph, query, 8, opts.seed);
+        let db = workload_database(graph.clone(), query, 8, opts.seed);
         let mut cells = Vec::new();
         let mut reference: Option<u64> = None;
         for order in orders {
             let gao: Vec<usize> = order.chars().map(|c| q.var(&c.to_string()).unwrap()).collect();
-            let (count, elapsed) =
-                time(|| db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap());
+            let (count, elapsed) = time_cold(&db, || {
+                db.count_with_gao(&q, &Engine::minesweeper(), Some(gao.clone())).unwrap()
+            });
             if let Some(r) = reference {
                 assert_eq!(r, count, "GAO {order} changed the answer on {}", dataset.name());
             }

@@ -8,7 +8,7 @@
 //! cargo run --release -p gj-bench --bin table5_granularity -- --scale 0.25
 //! ```
 
-use gj_bench::{time, HarnessOptions, Table};
+use gj_bench::{time_cold, HarnessOptions, Table};
 use gj_datagen::Dataset;
 use graphjoin::{workload_database, CatalogQuery, Engine, MsConfig};
 
@@ -39,12 +39,13 @@ fn main() {
         // Average the normalised runtime over the datasets.
         let mut sums = vec![0.0f64; granularities.len()];
         for (_, graph) in &graphs {
-            let db = workload_database(graph, query, 10, opts.seed);
+            let db = workload_database(graph.clone(), query, 10, opts.seed);
             let q = query.query();
             let mut baseline_ms = 0.0;
             for (i, &granularity) in granularities.iter().enumerate() {
                 let config = MsConfig { threads, granularity, ..MsConfig::default() };
-                let (_, elapsed) = time(|| db.count(&q, &Engine::Minesweeper(config)).unwrap());
+                let (_, elapsed) =
+                    time_cold(&db, || db.count(&q, &Engine::Minesweeper(config)).unwrap());
                 let ms = elapsed.as_secs_f64() * 1e3;
                 if i == 0 {
                     baseline_ms = ms.max(1e-3);

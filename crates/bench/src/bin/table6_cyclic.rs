@@ -32,7 +32,7 @@ fn main() {
         for engine in &engines {
             let mut row = Vec::new();
             for (_, graph) in &graphs {
-                let db = workload_database(graph, query, 1, opts.seed);
+                let db = workload_database(graph.clone(), query, 1, opts.seed);
                 row.push(run_cell(&db, &query, engine).render());
             }
             table.row(engine.label(), row);

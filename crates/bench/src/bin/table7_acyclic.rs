@@ -48,7 +48,7 @@ fn main() {
             let mut row = Vec::new();
             for (dataset, graph) in &graphs {
                 for &selectivity in paper_selectivities(*dataset) {
-                    let db = workload_database(graph, query, selectivity, opts.seed);
+                    let db = workload_database(graph.clone(), query, selectivity, opts.seed);
                     row.push(run_cell(&db, &query, engine).render());
                 }
             }

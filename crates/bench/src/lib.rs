@@ -24,6 +24,7 @@ use gj_datagen::Dataset;
 use graphjoin::{CatalogQuery, Database, Engine, EngineError, Graph, MsConfig};
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Command-line options shared by the harness binaries.
@@ -75,8 +76,9 @@ impl HarnessOptions {
     }
 
     /// Generates the graphs for a list of datasets at `scale × default_scale`,
-    /// honouring the `--dataset` filter.
-    pub fn generate(&self, datasets: &[Dataset]) -> Vec<(Dataset, Graph)> {
+    /// honouring the `--dataset` filter. Graphs are returned behind `Arc` so the
+    /// harnesses can hand them to many [`Database`]s without deep copies.
+    pub fn generate(&self, datasets: &[Dataset]) -> Vec<(Dataset, Arc<Graph>)> {
         datasets
             .iter()
             .copied()
@@ -86,7 +88,7 @@ impl HarnessOptions {
             })
             .map(|d| {
                 let scale = (d.spec().default_scale * self.scale).clamp(1e-4, 1.0);
-                (d, d.generate_scaled(scale))
+                (d, Arc::new(d.generate_scaled(scale)))
             })
             .collect()
     }
@@ -119,11 +121,14 @@ impl Cell {
     }
 }
 
-/// Times one engine on one query over one database.
+/// Times one engine on one query over one database: a **cold** prepare + execute
+/// (the shared index cache is cleared first, so cells are independent of the order
+/// the harness visits engines in, like the paper's per-system timings).
 pub fn run_cell(db: &Database, query: &CatalogQuery, engine: &Engine) -> Cell {
     let q = query.query();
+    db.cache().clear();
     let start = Instant::now();
-    match db.count(&q, engine) {
+    match db.prepare(&q, engine).and_then(|prepared| prepared.count()) {
         Ok(count) => Cell::Done { millis: start.elapsed().as_secs_f64() * 1e3, count },
         Err(EngineError::Baseline(_)) | Err(EngineError::Unsupported(_)) => Cell::Dash,
         Err(err) => panic!("unexpected engine error: {err}"),
@@ -135,6 +140,16 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// Times a **cold** one-shot measurement over `db`: the shared index cache is
+/// cleared first, so every timed configuration pays its own binding/index-build
+/// cost. Harnesses that time several `db.count` calls on one `Database` must use
+/// this (or [`run_cell`]) — otherwise only the first configuration builds the trie
+/// indexes and every later one is silently warm, biasing the reported ratios.
+pub fn time_cold<T>(db: &Database, f: impl FnOnce() -> T) -> (T, Duration) {
+    db.cache().clear();
+    time(f)
 }
 
 /// The standard engine line-up of Tables 6 and 7 (plus the graph engine for cliques).
@@ -221,7 +236,7 @@ pub fn ratio(baseline_ms: Option<f64>, improved_ms: Option<f64>) -> String {
 
 /// Prints the per-dataset statistics header every harness starts with, so the
 /// generated stand-ins can be compared with the paper's Section 5.1 table.
-pub fn print_dataset_summary(graphs: &[(Dataset, Graph)]) {
+pub fn print_dataset_summary(graphs: &[(Dataset, Arc<Graph>)]) {
     println!(
         "{:<18} {:>10} {:>12} {:>14} {:>14}",
         "dataset", "nodes", "edges(dir)", "triangles", "paper-tri"
@@ -294,7 +309,7 @@ mod tests {
     #[test]
     fn run_cell_counts_and_dashes() {
         let graph = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
-        let db = graphjoin::workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+        let db = graphjoin::workload_database(graph, CatalogQuery::ThreeClique, 1, 1);
         match run_cell(&db, &CatalogQuery::ThreeClique, &Engine::Lftj) {
             Cell::Done { count, .. } => assert_eq!(count, 1),
             Cell::Dash => panic!("expected a completed cell"),

@@ -1,14 +1,23 @@
 //! The [`Database`] façade and engine dispatch.
 //!
 //! A [`Database`] owns a set of named relations (and optionally the graph they came
-//! from) and evaluates [`Query`]s with whichever [`Engine`] the caller selects. This
-//! mirrors how the paper's experiments drive one system with many algorithms: the
-//! data and the query stay fixed, only the join algorithm changes.
+//! from), a shared [`IndexCache`] of trie indexes, and prepares [`Query`]s for
+//! whichever [`Engine`] the caller selects. This mirrors how the paper's experiments
+//! drive one system with many algorithms: the data and the query stay fixed, only
+//! the join algorithm changes — and under the prepare/execute split, the indexes are
+//! built once and amortised across every execution and every engine.
+//!
+//! The primary API is [`Database::prepare`] →
+//! [`PreparedQuery`]; [`Database::count`] /
+//! [`Database::enumerate`] remain as thin one-shot shims (deprecated in spirit: they
+//! prepare and execute in one call, but still benefit from the shared index cache).
 
-use gj_baselines::{pairwise_count, BaselineError, ExecLimits, GraphEngine, JoinAlgo};
+use crate::prepare::PreparedQuery;
+use gj_baselines::{BaselineError, ExecLimits};
 use gj_minesweeper::MsConfig;
-use gj_query::{BoundQuery, CatalogQuery, Instance, Query, VarId};
+use gj_query::{BoundQuery, CatalogQuery, IndexCache, Instance, Query, VarId};
 use gj_storage::{Graph, Relation, Val};
+use std::sync::Arc;
 
 /// Which join engine evaluates a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +63,8 @@ impl Engine {
     }
 }
 
-/// Errors surfaced by [`Database::count`] / [`Database::enumerate`].
+/// Errors surfaced by [`Database::prepare`] and the executions of a
+/// [`PreparedQuery`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The query could not be bound against the stored relations.
@@ -87,11 +97,25 @@ impl From<BaselineError> for EngineError {
 /// The result of an enumeration: bindings in variable-id order.
 pub type QueryOutput = Vec<Vec<Val>>;
 
-/// An in-memory database of named relations plus an optional source graph.
-#[derive(Debug, Clone, Default)]
+/// An in-memory database of named relations plus an optional source graph, with a
+/// shared trie-index cache that amortises index builds across prepared queries.
+#[derive(Debug, Clone)]
 pub struct Database {
     instance: Instance,
-    graph: Option<Graph>,
+    graph: Option<Arc<Graph>>,
+    cache: IndexCache,
+    prepare_threads: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            instance: Instance::default(),
+            graph: None,
+            cache: IndexCache::new(),
+            prepare_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
 }
 
 impl Database {
@@ -100,17 +124,25 @@ impl Database {
         Database::default()
     }
 
-    /// Adds (or replaces) a relation.
+    /// Adds (or replaces) a relation, dropping any cached indexes built over a
+    /// previous relation of the same name.
     pub fn add_relation(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
+        let name = name.into();
+        self.cache.invalidate(&name);
         self.instance.add_relation(name, relation);
         self
     }
 
     /// Loads a graph: stores its symmetric `edge(a, b)` relation and keeps the graph
-    /// itself so the specialised graph engine can run on it.
-    pub fn add_graph(&mut self, graph: &Graph) -> &mut Self {
+    /// itself (shared, not deep-copied) so the specialised graph engine can run on
+    /// it. Accepts an owned [`Graph`] or an [`Arc<Graph>`]; wrap the graph in an
+    /// `Arc` up front to share it between the database and other consumers without
+    /// any copy.
+    pub fn add_graph(&mut self, graph: impl Into<Arc<Graph>>) -> &mut Self {
+        let graph = graph.into();
+        self.cache.invalidate("edge");
         self.instance.add_relation("edge", graph.edge_relation());
-        self.graph = Some(graph.clone());
+        self.graph = Some(graph);
         self
     }
 
@@ -121,95 +153,98 @@ impl Database {
 
     /// The stored graph, if any.
     pub fn graph(&self) -> Option<&Graph> {
-        self.graph.as_ref()
+        self.graph.as_deref()
     }
 
-    /// Binds a query against the stored relations under an optional explicit GAO.
+    /// The database-level trie-index cache shared by every preparation. Exposed so
+    /// benchmarks can [`clear`](IndexCache::clear) it to measure cold preparations.
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// Number of worker threads [`prepare`](Self::prepare) shards index builds
+    /// across (defaults to the machine's available parallelism).
+    pub fn prepare_threads(&self) -> usize {
+        self.prepare_threads
+    }
+
+    /// Sets the number of worker threads for index builds during preparation
+    /// (clamped to at least 1).
+    pub fn set_prepare_threads(&mut self, threads: usize) -> &mut Self {
+        self.prepare_threads = threads.max(1);
+        self
+    }
+
+    /// Prepares `query` for repeated execution with `engine`: validation, GAO
+    /// selection and trie-index construction happen now (against the shared index
+    /// cache); every execution of the returned [`PreparedQuery`] only pays the run
+    /// itself.
+    pub fn prepare(
+        &self,
+        query: &Query,
+        engine: &Engine,
+    ) -> Result<PreparedQuery<'_>, EngineError> {
+        PreparedQuery::new(self, query, engine, None)
+    }
+
+    /// Like [`prepare`](Self::prepare), with an explicit GAO (LFTJ and Minesweeper
+    /// only; the other engines ignore it).
+    pub fn prepare_with_gao(
+        &self,
+        query: &Query,
+        engine: &Engine,
+        gao: Option<Vec<VarId>>,
+    ) -> Result<PreparedQuery<'_>, EngineError> {
+        PreparedQuery::new(self, query, engine, gao)
+    }
+
+    /// Binds a query against the stored relations under an optional explicit GAO,
+    /// taking indexes from the shared cache.
     pub fn bind(&self, query: &Query, gao: Option<Vec<VarId>>) -> Result<BoundQuery, EngineError> {
-        BoundQuery::new(&self.instance, query, gao).map_err(EngineError::Bind)
+        BoundQuery::with_cache(&self.instance, query, gao, &self.cache, self.prepare_threads)
+            .map(|(bq, _)| bq)
+            .map_err(EngineError::Bind)
     }
 
     /// Counts the query's output with the selected engine.
+    ///
+    /// One-shot shim over [`prepare`](Self::prepare) +
+    /// [`count`](crate::PreparedQuery::count), kept for convenience and backwards
+    /// compatibility; under repeated traffic, prepare once and execute many times.
     pub fn count(&self, query: &Query, engine: &Engine) -> Result<u64, EngineError> {
         self.count_with_gao(query, engine, None)
     }
 
     /// Counts the query's output with the selected engine under an explicit GAO
     /// (LFTJ and Minesweeper only; the other engines ignore the GAO).
+    ///
+    /// One-shot shim over [`prepare_with_gao`](Self::prepare_with_gao) +
+    /// [`count`](crate::PreparedQuery::count).
     pub fn count_with_gao(
         &self,
         query: &Query,
         engine: &Engine,
         gao: Option<Vec<VarId>>,
     ) -> Result<u64, EngineError> {
-        match engine {
-            Engine::Lftj => Ok(gj_lftj::count(&self.bind(query, gao)?)),
-            Engine::Minesweeper(config) => {
-                let bq = self.bind(query, gao)?;
-                if config.threads > 1 {
-                    Ok(gj_minesweeper::par_count(&bq, config))
-                } else {
-                    Ok(gj_minesweeper::count(&bq, config))
-                }
-            }
-            Engine::Hybrid { split, config } => {
-                gj_minesweeper::hybrid_count(&self.instance, query, *split, config)
-                    .map_err(EngineError::Unsupported)
-            }
-            Engine::HashJoin(limits) => {
-                Ok(pairwise_count(&self.instance, query, JoinAlgo::Hash, limits)?)
-            }
-            Engine::SortMergeJoin(limits) => {
-                Ok(pairwise_count(&self.instance, query, JoinAlgo::SortMerge, limits)?)
-            }
-            Engine::GraphEngine => self.graph_engine_count(query),
-        }
+        self.prepare_with_gao(query, engine, gao)?.count()
     }
 
-    /// Enumerates the query's output (bindings in variable-id order, sorted) with the
-    /// selected engine. The graph engine and the hybrid only produce counts.
+    /// Enumerates the query's output (bindings in variable-id order, sorted) with
+    /// the selected engine. The graph engine and the hybrid only produce counts.
+    ///
+    /// One-shot shim over [`prepare`](Self::prepare) +
+    /// [`collect`](crate::PreparedQuery::collect) (plus a sort, for a deterministic
+    /// cross-engine order).
     pub fn enumerate(&self, query: &Query, engine: &Engine) -> Result<QueryOutput, EngineError> {
-        match engine {
-            Engine::Lftj => Ok(gj_lftj::enumerate(&self.bind(query, None)?)),
-            Engine::Minesweeper(config) => {
-                Ok(gj_minesweeper::enumerate(&self.bind(query, None)?, config))
-            }
-            Engine::Hybrid { .. } | Engine::GraphEngine => {
-                Err(EngineError::Unsupported(format!("{} only supports counting", engine.label())))
-            }
-            Engine::HashJoin(_) | Engine::SortMergeJoin(_) => {
-                // The pairwise baselines are only used for counting in the benchmark;
-                // enumerate through LFTJ for convenience.
-                Ok(gj_lftj::enumerate(&self.bind(query, None)?))
-            }
-        }
-    }
-
-    /// The specialised graph engine: recognises the 3-clique and 4-clique catalog
-    /// queries by structure and refuses everything else, like its real counterpart.
-    fn graph_engine_count(&self, query: &Query) -> Result<u64, EngineError> {
-        let Some(graph) = &self.graph else {
-            return Err(EngineError::Unsupported(
-                "the graph engine needs a graph loaded with add_graph".to_string(),
-            ));
-        };
-        let engine = GraphEngine::load(graph);
-        if same_shape(query, &CatalogQuery::ThreeClique.query()) {
-            Ok(engine.triangle_count())
-        } else if same_shape(query, &CatalogQuery::FourClique.query()) {
-            Ok(engine.four_clique_count())
-        } else {
-            Err(EngineError::Unsupported(format!(
-                "the graph engine only supports 3-clique and 4-clique, not {}",
-                query.name
-            )))
-        }
+        let mut rows = self.prepare(query, engine)?.collect()?;
+        rows.sort_unstable();
+        Ok(rows)
     }
 }
 
 /// Structural equality of two queries up to variable names: same atoms (relation name
 /// + variable indices) and same filters.
-fn same_shape(a: &Query, b: &Query) -> bool {
+pub(crate) fn same_shape(a: &Query, b: &Query) -> bool {
     a.num_vars() == b.num_vars()
         && a.atoms.len() == b.atoms.len()
         && a.atoms.iter().zip(&b.atoms).all(|(x, y)| x.relation == y.relation && x.vars == y.vars)
@@ -224,7 +259,7 @@ mod tests {
     fn two_triangle_db() -> Database {
         let graph = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
         let mut db = Database::new();
-        db.add_graph(&graph);
+        db.add_graph(graph);
         db.add_relation("v1", Relation::from_values(vec![0, 1, 3]));
         db.add_relation("v2", Relation::from_values(vec![2, 3, 4]));
         db.add_relation("v3", Relation::from_values(vec![0, 2]));
@@ -281,6 +316,8 @@ mod tests {
         let rows = db.enumerate(&q, &Engine::Lftj).unwrap();
         assert_eq!(rows, vec![vec![0, 1, 2], vec![1, 2, 3]]);
         assert_eq!(db.enumerate(&q, &Engine::minesweeper()).unwrap(), rows);
+        // The pairwise baselines now enumerate natively through the sink protocol.
+        assert_eq!(db.enumerate(&q, &Engine::HashJoin(ExecLimits::default())).unwrap(), rows);
     }
 
     #[test]
@@ -333,5 +370,31 @@ mod tests {
         assert_eq!(Engine::HashJoin(ExecLimits::default()).label(), "psql");
         assert_eq!(Engine::SortMergeJoin(ExecLimits::default()).label(), "monetdb");
         assert_eq!(Engine::GraphEngine.label(), "graphlab");
+    }
+
+    #[test]
+    fn add_graph_accepts_owned_and_shared_graphs() {
+        let graph = Arc::new(Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2)]));
+        let mut db = Database::new();
+        // Sharing an Arc does not deep-copy the graph.
+        db.add_graph(Arc::clone(&graph));
+        assert_eq!(db.count(&CatalogQuery::ThreeClique.query(), &Engine::GraphEngine).unwrap(), 1);
+        assert_eq!(Arc::strong_count(&graph), 2);
+        // The one-shot `count` shims still warm the shared cache (for the engines
+        // that consume trie indexes).
+        assert_eq!(db.count(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap(), 1);
+        assert!(!db.cache().is_empty());
+    }
+
+    #[test]
+    fn cloned_databases_start_warm_but_diverge() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        db.count(&q, &Engine::Lftj).unwrap();
+        assert!(!db.cache().is_empty());
+        let clone = db.clone();
+        assert_eq!(clone.prepare(&q, &Engine::Lftj).unwrap().indexes_built(), 0);
+        clone.cache().clear();
+        assert!(!db.cache().is_empty(), "clearing the clone must not touch the original");
     }
 }

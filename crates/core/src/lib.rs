@@ -19,6 +19,11 @@
 //!
 //! # Quick start
 //!
+//! The primary API is the prepare/execute split: [`Database::prepare`] pays for
+//! binding, GAO selection and trie-index construction once (against a shared,
+//! database-level index cache), and the returned [`PreparedQuery`] executes any
+//! number of times through the unified [`Sink`] protocol.
+//!
 //! ```
 //! use graphjoin::{CatalogQuery, Database, Engine};
 //! use gj_storage::Graph;
@@ -26,18 +31,33 @@
 //! // Two triangles sharing the edge (1, 2).
 //! let graph = Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
 //! let mut db = Database::new();
-//! db.add_graph(&graph);
+//! db.add_graph(graph);
 //!
-//! let triangles = db.count(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap();
-//! assert_eq!(triangles, 2);
-//! let again = db.count(&CatalogQuery::ThreeClique.query(), &Engine::minesweeper()).unwrap();
-//! assert_eq!(again, 2);
+//! let q = CatalogQuery::ThreeClique.query();
+//! // Prepare once: indexes are built now and cached at the database level ...
+//! let prepared = db.prepare(&q, &Engine::Lftj).unwrap();
+//! // ... then execute as often as needed.
+//! assert_eq!(prepared.count().unwrap(), 2);
+//! assert_eq!(prepared.first_k(1).unwrap(), vec![vec![0, 1, 2]]);
+//! assert!(prepared.exists().unwrap());
+//!
+//! // A second preparation — here with another engine — reuses the cached indexes.
+//! let warm = db.prepare(&q, &Engine::minesweeper()).unwrap();
+//! assert_eq!(warm.indexes_built(), 0);
+//! assert_eq!(warm.count().unwrap(), 2);
+//!
+//! // One-shot shims remain for convenience.
+//! assert_eq!(db.count(&q, &Engine::Lftj).unwrap(), 2);
 //! ```
 
 pub mod database;
+pub mod prepare;
+pub mod sink;
 pub mod workload;
 
 pub use database::{Database, Engine, EngineError, QueryOutput};
+pub use prepare::{PreparedQuery, RunStats};
+pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
 pub use workload::{workload_database, Workload};
 
 // Re-export the pieces users of the façade routinely need.
@@ -45,6 +65,7 @@ pub use gj_baselines::{ExecLimits, JoinAlgo};
 pub use gj_datagen::{Dataset, DatasetSpec};
 pub use gj_minesweeper::MsConfig;
 pub use gj_query::{
-    agm_bound, BoundQuery, CatalogQuery, Hypergraph, Instance, Query, QueryBuilder, VarId,
+    agm_bound, naive_count, naive_join, BoundQuery, CatalogQuery, Hypergraph, IndexCache, Instance,
+    Query, QueryBuilder, VarId,
 };
 pub use gj_storage::{Graph, Relation, TrieIndex, Val};

@@ -9,6 +9,7 @@ use crate::database::Database;
 use gj_datagen::{sample_relations, Dataset};
 use gj_query::CatalogQuery;
 use gj_storage::Graph;
+use std::sync::Arc;
 
 /// One experimental cell: a dataset, a query and a sample selectivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,28 +34,33 @@ impl Workload {
     /// Materialises the workload at the dataset's default scale.
     pub fn database(&self) -> Database {
         let graph = self.dataset.generate();
-        self.database_over(&graph)
+        self.database_over(graph)
     }
 
     /// Materialises the workload over an explicitly provided graph (used by the
-    /// scaling experiments, which reuse one generated graph across many subsets).
-    pub fn database_over(&self, graph: &Graph) -> Database {
+    /// scaling experiments, which reuse one generated graph across many subsets —
+    /// pass an `Arc<Graph>` clone to share it without copying).
+    pub fn database_over(&self, graph: impl Into<Arc<Graph>>) -> Database {
         workload_database(graph, self.query, self.selectivity, self.seed)
     }
 }
 
 /// Builds a [`Database`] holding `graph`'s edge relation plus the node samples the
-/// query requires, drawn with the given selectivity and seed.
+/// query requires, drawn with the given selectivity and seed. Accepts an owned
+/// [`Graph`] or an [`Arc<Graph>`]; the graph is shared with the database, not
+/// deep-copied.
 pub fn workload_database(
-    graph: &Graph,
+    graph: impl Into<Arc<Graph>>,
     query: CatalogQuery,
     selectivity: u32,
     seed: u64,
 ) -> Database {
+    let graph: Arc<Graph> = graph.into();
     let mut db = Database::new();
+    let num_nodes = graph.num_nodes();
     db.add_graph(graph);
     let needed = query.sample_relations().len();
-    for (name, relation) in sample_relations(graph.num_nodes(), selectivity, needed, seed) {
+    for (name, relation) in sample_relations(num_nodes, selectivity, needed, seed) {
         db.add_relation(name, relation);
     }
     db
@@ -67,9 +73,9 @@ mod tests {
 
     #[test]
     fn workload_database_has_every_relation_the_query_needs() {
-        let graph = Graph::new_undirected(100, (0..99).map(|i| (i, i + 1)).collect());
+        let graph = Arc::new(Graph::new_undirected(100, (0..99).map(|i| (i, i + 1)).collect()));
         for cq in CatalogQuery::all() {
-            let db = workload_database(&graph, cq, 4, 7);
+            let db = workload_database(Arc::clone(&graph), cq, 4, 7);
             let q = cq.query();
             for name in q.relation_names() {
                 assert!(db.instance().relation(name).is_some(), "{} missing {name}", q.name);
@@ -88,8 +94,9 @@ mod tests {
             selectivity: 10,
             seed: 3,
         };
-        let a = w.database_over(&graph);
-        let b = w.database_over(&graph);
+        let graph = Arc::new(graph);
+        let a = w.database_over(Arc::clone(&graph));
+        let b = w.database_over(graph);
         let q = CatalogQuery::ThreePath.query();
         assert_eq!(a.count(&q, &Engine::Lftj).unwrap(), b.count(&q, &Engine::Lftj).unwrap());
     }
@@ -97,12 +104,12 @@ mod tests {
     #[test]
     fn selectivity_changes_the_result_size() {
         // A denser sample can only produce at least as many paths.
-        let graph = Graph::new_undirected(300, (0..299).map(|i| (i, i + 1)).collect());
+        let graph = Arc::new(Graph::new_undirected(300, (0..299).map(|i| (i, i + 1)).collect()));
         let q = CatalogQuery::ThreePath.query();
-        let dense = workload_database(&graph, CatalogQuery::ThreePath, 2, 11)
+        let dense = workload_database(Arc::clone(&graph), CatalogQuery::ThreePath, 2, 11)
             .count(&q, &Engine::Lftj)
             .unwrap();
-        let sparse = workload_database(&graph, CatalogQuery::ThreePath, 50, 11)
+        let sparse = workload_database(graph, CatalogQuery::ThreePath, 50, 11)
             .count(&q, &Engine::Lftj)
             .unwrap();
         assert!(dense >= sparse, "dense {dense} sparse {sparse}");
@@ -113,7 +120,7 @@ mod tests {
         let w = Workload::new(Dataset::CaGrQc, CatalogQuery::OneTree, 8);
         // Use a small explicit graph rather than the full dataset to keep the test fast.
         let graph = Graph::new_undirected(60, (0..59).map(|i| (i, (i * 7 + 1) % 60)).collect());
-        let db = w.database_over(&graph);
+        let db = w.database_over(graph);
         let q = CatalogQuery::OneTree.query();
         let lftj = db.count(&q, &Engine::Lftj).unwrap();
         let ms = db.count(&q, &Engine::minesweeper()).unwrap();

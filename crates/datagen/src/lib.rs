@@ -13,7 +13,7 @@
 //!
 //! * [`generators`] — seeded Erdős–Rényi and powerlaw-cluster (preferential
 //!   attachment with triangle closure) generators;
-//! * [`catalog`] — one [`DatasetSpec`](catalog::DatasetSpec) per SNAP dataset used in
+//! * [`catalog`] — one [`DatasetSpec`] per SNAP dataset used in
 //!   the paper, with the paper's statistics and the matched generator parameters;
 //! * [`sample`] — the random node samples (`v1`, `v2`, …) with selectivity `s`
 //!   (each node kept with probability `1/s`), as used by the path/tree/comb/lollipop

@@ -23,7 +23,7 @@ pub fn node_sample(num_nodes: usize, selectivity: u32, seed: u64) -> Relation {
 
 /// Draws the `k` independent samples `v1 … vk` a query needs, returning
 /// `(name, relation)` pairs ready to be added to an
-/// [`Instance`](gj_query::Instance).
+/// `Instance` (in `gj-query`).
 pub fn sample_relations(
     num_nodes: usize,
     selectivity: u32,

@@ -2,7 +2,7 @@
 //!
 //! For each variable in the GAO, the executor opens the trie iterators of every atom
 //! containing that variable, intersects their value lists with
-//! [`LeapfrogJoin`](crate::leapfrog::LeapfrogJoin), and recurses on each match; the
+//! [`LeapfrogJoin`], and recurses on each match; the
 //! recursion bottoming out at the last variable yields an output tuple.
 //!
 //! Order filters (`x < y`, used by the clique/cycle queries to report each pattern
@@ -12,6 +12,7 @@
 use crate::leapfrog::LeapfrogJoin;
 use gj_query::BoundQuery;
 use gj_storage::{TrieIterator, Val};
+use std::ops::ControlFlow;
 
 /// Execution statistics, mostly for the benchmark harness and EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,9 +63,20 @@ impl<'a> LftjExecutor<'a> {
 
     /// Runs the join, invoking `emit` with each output binding (indexed by GAO
     /// position). Returns the execution statistics.
-    pub fn run<F: FnMut(&[Val])>(mut self, emit: &mut F) -> LftjStats {
+    pub fn run<F: FnMut(&[Val])>(self, emit: &mut F) -> LftjStats {
+        self.try_run(&mut |binding| {
+            emit(binding);
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Runs the join with early termination: `emit` returns
+    /// [`ControlFlow::Break`] to stop the search immediately (e.g. once a sink has
+    /// collected enough rows, or to answer an existence check after the first
+    /// output). Returns the statistics accumulated up to the stop point.
+    pub fn try_run<F: FnMut(&[Val]) -> ControlFlow<()>>(mut self, emit: &mut F) -> LftjStats {
         if self.bq.num_vars() > 0 {
-            self.search(0, emit);
+            let _ = self.search(0, emit);
         }
         self.stats
     }
@@ -76,8 +88,14 @@ impl<'a> LftjExecutor<'a> {
         n
     }
 
-    /// Recursive triejoin over GAO positions `depth..n`.
-    fn search<F: FnMut(&[Val])>(&mut self, depth: usize, emit: &mut F) {
+    /// Recursive triejoin over GAO positions `depth..n`. Propagates the emitter's
+    /// `Break` up through every recursion level, so a stopped search unwinds without
+    /// visiting any further binding.
+    fn search<F: FnMut(&[Val]) -> ControlFlow<()>>(
+        &mut self,
+        depth: usize,
+        emit: &mut F,
+    ) -> ControlFlow<()> {
         let parts = self.participants[depth].clone();
         for &i in &parts {
             self.iters[i].open();
@@ -101,6 +119,7 @@ impl<'a> LftjExecutor<'a> {
             lf.seek(lb, &mut self.iters);
         }
 
+        let mut flow = ControlFlow::Continue(());
         while !lf.at_end() {
             let v = lf.key();
             if let Some(ub) = upper {
@@ -112,9 +131,12 @@ impl<'a> LftjExecutor<'a> {
             self.stats.bindings_explored += 1;
             if depth + 1 == self.bq.num_vars() {
                 self.stats.results += 1;
-                emit(&self.binding);
+                flow = emit(&self.binding);
             } else {
-                self.search(depth + 1, emit);
+                flow = self.search(depth + 1, emit);
+            }
+            if flow.is_break() {
+                break;
             }
             lf.next(&mut self.iters);
         }
@@ -122,6 +144,7 @@ impl<'a> LftjExecutor<'a> {
         for &i in &parts {
             self.iters[i].up();
         }
+        flow
     }
 }
 
@@ -145,6 +168,12 @@ pub fn enumerate(bq: &BoundQuery) -> Vec<Vec<Val>> {
 /// returns the execution statistics.
 pub fn run<F: FnMut(&[Val])>(bq: &BoundQuery, emit: &mut F) -> LftjStats {
     LftjExecutor::new(bq).run(emit)
+}
+
+/// Runs the bound query with early termination: the search stops as soon as `emit`
+/// returns [`ControlFlow::Break`]. Bindings are emitted in GAO order.
+pub fn try_run<F: FnMut(&[Val]) -> ControlFlow<()>>(bq: &BoundQuery, emit: &mut F) -> LftjStats {
+    LftjExecutor::new(bq).try_run(emit)
 }
 
 #[cfg(test)]
@@ -258,6 +287,27 @@ mod tests {
             assert_eq!(r[0], 0);
             assert_eq!(r[3], 4);
         }
+    }
+
+    #[test]
+    fn try_run_stops_at_the_first_break() {
+        let g = two_triangle_graph();
+        let inst = instance_with_samples(&g, &[]);
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let mut seen = Vec::new();
+        let stats = try_run(&bq, &mut |binding| {
+            seen.push(binding.to_vec());
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(stats.results, 1);
+        // The truncated prefix must coincide with the full run's first output, and
+        // stopping early must explore no more bindings than the full search.
+        let mut all = Vec::new();
+        let full = run(&bq, &mut |b| all.push(b.to_vec()));
+        assert_eq!(seen[0], all[0]);
+        assert!(stats.bindings_explored < full.bindings_explored);
     }
 
     #[test]

@@ -12,12 +12,13 @@
 //! worst-case optimal — which is what lets it avoid the exploding intermediate
 //! results that pairwise (Selinger-style) plans materialise on cyclic graph patterns.
 //!
-//! The public entry points are [`LftjExecutor`], [`count`], [`enumerate`] and
-//! [`run`]; all of them consume a [`BoundQuery`] (query + GAO + GAO-consistent trie
-//! indexes) from `gj-query`.
+//! The public entry points are [`LftjExecutor`], [`count`], [`enumerate`], [`run`]
+//! and [`try_run`] (early termination); all of them consume a
+//! [`BoundQuery`](gj_query::BoundQuery) (query + GAO + GAO-consistent trie indexes)
+//! from `gj-query`.
 
 pub mod executor;
 pub mod leapfrog;
 
-pub use executor::{count, enumerate, run, LftjExecutor, LftjStats};
+pub use executor::{count, enumerate, run, try_run, LftjExecutor, LftjStats};
 pub use leapfrog::LeapfrogJoin;

@@ -19,6 +19,7 @@ use crate::gaps::{build_probers, ProbeOutcome, ProbeStats};
 use gj_query::gao::is_neo;
 use gj_query::{acyclic_skeleton, BoundQuery, Hypergraph, Query};
 use gj_storage::{Val, POS_INF};
+use std::ops::ControlFlow;
 
 /// Configuration of the Minesweeper executor. Every flag corresponds to one of the
 /// paper's implementation ideas so the ablation tables can be regenerated.
@@ -173,6 +174,17 @@ impl<'a> MinesweeperExecutor<'a> {
     /// Runs the join, invoking `emit` with each output binding (in GAO order), and
     /// returns the execution statistics.
     pub fn run<F: FnMut(&[Val], u64)>(&mut self, emit: &mut F) -> MsStats {
+        self.try_run(&mut |binding, multiplicity| {
+            emit(binding, multiplicity);
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Runs the join with early termination: the outer loop stops as soon as `emit`
+    /// returns [`ControlFlow::Break`] — no further free tuple is requested from the
+    /// CDS and no further probe is issued. Returns the statistics accumulated up to
+    /// the stop point.
+    pub fn try_run<F: FnMut(&[Val], u64) -> ControlFlow<()>>(&mut self, emit: &mut F) -> MsStats {
         let n = self.bq.num_vars();
         let caching = self.config.idea5_caching && self.chain_mode;
         // Idea 6 assumes that by the time a node wraps twice, every value that can
@@ -273,7 +285,7 @@ impl<'a> MinesweeperExecutor<'a> {
                 if self.config.idea8_batch_counting {
                     let (run, next) = count_last_level_run(self.bq, &probers, &self.filters, &t);
                     stats.results += run;
-                    emit(&t, run);
+                    let flow = emit(&t, run);
                     match next {
                         Some(f) => {
                             if f > advance {
@@ -282,9 +294,14 @@ impl<'a> MinesweeperExecutor<'a> {
                         }
                         None => exhausted = true,
                     }
+                    if flow.is_break() {
+                        break;
+                    }
                 } else {
                     stats.results += 1;
-                    emit(&t, 1);
+                    if emit(&t, 1).is_break() {
+                        break;
+                    }
                 }
             }
 
@@ -357,6 +374,16 @@ pub fn count(bq: &BoundQuery, config: &MsConfig) -> u64 {
 /// the execution statistics.
 pub fn run<F: FnMut(&[Val], u64)>(bq: &BoundQuery, config: &MsConfig, emit: &mut F) -> MsStats {
     MinesweeperExecutor::new(bq, config.clone()).run(emit)
+}
+
+/// Runs the bound query with early termination: the outer loop stops as soon as
+/// `emit` returns [`ControlFlow::Break`].
+pub fn try_run<F: FnMut(&[Val], u64) -> ControlFlow<()>>(
+    bq: &BoundQuery,
+    config: &MsConfig,
+    emit: &mut F,
+) -> MsStats {
+    MinesweeperExecutor::new(bq, config.clone()).try_run(emit)
 }
 
 /// Enumerates the output of the bound query; bindings are returned in variable-id
@@ -492,6 +519,23 @@ mod tests {
         assert!(stats.iterations >= stats.results);
         assert!(stats.probes > 0);
         assert!(stats.constraints_inserted > 0);
+    }
+
+    #[test]
+    fn try_run_stops_at_the_first_break() {
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::ThreePath.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let full = run(&bq, &MsConfig::default(), &mut |_, _| {});
+        assert!(full.results > 1, "the test needs a query with several outputs");
+        let mut seen = 0u64;
+        let stats = try_run(&bq, &MsConfig::default(), &mut |_, _| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(stats.results, 1);
+        assert!(stats.iterations < full.iterations, "break must cut the outer loop short");
     }
 
     #[test]

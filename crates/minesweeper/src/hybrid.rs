@@ -9,94 +9,153 @@
 //! equals the size of the full join.
 
 use crate::engine::{MinesweeperExecutor, MsConfig};
-use gj_query::{BoundQuery, Instance, Query, QueryBuilder, VarId};
+use gj_query::{BindReport, BoundQuery, IndexCache, Instance, Query, QueryBuilder, VarId};
 use std::collections::HashMap;
 
-/// Counts the output of `query` over `instance` with the hybrid algorithm.
+/// A hybrid query prepared once: the clique and path sub-queries are split, validated
+/// and bound (GAO selection + trie indexes), so repeated executions only pay the two
+/// engine runs.
 ///
-/// `split` is the number of leading variables (in the query's variable-id order) that
-/// form the path part; variable `split - 1` is shared with the clique part (see
-/// [`CatalogQuery::hybrid_split`](gj_query::CatalogQuery::hybrid_split)).
-///
-/// Fails if the query cannot be split at that point (an atom or filter straddles the
-/// two parts beyond the shared vertex).
+/// Built by [`HybridPlan::new`] (private index cache) or [`HybridPlan::with_cache`]
+/// (shared database-level cache, as used by the prepared-query API in `gj-core`).
+#[derive(Debug, Clone)]
+pub struct HybridPlan {
+    /// The clique part, bound with the shared vertex first in the GAO.
+    clique_bq: BoundQuery,
+    /// The path part, bound under its default (longest-path NEO) GAO.
+    path_bq: BoundQuery,
+    /// GAO position of the shared vertex inside the path part.
+    path_joint_gao_pos: usize,
+}
+
+impl HybridPlan {
+    /// Splits, validates and binds `query` for the hybrid algorithm, building every
+    /// index into a private single-threaded cache.
+    ///
+    /// `split` is the number of leading variables (in the query's variable-id order)
+    /// that form the path part; variable `split - 1` is shared with the clique part
+    /// (see [`CatalogQuery::hybrid_split`](gj_query::CatalogQuery::hybrid_split)).
+    ///
+    /// Fails if the query cannot be split at that point (an atom or filter straddles
+    /// the two parts beyond the shared vertex).
+    pub fn new(instance: &Instance, query: &Query, split: usize) -> Result<Self, String> {
+        let cache = IndexCache::new();
+        Ok(Self::with_cache(instance, query, split, &cache, 1)?.0)
+    }
+
+    /// Like [`HybridPlan::new`], but takes trie indexes from `cache` (building the
+    /// misses across up to `threads` worker threads) so repeated preparations over
+    /// the same relations are warm.
+    pub fn with_cache(
+        instance: &Instance,
+        query: &Query,
+        split: usize,
+        cache: &IndexCache,
+        threads: usize,
+    ) -> Result<(Self, BindReport), String> {
+        if split == 0 || split >= query.num_vars() {
+            return Err(format!("split {split} out of range for {} variables", query.num_vars()));
+        }
+        let joint: VarId = split - 1;
+
+        let in_path = |v: VarId| v < split;
+        let in_clique = |v: VarId| v >= joint;
+
+        let mut path_atoms = Vec::new();
+        let mut clique_atoms = Vec::new();
+        for atom in &query.atoms {
+            if atom.vars.iter().all(|&v| in_path(v)) {
+                path_atoms.push(atom);
+            } else if atom.vars.iter().all(|&v| in_clique(v)) {
+                clique_atoms.push(atom);
+            } else {
+                return Err(format!(
+                    "atom {}({:?}) straddles the path/clique split",
+                    atom.relation, atom.vars
+                ));
+            }
+        }
+        if clique_atoms.is_empty() {
+            return Err("the clique part of the query is empty".to_string());
+        }
+
+        let mut path_filters = Vec::new();
+        let mut clique_filters = Vec::new();
+        for &(x, y) in &query.filters {
+            if in_path(x) && in_path(y) {
+                path_filters.push((x, y));
+            } else if in_clique(x) && in_clique(y) {
+                clique_filters.push((x, y));
+            } else {
+                return Err("an order filter straddles the path/clique split".to_string());
+            }
+        }
+
+        // --- clique part: bound for LFTJ, grouped by the shared vertex -----------
+        let clique_query = build_subquery(
+            &format!("{}-clique", query.name),
+            query,
+            &clique_atoms,
+            &clique_filters,
+        );
+        let clique_joint = clique_query
+            .var(&query.var_names[joint])
+            .expect("the shared variable occurs in the clique part");
+        // Put the shared vertex first in the clique GAO so groups are contiguous.
+        let mut clique_gao: Vec<VarId> = vec![clique_joint];
+        clique_gao.extend((0..clique_query.num_vars()).filter(|&v| v != clique_joint));
+        let (clique_bq, clique_report) =
+            BoundQuery::with_cache(instance, &clique_query, Some(clique_gao), cache, threads)?;
+
+        // --- path part: bound for Minesweeper ------------------------------------
+        let path_query =
+            build_subquery(&format!("{}-path", query.name), query, &path_atoms, &path_filters);
+        let path_joint = match path_query.var(&query.var_names[joint]) {
+            Some(v) => v,
+            None => {
+                return Err("the shared variable does not occur in the path part".to_string());
+            }
+        };
+        let (path_bq, path_report) =
+            BoundQuery::with_cache(instance, &path_query, None, cache, threads)?;
+        let path_joint_gao_pos = path_bq.var_pos[path_joint];
+
+        let report = BindReport {
+            indexes_built: clique_report.indexes_built + path_report.indexes_built,
+            build_threads: clique_report.build_threads.max(path_report.build_threads),
+        };
+        Ok((HybridPlan { clique_bq, path_bq, path_joint_gao_pos }, report))
+    }
+
+    /// Executes the plan: LFTJ counts, for every value of the shared vertex, the
+    /// number of clique completions; Minesweeper enumerates the path bindings and
+    /// each one contributes the pre-computed clique count of its endpoint.
+    pub fn count(&self, config: &MsConfig) -> u64 {
+        let mut clique_counts: HashMap<i64, u64> = HashMap::new();
+        gj_lftj::run(&self.clique_bq, &mut |binding| {
+            *clique_counts.entry(binding[0]).or_insert(0) += 1;
+        });
+
+        let mut total = 0u64;
+        MinesweeperExecutor::new(&self.path_bq, config.clone()).run(
+            &mut |binding, multiplicity| {
+                let joint_value = binding[self.path_joint_gao_pos];
+                total += multiplicity * clique_counts.get(&joint_value).copied().unwrap_or(0);
+            },
+        );
+        total
+    }
+}
+
+/// Counts the output of `query` over `instance` with the hybrid algorithm — the
+/// one-shot convenience over [`HybridPlan`] (prepare + execute in one call).
 pub fn hybrid_count(
     instance: &Instance,
     query: &Query,
     split: usize,
     config: &MsConfig,
 ) -> Result<u64, String> {
-    if split == 0 || split >= query.num_vars() {
-        return Err(format!("split {split} out of range for {} variables", query.num_vars()));
-    }
-    let joint: VarId = split - 1;
-
-    let in_path = |v: VarId| v < split;
-    let in_clique = |v: VarId| v >= joint;
-
-    let mut path_atoms = Vec::new();
-    let mut clique_atoms = Vec::new();
-    for atom in &query.atoms {
-        if atom.vars.iter().all(|&v| in_path(v)) {
-            path_atoms.push(atom);
-        } else if atom.vars.iter().all(|&v| in_clique(v)) {
-            clique_atoms.push(atom);
-        } else {
-            return Err(format!(
-                "atom {}({:?}) straddles the path/clique split",
-                atom.relation, atom.vars
-            ));
-        }
-    }
-    if clique_atoms.is_empty() {
-        return Err("the clique part of the query is empty".to_string());
-    }
-
-    let mut path_filters = Vec::new();
-    let mut clique_filters = Vec::new();
-    for &(x, y) in &query.filters {
-        if in_path(x) && in_path(y) {
-            path_filters.push((x, y));
-        } else if in_clique(x) && in_clique(y) {
-            clique_filters.push((x, y));
-        } else {
-            return Err("an order filter straddles the path/clique split".to_string());
-        }
-    }
-
-    // --- clique part: LFTJ, grouped by the shared vertex ------------------------
-    let clique_query =
-        build_subquery(&format!("{}-clique", query.name), query, &clique_atoms, &clique_filters);
-    let clique_joint = clique_query
-        .var(&query.var_names[joint])
-        .expect("the shared variable occurs in the clique part");
-    // Put the shared vertex first in the clique GAO so groups are contiguous.
-    let mut clique_gao: Vec<VarId> = vec![clique_joint];
-    clique_gao.extend((0..clique_query.num_vars()).filter(|&v| v != clique_joint));
-    let clique_bq = BoundQuery::new(instance, &clique_query, Some(clique_gao))?;
-    let mut clique_counts: HashMap<i64, u64> = HashMap::new();
-    gj_lftj::run(&clique_bq, &mut |binding| {
-        *clique_counts.entry(binding[0]).or_insert(0) += 1;
-    });
-
-    // --- path part: Minesweeper --------------------------------------------------
-    let path_query =
-        build_subquery(&format!("{}-path", query.name), query, &path_atoms, &path_filters);
-    let path_joint = match path_query.var(&query.var_names[joint]) {
-        Some(v) => v,
-        None => {
-            return Err("the shared variable does not occur in the path part".to_string());
-        }
-    };
-    let path_bq = BoundQuery::new(instance, &path_query, None)?;
-    let joint_gao_pos = path_bq.var_pos[path_joint];
-
-    let mut total = 0u64;
-    MinesweeperExecutor::new(&path_bq, config.clone()).run(&mut |binding, multiplicity| {
-        let joint_value = binding[joint_gao_pos];
-        total += multiplicity * clique_counts.get(&joint_value).copied().unwrap_or(0);
-    });
-    Ok(total)
+    Ok(HybridPlan::new(instance, query, split)?.count(config))
 }
 
 /// Rebuilds a sub-query from a subset of atoms and filters, keeping the original

@@ -45,6 +45,6 @@ pub mod parallel;
 
 pub use cds::Cds;
 pub use constraint::{Constraint, PatternComp};
-pub use engine::{count, enumerate, run, MinesweeperExecutor, MsConfig, MsStats};
-pub use hybrid::hybrid_count;
+pub use engine::{count, enumerate, run, try_run, MinesweeperExecutor, MsConfig, MsStats};
+pub use hybrid::{hybrid_count, HybridPlan};
 pub use parallel::par_count;

@@ -6,7 +6,13 @@
 //! (Section 4.1: the *GAO-consistency assumption*). Indexes are shared through
 //! [`Arc`] and cached per `(relation, permutation)`, so a query like 4-clique that
 //! mentions `edge` six times builds at most a handful of physical indexes.
+//!
+//! Binding can run against a caller-owned [`IndexCache`]
+//! ([`BoundQuery::with_cache`]), in which case indexes built for one query are
+//! reused by every later binding over the same relations — the backbone of the
+//! prepared-query API in `gj-core` — and cache misses are built in parallel.
 
+use crate::cache::IndexCache;
 use crate::gao::{atom_gao_vars, atom_index_perm, select_gao};
 use crate::query::{Query, VarId};
 use gj_storage::{Relation, TrieIndex, Val};
@@ -33,6 +39,35 @@ impl Instance {
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
+    }
+
+    /// Resolves the relation an atom refers to, checking existence and arity — the
+    /// per-atom half of binding, shared by every engine's prepare path.
+    pub fn atom_relation(&self, atom: &crate::query::Atom) -> Result<&Relation, String> {
+        let relation = self
+            .relation(&atom.relation)
+            .ok_or_else(|| format!("relation {} not found in the instance", atom.relation))?;
+        if relation.arity() != atom.arity() {
+            return Err(format!(
+                "relation {} has arity {} but the atom uses {} variables",
+                atom.relation,
+                relation.arity(),
+                atom.arity()
+            ));
+        }
+        Ok(relation)
+    }
+
+    /// Checks that `query` can be bound against this instance: the query itself is
+    /// valid and every atom's relation exists with the right arity. This is exactly
+    /// the validation [`BoundQuery::with_cache`] performs, without building indexes
+    /// — used by engines that read relations directly (the pairwise baselines).
+    pub fn validate_query(&self, query: &Query) -> Result<(), String> {
+        query.validate()?;
+        for atom in &query.atoms {
+            self.atom_relation(atom)?;
+        }
+        Ok(())
     }
 
     /// The names of all stored relations.
@@ -72,9 +107,21 @@ pub struct BoundQuery {
     pub atoms: Vec<BoundAtom>,
 }
 
+/// What binding against an [`IndexCache`] actually had to do: how many indexes were
+/// missing from the cache (and therefore built), and how many worker threads the
+/// builds were sharded across. A warm cache reports `indexes_built == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BindReport {
+    /// Number of trie indexes built during this binding (cache misses).
+    pub indexes_built: usize,
+    /// Number of worker threads the missing builds were sharded across.
+    pub build_threads: usize,
+}
+
 impl BoundQuery {
     /// Binds `query` against `instance` under the given GAO (or the GAO chosen by
-    /// [`select_gao`] when `gao` is `None`).
+    /// [`select_gao`] when `gao` is `None`), building every index into a private
+    /// single-threaded cache.
     ///
     /// Fails if a referenced relation is missing or has the wrong arity, or if the
     /// GAO is not a permutation of the query's variables.
@@ -83,6 +130,24 @@ impl BoundQuery {
         query: &Query,
         gao: Option<Vec<VarId>>,
     ) -> Result<Self, String> {
+        let cache = IndexCache::new();
+        Ok(Self::with_cache(instance, query, gao, &cache, 1)?.0)
+    }
+
+    /// Binds `query` against `instance`, taking every trie index from `cache` and
+    /// building the misses — sharded across up to `threads` worker threads, since
+    /// each `sorted_row_order` + trie construction is independent of the others.
+    ///
+    /// This is the workhorse of the prepared-query API: with a database-level cache
+    /// the first preparation pays for the index builds and every later preparation
+    /// over the same relations reports `indexes_built == 0`.
+    pub fn with_cache(
+        instance: &Instance,
+        query: &Query,
+        gao: Option<Vec<VarId>>,
+        cache: &IndexCache,
+        threads: usize,
+    ) -> Result<(Self, BindReport), String> {
         query.validate()?;
         let gao = gao.unwrap_or_else(|| select_gao(query));
         if gao.len() != query.num_vars() {
@@ -100,29 +165,24 @@ impl BoundQuery {
             var_pos[v] = i;
         }
 
-        let mut index_cache: BTreeMap<(String, Vec<usize>), Arc<TrieIndex>> = BTreeMap::new();
+        // Resolve every atom's relation and index permutation first, so the cache
+        // misses can be built in one parallel batch before the atoms are assembled.
+        let mut jobs: Vec<(&str, &Relation, Vec<usize>)> = Vec::with_capacity(query.num_atoms());
+        for atom in &query.atoms {
+            let relation = instance.atom_relation(atom)?;
+            jobs.push((atom.relation.as_str(), relation, atom_index_perm(atom, &gao)));
+        }
+        let (indexes_built, build_threads) = cache.build_all(&jobs, threads);
+
         let mut atoms = Vec::with_capacity(query.num_atoms());
-        for (atom_idx, atom) in query.atoms.iter().enumerate() {
-            let relation = instance
-                .relation(&atom.relation)
-                .ok_or_else(|| format!("relation {} not found in the instance", atom.relation))?;
-            if relation.arity() != atom.arity() {
-                return Err(format!(
-                    "relation {} has arity {} but the atom uses {} variables",
-                    atom.relation,
-                    relation.arity(),
-                    atom.arity()
-                ));
-            }
-            let perm = atom_index_perm(atom, &gao);
-            let key = (atom.relation.clone(), perm.clone());
-            let index = index_cache
-                .entry(key)
-                .or_insert_with(|| Arc::new(TrieIndex::build(relation, &perm)))
-                .clone();
+        for (atom_idx, (atom, (name, _, perm))) in query.atoms.iter().zip(&jobs).enumerate() {
+            let index = cache
+                .get(name, perm)
+                .expect("build_all guarantees an index for every requested job");
             atoms.push(BoundAtom { atom_idx, vars: atom_gao_vars(atom, &gao), index });
         }
-        Ok(BoundQuery { query: query.clone(), gao, var_pos, atoms })
+        let bq = BoundQuery { query: query.clone(), gao, var_pos, atoms };
+        Ok((bq, BindReport { indexes_built, build_threads }))
     }
 
     /// Number of query variables.
@@ -200,6 +260,26 @@ mod tests {
         // share one physical index.
         assert!(Arc::ptr_eq(&bq.atoms[0].index, &bq.atoms[1].index));
         assert!(Arc::ptr_eq(&bq.atoms[0].index, &bq.atoms[2].index));
+    }
+
+    #[test]
+    fn with_cache_reuses_indexes_across_bindings() {
+        let inst = small_instance();
+        let cache = IndexCache::new();
+        let q = CatalogQuery::FourClique.query();
+        let (cold, cold_report) = BoundQuery::with_cache(&inst, &q, None, &cache, 2).unwrap();
+        assert!(cold_report.indexes_built > 0);
+        let (warm, warm_report) = BoundQuery::with_cache(&inst, &q, None, &cache, 2).unwrap();
+        assert_eq!(warm_report.indexes_built, 0, "second binding must be fully warm");
+        for (a, b) in cold.atoms.iter().zip(&warm.atoms) {
+            assert!(Arc::ptr_eq(&a.index, &b.index), "warm binding must share physical indexes");
+        }
+        // A different query over the same relation in the same column orders is warm
+        // too.
+        let (_, report) =
+            BoundQuery::with_cache(&inst, &CatalogQuery::ThreeClique.query(), None, &cache, 2)
+                .unwrap();
+        assert_eq!(report.indexes_built, 0);
     }
 
     #[test]

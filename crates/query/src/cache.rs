@@ -1,0 +1,229 @@
+//! The shared, database-level trie-index cache.
+//!
+//! Every engine in this workspace consumes GAO-consistent [`TrieIndex`]es, and a
+//! graph workload reuses a handful of physical indexes across *millions* of
+//! executions: 4-clique needs `edge` in at most three distinct column orders, and
+//! every catalog query over the same graph shares them. An [`IndexCache`] keys
+//! built indexes by `(relation name, column permutation)` and hands out
+//! [`Arc`]-shared references, so a prepared query never rebuilds an index another
+//! query (or a previous preparation of the same query) already paid for.
+//!
+//! The cache is thread-safe (`RwLock` around the map) and misses can be built in
+//! parallel with [`IndexCache::build_all`], which shards independent trie builds
+//! across a scoped-thread job queue — the same std-only atomic pattern as
+//! Minesweeper's `par_count` driver. Replacing a relation must call
+//! [`IndexCache::invalidate`] with its name; the `Database` façade in `gj-core`
+//! does this from `add_relation`/`add_graph`.
+
+use gj_storage::{Relation, TrieIndex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The per-relation slice of the cache: column permutation → shared index.
+type PermMap = HashMap<Vec<usize>, Arc<TrieIndex>>;
+
+/// A thread-safe cache of trie indexes keyed by `(relation name, permutation)`.
+///
+/// Cloning the cache clones its *contents* (the `Arc`s, not the tries), giving the
+/// clone an independent map: a cloned `Database` starts warm but diverges freely.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    /// relation name → column permutation → shared index.
+    entries: RwLock<HashMap<String, PermMap>>,
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        let entries = self.entries.read().expect("index cache poisoned").clone();
+        IndexCache { entries: RwLock::new(entries) }
+    }
+}
+
+impl IndexCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        IndexCache::default()
+    }
+
+    /// Looks up the index for `name` under the column permutation `perm`.
+    pub fn get(&self, name: &str, perm: &[usize]) -> Option<Arc<TrieIndex>> {
+        self.entries.read().expect("index cache poisoned").get(name)?.get(perm).cloned()
+    }
+
+    /// Inserts an index, returning the cached copy (the existing one if another
+    /// thread raced the build — all callers then share a single physical index).
+    pub fn insert(&self, name: &str, perm: Vec<usize>, index: Arc<TrieIndex>) -> Arc<TrieIndex> {
+        let mut entries = self.entries.write().expect("index cache poisoned");
+        entries.entry(name.to_string()).or_default().entry(perm).or_insert(index).clone()
+    }
+
+    /// Returns the cached index for `(name, perm)`, building it from `relation`
+    /// on a miss.
+    pub fn get_or_build(&self, name: &str, relation: &Relation, perm: &[usize]) -> Arc<TrieIndex> {
+        if let Some(hit) = self.get(name, perm) {
+            return hit;
+        }
+        let built = Arc::new(TrieIndex::build(relation, perm));
+        self.insert(name, perm.to_vec(), built)
+    }
+
+    /// Drops every index built over the relation `name`. Must be called whenever
+    /// that relation is replaced, or stale indexes would keep serving the old data.
+    pub fn invalidate(&self, name: &str) {
+        self.entries.write().expect("index cache poisoned").remove(name);
+    }
+
+    /// Drops every cached index (used by benchmarks to measure cold preparations).
+    pub fn clear(&self) {
+        self.entries.write().expect("index cache poisoned").clear();
+    }
+
+    /// Number of physical indexes currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("index cache poisoned").values().map(HashMap::len).sum()
+    }
+
+    /// Whether the cache holds no indexes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures an index exists for every `(name, relation, perm)` job, building the
+    /// misses across up to `threads` scoped worker threads (a shared atomic counter
+    /// serves as the job queue, as in Minesweeper's parallel driver). Duplicate jobs
+    /// are built once. Returns `(indexes_built, threads_used)`.
+    pub fn build_all(
+        &self,
+        jobs: &[(&str, &Relation, Vec<usize>)],
+        threads: usize,
+    ) -> (usize, usize) {
+        // Deduplicate and drop the hits; only the misses are work.
+        let mut missing: Vec<(&str, &Relation, &[usize])> = Vec::new();
+        for (name, relation, perm) in jobs {
+            let dup = missing.iter().any(|(n, _, p)| n == name && *p == perm.as_slice());
+            if !dup && self.get(name, perm).is_none() {
+                missing.push((name, relation, perm));
+            }
+        }
+        if missing.is_empty() {
+            return (0, 1);
+        }
+        let threads = threads.clamp(1, missing.len());
+        if threads == 1 {
+            for &(name, relation, perm) in &missing {
+                self.get_or_build(name, relation, perm);
+            }
+            return (missing.len(), 1);
+        }
+
+        let built: Mutex<Vec<Option<Arc<TrieIndex>>>> = Mutex::new(vec![None; missing.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let next = &next;
+                let built = &built;
+                let missing = &missing;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, relation, perm)) = missing.get(i) else { break };
+                    let index = Arc::new(TrieIndex::build(relation, perm));
+                    built.lock().expect("build results poisoned")[i] = Some(index);
+                });
+            }
+        });
+        let built = built.into_inner().expect("build results poisoned");
+        for ((name, _, perm), index) in missing.iter().zip(built) {
+            let index = index.expect("every job was claimed by a worker");
+            self.insert(name, perm.to_vec(), index);
+        }
+        (missing.len(), threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> Relation {
+        Relation::from_pairs(vec![(0, 1), (1, 0), (1, 2), (2, 1)])
+    }
+
+    #[test]
+    fn get_or_build_caches_per_name_and_perm() {
+        let cache = IndexCache::new();
+        let r = edge();
+        let a = cache.get_or_build("edge", &r, &[0, 1]);
+        let b = cache.get_or_build("edge", &r, &[0, 1]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let c = cache.get_or_build("edge", &r, &[1, 0]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_named_relation() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        cache.get_or_build("edge", &r, &[1, 0]);
+        cache.get_or_build("other", &r, &[0, 1]);
+        cache.invalidate("edge");
+        assert!(cache.get("edge", &[0, 1]).is_none());
+        assert!(cache.get("other", &[0, 1]).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn build_all_builds_each_missing_key_once() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        let jobs: Vec<(&str, &Relation, Vec<usize>)> = vec![
+            ("edge", &r, vec![0, 1]), // hit
+            ("edge", &r, vec![1, 0]), // miss
+            ("edge", &r, vec![1, 0]), // duplicate of the miss
+            ("other", &r, vec![0, 1]),
+        ];
+        let (built, threads) = cache.build_all(&jobs, 4);
+        assert_eq!(built, 2);
+        assert!(threads >= 1);
+        assert_eq!(cache.len(), 3);
+        // A second pass is fully warm.
+        assert_eq!(cache.build_all(&jobs, 4), (0, 1));
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let cache_seq = IndexCache::new();
+        let cache_par = IndexCache::new();
+        let r = Relation::from_rows(
+            3,
+            (0..60).map(|i| vec![i % 5, (i * 7) % 11, i]).collect::<Vec<_>>(),
+        );
+        let perms: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2], vec![2, 0, 1]];
+        let jobs: Vec<(&str, &Relation, Vec<usize>)> =
+            perms.iter().map(|p| ("r", &r, p.clone())).collect();
+        cache_seq.build_all(&jobs, 1);
+        cache_par.build_all(&jobs, 4);
+        for p in &perms {
+            let a = cache_seq.get("r", p).unwrap();
+            let b = cache_par.get("r", p).unwrap();
+            assert_eq!(a.level_values(0), b.level_values(0), "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn clone_is_warm_but_independent() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        let clone = cache.clone();
+        assert_eq!(clone.len(), 1);
+        clone.invalidate("edge");
+        assert_eq!(clone.len(), 0);
+        assert_eq!(cache.len(), 1, "invalidating the clone must not touch the original");
+    }
+}

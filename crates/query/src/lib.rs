@@ -18,10 +18,13 @@
 //!   paths, trees, combs, lollipops);
 //! * [`bind`] — database [`Instance`]s and [`BoundQuery`] (query + GAO + one
 //!   GAO-consistent trie index per atom), the common input of every engine;
+//! * [`cache`] — the shared, thread-safe [`IndexCache`] that lets prepared queries
+//!   reuse trie indexes across bindings (and build misses in parallel);
 //! * [`naive`] — an obviously-correct reference enumerator used by tests.
 
 pub mod agm;
 pub mod bind;
+pub mod cache;
 pub mod catalog;
 pub mod gao;
 pub mod hypergraph;
@@ -30,7 +33,8 @@ pub mod naive;
 pub mod query;
 
 pub use agm::agm_bound;
-pub use bind::{BoundAtom, BoundQuery, Instance};
+pub use bind::{BindReport, BoundAtom, BoundQuery, Instance};
+pub use cache::IndexCache;
 pub use catalog::CatalogQuery;
 pub use gao::{acyclic_skeleton, atom_index_perm, is_neo, select_gao};
 pub use hypergraph::Hypergraph;

@@ -170,7 +170,7 @@ impl From<Range<usize>> for SizeRange {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

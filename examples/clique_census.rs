@@ -25,7 +25,7 @@ fn main() {
     );
 
     let mut db = Database::new();
-    db.add_graph(&graph);
+    db.add_graph(graph);
 
     for query in [CatalogQuery::ThreeClique, CatalogQuery::FourClique] {
         println!("\n== {}", query.name());

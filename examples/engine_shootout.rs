@@ -14,7 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let dataset = Dataset::CaGrQc;
-    let graph = dataset.generate();
+    let graph = std::sync::Arc::new(dataset.generate());
     println!(
         "dataset {} (synthetic stand-in): {} nodes, {} undirected edges\n",
         dataset.name(),
@@ -40,7 +40,7 @@ fn main() {
     println!("{:>12}", "lb/hybrid");
 
     for cq in CatalogQuery::all() {
-        let db = workload_database(&graph, cq, 8, 123);
+        let db = workload_database(graph.clone(), cq, 8, 123);
         let q = cq.query();
         print!("{:<12}", cq.name());
         for engine in &engines {

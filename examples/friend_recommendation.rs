@@ -15,7 +15,7 @@ use std::time::Instant;
 
 fn main() {
     let dataset = Dataset::CaGrQc;
-    let graph = dataset.generate();
+    let graph = std::sync::Arc::new(dataset.generate());
     println!(
         "{}-like graph: {} nodes, {} undirected edges",
         dataset.name(),
@@ -26,7 +26,7 @@ fn main() {
     for query in [CatalogQuery::ThreePath, CatalogQuery::FourPath] {
         println!("\n== {}", query.name());
         for selectivity in [80u32, 8] {
-            let db = workload_database(&graph, query, selectivity, 42);
+            let db = workload_database(graph.clone(), query, selectivity, 42);
             let q = query.query();
             print!("selectivity {selectivity:>3}: ");
             for engine in [Engine::Lftj, Engine::minesweeper()] {

@@ -13,7 +13,7 @@ use graphjoin::{workload_database, CatalogQuery, Dataset, Engine};
 use std::time::Instant;
 
 fn main() {
-    let graph = Dataset::CaGrQc.generate();
+    let graph = std::sync::Arc::new(Dataset::CaGrQc.generate());
     println!(
         "ca-GrQc-like graph: {} nodes, {} undirected edges",
         graph.num_nodes(),
@@ -22,7 +22,7 @@ fn main() {
 
     for query in [CatalogQuery::TwoLollipop, CatalogQuery::ThreeLollipop] {
         println!("\n== {} (selectivity 8)", query.name());
-        let db = workload_database(&graph, query, 8, 7);
+        let db = workload_database(graph.clone(), query, 8, 7);
         let q = query.query();
         let mut engines = vec![Engine::Lftj, Engine::minesweeper()];
         engines.push(Engine::hybrid_for(query).expect("lollipop queries support the hybrid"));

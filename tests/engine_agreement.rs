@@ -3,20 +3,22 @@
 
 use graphjoin::{workload_database, CatalogQuery, Engine, ExecLimits, Graph, MsConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
 
-/// A seeded random undirected graph over `n` nodes with edge probability `p`.
-fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
+/// A seeded random undirected graph over `n` nodes with edge probability `p`,
+/// shared behind `Arc` so many workload databases can reuse it without copies.
+fn random_graph(seed: u64, n: u32, p: f64) -> Arc<Graph> {
     let mut rng = StdRng::seed_from_u64(seed);
     let edges: Vec<(u32, u32)> =
         (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).filter(|_| rng.gen_bool(p)).collect();
-    Graph::new_undirected(n as usize, edges)
+    Arc::new(Graph::new_undirected(n as usize, edges))
 }
 
 #[test]
 fn all_engines_agree_on_all_catalog_queries() {
     let graph = random_graph(1, 40, 0.12);
     for cq in CatalogQuery::all() {
-        let db = workload_database(&graph, cq, 4, 99);
+        let db = workload_database(graph.clone(), cq, 4, 99);
         let q = cq.query();
         let reference = db.count(&q, &Engine::Lftj).unwrap();
         let mut engines = vec![
@@ -47,7 +49,7 @@ fn engines_agree_across_selectivities() {
     let graph = random_graph(2, 60, 0.08);
     for selectivity in [2u32, 10, 50] {
         for cq in [CatalogQuery::ThreePath, CatalogQuery::TwoComb, CatalogQuery::TwoTree] {
-            let db = workload_database(&graph, cq, selectivity, 7);
+            let db = workload_database(graph.clone(), cq, selectivity, 7);
             let q = cq.query();
             assert_eq!(
                 db.count(&q, &Engine::Lftj).unwrap(),
@@ -63,7 +65,7 @@ fn engines_agree_across_selectivities() {
 fn lftj_and_minesweeper_enumerate_identical_bindings() {
     let graph = random_graph(3, 30, 0.15);
     for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
-        let db = workload_database(&graph, cq, 3, 5);
+        let db = workload_database(graph.clone(), cq, 3, 5);
         let q = cq.query();
         assert_eq!(
             db.enumerate(&q, &Engine::Lftj).unwrap(),
@@ -78,7 +80,7 @@ fn lftj_and_minesweeper_enumerate_identical_bindings() {
 fn parallel_minesweeper_agrees_with_sequential() {
     let graph = random_graph(4, 70, 0.1);
     for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
-        let db = workload_database(&graph, cq, 5, 13);
+        let db = workload_database(graph.clone(), cq, 5, 13);
         let q = cq.query();
         let sequential = db.count(&q, &Engine::minesweeper()).unwrap();
         let f = if cq.is_cyclic() { 8 } else { 1 };
@@ -90,9 +92,9 @@ fn parallel_minesweeper_agrees_with_sequential() {
 
 #[test]
 fn empty_graph_gives_zero_everywhere() {
-    let graph = Graph::new_undirected(10, vec![]);
+    let graph = Arc::new(Graph::new_undirected(10, vec![]));
     for cq in CatalogQuery::all() {
-        let db = workload_database(&graph, cq, 2, 1);
+        let db = workload_database(graph.clone(), cq, 2, 1);
         let q = cq.query();
         assert_eq!(db.count(&q, &Engine::Lftj).unwrap(), 0, "{}", q.name);
         assert_eq!(db.count(&q, &Engine::minesweeper()).unwrap(), 0, "{}", q.name);
@@ -103,8 +105,8 @@ fn empty_graph_gives_zero_everywhere() {
 fn triangle_counts_match_the_graph_utility_on_dataset_standins() {
     // The datagen catalog, the storage triangle counter, LFTJ and the graph engine
     // must all agree about the number of triangles.
-    let graph = graphjoin::Dataset::CaGrQc.generate_scaled(0.15);
-    let db = workload_database(&graph, CatalogQuery::ThreeClique, 1, 1);
+    let graph = Arc::new(graphjoin::Dataset::CaGrQc.generate_scaled(0.15));
+    let db = workload_database(graph.clone(), CatalogQuery::ThreeClique, 1, 1);
     let q = CatalogQuery::ThreeClique.query();
     let expected = graph.triangle_count();
     assert_eq!(db.count(&q, &Engine::Lftj).unwrap(), expected);

@@ -6,12 +6,13 @@
 use gj_minesweeper::{run, MsConfig};
 use graphjoin::{workload_database, BoundQuery, CatalogQuery, Engine, Graph};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
 
-fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
+fn random_graph(seed: u64, n: u32, p: f64) -> Arc<Graph> {
     let mut rng = StdRng::seed_from_u64(seed);
     let edges: Vec<(u32, u32)> =
         (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).filter(|_| rng.gen_bool(p)).collect();
-    Graph::new_undirected(n as usize, edges)
+    Arc::new(Graph::new_undirected(n as usize, edges))
 }
 
 fn all_configs() -> Vec<(&'static str, MsConfig)> {
@@ -43,7 +44,7 @@ fn all_configs() -> Vec<(&'static str, MsConfig)> {
 fn every_configuration_is_correct_on_every_query() {
     let graph = random_graph(11, 28, 0.15);
     for cq in CatalogQuery::all() {
-        let db = workload_database(&graph, cq, 3, 21);
+        let db = workload_database(graph.clone(), cq, 3, 21);
         let q = cq.query();
         let expected = db.count(&q, &Engine::Lftj).unwrap();
         for (name, config) in all_configs() {
@@ -56,7 +57,7 @@ fn every_configuration_is_correct_on_every_query() {
 #[test]
 fn idea4_reduces_index_probes() {
     let graph = random_graph(12, 80, 0.08);
-    let db = workload_database(&graph, CatalogQuery::ThreePath, 5, 3);
+    let db = workload_database(graph.clone(), CatalogQuery::ThreePath, 5, 3);
     let q = CatalogQuery::ThreePath.query();
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
@@ -77,7 +78,7 @@ fn idea4_reduces_index_probes() {
 fn idea6_produces_complete_node_hits_on_low_selectivity_paths() {
     let graph = random_graph(13, 80, 0.08);
     // Selectivity 2: half of the nodes in each sample -> lots of repeated sub-path work.
-    let db = workload_database(&graph, CatalogQuery::FourPath, 2, 3);
+    let db = workload_database(graph.clone(), CatalogQuery::FourPath, 2, 3);
     let q = CatalogQuery::FourPath.query();
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
@@ -92,7 +93,7 @@ fn idea6_produces_complete_node_hits_on_low_selectivity_paths() {
 #[test]
 fn idea7_reduces_cds_growth_on_cyclic_queries() {
     let graph = random_graph(14, 40, 0.2);
-    let db = workload_database(&graph, CatalogQuery::FourClique, 1, 1);
+    let db = workload_database(graph.clone(), CatalogQuery::FourClique, 1, 1);
     let q = CatalogQuery::FourClique.query();
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
 
@@ -111,7 +112,7 @@ fn idea7_reduces_cds_growth_on_cyclic_queries() {
 #[test]
 fn stats_results_match_the_actual_count_in_every_configuration() {
     let graph = random_graph(15, 30, 0.18);
-    let db = workload_database(&graph, CatalogQuery::TwoComb, 2, 9);
+    let db = workload_database(graph.clone(), CatalogQuery::TwoComb, 2, 9);
     let q = CatalogQuery::TwoComb.query();
     let bq = BoundQuery::new(db.instance(), &q, None).unwrap();
     let expected = db.count(&q, &Engine::Lftj).unwrap();
@@ -128,7 +129,7 @@ fn stats_results_match_the_actual_count_in_every_configuration() {
 fn non_neo_gaos_still_count_correctly() {
     // Table 4 compares GAOs; whatever the GAO, the answer must not change.
     let graph = random_graph(16, 40, 0.1);
-    let db = workload_database(&graph, CatalogQuery::FourPath, 4, 2);
+    let db = workload_database(graph.clone(), CatalogQuery::FourPath, 4, 2);
     let q = CatalogQuery::FourPath.query();
     let expected = db.count(&q, &Engine::Lftj).unwrap();
     let v = |s: &str| q.var(s).unwrap();

@@ -1,0 +1,139 @@
+//! Cross-engine differential tests for the prepared-query API: over random small
+//! instances and every catalog query, all supporting engines must report identical
+//! counts through `PreparedQuery`, `first_k(k)` must be a prefix-consistent subset
+//! of `collect()`, and warm re-preparations must be answered entirely from the
+//! shared index cache.
+
+use graphjoin::{
+    naive_count, CatalogQuery, Database, Engine, EngineError, ExecLimits, Graph, MsConfig, Relation,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random database: a seeded undirected graph plus the node samples every catalog
+/// query draws on.
+fn random_database(seed: u64, n: u32, p: f64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> =
+        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).filter(|_| rng.gen_bool(p)).collect();
+    let mut db = Database::new();
+    db.add_graph(Graph::new_undirected(n as usize, edges));
+    for (i, step) in [3usize, 2, 5, 4].iter().enumerate() {
+        let name = format!("v{}", i + 1);
+        db.add_relation(name, Relation::from_values((0..n as i64).step_by(*step)));
+    }
+    db
+}
+
+/// The engines that support full enumeration through the sink protocol.
+fn enumeration_engines() -> Vec<Engine> {
+    vec![
+        Engine::Lftj,
+        Engine::minesweeper(),
+        Engine::Minesweeper(MsConfig { idea8_batch_counting: true, ..MsConfig::default() }),
+        Engine::HashJoin(ExecLimits::default()),
+        Engine::SortMergeJoin(ExecLimits::default()),
+    ]
+}
+
+#[test]
+fn all_supporting_engines_count_identically_through_prepare() {
+    for seed in [1u64, 2, 3] {
+        let db = random_database(seed, 24, 0.18);
+        for cq in CatalogQuery::all() {
+            let q = cq.query();
+            let expected = naive_count(db.instance(), &q);
+            let mut engines = enumeration_engines();
+            if let Some(hybrid) = Engine::hybrid_for(cq) {
+                engines.push(hybrid);
+            }
+            if matches!(cq, CatalogQuery::ThreeClique | CatalogQuery::FourClique) {
+                engines.push(Engine::GraphEngine);
+            }
+            for engine in engines {
+                let prepared = db.prepare(&q, &engine).unwrap();
+                assert_eq!(
+                    prepared.count().unwrap(),
+                    expected,
+                    "seed {seed} {} {}",
+                    q.name,
+                    engine.label()
+                );
+                assert_eq!(
+                    prepared.exists().unwrap(),
+                    expected > 0,
+                    "seed {seed} {} {}",
+                    q.name,
+                    engine.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn first_k_is_a_prefix_of_collect_for_every_engine() {
+    let db = random_database(7, 20, 0.2);
+    for cq in CatalogQuery::all() {
+        let q = cq.query();
+        for engine in enumeration_engines() {
+            let prepared = db.prepare(&q, &engine).unwrap();
+            let all = prepared.collect().unwrap();
+            assert_eq!(all.len() as u64, prepared.count().unwrap(), "{}", q.name);
+            for k in [0usize, 1, 2, all.len() / 2, all.len(), all.len() + 5] {
+                let prefix = prepared.first_k(k).unwrap();
+                assert_eq!(
+                    prefix,
+                    all[..k.min(all.len())].to_vec(),
+                    "{} {} first_k({k})",
+                    q.name,
+                    engine.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sorted_collect_agrees_across_engines() {
+    let db = random_database(11, 22, 0.15);
+    for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
+        let q = cq.query();
+        let reference = db.enumerate(&q, &Engine::Lftj).unwrap();
+        for engine in enumeration_engines() {
+            assert_eq!(
+                db.enumerate(&q, &engine).unwrap(),
+                reference,
+                "{} {}",
+                q.name,
+                engine.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_preparations_build_nothing_and_stay_correct() {
+    let db = random_database(13, 26, 0.15);
+    for cq in CatalogQuery::all() {
+        let q = cq.query();
+        let cold = db.prepare(&q, &Engine::Lftj).unwrap();
+        let expected = cold.count().unwrap();
+        for engine in enumeration_engines() {
+            let warm = db.prepare(&q, &engine).unwrap();
+            if matches!(engine, Engine::Lftj | Engine::Minesweeper(_)) {
+                assert_eq!(warm.indexes_built(), 0, "{} {}", q.name, engine.label());
+            }
+            assert_eq!(warm.count().unwrap(), expected, "{} {}", q.name, engine.label());
+        }
+    }
+}
+
+#[test]
+fn count_only_engines_report_unsupported_for_enumeration() {
+    let db = random_database(17, 18, 0.25);
+    let q = CatalogQuery::ThreeClique.query();
+    let prepared = db.prepare(&q, &Engine::GraphEngine).unwrap();
+    assert!(matches!(prepared.collect(), Err(EngineError::Unsupported(_))));
+    assert!(matches!(prepared.first_k(3), Err(EngineError::Unsupported(_))));
+    assert_eq!(prepared.count().unwrap(), naive_count(db.instance(), &q));
+}

@@ -20,7 +20,7 @@ fn arb_database() -> impl Strategy<Value = Database> {
             let n = n.max(raw_edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(1));
             let graph = Graph::new_undirected(n, raw_edges);
             let mut db = Database::new();
-            db.add_graph(&graph);
+            db.add_graph(graph);
             db.add_relation("v1", Relation::from_values(v1.into_iter().filter(|&v| v < n as i64)));
             db.add_relation("v2", Relation::from_values(v2.into_iter().filter(|&v| v < n as i64)));
             db.add_relation("v3", Relation::from_values((0..n as i64).step_by(2)));
