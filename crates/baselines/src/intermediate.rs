@@ -10,6 +10,7 @@
 use gj_query::VarId;
 use gj_storage::{Relation, Val};
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 
 /// A materialised intermediate relation over query variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,109 @@ impl Intermediate {
     /// Key of a row on the given columns.
     fn key(row: &[Val], cols: &[usize]) -> Vec<Val> {
         cols.iter().map(|&c| row[c]).collect()
+    }
+
+    /// The output schema of joining `self` with `other` (self's variables followed
+    /// by other's non-shared ones) — the row shape the streamed joins emit.
+    pub fn joined_vars(&self, other: &Intermediate) -> Vec<VarId> {
+        self.join_schema(other).0
+    }
+
+    /// Streams the hash join with `other` instead of materialising it: each joined
+    /// row (in [`joined_vars`](Self::joined_vars) column order) is written into one
+    /// scratch buffer and passed to `emit`; the scan stops as soon as `emit`
+    /// breaks. Left rows are probed in their stored order, so the emission order is
+    /// deterministic. Returns the number of rows emitted.
+    pub fn hash_join_streamed(
+        &self,
+        other: &Intermediate,
+        emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
+    ) -> u64 {
+        let shared = self.shared_vars(other);
+        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
+        let (_, extra_cols) = self.join_schema(other);
+
+        let mut table: HashMap<Vec<Val>, Vec<&Vec<Val>>> = HashMap::new();
+        for row in &other.rows {
+            table.entry(Self::key(row, &right_cols)).or_default().push(row);
+        }
+        let mut out = vec![0; self.vars.len() + extra_cols.len()];
+        let mut emitted = 0;
+        for lrow in &self.rows {
+            if let Some(matches) = table.get(&Self::key(lrow, &left_cols)) {
+                for rrow in matches {
+                    out[..lrow.len()].copy_from_slice(lrow);
+                    for (slot, &c) in out[lrow.len()..].iter_mut().zip(&extra_cols) {
+                        *slot = rrow[c];
+                    }
+                    emitted += 1;
+                    if emit(&out).is_break() {
+                        return emitted;
+                    }
+                }
+            }
+        }
+        emitted
+    }
+
+    /// Streams the sort-merge join with `other` (see
+    /// [`hash_join_streamed`](Self::hash_join_streamed)): both sides are sorted on
+    /// the shared variables and merged, emitting the product of each equal-key run
+    /// row by row. Returns the number of rows emitted.
+    pub fn sort_merge_join_streamed(
+        &self,
+        other: &Intermediate,
+        emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
+    ) -> u64 {
+        let shared = self.shared_vars(other);
+        if shared.is_empty() {
+            // Degenerate to the hash join's cartesian handling.
+            return self.hash_join_streamed(other, emit);
+        }
+        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
+        let (_, extra_cols) = self.join_schema(other);
+
+        let mut left: Vec<&Vec<Val>> = self.rows.iter().collect();
+        let mut right: Vec<&Vec<Val>> = other.rows.iter().collect();
+        left.sort_by_key(|r| Self::key(r, &left_cols));
+        right.sort_by_key(|r| Self::key(r, &right_cols));
+
+        let mut out = vec![0; self.vars.len() + extra_cols.len()];
+        let mut emitted = 0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            let lk = Self::key(left[i], &left_cols);
+            let rk = Self::key(right[j], &right_cols);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let i_end = (i..left.len())
+                        .find(|&x| Self::key(left[x], &left_cols) != lk)
+                        .unwrap_or(left.len());
+                    let j_end = (j..right.len())
+                        .find(|&x| Self::key(right[x], &right_cols) != rk)
+                        .unwrap_or(right.len());
+                    for lrow in &left[i..i_end] {
+                        for rrow in &right[j..j_end] {
+                            out[..lrow.len()].copy_from_slice(lrow);
+                            for (slot, &c) in out[lrow.len()..].iter_mut().zip(&extra_cols) {
+                                *slot = rrow[c];
+                            }
+                            emitted += 1;
+                            if emit(&out).is_break() {
+                                return emitted;
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        emitted
     }
 
     /// Hash join with `other` on all shared variables (cartesian product when there
@@ -214,6 +318,47 @@ mod tests {
         assert_eq!(out.len(), 4);
         let smj = left.sort_merge_join(&right);
         assert_eq!(smj.len(), 4);
+    }
+
+    #[test]
+    fn streamed_joins_agree_with_materialised_joins() {
+        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5], &[6, 3]]);
+        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9], &[5, 1]]);
+        let materialised = left.hash_join(&right);
+        assert_eq!(left.joined_vars(&right), materialised.vars);
+        for merge in [false, true] {
+            let mut rows = Vec::new();
+            let mut collect = |row: &[Val]| {
+                rows.push(row.to_vec());
+                ControlFlow::Continue(())
+            };
+            let emitted = if merge {
+                left.sort_merge_join_streamed(&right, &mut collect)
+            } else {
+                left.hash_join_streamed(&right, &mut collect)
+            };
+            assert_eq!(emitted, materialised.len() as u64);
+            rows.sort();
+            let mut expected = materialised.rows.clone();
+            expected.sort();
+            assert_eq!(rows, expected, "merge={merge}");
+        }
+        // Early termination stops the scan.
+        let mut seen = 0;
+        let emitted = left.hash_join_streamed(&right, &mut |_| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!((seen, emitted), (1, 1));
+        // The cartesian case streams too.
+        let a = r(&[0], &[&[1], &[2]]);
+        let b = r(&[1], &[&[7]]);
+        let mut n = 0;
+        a.sort_merge_join_streamed(&b, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(n, 2);
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!   needs;
 //! * `warm_prepare_ms` — preparing the same query again with the cache warm (the
 //!   prepared-statement steady state: should be near zero);
-//! * `run_ms` — one execution of the prepared query;
+//! * `run_ms` — one execution of the prepared query (single-threaded);
 //! * `rerun_ms` — a warm re-execution of the same prepared query (the per-request
-//!   cost under repeated traffic).
+//!   cost under repeated traffic);
+//! * `par4_run_ms` / `par4_speedup` — the same execution through
+//!   `PreparedQuery::par_count` on 4 worker threads (the morsel-driven runtime),
+//!   so the JSON records a scaling column next to the serial trajectory.
 
 use graphjoin::{CatalogQuery, Database, Engine, MsConfig, PreparedQuery, Query};
 use std::io::Write;
@@ -134,6 +137,13 @@ fn main() {
             let (rerun_ms, recount) = min_ms(opts.reps, || prepared.count().expect("count"));
             assert_eq!(count, recount, "re-execution must be deterministic");
 
+            // The scaling column: the same count through the morsel runtime on 4
+            // worker threads. Correctness is asserted against the serial count.
+            let (par4_run_ms, par_count) =
+                min_ms(opts.reps, || prepared.par_count(4).expect("par_count"));
+            assert_eq!(par_count, count, "parallel execution must agree with serial");
+            let par4_speedup = run_ms / par4_run_ms.max(1e-9);
+
             // Warm prepare: the cache already holds every index this query needs.
             let (warm_prepare_ms, warm_built) = min_ms(opts.reps, || {
                 let p = db.prepare(&q, engine).expect("warm prepare");
@@ -142,12 +152,12 @@ fn main() {
             assert_eq!(warm_built, 0, "a warm prepare must build nothing");
 
             println!(
-                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   count {}",
-                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, count
+                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   count {}",
+                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"build_threads\": {}, \"count\": {}}}",
-                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, threads, count
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, threads, count
             ));
         }
     }

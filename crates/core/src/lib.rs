@@ -36,9 +36,12 @@
 //! let q = CatalogQuery::ThreeClique.query();
 //! // Prepare once: indexes are built now and cached at the database level ...
 //! let prepared = db.prepare(&q, &Engine::Lftj).unwrap();
-//! // ... then execute as often as needed.
+//! // ... then execute as often as needed — serially or on a worker pool (the
+//! // morsel-driven runtime partitions the first GAO attribute across threads).
 //! assert_eq!(prepared.count().unwrap(), 2);
+//! assert_eq!(prepared.par_count(4).unwrap(), 2);
 //! assert_eq!(prepared.first_k(1).unwrap(), vec![vec![0, 1, 2]]);
+//! assert_eq!(prepared.par_collect(4).unwrap(), prepared.collect().unwrap());
 //! assert!(prepared.exists().unwrap());
 //!
 //! // A second preparation — here with another engine — reuses the cached indexes.
@@ -59,6 +62,13 @@ pub use database::{Database, Engine, EngineError, QueryOutput};
 pub use prepare::{PreparedQuery, RunStats};
 pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
 pub use workload::{workload_database, Workload};
+
+// The morsel-driven parallel runtime (`gj-runtime`): the sink shard layer for
+// `PreparedQuery::run_parallel`, and the building blocks for custom drivers.
+pub use gj_runtime::{
+    drive, partition_first_attribute, DriveReport, JobQueue, Morsel, MorselSource, Ordered,
+    ParallelSink, ShardSink,
+};
 
 // Re-export the pieces users of the façade routinely need.
 pub use gj_baselines::{ExecLimits, JoinAlgo};

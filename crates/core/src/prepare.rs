@@ -39,13 +39,19 @@
 //! ```
 
 use crate::database::{same_shape, Database, Engine, EngineError, QueryOutput};
-use crate::sink::{CollectSink, ExistsSink, FirstK, Sink};
+use crate::sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
 use gj_baselines::{pairwise_count_with_stats, pairwise_run, ExecLimits, GraphEngine, JoinAlgo};
-use gj_lftj::LftjExecutor;
-use gj_minesweeper::{HybridPlan, MinesweeperExecutor, MsConfig};
+use gj_lftj::{LftjExecutor, LftjMorsels};
+use gj_minesweeper::{HybridPlan, MinesweeperExecutor, MsConfig, MsMorsels};
 use gj_query::{BindReport, BoundQuery, CatalogQuery, Query, VarId};
+use gj_runtime::{drive, partition_first_attribute, DriveReport, ParallelSink, ShardSink};
 use gj_storage::Val;
 use std::time::{Duration, Instant};
+
+/// Morsels per thread for parallel LFTJ (Minesweeper takes the factor from
+/// [`MsConfig::granularity`]). The paper's Table 5 uses `f = 8` for cyclic queries;
+/// over-splitting also lets the job pool work-steal around skewed partitions.
+const LFTJ_GRANULARITY: usize = 8;
 
 /// Cross-engine execution statistics: one shape for every engine, replacing the
 /// per-engine stats types at the API boundary. Engine-specific counters (probe
@@ -65,6 +71,8 @@ pub struct RunStats {
     pub rows: u64,
     /// Worker threads used (index builds during prepare, or parallel execution).
     pub threads: usize,
+    /// Morsels the output space was partitioned into (0 for serial executions).
+    pub morsels: usize,
     /// Trie indexes built during prepare (0 when the shared cache was warm).
     pub indexes_built: usize,
     /// Engine-specific counters, e.g. `("probes", …)` for Minesweeper or
@@ -226,9 +234,10 @@ impl<'db> PreparedQuery<'db> {
     /// `sink` until the sink breaks or the output is exhausted.
     ///
     /// Rows arrive in a deterministic per-engine emission order: LFTJ and
-    /// Minesweeper emit in lexicographic GAO order, the pairwise baselines in sorted
-    /// variable-id order. The count-only engines (hybrid, graph engine) return
-    /// [`EngineError::Unsupported`]; use [`count`](Self::count) for those.
+    /// Minesweeper emit in lexicographic GAO order, the pairwise baselines in the
+    /// order of their streamed final join. The count-only engines (hybrid, graph
+    /// engine) return [`EngineError::Unsupported`]; use [`count`](Self::count) for
+    /// those.
     pub fn run(&self, sink: &mut impl Sink) -> Result<RunStats, EngineError> {
         let mut stats = self.base_stats();
         match &self.plan {
@@ -296,6 +305,128 @@ impl<'db> PreparedQuery<'db> {
         }
     }
 
+    /// Executes the query on `threads` worker threads through the morsel-driven
+    /// runtime (`gj-runtime`): the first GAO attribute is partitioned into
+    /// `threads × granularity` morsels, workers claim morsels from a shared
+    /// work-stealing pool, and per-morsel output shards are merged into `sink` **in
+    /// morsel order** — so the sink observes exactly the serial emission stream of
+    /// [`run`](Self::run), and `first_k`-style early termination stops all workers.
+    ///
+    /// Supported by LFTJ and Minesweeper (Minesweeper takes the granularity factor
+    /// from [`MsConfig::granularity`]). With one thread, a degenerate partition, or
+    /// an engine without a range-partitionable search (the pairwise baselines),
+    /// this falls back to the serial [`run`](Self::run); the count-only engines
+    /// return [`EngineError::Unsupported`] as usual.
+    pub fn run_parallel<K: ParallelSink>(
+        &self,
+        sink: &mut K,
+        threads: usize,
+    ) -> Result<RunStats, EngineError> {
+        let threads = threads.max(1);
+        let Plan::Bound(bq) = &self.plan else {
+            return self.run(sink);
+        };
+        if threads == 1 {
+            return self.serial_fallback(sink);
+        }
+        let mut stats = self.base_stats();
+        let bind_start = Instant::now();
+        let granularity = match &self.engine {
+            Engine::Minesweeper(config) => config.granularity.max(1),
+            _ => LFTJ_GRANULARITY,
+        };
+        let morsels = partition_first_attribute(bq, threads * granularity);
+        if morsels.len() <= 1 {
+            return self.serial_fallback(sink);
+        }
+        stats.bind = bind_start.elapsed();
+        let run_start = Instant::now();
+        let report = self.drive_bound(bq, &morsels, threads, sink);
+        stats.run = run_start.elapsed();
+        stats.rows = report.rows;
+        stats.threads = stats.threads.max(report.threads);
+        stats.morsels = report.morsels;
+        Ok(stats)
+    }
+
+    /// The serial half of [`run_parallel`](Self::run_parallel): counting sinks take
+    /// the engine's counting fast path (preserving e.g. Minesweeper's Idea 8 batch
+    /// counting, which the row-wise sink protocol disables); everything else runs
+    /// through the plain sink execution.
+    fn serial_fallback<K: ParallelSink>(&self, sink: &mut K) -> Result<RunStats, EngineError> {
+        if K::COUNT_ONLY {
+            let (count, stats) = self.count_with_stats()?;
+            let mut shard = sink.shard();
+            shard.push_count(count);
+            let _ = sink.absorb(shard);
+            return Ok(stats);
+        }
+        self.run(sink)
+    }
+
+    /// Runs the morsels of a bound plan through the engine's [`MorselSource`]
+    /// (`gj_runtime::MorselSource`) adapter.
+    fn drive_bound<K: ParallelSink>(
+        &self,
+        bq: &BoundQuery,
+        morsels: &[gj_runtime::Morsel],
+        threads: usize,
+        sink: &mut K,
+    ) -> DriveReport {
+        match &self.engine {
+            Engine::Lftj => drive(&LftjMorsels::new(bq), morsels, threads, sink),
+            Engine::Minesweeper(config) => {
+                drive(&MsMorsels::new(bq, config.clone()), morsels, threads, sink)
+            }
+            _ => unreachable!("Plan::Bound only serves LFTJ and Minesweeper"),
+        }
+    }
+
+    /// Counts the output rows on `threads` worker threads — the parallel
+    /// counterpart of [`count`](Self::count), using the engine's per-morsel
+    /// counting fast path (no row is materialised). Engines without a parallel
+    /// driver fall back to the serial count.
+    pub fn par_count(&self, threads: usize) -> Result<u64, EngineError> {
+        if threads <= 1 || !matches!(self.plan, Plan::Bound(_)) {
+            return self.count();
+        }
+        let mut sink = CountSink::new();
+        self.run_parallel(&mut sink, threads)?;
+        Ok(sink.rows())
+    }
+
+    /// Materialises every output row on `threads` worker threads. The ordered
+    /// shard merge makes the result identical to [`collect`](Self::collect) —
+    /// same rows, same order.
+    pub fn par_collect(&self, threads: usize) -> Result<QueryOutput, EngineError> {
+        let mut sink = CollectSink::new();
+        self.run_parallel(&mut sink, threads)?;
+        Ok(sink.into_rows())
+    }
+
+    /// The first `limit` output rows, computed on `threads` worker threads —
+    /// still exactly the serial emission prefix of [`collect`](Self::collect):
+    /// morsels are merged in order and the cross-worker stop flag retires the
+    /// remaining morsels once the prefix is full.
+    pub fn par_first_k(&self, limit: usize, threads: usize) -> Result<QueryOutput, EngineError> {
+        let mut sink = FirstK::new(limit);
+        self.run_parallel(&mut sink, threads)?;
+        Ok(sink.into_rows())
+    }
+
+    /// Whether the query has at least one output row, checked on `threads` worker
+    /// threads: the first row found by *any* worker stops all of them. Count-only
+    /// engines fall back to a full (serial) count.
+    pub fn par_exists(&self, threads: usize) -> Result<bool, EngineError> {
+        if self.supports_enumeration() {
+            let mut sink = ExistsSink::new();
+            self.run_parallel(&mut sink, threads)?;
+            Ok(sink.found())
+        } else {
+            Ok(self.count()? > 0)
+        }
+    }
+
     /// Counts the output rows. Supported by every engine; uses the engine's
     /// counting fast path (e.g. Minesweeper's batch counting and multi-threaded
     /// driver) rather than the sink protocol.
@@ -319,10 +450,26 @@ impl<'db> PreparedQuery<'db> {
                     lftj.results
                 }
                 Engine::Minesweeper(config) if config.threads > 1 => {
+                    // The historical `MsConfig::threads > 1` contract, now served by
+                    // the shared morsel runtime instead of the deprecated
+                    // engine-local `par_count`.
                     let run_start = Instant::now();
-                    let count = gj_minesweeper::par_count(bq, config);
+                    let morsels =
+                        partition_first_attribute(bq, config.threads * config.granularity.max(1));
+                    let count = if morsels.len() <= 1 {
+                        // Too few distinct values to split: sequential fallback.
+                        let mut exec = MinesweeperExecutor::new(bq, config.clone());
+                        let ms = exec.run(&mut |_, _| {});
+                        stats.extras = ms_extras(&ms);
+                        ms.results
+                    } else {
+                        let mut sink = CountSink::new();
+                        let report = self.drive_bound(bq, &morsels, config.threads, &mut sink);
+                        stats.threads = stats.threads.max(report.threads);
+                        stats.morsels = report.morsels;
+                        sink.rows()
+                    };
                     stats.run = run_start.elapsed();
-                    stats.threads = stats.threads.max(config.threads);
                     count
                 }
                 Engine::Minesweeper(config) => {
@@ -507,6 +654,79 @@ mod tests {
         let prepared = db.prepare(&q, &hybrid).unwrap();
         assert!(matches!(prepared.first_k(1), Err(EngineError::Unsupported(_))));
         assert_eq!(prepared.count().unwrap(), db.count(&q, &Engine::Lftj).unwrap());
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_for_every_sink() {
+        let db = two_triangle_db();
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
+            let q = cq.query();
+            for engine in [Engine::Lftj, Engine::minesweeper()] {
+                let prepared = db.prepare(&q, &engine).unwrap();
+                let count = prepared.count().unwrap();
+                let rows = prepared.collect().unwrap();
+                for threads in [1, 2, 4] {
+                    let label = format!("{} {} t={threads}", q.name, engine.label());
+                    assert_eq!(prepared.par_count(threads).unwrap(), count, "{label}");
+                    assert_eq!(prepared.par_collect(threads).unwrap(), rows, "{label}");
+                    assert_eq!(prepared.par_exists(threads).unwrap(), count > 0, "{label}");
+                    for k in [0, 1, rows.len() / 2, rows.len() + 1] {
+                        assert_eq!(
+                            prepared.par_first_k(k, threads).unwrap(),
+                            rows[..k.min(rows.len())].to_vec(),
+                            "{label} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_reports_morsels_and_threads() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        let prepared = db.prepare(&q, &Engine::Lftj).unwrap();
+        let mut sink = CountSink::new();
+        let stats = prepared.run_parallel(&mut sink, 2).unwrap();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(sink.rows(), 2);
+        assert!(stats.morsels > 1, "the parallel run must actually partition");
+        assert!(stats.threads >= 1 && stats.threads <= 2);
+        // Serial executions report no morsels.
+        let (_, serial) = prepared.count_with_stats().unwrap();
+        assert_eq!(serial.morsels, 0);
+    }
+
+    #[test]
+    fn run_parallel_falls_back_for_non_partitionable_engines() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::FourCycle.query();
+        let prepared = db.prepare(&q, &Engine::HashJoin(ExecLimits::default())).unwrap();
+        let serial = prepared.collect().unwrap();
+        assert_eq!(prepared.par_collect(4).unwrap(), serial);
+        assert_eq!(prepared.par_count(4).unwrap(), serial.len() as u64);
+        // Count-only engines keep rejecting row sinks and keep counting.
+        let hybrid = Engine::hybrid_for(CatalogQuery::TwoLollipop).unwrap();
+        let prepared = db.prepare(&CatalogQuery::TwoLollipop.query(), &hybrid).unwrap();
+        assert!(matches!(prepared.par_collect(4), Err(EngineError::Unsupported(_))));
+        assert_eq!(
+            prepared.par_count(4).unwrap(),
+            db.count(&CatalogQuery::TwoLollipop.query(), &Engine::Lftj).unwrap()
+        );
+        assert!(prepared.par_exists(4).unwrap());
+    }
+
+    #[test]
+    fn threaded_minesweeper_engine_counts_through_the_runtime() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        let engine =
+            Engine::Minesweeper(MsConfig { threads: 3, granularity: 2, ..MsConfig::default() });
+        let prepared = db.prepare(&q, &engine).unwrap();
+        let (count, stats) = prepared.count_with_stats().unwrap();
+        assert_eq!(count, 2);
+        assert!(stats.threads >= 1);
     }
 
     #[test]

@@ -15,10 +15,14 @@
 //! The public entry points are [`LftjExecutor`], [`count`], [`enumerate`], [`run`]
 //! and [`try_run`] (early termination); all of them consume a
 //! [`BoundQuery`](gj_query::BoundQuery) (query + GAO + GAO-consistent trie indexes)
-//! from `gj-query`.
+//! from `gj-query`. For parallel execution, [`LftjMorsels`] plugs the executor into
+//! the `gj-runtime` morsel driver (the root-level intersection is range-restricted
+//! with [`LftjExecutor::with_range0`]).
 
 pub mod executor;
 pub mod leapfrog;
+pub mod parallel;
 
 pub use executor::{count, enumerate, run, try_run, LftjExecutor, LftjStats};
 pub use leapfrog::LeapfrogJoin;
+pub use parallel::LftjMorsels;

@@ -44,8 +44,12 @@ pub struct CdsStats {
 pub struct Cds {
     /// Number of GAO attributes (tree depth).
     n: usize,
-    /// Node arena; index 0 is the root.
+    /// Node arena; index 0 is the root. Only the first `live` entries are part of
+    /// the current tree — [`Cds::reset`] rewinds `live` instead of deallocating, so
+    /// a reused CDS recycles node storage across runs.
     nodes: Vec<Node>,
+    /// Number of arena entries in use by the current tree.
+    live: usize,
     /// Parent link and incoming edge label of each node (`None` label = wildcard
     /// edge). The root's entry is unused.
     parents: Vec<(NodeId, Option<Val>)>,
@@ -84,6 +88,7 @@ impl Cds {
         Cds {
             n,
             nodes: vec![Node::new()],
+            live: 1,
             parents: vec![(0, None)],
             frontier: vec![-1; n],
             caching,
@@ -129,9 +134,21 @@ impl Cds {
         &self.nodes[id]
     }
 
-    /// Number of allocated nodes (including pruned/detached ones).
+    /// Number of nodes in the current tree (including pruned/detached ones).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.live
+    }
+
+    /// Rewinds the CDS to its initial state — frontier at `(-1, …, -1)`, no
+    /// constraints, zeroed statistics — while keeping the node arena allocated.
+    /// `domain_max` and the caching/completeness configuration are preserved. This
+    /// is what lets one executor serve every morsel a worker claims without paying
+    /// a fresh CDS allocation per job.
+    pub fn reset(&mut self) {
+        self.nodes[0].clear();
+        self.live = 1;
+        self.frontier.iter_mut().for_each(|v| *v = -1);
+        self.stats = CdsStats::default();
     }
 
     /// Finds the node with exactly this pattern, if it exists.
@@ -147,9 +164,16 @@ impl Cds {
     }
 
     fn new_node(&mut self, parent: NodeId, label: Option<Val>) -> NodeId {
-        let id = self.nodes.len();
-        self.nodes.push(Node::new());
-        self.parents.push((parent, label));
+        let id = self.live;
+        if id < self.nodes.len() {
+            // Recycle an arena slot left over from before the last reset.
+            self.nodes[id].clear();
+            self.parents[id] = (parent, label);
+        } else {
+            self.nodes.push(Node::new());
+            self.parents.push((parent, label));
+        }
+        self.live = id + 1;
         id
     }
 
@@ -368,6 +392,30 @@ mod tests {
 
     fn c(pattern: Vec<PatternComp>, interval: (Val, Val)) -> Constraint {
         Constraint::new(pattern, interval)
+    }
+
+    #[test]
+    fn reset_recycles_the_arena_and_restarts_the_search() {
+        let mut cds = Cds::new(4, true, true).with_domain_max(50);
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1)], (1, 3)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(2)], (10, 19)));
+        assert!(cds.compute_free_tuple());
+        let first = cds.frontier().to_vec();
+        let nodes_before = cds.num_nodes();
+        assert!(nodes_before > 1);
+
+        cds.reset();
+        assert_eq!(cds.num_nodes(), 1, "reset rewinds to the root");
+        assert_eq!(cds.frontier(), &[-1, -1, -1, -1]);
+        assert_eq!(cds.stats, CdsStats::default());
+
+        // Re-inserting the same constraints reuses the arena slots and reproduces
+        // the same first free tuple.
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1)], (1, 3)));
+        cds.insert_constraint(&c(vec![Wildcard, Eq(1), Eq(2)], (10, 19)));
+        assert_eq!(cds.num_nodes(), nodes_before);
+        assert!(cds.compute_free_tuple());
+        assert_eq!(cds.frontier(), first.as_slice());
     }
 
     /// Builds the CDS of Figure 2 in the paper (n = 5) and checks its shape.

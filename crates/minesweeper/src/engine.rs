@@ -15,7 +15,7 @@
 use crate::cds::Cds;
 use crate::constraint::Constraint;
 use crate::counting::count_last_level_run;
-use crate::gaps::{build_probers, ProbeOutcome, ProbeStats};
+use crate::gaps::{build_probers, AtomProber, ProbeOutcome, ProbeStats};
 use gj_query::gao::is_neo;
 use gj_query::{acyclic_skeleton, BoundQuery, Hypergraph, Query};
 use gj_storage::{Val, POS_INF};
@@ -38,7 +38,9 @@ pub struct MsConfig {
     /// whole runs of outputs that share the first `n-1` attributes in one step
     /// instead of enumerating them tuple by tuple.
     pub idea8_batch_counting: bool,
-    /// Number of worker threads for [`crate::parallel::par_count`] (1 = sequential).
+    /// Number of worker threads for the morsel-driven parallel execution
+    /// (`PreparedQuery::run_parallel` in `gj-core`, [`crate::parallel::MsMorsels`]
+    /// underneath; 1 = sequential).
     pub threads: usize,
     /// Granularity factor `f` of Section 4.10: the output space is split into
     /// `threads * granularity` jobs.
@@ -110,6 +112,15 @@ pub struct MinesweeperExecutor<'a> {
     filters: Vec<Vec<(usize, bool)>>,
     /// Restriction of the first GAO attribute to `[lo, hi)` (parallel partitioning).
     range0: Option<(Val, Val)>,
+    /// Per-atom probers, built once and reused across runs. Their Idea 4 memos are
+    /// *facts about the data* (a gap box stays a gap box whatever range is being
+    /// scanned), so they deliberately survive from one run to the next — a worker
+    /// carrying one executor across morsels starts each morsel pre-warmed.
+    probers: Vec<AtomProber>,
+    /// The constraint store, allocated once and [`reset`](Cds::reset) per run so
+    /// repeated executions (one per claimed morsel) recycle the node arena instead
+    /// of re-allocating it.
+    cds: Cds,
 }
 
 impl<'a> MinesweeperExecutor<'a> {
@@ -125,6 +136,23 @@ impl<'a> MinesweeperExecutor<'a> {
             vec![true; query.num_atoms()]
         };
         let chain_mode = Self::skeleton_is_chain_compatible(query, &skeleton, &bq.gao);
+        let caching = config.idea5_caching && chain_mode;
+        // Idea 6 assumes that by the time a node wraps twice, every value that can
+        // still be free under its pattern has been *scanned* and recorded. Frontier
+        // jumps that bypass the CDS — escapes from non-skeleton gaps (Idea 7), from
+        // violated order filters, or from Idea 8 batch counting — skip values without
+        // scanning them, which would make a "complete" node silently drop outputs
+        // reached under a different prefix. Complete nodes are therefore only enabled
+        // when no such jump can occur: β-acyclic (all-skeleton), filter-free queries,
+        // which is exactly the setting of the paper's Section 4.7 and Tables 1–2.
+        let no_frontier_jumps =
+            query.filters.is_empty() && skeleton.iter().all(|&s| s) && !config.idea8_batch_counting;
+        let complete = config.idea6_complete_nodes && caching && no_frontier_jumps;
+        // No output tuple can contain a value larger than the largest data value, so
+        // the CDS search is bounded by it.
+        let domain_max = bq.atoms.iter().filter_map(|a| a.index.max_value()).max().unwrap_or(-1);
+        let probers = build_probers(bq, &skeleton);
+        let cds = Cds::new(bq.num_vars(), caching, complete).with_domain_max(domain_max);
         MinesweeperExecutor {
             bq,
             config,
@@ -132,6 +160,8 @@ impl<'a> MinesweeperExecutor<'a> {
             chain_mode,
             filters: bq.filters_by_gao_pos(),
             range0: None,
+            probers,
+            cds,
         }
     }
 
@@ -140,6 +170,26 @@ impl<'a> MinesweeperExecutor<'a> {
     pub fn with_range0(mut self, lo: Val, hi: Val) -> Self {
         self.range0 = Some((lo, hi));
         self
+    }
+
+    /// Runs the query restricted to first-GAO-attribute values in `[lo, hi)` — the
+    /// morsel entry point of the parallel runtime. Unlike constructing a fresh
+    /// executor per range, repeated `run_range` calls on one executor reuse the
+    /// probers (with their warmed-up Idea 4 gap memos) and recycle the CDS node
+    /// arena, so a worker thread pays the executor setup once for all the morsels
+    /// it claims.
+    pub fn run_range<F: FnMut(&[Val], u64) -> ControlFlow<()>>(
+        &mut self,
+        lo: Val,
+        hi: Val,
+        emit: &mut F,
+    ) -> MsStats {
+        // The restriction is transient: it must not leak into a later full-range
+        // run on this (reusable) executor.
+        let previous = self.range0.replace((lo, hi));
+        let stats = self.try_run(emit);
+        self.range0 = previous;
+        stats
     }
 
     /// Whether the caching machinery (Ideas 5/6) is active for this query and GAO.
@@ -186,39 +236,28 @@ impl<'a> MinesweeperExecutor<'a> {
     /// the stop point.
     pub fn try_run<F: FnMut(&[Val], u64) -> ControlFlow<()>>(&mut self, emit: &mut F) -> MsStats {
         let n = self.bq.num_vars();
-        let caching = self.config.idea5_caching && self.chain_mode;
-        // Idea 6 assumes that by the time a node wraps twice, every value that can
-        // still be free under its pattern has been *scanned* and recorded. Frontier
-        // jumps that bypass the CDS — escapes from non-skeleton gaps (Idea 7), from
-        // violated order filters, or from Idea 8 batch counting — skip values without
-        // scanning them, which would make a "complete" node silently drop outputs
-        // reached under a different prefix. Complete nodes are therefore only enabled
-        // when no such jump can occur: β-acyclic (all-skeleton), filter-free queries,
-        // which is exactly the setting of the paper's Section 4.7 and Tables 1–2.
-        let no_frontier_jumps = self.bq.query.filters.is_empty()
-            && self.skeleton.iter().all(|&s| s)
-            && !self.config.idea8_batch_counting;
-        let complete = self.config.idea6_complete_nodes && caching && no_frontier_jumps;
-        // No output tuple can contain a value larger than the largest data value, so
-        // the CDS search is bounded by it.
-        let domain_max =
-            self.bq.atoms.iter().filter_map(|a| a.index.max_value()).max().unwrap_or(-1);
-        let mut cds = Cds::new(n, caching, complete).with_domain_max(domain_max);
-        let mut probers = build_probers(self.bq, &self.skeleton);
+        // The CDS is owned by the executor and recycled (arena and all) across runs;
+        // the probers keep their Idea 4 memos, which stay valid because gap boxes
+        // are range-independent facts about the relations — but each memo's first
+        // hit of the new run must re-insert its constraint into the now-empty CDS.
+        self.cds.reset();
+        for prober in &mut self.probers {
+            prober.begin_run();
+        }
         let mut probe_stats = ProbeStats::default();
         let mut stats = MsStats::default();
 
         if let Some((lo, _)) = self.range0 {
             let mut start = vec![-1; n];
             start[0] = lo;
-            cds.set_frontier(start);
+            self.cds.set_frontier(start);
         }
 
         loop {
-            if !cds.compute_free_tuple() {
+            if !self.cds.compute_free_tuple() {
                 break;
             }
-            let t = cds.frontier().to_vec();
+            let t = self.cds.frontier().to_vec();
             if let Some((_, hi)) = self.range0 {
                 if t[0] >= hi {
                     break;
@@ -258,14 +297,14 @@ impl<'a> MinesweeperExecutor<'a> {
                 }
             }
 
-            for prober in &mut probers {
+            for prober in &mut self.probers {
                 match prober.probe(&t, self.config.idea4_gap_memo, &mut probe_stats) {
                     ProbeOutcome::Member => {}
                     ProbeOutcome::Gap { constraint, newly_discovered } => {
                         any_gap = true;
                         if prober.skeleton {
                             if newly_discovered {
-                                cds.insert_constraint(&constraint);
+                                self.cds.insert_constraint(&constraint);
                             }
                         } else {
                             match escape_from_constraint(&t, &constraint) {
@@ -283,7 +322,8 @@ impl<'a> MinesweeperExecutor<'a> {
 
             if !any_gap {
                 if self.config.idea8_batch_counting {
-                    let (run, next) = count_last_level_run(self.bq, &probers, &self.filters, &t);
+                    let (run, next) =
+                        count_last_level_run(self.bq, &self.probers, &self.filters, &t);
                     stats.results += run;
                     let flow = emit(&t, run);
                     match next {
@@ -308,16 +348,16 @@ impl<'a> MinesweeperExecutor<'a> {
             if exhausted {
                 break;
             }
-            cds.set_frontier(advance);
+            self.cds.set_frontier(advance);
         }
 
         stats.probes = probe_stats.probes;
         stats.probes_skipped = probe_stats.probes_skipped;
-        stats.constraints_inserted = cds.stats.constraints_inserted;
-        stats.cached_intervals = cds.stats.cached_intervals;
-        stats.truncations = cds.stats.truncations;
-        stats.complete_node_hits = cds.stats.complete_node_hits;
-        stats.cds_nodes = cds.num_nodes() as u64;
+        stats.constraints_inserted = self.cds.stats.constraints_inserted;
+        stats.cached_intervals = self.cds.stats.cached_intervals;
+        stats.truncations = self.cds.stats.truncations;
+        stats.complete_node_hits = self.cds.stats.complete_node_hits;
+        stats.cds_nodes = self.cds.num_nodes() as u64;
         stats
     }
 
@@ -507,6 +547,25 @@ mod tests {
         let hi_half =
             MinesweeperExecutor::new(&bq, MsConfig::default()).with_range0(2, POS_INF).count();
         assert_eq!(lo_half + hi_half, total);
+    }
+
+    #[test]
+    fn one_executor_serves_many_ranges_and_full_runs() {
+        // The morsel reuse pattern: a single executor runs several disjoint ranges
+        // (recycling its CDS arena) and still answers a full-range run afterwards —
+        // run_range must not leak its restriction into later runs.
+        let inst = two_triangle_instance();
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let total = count(&bq, &MsConfig::default());
+        let mut exec = MinesweeperExecutor::new(&bq, MsConfig::default());
+        let mut split = 0;
+        for (lo, hi) in [(-1, 1), (1, 2), (2, POS_INF)] {
+            split += exec.run_range(lo, hi, &mut |_, _| ControlFlow::Continue(())).results;
+        }
+        assert_eq!(split, total);
+        let full = exec.run(&mut |_, _| {});
+        assert_eq!(full.results, total, "run_range must not restrict later full runs");
     }
 
     #[test]

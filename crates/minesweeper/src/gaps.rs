@@ -45,6 +45,8 @@ pub struct AtomProber {
     /// Idea 4 memo: the last gap constraint produced, with the index level that
     /// carried the interval.
     memo: Option<(Constraint, usize)>,
+    /// Whether the memo predates the current run (see [`begin_run`](Self::begin_run)).
+    memo_stale: bool,
     /// Scratch buffer for projections.
     scratch: Vec<Val>,
 }
@@ -71,7 +73,17 @@ impl AtomProber {
             positions,
             index: Arc::clone(&bound_atom.index),
             memo: None,
+            memo_stale: false,
         }
+    }
+
+    /// Marks the start of a new run over a *fresh* CDS. The memoised gap stays
+    /// usable (it is a fact about the data, valid across runs and ranges), but its
+    /// first hit in the new run reports `newly_discovered: true` again so the
+    /// engine re-inserts the constraint into the empty CDS — otherwise the frontier
+    /// would crawl through the remembered gap value by value.
+    pub fn begin_run(&mut self) {
+        self.memo_stale = self.memo.is_some();
     }
 
     /// The GAO positions of the atom's attributes.
@@ -97,10 +109,10 @@ impl AtomProber {
                     let (lo, hi) = c.interval;
                     if lo < v && v < hi {
                         stats.probes_skipped += 1;
-                        return ProbeOutcome::Gap {
-                            constraint: c.clone(),
-                            newly_discovered: false,
-                        };
+                        // A memo carried over from a previous run answers its first
+                        // hit as newly discovered: the (reset) CDS has not seen it.
+                        let newly_discovered = std::mem::replace(&mut self.memo_stale, false);
+                        return ProbeOutcome::Gap { constraint: c.clone(), newly_discovered };
                     }
                     // On the finite endpoint of a last-attribute interval the
                     // projection is a member: the endpoint came from the index, and
@@ -126,6 +138,7 @@ impl AtomProber {
             ProbeResult::Gap { depth, lower, upper } => {
                 let constraint = self.gap_to_constraint(t, depth, lower, upper);
                 self.memo = Some((constraint.clone(), depth));
+                self.memo_stale = false;
                 ProbeOutcome::Gap { constraint, newly_discovered: true }
             }
         }
@@ -260,6 +273,36 @@ mod tests {
             ProbeOutcome::Gap { newly_discovered: true, .. }
         ));
         assert_eq!(stats.probes, 2);
+    }
+
+    #[test]
+    fn stale_memos_reinsert_their_gap_after_begin_run() {
+        let (_bq, mut probers) = paper_setup();
+        let mut stats = ProbeStats::default();
+        let r = probers.iter_mut().find(|p| p.positions() == [2, 4, 5]).unwrap();
+        let t = [2, 6, 6, 1, 3, 7, 9];
+        assert!(matches!(
+            r.probe(&t, true, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: true, .. }
+        ));
+        // Same run: the memo answers and the CDS already knows the gap.
+        assert!(matches!(
+            r.probe(&t, true, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: false, .. }
+        ));
+        // New run over a reset CDS: the first memo hit must report the gap as newly
+        // discovered again (the fresh CDS has never seen it), later hits must not.
+        r.begin_run();
+        assert!(matches!(
+            r.probe(&t, true, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: true, .. }
+        ));
+        assert!(matches!(
+            r.probe(&t, true, &mut stats),
+            ProbeOutcome::Gap { newly_discovered: false, .. }
+        ));
+        assert_eq!(stats.probes, 1, "every repeat was answered from the memo");
+        assert_eq!(stats.probes_skipped, 3);
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //!   atoms only advance the frontier);
 //! * **Idea 8** — #Minesweeper-style counting (per-free-value counts propagated
 //!   through completed nodes);
-//! * the **multi-threaded** partitioning of Section 4.10 and the **hybrid**
+//! * the **multi-threaded** partitioning of Section 4.10 — now served through the
+//!   shared `gj-runtime` morsel driver ([`MsMorsels`]), with one executor reused
+//!   per worker across morsels and full sink support (parallel
+//!   enumerate/collect/first_k, not just counting) — and the **hybrid**
 //!   Minesweeper + LFTJ algorithm of Section 4.12.
 //!
 //! Every idea can be toggled through [`MsConfig`] so the ablation experiments
@@ -47,4 +50,6 @@ pub use cds::Cds;
 pub use constraint::{Constraint, PatternComp};
 pub use engine::{count, enumerate, run, try_run, MinesweeperExecutor, MsConfig, MsStats};
 pub use hybrid::{hybrid_count, HybridPlan};
+#[allow(deprecated)]
 pub use parallel::par_count;
+pub use parallel::{MsMorsels, MsWorker};

@@ -46,6 +46,19 @@ impl Node {
         Node::default()
     }
 
+    /// Empties the node for arena reuse, keeping every vector's capacity — the
+    /// allocation-batching half of the reusable CDS (`Cds::reset`): a worker that
+    /// processes many morsels re-populates recycled nodes instead of allocating
+    /// fresh point lists per job.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+        self.children.clear();
+        self.wildcard_child = None;
+        self.free_points.clear();
+        self.wraps = 0;
+        self.complete = false;
+    }
+
     // ----- intervals -------------------------------------------------------------
 
     /// The stored disjoint open intervals (sorted).

@@ -10,8 +10,8 @@
 //!
 //! The cache is thread-safe (`RwLock` around the map) and misses can be built in
 //! parallel with [`IndexCache::build_all`], which shards independent trie builds
-//! across a scoped-thread job queue — the same std-only atomic pattern as
-//! Minesweeper's `par_count` driver. Replacing a relation must call
+//! across a scoped-thread job queue — the same std-only atomic pattern as the
+//! `gj-runtime` morsel driver's job pool. Replacing a relation must call
 //! [`IndexCache::invalidate`] with its name; the `Database` façade in `gj-core`
 //! does this from `add_relation`/`add_graph`.
 

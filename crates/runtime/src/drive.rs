@@ -1,0 +1,284 @@
+//! The morsel driver: scoped workers, a shared job pool, and the ordered merge.
+//!
+//! [`drive`] is the runtime's engine-independent core. It spawns `threads` scoped
+//! worker threads (std-only, no external thread pool); each worker repeatedly claims
+//! the next unclaimed morsel from the [`JobQueue`], runs it through the engine's
+//! [`MorselSource`] into the morsel's private shard, and hands the completed shard
+//! to the merger. The merger absorbs shards strictly **in morsel order** — shards
+//! finishing out of order wait in a pending map — so the sink observes the serial
+//! emission stream regardless of scheduling.
+//!
+//! Per-worker engine state ([`MorselSource::Worker`]) lives for the whole worker
+//! loop: an engine can keep its executor, search buffers, or constraint store alive
+//! across every morsel the worker claims, instead of re-allocating per job.
+
+use crate::morsel::Morsel;
+use crate::psink::{ParallelSink, ShardSink};
+use crate::queue::JobQueue;
+use gj_storage::Val;
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::sync::Mutex;
+
+/// A range-restricted engine execution: everything the runtime needs to drive an
+/// engine in parallel.
+///
+/// Implementations run the query restricted to first-GAO-attribute values in
+/// `[morsel.lo, morsel.hi)` and emit every output row **in variable-id order** (the
+/// sink protocol's row shape), in the engine's serial emission order.
+pub trait MorselSource: Sync {
+    /// Reusable per-worker state (executor, scratch buffers, constraint store);
+    /// created once per worker thread and carried across every claimed morsel.
+    type Worker;
+
+    /// Creates the state for one worker thread.
+    fn worker(&self) -> Self::Worker;
+
+    /// Runs one morsel, emitting rows until exhaustion or until `emit` breaks.
+    fn run_morsel(
+        &self,
+        worker: &mut Self::Worker,
+        morsel: Morsel,
+        emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
+    );
+
+    /// Counting fast path: the number of output rows in one morsel. Engines with a
+    /// dedicated counting mode (e.g. Minesweeper's batch counting) should override
+    /// this; the default enumerates and counts.
+    fn count_morsel(&self, worker: &mut Self::Worker, morsel: Morsel) -> u64 {
+        let mut rows = 0;
+        self.run_morsel(worker, morsel, &mut |_| {
+            rows += 1;
+            ControlFlow::Continue(())
+        });
+        rows
+    }
+}
+
+/// What a parallel run did, for `RunStats` in `gj-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Number of morsels the output space was partitioned into.
+    pub morsels: usize,
+    /// Worker threads spawned.
+    pub threads: usize,
+    /// Rows delivered into the sink by the ordered merge.
+    pub rows: u64,
+    /// Morsels actually executed (smaller than `morsels` under early termination).
+    pub morsels_run: usize,
+}
+
+/// The ordered merge: absorbs completed shards into the sink in morsel order.
+struct Merger<'s, K: ParallelSink> {
+    sink: &'s mut K,
+    /// Next morsel index the sink is waiting for.
+    next: usize,
+    /// Completed shards that finished ahead of `next`.
+    pending: BTreeMap<usize, K::Shard>,
+    rows: u64,
+    satisfied: bool,
+}
+
+impl<'s, K: ParallelSink> Merger<'s, K> {
+    fn new(sink: &'s mut K) -> Self {
+        Merger { sink, next: 0, pending: BTreeMap::new(), rows: 0, satisfied: false }
+    }
+
+    /// Registers morsel `job`'s completed shard and absorbs every shard that is now
+    /// contiguous with the absorbed prefix. Returns `Break` once the sink is
+    /// satisfied (sticky).
+    fn complete(&mut self, job: usize, shard: K::Shard) -> ControlFlow<()> {
+        self.pending.insert(job, shard);
+        while let Some(shard) = self.pending.remove(&self.next) {
+            self.next += 1;
+            if self.satisfied {
+                continue; // the sink broke earlier: drop trailing shards
+            }
+            let (rows, flow) = self.sink.absorb(shard);
+            self.rows += rows;
+            self.satisfied = flow.is_break();
+        }
+        if self.satisfied {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// Runs `morsels` of `source` on `threads` worker threads, merging every morsel's
+/// output into `sink` in morsel order.
+///
+/// With a single thread or a single morsel this still goes through the worker loop
+/// (one worker, in-order completion), so serial and parallel execution share one
+/// code path; callers that want the engine's serial fast path should branch before
+/// calling. Panics in a worker propagate to the caller via the scoped join.
+pub fn drive<S: MorselSource, K: ParallelSink>(
+    source: &S,
+    morsels: &[Morsel],
+    threads: usize,
+    sink: &mut K,
+) -> DriveReport {
+    let n = morsels.len();
+    let threads = threads.max(1).min(n.max(1));
+    let queue = JobQueue::new(n);
+    // One shard per morsel, created up front (shard creation needs `&sink`, which is
+    // mutably borrowed by the merger below).
+    let shards: Vec<Mutex<Option<K::Shard>>> =
+        (0..n).map(|_| Mutex::new(Some(sink.shard()))).collect();
+    let merger = Mutex::new(Merger::new(sink));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let shards = &shards;
+            let merger = &merger;
+            scope.spawn(move || {
+                let mut worker = source.worker();
+                while let Some(job) = queue.claim() {
+                    let mut shard = shards[job]
+                        .lock()
+                        .expect("shard mutex poisoned")
+                        .take()
+                        .expect("every job is claimed exactly once");
+                    if K::COUNT_ONLY {
+                        shard.push_count(source.count_morsel(&mut worker, morsels[job]));
+                    } else {
+                        source.run_morsel(&mut worker, morsels[job], &mut |row| {
+                            if queue.is_stopped() {
+                                return ControlFlow::Break(());
+                            }
+                            let flow = shard.push(row);
+                            if shard.wants_global_stop() {
+                                queue.stop();
+                            }
+                            flow
+                        });
+                    }
+                    let merged = merger.lock().expect("merger mutex poisoned").complete(job, shard);
+                    if merged.is_break() {
+                        queue.stop();
+                    }
+                }
+            });
+        }
+    });
+
+    let merger = merger.into_inner().expect("merger mutex poisoned");
+    DriveReport { morsels: n, threads, rows: merger.rows, morsels_run: merger.next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink, ExistsSink, FirstK};
+    use gj_storage::POS_INF;
+
+    /// A toy source that emits `(v, v)` for every v in the morsel ∩ [0, n).
+    struct Iota {
+        n: Val,
+    }
+
+    impl MorselSource for Iota {
+        type Worker = Vec<Val>;
+
+        fn worker(&self) -> Vec<Val> {
+            vec![0; 2]
+        }
+
+        fn run_morsel(
+            &self,
+            scratch: &mut Vec<Val>,
+            m: Morsel,
+            emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
+        ) {
+            for v in m.lo.max(0)..m.hi.min(self.n) {
+                scratch[0] = v;
+                scratch[1] = v;
+                if emit(scratch).is_break() {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn tile(bounds: &[Val]) -> Vec<Morsel> {
+        let mut lo = -1;
+        let mut morsels = Vec::new();
+        for &b in bounds {
+            morsels.push(Morsel::new(lo, b));
+            lo = b;
+        }
+        morsels.push(Morsel::new(lo, POS_INF));
+        morsels
+    }
+
+    #[test]
+    fn counts_add_up_across_workers() {
+        let source = Iota { n: 1000 };
+        let morsels = tile(&[100, 300, 301, 999]);
+        for threads in [1, 2, 4, 8] {
+            let mut sink = CountSink::new();
+            let report = drive(&source, &morsels, threads, &mut sink);
+            assert_eq!(sink.rows(), 1000, "threads {threads}");
+            assert_eq!(report.rows, 1000);
+            assert_eq!(report.morsels, 5);
+            assert_eq!(report.morsels_run, 5);
+        }
+    }
+
+    #[test]
+    fn collect_preserves_the_serial_emission_order() {
+        let source = Iota { n: 200 };
+        let morsels = tile(&[13, 50, 51, 120, 180]);
+        let expected: Vec<Vec<Val>> = (0..200).map(|v| vec![v, v]).collect();
+        for threads in [2, 7] {
+            let mut sink = CollectSink::new();
+            drive(&source, &morsels, threads, &mut sink);
+            assert_eq!(sink.into_rows(), expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn first_k_is_the_serial_prefix_and_skips_trailing_morsels() {
+        let source = Iota { n: 10_000 };
+        let morsels = tile(&(1..100).map(|i| i * 100).collect::<Vec<_>>());
+        let mut sink = FirstK::new(7);
+        let report = drive(&source, &morsels, 4, &mut sink);
+        assert_eq!(sink.into_rows(), (0..7).map(|v| vec![v, v]).collect::<Vec<_>>());
+        assert!(
+            report.morsels_run < report.morsels,
+            "early termination must leave morsels unclaimed ({report:?})"
+        );
+    }
+
+    #[test]
+    fn exists_stops_early_on_any_row() {
+        let source = Iota { n: 1_000_000 };
+        let morsels = tile(&(1..200).map(|i| i * 5000).collect::<Vec<_>>());
+        let mut sink = ExistsSink::new();
+        let report = drive(&source, &morsels, 8, &mut sink);
+        assert!(sink.found());
+        assert!(report.morsels_run <= report.morsels);
+    }
+
+    #[test]
+    fn empty_domain_yields_nothing() {
+        let source = Iota { n: 0 };
+        let morsels = tile(&[10]);
+        let mut sink = CollectSink::new();
+        let report = drive(&source, &morsels, 4, &mut sink);
+        assert!(sink.rows().is_empty());
+        assert_eq!(report.rows, 0);
+        assert_eq!(report.morsels_run, 2);
+    }
+
+    #[test]
+    fn more_threads_than_morsels_is_fine() {
+        let source = Iota { n: 50 };
+        let mut sink = CountSink::new();
+        let report = drive(&source, &[Morsel::whole_axis()], 16, &mut sink);
+        assert_eq!(sink.rows(), 50);
+        assert_eq!(report.threads, 1, "threads are clamped to the morsel count");
+    }
+}

@@ -1,0 +1,78 @@
+//! # gj-runtime
+//!
+//! The morsel-driven parallel execution runtime shared by every engine in this
+//! workspace — the generalisation of the paper's Section 4.10 multi-threading
+//! (partition the output space on the first GAO attribute, work-steal jobs from a
+//! shared pool) from a count-only Minesweeper special case into infrastructure that
+//! LFTJ, Minesweeper and any future engine drive through one protocol.
+//!
+//! The runtime is built from four pieces:
+//!
+//! * [`morsel`] — quantile-based partitioning of the first GAO attribute into
+//!   [`Morsel`]s (half-open value ranges that tile the output space);
+//! * [`queue`] — a std-only [`JobQueue`]: workers claim the next unclaimed morsel
+//!   with a single `fetch_add` (the same work-stealing behaviour the paper gets from
+//!   the LogicBlox job pool), plus a shared stop flag for early termination;
+//! * [`sink`] — the unified [`Sink`] execution protocol (rows in,
+//!   [`ControlFlow`](std::ops::ControlFlow) out) and its concrete sinks, shared by
+//!   serial and parallel execution;
+//! * [`psink`] / [`drive()`] — the shard-and-merge layer: every [`ParallelSink`]
+//!   hands out one [`ShardSink`] per morsel, workers fill shards independently, and
+//!   the merge absorbs them **in morsel order**, which makes the parallel row stream
+//!   identical to the serial emission order (not merely a permutation of it).
+//!
+//! Engines plug in by implementing [`MorselSource`]: a range-restricted execution of
+//! one morsel, plus an optional counting fast path. `gj-lftj` restricts the root
+//! leapfrog intersection, `gj-minesweeper` restricts the CDS frontier; the runtime
+//! never needs to know how a search is actually performed.
+//!
+//! Early termination propagates across workers: a sink that answers
+//! [`ControlFlow::Break`](std::ops::ControlFlow::Break) during the merge (`first_k`
+//! reached, `exists` answered) trips the queue's stop flag, workers stop claiming
+//! morsels, and in-flight morsels abort at their next row.
+//!
+//! ```
+//! use gj_runtime::{drive, CountSink, JobQueue, Morsel, MorselSource, Val};
+//! use std::ops::ControlFlow;
+//!
+//! /// A toy engine: "outputs" every value of its domain, range-restricted.
+//! struct Iota(Val);
+//! impl MorselSource for Iota {
+//!     type Worker = ();
+//!     fn worker(&self) {}
+//!     fn run_morsel(
+//!         &self,
+//!         _w: &mut (),
+//!         m: Morsel,
+//!         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
+//!     ) {
+//!         for v in m.lo.max(0)..m.hi.min(self.0) {
+//!             if emit(&[v]).is_break() {
+//!                 return;
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let morsels = [Morsel::new(-1, 40), Morsel::new(40, 70), Morsel::new(70, Val::MAX)];
+//! let mut count = CountSink::new();
+//! let report = drive(&Iota(100), &morsels, 3, &mut count);
+//! assert_eq!(count.rows(), 100);
+//! assert_eq!(report.morsels, 3);
+//! let _ = JobQueue::new(0);
+//! ```
+
+pub mod drive;
+pub mod morsel;
+pub mod psink;
+pub mod queue;
+pub mod sink;
+
+pub use drive::{drive, DriveReport, MorselSource};
+pub use morsel::{partition_first_attribute, Morsel};
+pub use psink::{Ordered, ParallelSink, ShardSink};
+pub use queue::JobQueue;
+pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
+
+/// Re-exported value type, so engine-independent callers need only this crate.
+pub use gj_storage::Val;

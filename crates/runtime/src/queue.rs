@@ -1,0 +1,97 @@
+//! The shared job queue: `fetch_add` work stealing plus a cross-worker stop flag.
+//!
+//! Workers claim the next unclaimed job index with a single atomic `fetch_add` — the
+//! same work-stealing behaviour a channel or the LogicBlox job pool would give,
+//! without any external dependency (the workspace is std-only). The queue also
+//! carries the shared **stop flag** that propagates early termination across
+//! workers: when a sink answers `Break` during the merge (`first_k` satisfied,
+//! `exists` answered), the driver trips the flag, no further job is handed out, and
+//! in-flight morsels abort at their next emitted row.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A shared pool of `len` jobs, claimed in index order, with a stop flag.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    next: AtomicUsize,
+    len: usize,
+    stop: AtomicBool,
+}
+
+impl JobQueue {
+    /// Creates a queue over job indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        JobQueue { next: AtomicUsize::new(0), len, stop: AtomicBool::new(false) }
+    }
+
+    /// Claims the next unclaimed job, or `None` when the pool is drained or stopped.
+    ///
+    /// Jobs are handed out in increasing index order — the invariant the ordered
+    /// shard merge relies on: when the queue stops, the *unclaimed* jobs are exactly
+    /// a suffix of the pool, so the claimed prefix is still merged gap-free.
+    pub fn claim(&self) -> Option<usize> {
+        if self.is_stopped() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+
+    /// Trips the stop flag: no further job will be claimed, and cooperative workers
+    /// abort their current job at the next check.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the stop flag has been tripped.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs in the pool.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_every_job_exactly_once_across_threads() {
+        let queue = JobQueue::new(1000);
+        let seen: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    while let Some(i) = queue.claim() {
+                        seen[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stop_prevents_further_claims() {
+        let queue = JobQueue::new(10);
+        assert_eq!(queue.claim(), Some(0));
+        queue.stop();
+        assert!(queue.is_stopped());
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn empty_queue_claims_nothing() {
+        let queue = JobQueue::new(0);
+        assert!(queue.is_empty());
+        assert_eq!(queue.claim(), None);
+    }
+}

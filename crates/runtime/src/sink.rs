@@ -1,0 +1,221 @@
+//! The unified execution sink protocol.
+//!
+//! Every engine behind `PreparedQuery::run` (in `gj-core`) pushes its output rows —
+//! re-ordered into **variable-id order** — into a [`Sink`]. The sink answers with
+//! [`ControlFlow`]: `Continue` to keep the search going, `Break` to terminate it
+//! early. LFTJ and Minesweeper propagate the break through their search loops
+//! immediately (no further binding is explored, no further free tuple is probed);
+//! the pairwise baselines stop emitting from their streamed final join.
+//!
+//! The concrete sinks here give every engine the same derived operations for free:
+//! [`CountSink`] (count rows), [`CollectSink`] (materialise all rows), [`FirstK`]
+//! (the first `k` rows in emission order) and [`ExistsSink`] (stop at the first
+//! row). Closures `FnMut(&[Val]) -> ControlFlow<()>` are sinks too. All four also
+//! implement [`ParallelSink`](crate::ParallelSink), so the same sink value can be
+//! driven serially or through the morsel runtime.
+//!
+//! ```
+//! use gj_runtime::{FirstK, Sink};
+//!
+//! let mut first = FirstK::new(2);
+//! for row in [[0, 1, 2], [1, 2, 3], [2, 3, 4]] {
+//!     if first.push(&row).is_break() {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(first.into_rows(), vec![vec![0, 1, 2], vec![1, 2, 3]]);
+//! ```
+
+use gj_storage::Val;
+use std::ops::ControlFlow;
+
+/// A consumer of query output rows (bindings in variable-id order).
+pub trait Sink {
+    /// Receives one output row; return [`ControlFlow::Break`] to stop the execution.
+    fn push(&mut self, binding: &[Val]) -> ControlFlow<()>;
+}
+
+/// Any `FnMut(&[Val]) -> ControlFlow<()>` closure is a sink.
+impl<F: FnMut(&[Val]) -> ControlFlow<()>> Sink for F {
+    fn push(&mut self, binding: &[Val]) -> ControlFlow<()> {
+        self(binding)
+    }
+}
+
+/// Counts the rows pushed into it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountSink {
+    pub(crate) rows: u64,
+}
+
+impl CountSink {
+    /// Creates a sink with a zero count.
+    pub fn new() -> Self {
+        CountSink::default()
+    }
+
+    /// Number of rows received so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+impl Sink for CountSink {
+    fn push(&mut self, _binding: &[Val]) -> ControlFlow<()> {
+        self.rows += 1;
+        ControlFlow::Continue(())
+    }
+}
+
+/// Materialises every pushed row, in the engine's emission order.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    rows: Vec<Vec<Val>>,
+}
+
+impl CollectSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The rows received so far.
+    pub fn rows(&self) -> &[Vec<Val>] {
+        &self.rows
+    }
+
+    /// Consumes the sink, returning the rows.
+    pub fn into_rows(self) -> Vec<Vec<Val>> {
+        self.rows
+    }
+}
+
+impl Sink for CollectSink {
+    fn push(&mut self, binding: &[Val]) -> ControlFlow<()> {
+        self.rows.push(binding.to_vec());
+        ControlFlow::Continue(())
+    }
+}
+
+/// Keeps the first `limit` rows (in the engine's emission order) and then stops the
+/// execution.
+#[derive(Debug, Clone, Default)]
+pub struct FirstK {
+    pub(crate) limit: usize,
+    rows: Vec<Vec<Val>>,
+}
+
+impl FirstK {
+    /// Creates a sink that stops after `limit` rows.
+    pub fn new(limit: usize) -> Self {
+        FirstK { limit, rows: Vec::new() }
+    }
+
+    /// The rows received so far.
+    pub fn rows(&self) -> &[Vec<Val>] {
+        &self.rows
+    }
+
+    /// Consumes the sink, returning the rows.
+    pub fn into_rows(self) -> Vec<Vec<Val>> {
+        self.rows
+    }
+}
+
+impl Sink for FirstK {
+    fn push(&mut self, binding: &[Val]) -> ControlFlow<()> {
+        if self.rows.len() < self.limit {
+            self.rows.push(binding.to_vec());
+        }
+        if self.rows.len() < self.limit {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    }
+}
+
+/// Stops the execution at the very first row.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExistsSink {
+    pub(crate) found: bool,
+}
+
+impl ExistsSink {
+    /// Creates a sink that has seen nothing yet.
+    pub fn new() -> Self {
+        ExistsSink::default()
+    }
+
+    /// Whether at least one row was pushed.
+    pub fn found(&self) -> bool {
+        self.found
+    }
+}
+
+impl Sink for ExistsSink {
+    fn push(&mut self, _binding: &[Val]) -> ControlFlow<()> {
+        self.found = true;
+        ControlFlow::Break(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sink: &mut impl Sink, rows: &[&[Val]]) -> usize {
+        let mut delivered = 0;
+        for row in rows {
+            delivered += 1;
+            if sink.push(row).is_break() {
+                break;
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn count_sink_counts_everything() {
+        let mut sink = CountSink::new();
+        assert_eq!(feed(&mut sink, &[&[1], &[2], &[3]]), 3);
+        assert_eq!(sink.rows(), 3);
+    }
+
+    #[test]
+    fn collect_sink_keeps_emission_order() {
+        let mut sink = CollectSink::new();
+        feed(&mut sink, &[&[2, 1], &[1, 2]]);
+        assert_eq!(sink.rows(), &[vec![2, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn first_k_stops_exactly_at_the_limit() {
+        let mut sink = FirstK::new(2);
+        assert_eq!(feed(&mut sink, &[&[1], &[2], &[3]]), 2);
+        assert_eq!(sink.into_rows(), vec![vec![1], vec![2]]);
+        // A zero limit never accepts anything.
+        let mut zero = FirstK::new(0);
+        assert_eq!(feed(&mut zero, &[&[1]]), 1);
+        assert!(zero.rows().is_empty());
+    }
+
+    #[test]
+    fn exists_sink_breaks_immediately() {
+        let mut sink = ExistsSink::new();
+        assert!(!sink.found());
+        assert_eq!(feed(&mut sink, &[&[1], &[2]]), 1);
+        assert!(sink.found());
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = Vec::new();
+        let mut sink = |b: &[Val]| {
+            seen.push(b.to_vec());
+            ControlFlow::Continue(())
+        };
+        feed(&mut sink, &[&[7]]);
+        assert_eq!(seen, vec![vec![7]]);
+    }
+}
