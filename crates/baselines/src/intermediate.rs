@@ -1,43 +1,151 @@
-//! Materialised intermediate results and the pairwise physical operators.
+//! Columnar intermediate results and the pairwise physical join operators.
 //!
 //! A Selinger-style engine evaluates a join query as a sequence of two-way joins,
 //! materialising each intermediate result. [`Intermediate`] is that materialised
-//! table: a variable schema plus rows. Two physical join implementations are
-//! provided — [`Intermediate::hash_join`] (row-store stand-in) and
-//! [`Intermediate::sort_merge_join`] (column-store stand-in) — along with the
-//! selection and filter operators the executor needs.
+//! table, stored the same way [`Relation`] stores base data: **one contiguous
+//! row-major buffer** of `len × arity` values. There is no per-row allocation
+//! anywhere in the pairwise path — rows are zero-copy `&[Val]` slices
+//! ([`Intermediate::row`]), join output is written straight into the output
+//! buffer, and every reordering (the sort side of a sort-merge join) happens
+//! through a row-*index* permutation over the flat buffer
+//! ([`Intermediate::sort_perm`], mirroring `Relation::sorted_row_order`).
+//!
+//! # Buffer invariants
+//!
+//! * `buf.len() == len() * width()` with `width() == vars().len()`; row `i`
+//!   occupies `buf[i * width .. (i + 1) * width]`.
+//! * The schema ([`Intermediate::vars`]) never repeats a variable, and joins never
+//!   drop columns — the output schema is the left schema followed by the right
+//!   side's non-shared columns ([`Intermediate::joined_vars`]).
+//! * Rows are **not** kept sorted (unlike `Relation`): the row order is the
+//!   deterministic emission order of the operator that produced them, which the
+//!   parallel pairwise runtime relies on (see below).
+//! * Sorting for the merge join never rearranges the buffer: it produces a `u32`
+//!   row-index permutation ordered by the key columns (ties broken by row index,
+//!   i.e. a stable sort), and consumers read `row(perm[k])`.
+//!
+//! Two physical join implementations are provided — [`Intermediate::hash_join`]
+//! (row-store stand-in; a chained hash table of row indices, no per-key bucket
+//! allocations) and [`Intermediate::sort_merge_join`] (column-store stand-in; both
+//! sides sorted by index permutation, runs aligned by a linear merge) — along with
+//! streamed variants that pipeline each joined row into a caller sink, and the
+//! selection/filter operators the executor needs.
+//!
+//! # Emission order
+//!
+//! Both joins emit (and materialise) output **in left-row order**: for each left
+//! row in stored order, its right-side matches in a deterministic order (right
+//! stored order for the hash join, right key-sorted order for the merge join).
+//! Left-order emission is what makes the parallel pairwise path exact: the plan's
+//! base relation is sorted, so restricting it to consecutive first-attribute
+//! ranges (morsels) and concatenating the per-range outputs in range order
+//! reproduces the serial emission stream byte for byte. The sort-merge join still
+//! *computes* through sorted runs (both sides are key-sorted and merged — the
+//! column-store cost profile is unchanged); only its emission is re-ordered to the
+//! left probe order via a per-left-row run table.
 
 use gj_query::VarId;
 use gj_storage::{Relation, Val};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 
-/// A materialised intermediate relation over query variables.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Sentinel for "no next row" in [`RightIndex::Hash`] chains.
+const NO_ROW: u32 = u32::MAX;
+
+/// A materialised intermediate relation over query variables, stored as one flat
+/// `len × arity` row-major buffer (see the [module docs](self) for the layout
+/// invariants).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Intermediate {
-    /// The variables of each column.
-    pub vars: Vec<VarId>,
-    /// The rows (no particular order, duplicates preserved as in SQL semantics over
-    /// set inputs — they cannot arise here because base relations are sets and
-    /// schemas never drop columns).
-    pub rows: Vec<Vec<Val>>,
+    /// The variables of each column (never repeats a variable).
+    vars: Vec<VarId>,
+    /// Row width; equals `vars.len()` (cached to keep the hot loops free of
+    /// `vars` reads).
+    width: usize,
+    /// Row-major flat buffer of `len * width` values.
+    buf: Vec<Val>,
 }
 
 impl Intermediate {
-    /// Builds an intermediate from a base relation and the variables of its atom.
-    /// Atoms never repeat a variable (checked by the query validator).
+    /// An empty intermediate with the given schema.
+    pub fn empty(vars: Vec<VarId>) -> Self {
+        let width = vars.len();
+        Intermediate { vars, width, buf: Vec::new() }
+    }
+
+    /// Builds an intermediate from a base relation and the variables of its atom:
+    /// one `memcpy` of the relation's flat buffer, no per-row work. Atoms never
+    /// repeat a variable (checked by the query validator).
     pub fn from_relation(relation: &Relation, vars: &[VarId]) -> Self {
-        Intermediate { vars: vars.to_vec(), rows: relation.to_rows() }
+        assert_eq!(vars.len(), relation.arity(), "one variable per relation column");
+        Intermediate {
+            vars: vars.to_vec(),
+            width: vars.len(),
+            buf: relation.flat_values().to_vec(),
+        }
+    }
+
+    /// Resets the schema and drops all rows, keeping the buffer capacity — the
+    /// reuse primitive for per-worker intermediates carried across morsels.
+    pub fn reset(&mut self, vars: &[VarId]) {
+        self.vars.clear();
+        self.vars.extend_from_slice(vars);
+        self.width = vars.len();
+        self.buf.clear();
+    }
+
+    /// Replaces the contents with the rows of `source` whose **first column**
+    /// value lies in `[lo, hi)`. The source rows must be sorted on their first
+    /// column (base relations are — `Relation` stores rows in lexicographic
+    /// order), so the restriction is a binary search plus one `memcpy`.
+    pub fn load_first_col_range(&mut self, source: &Intermediate, lo: Val, hi: Val) {
+        self.reset(&source.vars);
+        if source.is_empty() {
+            return;
+        }
+        let first = |i: usize| source.row(i)[0];
+        debug_assert!((1..source.len()).all(|i| first(i - 1) <= first(i)));
+        let start = partition_rows(source.len(), |i| first(i) < lo);
+        let end = partition_rows(source.len(), |i| first(i) < hi);
+        self.buf.extend_from_slice(&source.buf[start * source.width..end * source.width]);
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.buf.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Whether the intermediate is empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.buf.is_empty()
+    }
+
+    /// The variables of each column.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Row `i` as a zero-copy slice into the flat buffer.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.buf[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over the rows as zero-copy slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Val]> {
+        self.buf.chunks_exact(self.width.max(1))
+    }
+
+    /// The flat row-major buffer (`len() * vars().len()` values).
+    pub fn flat_values(&self) -> &[Val] {
+        &self.buf
+    }
+
+    /// Appends one row (must match the schema width).
+    pub fn push_row(&mut self, row: &[Val]) {
+        debug_assert_eq!(row.len(), self.width);
+        self.buf.extend_from_slice(row);
     }
 
     /// The column index of `var`, if present.
@@ -50,220 +158,362 @@ impl Intermediate {
         self.vars.iter().copied().filter(|v| other.col_of(*v).is_some()).collect()
     }
 
-    /// Output schema of joining `self` with `other`: self's columns followed by
-    /// other's non-shared columns.
-    fn join_schema(&self, other: &Intermediate) -> (Vec<VarId>, Vec<usize>) {
-        let mut vars = self.vars.clone();
-        let mut extra_cols = Vec::new();
-        for (i, &v) in other.vars.iter().enumerate() {
-            if self.col_of(v).is_none() {
-                vars.push(v);
-                extra_cols.push(i);
+    /// The output schema of joining `self` with `other` (self's variables followed
+    /// by other's non-shared ones) — the row shape both joins emit.
+    pub fn joined_vars(&self, other: &Intermediate) -> Vec<VarId> {
+        JoinCols::resolve(&self.vars, &other.vars).1
+    }
+
+    /// The row-index permutation that orders the rows by the given key columns,
+    /// ties broken by row index (a stable key sort). Sorting never touches the
+    /// buffer — consumers read `row(perm[k])`.
+    pub fn sort_perm(&self, key_cols: &[usize]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        if key_cols.is_empty() {
+            return order;
+        }
+        order.sort_unstable_by(|&a, &b| {
+            self.cmp_keys(a as usize, self, b as usize, key_cols, key_cols).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Compares the key of `self.row(i)` (under `self_cols`) with the key of
+    /// `other.row(j)` (under `other_cols`).
+    #[inline]
+    fn cmp_keys(
+        &self,
+        i: usize,
+        other: &Intermediate,
+        j: usize,
+        self_cols: &[usize],
+        other_cols: &[usize],
+    ) -> std::cmp::Ordering {
+        let (a, b) = (self.row(i), other.row(j));
+        for (&ca, &cb) in self_cols.iter().zip(other_cols) {
+            match a[ca].cmp(&b[cb]) {
+                std::cmp::Ordering::Equal => continue,
+                non_eq => return non_eq,
             }
         }
-        (vars, extra_cols)
+        std::cmp::Ordering::Equal
     }
 
-    /// Key of a row on the given columns.
-    fn key(row: &[Val], cols: &[usize]) -> Vec<Val> {
-        cols.iter().map(|&c| row[c]).collect()
+    /// Streams the join of `self` (left side) with `right` through a prebuilt
+    /// [`RightIndex`], emitting each joined row — left row followed by the right
+    /// side's extra columns, in **left-row order** — into one scratch buffer passed
+    /// to `emit`; the scan stops as soon as `emit` breaks. Returns the number of
+    /// rows emitted.
+    ///
+    /// This is the shared core of both physical joins: the operator (hash probe vs
+    /// merge of sorted runs) is picked by the index variant. Per call it allocates
+    /// only the scratch row and, for the merge join, the left permutation and run
+    /// table — never anything per output row.
+    pub fn stream_join(
+        &self,
+        right: &Intermediate,
+        cols: &JoinCols,
+        index: &RightIndex,
+        emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
+    ) -> u64 {
+        let mut out = vec![0; self.width + cols.extra.len()];
+        let mut emitted = 0u64;
+        let mut send = |left_row: &[Val], right_row: &[Val]| {
+            out[..left_row.len()].copy_from_slice(left_row);
+            for (slot, &c) in out[left_row.len()..].iter_mut().zip(&cols.extra) {
+                *slot = right_row[c];
+            }
+            emitted += 1;
+            emit(&out)
+        };
+        match index {
+            RightIndex::Hash { heads, next } => {
+                'rows: for i in 0..self.len() {
+                    let lrow = self.row(i);
+                    let h = hash_key(lrow, &cols.left);
+                    let Some(&head) = heads.get(&h) else { continue };
+                    let mut j = head;
+                    while j != NO_ROW {
+                        if self.cmp_keys(i, right, j as usize, &cols.left, &cols.right).is_eq()
+                            && send(lrow, right.row(j as usize)).is_break()
+                        {
+                            break 'rows;
+                        }
+                        j = next[j as usize];
+                    }
+                }
+            }
+            RightIndex::Sorted { order } => {
+                // Sort-merge: sort the left by the key columns too, align the
+                // equal-key runs of both sorted sides with one linear merge, then
+                // emit in left *stored* order through the per-left-row run table.
+                let lperm = self.sort_perm(&cols.left);
+                let mut runs = vec![(0u32, 0u32); self.len()];
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < lperm.len() && j < order.len() {
+                    let (li, rj) = (lperm[i] as usize, order[j] as usize);
+                    match self.cmp_keys(li, right, rj, &cols.left, &cols.right) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let i_end = (i..lperm.len())
+                                .find(|&x| {
+                                    self.cmp_keys(
+                                        lperm[x] as usize,
+                                        self,
+                                        li,
+                                        &cols.left,
+                                        &cols.left,
+                                    )
+                                    .is_ne()
+                                })
+                                .unwrap_or(lperm.len());
+                            let j_end = (j..order.len())
+                                .find(|&x| {
+                                    right
+                                        .cmp_keys(
+                                            order[x] as usize,
+                                            right,
+                                            rj,
+                                            &cols.right,
+                                            &cols.right,
+                                        )
+                                        .is_ne()
+                                })
+                                .unwrap_or(order.len());
+                            for &l in &lperm[i..i_end] {
+                                runs[l as usize] = (j as u32, j_end as u32);
+                            }
+                            i = i_end;
+                            j = j_end;
+                        }
+                    }
+                }
+                'rows: for (li, &(rs, re)) in runs.iter().enumerate() {
+                    for &rj in &order[rs as usize..re as usize] {
+                        if send(self.row(li), right.row(rj as usize)).is_break() {
+                            break 'rows;
+                        }
+                    }
+                }
+            }
+        }
+        emitted
     }
 
-    /// The output schema of joining `self` with `other` (self's variables followed
-    /// by other's non-shared ones) — the row shape the streamed joins emit.
-    pub fn joined_vars(&self, other: &Intermediate) -> Vec<VarId> {
-        self.join_schema(other).0
+    /// Materialises the join of `self` with `right` into `out`, reusing `out`'s
+    /// buffer capacity: the joined rows are written straight into the output
+    /// buffer in emission order, with no per-row allocation.
+    pub fn join_into(
+        &self,
+        right: &Intermediate,
+        cols: &JoinCols,
+        index: &RightIndex,
+        out_vars: &[VarId],
+        out: &mut Intermediate,
+    ) {
+        out.reset(out_vars);
+        let buf = &mut out.buf;
+        self.stream_join(right, cols, index, &mut |row| {
+            buf.extend_from_slice(row);
+            ControlFlow::Continue(())
+        });
     }
 
-    /// Streams the hash join with `other` instead of materialising it: each joined
-    /// row (in [`joined_vars`](Self::joined_vars) column order) is written into one
-    /// scratch buffer and passed to `emit`; the scan stops as soon as `emit`
-    /// breaks. Left rows are probed in their stored order, so the emission order is
-    /// deterministic. Returns the number of rows emitted.
+    /// Hash join with `other` on all shared variables (cartesian product when
+    /// there are none, as a pairwise plan occasionally requires). Convenience
+    /// wrapper building the [`RightIndex`] on the fly; the executor precomputes
+    /// the index once per plan step instead.
+    pub fn hash_join(&self, other: &Intermediate) -> Intermediate {
+        let (cols, out_vars) = JoinCols::resolve(&self.vars, &other.vars);
+        let index = RightIndex::hash(other, &cols.right);
+        let mut out = Intermediate::default();
+        self.join_into(other, &cols, &index, &out_vars, &mut out);
+        out
+    }
+
+    /// Sort-merge join with `other` on all shared variables (cartesian product
+    /// when there are none: the empty key makes both sides one equal-key run).
+    pub fn sort_merge_join(&self, other: &Intermediate) -> Intermediate {
+        let (cols, out_vars) = JoinCols::resolve(&self.vars, &other.vars);
+        let index = RightIndex::sorted(other, &cols.right);
+        let mut out = Intermediate::default();
+        self.join_into(other, &cols, &index, &out_vars, &mut out);
+        out
+    }
+
+    /// Streams the hash join with `other` instead of materialising it (see
+    /// [`stream_join`](Self::stream_join)). Returns the number of rows emitted.
     pub fn hash_join_streamed(
         &self,
         other: &Intermediate,
         emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
     ) -> u64 {
-        let shared = self.shared_vars(other);
-        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
-        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
-        let (_, extra_cols) = self.join_schema(other);
-
-        let mut table: HashMap<Vec<Val>, Vec<&Vec<Val>>> = HashMap::new();
-        for row in &other.rows {
-            table.entry(Self::key(row, &right_cols)).or_default().push(row);
-        }
-        let mut out = vec![0; self.vars.len() + extra_cols.len()];
-        let mut emitted = 0;
-        for lrow in &self.rows {
-            if let Some(matches) = table.get(&Self::key(lrow, &left_cols)) {
-                for rrow in matches {
-                    out[..lrow.len()].copy_from_slice(lrow);
-                    for (slot, &c) in out[lrow.len()..].iter_mut().zip(&extra_cols) {
-                        *slot = rrow[c];
-                    }
-                    emitted += 1;
-                    if emit(&out).is_break() {
-                        return emitted;
-                    }
-                }
-            }
-        }
-        emitted
+        let (cols, _) = JoinCols::resolve(&self.vars, &other.vars);
+        let index = RightIndex::hash(other, &cols.right);
+        self.stream_join(other, &cols, &index, emit)
     }
 
     /// Streams the sort-merge join with `other` (see
-    /// [`hash_join_streamed`](Self::hash_join_streamed)): both sides are sorted on
-    /// the shared variables and merged, emitting the product of each equal-key run
-    /// row by row. Returns the number of rows emitted.
+    /// [`stream_join`](Self::stream_join)). Returns the number of rows emitted.
     pub fn sort_merge_join_streamed(
         &self,
         other: &Intermediate,
         emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
     ) -> u64 {
-        let shared = self.shared_vars(other);
-        if shared.is_empty() {
-            // Degenerate to the hash join's cartesian handling.
-            return self.hash_join_streamed(other, emit);
-        }
-        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
-        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
-        let (_, extra_cols) = self.join_schema(other);
-
-        let mut left: Vec<&Vec<Val>> = self.rows.iter().collect();
-        let mut right: Vec<&Vec<Val>> = other.rows.iter().collect();
-        left.sort_by_key(|r| Self::key(r, &left_cols));
-        right.sort_by_key(|r| Self::key(r, &right_cols));
-
-        let mut out = vec![0; self.vars.len() + extra_cols.len()];
-        let mut emitted = 0;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < left.len() && j < right.len() {
-            let lk = Self::key(left[i], &left_cols);
-            let rk = Self::key(right[j], &right_cols);
-            match lk.cmp(&rk) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let i_end = (i..left.len())
-                        .find(|&x| Self::key(left[x], &left_cols) != lk)
-                        .unwrap_or(left.len());
-                    let j_end = (j..right.len())
-                        .find(|&x| Self::key(right[x], &right_cols) != rk)
-                        .unwrap_or(right.len());
-                    for lrow in &left[i..i_end] {
-                        for rrow in &right[j..j_end] {
-                            out[..lrow.len()].copy_from_slice(lrow);
-                            for (slot, &c) in out[lrow.len()..].iter_mut().zip(&extra_cols) {
-                                *slot = rrow[c];
-                            }
-                            emitted += 1;
-                            if emit(&out).is_break() {
-                                return emitted;
-                            }
-                        }
-                    }
-                    i = i_end;
-                    j = j_end;
-                }
-            }
-        }
-        emitted
-    }
-
-    /// Hash join with `other` on all shared variables (cartesian product when there
-    /// are none, as a pairwise plan occasionally requires).
-    pub fn hash_join(&self, other: &Intermediate) -> Intermediate {
-        let shared = self.shared_vars(other);
-        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
-        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
-        let (vars, extra_cols) = self.join_schema(other);
-
-        // Build on the smaller side to keep the hash table small.
-        let mut table: HashMap<Vec<Val>, Vec<&Vec<Val>>> = HashMap::new();
-        for row in &other.rows {
-            table.entry(Self::key(row, &right_cols)).or_default().push(row);
-        }
-        let mut rows = Vec::new();
-        for lrow in &self.rows {
-            if let Some(matches) = table.get(&Self::key(lrow, &left_cols)) {
-                for rrow in matches {
-                    let mut out = lrow.clone();
-                    out.extend(extra_cols.iter().map(|&c| rrow[c]));
-                    rows.push(out);
-                }
-            }
-        }
-        Intermediate { vars, rows }
-    }
-
-    /// Sort-merge join with `other` on all shared variables.
-    pub fn sort_merge_join(&self, other: &Intermediate) -> Intermediate {
-        let shared = self.shared_vars(other);
-        if shared.is_empty() {
-            // Degenerate to the hash join's cartesian handling.
-            return self.hash_join(other);
-        }
-        let left_cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
-        let right_cols: Vec<usize> = shared.iter().map(|&v| other.col_of(v).unwrap()).collect();
-        let (vars, extra_cols) = self.join_schema(other);
-
-        let mut left: Vec<&Vec<Val>> = self.rows.iter().collect();
-        let mut right: Vec<&Vec<Val>> = other.rows.iter().collect();
-        left.sort_by_key(|r| Self::key(r, &left_cols));
-        right.sort_by_key(|r| Self::key(r, &right_cols));
-
-        let mut rows = Vec::new();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < left.len() && j < right.len() {
-            let lk = Self::key(left[i], &left_cols);
-            let rk = Self::key(right[j], &right_cols);
-            match lk.cmp(&rk) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    // Find the run of equal keys on both sides and emit the product.
-                    let i_end = (i..left.len())
-                        .find(|&x| Self::key(left[x], &left_cols) != lk)
-                        .unwrap_or(left.len());
-                    let j_end = (j..right.len())
-                        .find(|&x| Self::key(right[x], &right_cols) != rk)
-                        .unwrap_or(right.len());
-                    for lrow in &left[i..i_end] {
-                        for rrow in &right[j..j_end] {
-                            let mut out = (*lrow).clone();
-                            out.extend(extra_cols.iter().map(|&c| rrow[c]));
-                            rows.push(out);
-                        }
-                    }
-                    i = i_end;
-                    j = j_end;
-                }
-            }
-        }
-        Intermediate { vars, rows }
+        let (cols, _) = JoinCols::resolve(&self.vars, &other.vars);
+        let index = RightIndex::sorted(other, &cols.right);
+        self.stream_join(other, &cols, &index, emit)
     }
 
     /// Keeps only rows satisfying `binding[x] < binding[y]` for each applicable
-    /// filter (both variables must be present in the schema).
+    /// filter (both variables must be present in the schema). Compacts the flat
+    /// buffer in place — surviving rows slide forward, nothing is reallocated.
     pub fn apply_filters(&mut self, filters: &[(VarId, VarId)]) {
         let applicable: Vec<(usize, usize)> =
             filters.iter().filter_map(|&(x, y)| Some((self.col_of(x)?, self.col_of(y)?))).collect();
         if applicable.is_empty() {
             return;
         }
-        self.rows.retain(|r| applicable.iter().all(|&(cx, cy)| r[cx] < r[cy]));
+        let (len, w) = (self.len(), self.width);
+        let mut kept = 0usize;
+        for i in 0..len {
+            let r = &self.buf[i * w..(i + 1) * w];
+            if applicable.iter().all(|&(cx, cy)| r[cx] < r[cy]) {
+                if kept != i {
+                    self.buf.copy_within(i * w..(i + 1) * w, kept * w);
+                }
+                kept += 1;
+            }
+        }
+        self.buf.truncate(kept * w);
     }
 
     /// Number of distinct values in the column of `var` (used by the optimizer's
     /// cardinality estimates).
     pub fn distinct_count(&self, var: VarId) -> usize {
         let Some(col) = self.col_of(var) else { return 0 };
-        let mut values: Vec<Val> = self.rows.iter().map(|r| r[col]).collect();
+        let mut values: Vec<Val> = (0..self.len()).map(|i| self.row(i)[col]).collect();
         values.sort_unstable();
         values.dedup();
         values.len()
+    }
+
+    /// The distinct values of the first column, in increasing order — the morsel
+    /// partition axis for the parallel pairwise path. Requires the rows to be
+    /// sorted on the first column (base relations are).
+    pub fn distinct_first_values(&self) -> Vec<Val> {
+        let mut values: Vec<Val> = (0..self.len()).map(|i| self.row(i)[0]).collect();
+        values.dedup();
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "first column must be sorted");
+        values
+    }
+}
+
+/// `partition_point` over row indices `0..len`.
+fn partition_rows(len: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Hash of a row's key columns (the probe key of the chained hash join).
+#[inline]
+fn hash_key(row: &[Val], cols: &[usize]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The column bookkeeping of one pairwise join, resolved once per plan step: which
+/// left/right columns form the equi-join key and which right columns are appended
+/// to the output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCols {
+    /// Left-side key column indices (one per shared variable).
+    pub left: Vec<usize>,
+    /// Right-side key column indices, aligned with `left`.
+    pub right: Vec<usize>,
+    /// Right-side columns appended after the left row in the output.
+    pub extra: Vec<usize>,
+}
+
+impl JoinCols {
+    /// Resolves the join columns and the output schema for `left_vars ⋈
+    /// right_vars`: the shared variables form the key, the output is the left
+    /// schema followed by the right side's non-shared columns.
+    pub fn resolve(left_vars: &[VarId], right_vars: &[VarId]) -> (JoinCols, Vec<VarId>) {
+        let mut cols = JoinCols { left: Vec::new(), right: Vec::new(), extra: Vec::new() };
+        let mut out_vars = left_vars.to_vec();
+        for (rc, &v) in right_vars.iter().enumerate() {
+            match left_vars.iter().position(|&l| l == v) {
+                Some(lc) => {
+                    cols.left.push(lc);
+                    cols.right.push(rc);
+                }
+                None => {
+                    cols.extra.push(rc);
+                    out_vars.push(v);
+                }
+            }
+        }
+        (cols, out_vars)
+    }
+}
+
+/// A precomputed probe structure over the **right** (build) side of one pairwise
+/// join. Built once per plan step at prepare time and shared read-only by every
+/// worker; both variants store only row indices into the right intermediate's
+/// flat buffer.
+#[derive(Debug, Clone)]
+pub enum RightIndex {
+    /// Chained hash table for the hash join: `heads` maps a key hash to the first
+    /// right row with that hash, `next[i]` chains to the next one (row order is
+    /// ascending, so matches are emitted in right stored order). Hash collisions
+    /// are resolved by comparing the actual key columns at probe time.
+    Hash {
+        /// Key hash → first right row index of the chain.
+        heads: HashMap<u64, u32>,
+        /// `next[i]` = next right row with the same key hash (`u32::MAX` ends
+        /// the chain).
+        next: Vec<u32>,
+    },
+    /// Row-index permutation of the right side sorted on the key columns (ties by
+    /// row index), for the merge join.
+    Sorted {
+        /// The key-sorted right row order.
+        order: Vec<u32>,
+    },
+}
+
+impl RightIndex {
+    /// Builds the chained hash table over `right`'s key columns.
+    pub fn hash(right: &Intermediate, key_cols: &[usize]) -> RightIndex {
+        let mut heads = HashMap::new();
+        let mut next = vec![NO_ROW; right.len()];
+        // Insert in reverse row order so each chain head is the smallest row
+        // index and chains walk in ascending (stored) order.
+        for i in (0..right.len()).rev() {
+            let h = hash_key(right.row(i), key_cols);
+            if let Some(prev) = heads.insert(h, i as u32) {
+                next[i] = prev;
+            }
+        }
+        RightIndex::Hash { heads, next }
+    }
+
+    /// Builds the key-sorted row permutation over `right`.
+    pub fn sorted(right: &Intermediate, key_cols: &[usize]) -> RightIndex {
+        RightIndex::Sorted { order: right.sort_perm(key_cols) }
     }
 }
 
@@ -271,65 +521,80 @@ impl Intermediate {
 mod tests {
     use super::*;
 
-    fn r(vars: &[VarId], rows: &[&[Val]]) -> Intermediate {
-        Intermediate { vars: vars.to_vec(), rows: rows.iter().map(|r| r.to_vec()).collect() }
+    /// Test helper: an intermediate from a flat buffer (rows are `vars.len()`
+    /// wide).
+    fn r(vars: &[VarId], flat: &[Val]) -> Intermediate {
+        let mut inter = Intermediate::empty(vars.to_vec());
+        assert_eq!(flat.len() % vars.len(), 0);
+        for row in flat.chunks_exact(vars.len()) {
+            inter.push_row(row);
+        }
+        inter
+    }
+
+    /// Sorted row set of an intermediate, flattened (for order-insensitive
+    /// comparisons).
+    fn sorted_rows(inter: &Intermediate) -> Vec<Val> {
+        let mut rows: Vec<&[Val]> = inter.rows().collect();
+        rows.sort_unstable();
+        rows.concat()
     }
 
     #[test]
     fn hash_join_on_one_shared_variable() {
-        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5]]);
-        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9]]);
+        let left = r(&[0, 1], &[1, 2, 2, 3, 4, 5]);
+        let right = r(&[1, 2], &[2, 7, 3, 8, 3, 9]);
         let out = left.hash_join(&right);
-        assert_eq!(out.vars, vec![0, 1, 2]);
-        let mut rows = out.rows.clone();
-        rows.sort();
-        assert_eq!(rows, vec![vec![1, 2, 7], vec![2, 3, 8], vec![2, 3, 9]]);
+        assert_eq!(out.vars(), &[0, 1, 2]);
+        assert_eq!(sorted_rows(&out), vec![1, 2, 7, 2, 3, 8, 2, 3, 9]);
     }
 
     #[test]
     fn sort_merge_join_agrees_with_hash_join() {
-        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5], &[6, 3]]);
-        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9], &[5, 1]]);
-        let mut h = left.hash_join(&right).rows;
-        let mut s = left.sort_merge_join(&right).rows;
-        h.sort();
-        s.sort();
-        assert_eq!(h, s);
+        let left = r(&[0, 1], &[1, 2, 2, 3, 4, 5, 6, 3]);
+        let right = r(&[1, 2], &[2, 7, 3, 8, 3, 9, 5, 1]);
+        let h = left.hash_join(&right);
+        let s = left.sort_merge_join(&right);
+        assert_eq!(sorted_rows(&h), sorted_rows(&s));
         // (1,2)x(2,7), (2,3)x(3,8),(3,9), (6,3)x(3,8),(3,9), (4,5)x(5,1).
         assert_eq!(h.len(), 6);
+        // Both joins emit in left-row order (the parallel-exactness invariant).
+        assert_eq!(h.flat_values(), s.flat_values());
+        assert_eq!(h.row(0), &[1, 2, 7]);
+        assert_eq!(h.row(5), &[6, 3, 9]);
     }
 
     #[test]
     fn join_on_two_shared_variables() {
-        let left = r(&[0, 1], &[&[1, 2], &[3, 4]]);
-        let right = r(&[0, 1, 2], &[&[1, 2, 9], &[1, 5, 8], &[3, 4, 7]]);
+        let left = r(&[0, 1], &[1, 2, 3, 4]);
+        let right = r(&[0, 1, 2], &[1, 2, 9, 1, 5, 8, 3, 4, 7]);
         let out = left.hash_join(&right);
-        assert_eq!(out.vars, vec![0, 1, 2]);
-        let mut rows = out.rows;
-        rows.sort();
-        assert_eq!(rows, vec![vec![1, 2, 9], vec![3, 4, 7]]);
+        assert_eq!(out.vars(), &[0, 1, 2]);
+        assert_eq!(sorted_rows(&out), vec![1, 2, 9, 3, 4, 7]);
     }
 
     #[test]
     fn join_without_shared_variables_is_a_cross_product() {
-        let left = r(&[0], &[&[1], &[2]]);
-        let right = r(&[1], &[&[7], &[8]]);
+        let left = r(&[0], &[1, 2]);
+        let right = r(&[1], &[7, 8]);
         let out = left.hash_join(&right);
         assert_eq!(out.len(), 4);
         let smj = left.sort_merge_join(&right);
         assert_eq!(smj.len(), 4);
+        assert_eq!(out.flat_values(), smj.flat_values());
+        assert_eq!(out.flat_values(), &[1, 7, 1, 8, 2, 7, 2, 8]);
     }
 
     #[test]
     fn streamed_joins_agree_with_materialised_joins() {
-        let left = r(&[0, 1], &[&[1, 2], &[2, 3], &[4, 5], &[6, 3]]);
-        let right = r(&[1, 2], &[&[2, 7], &[3, 8], &[3, 9], &[5, 1]]);
+        let left = r(&[0, 1], &[1, 2, 2, 3, 4, 5, 6, 3]);
+        let right = r(&[1, 2], &[2, 7, 3, 8, 3, 9, 5, 1]);
         let materialised = left.hash_join(&right);
-        assert_eq!(left.joined_vars(&right), materialised.vars);
+        assert_eq!(left.joined_vars(&right), materialised.vars());
         for merge in [false, true] {
-            let mut rows = Vec::new();
+            let mut flat = Vec::new();
             let mut collect = |row: &[Val]| {
-                rows.push(row.to_vec());
+                flat.extend_from_slice(row);
                 ControlFlow::Continue(())
             };
             let emitted = if merge {
@@ -338,10 +603,8 @@ mod tests {
                 left.hash_join_streamed(&right, &mut collect)
             };
             assert_eq!(emitted, materialised.len() as u64);
-            rows.sort();
-            let mut expected = materialised.rows.clone();
-            expected.sort();
-            assert_eq!(rows, expected, "merge={merge}");
+            // Streaming and materialising produce the identical row stream.
+            assert_eq!(flat, materialised.flat_values(), "merge={merge}");
         }
         // Early termination stops the scan.
         let mut seen = 0;
@@ -351,8 +614,8 @@ mod tests {
         });
         assert_eq!((seen, emitted), (1, 1));
         // The cartesian case streams too.
-        let a = r(&[0], &[&[1], &[2]]);
-        let b = r(&[1], &[&[7]]);
+        let a = r(&[0], &[1, 2]);
+        let b = r(&[1], &[7]);
         let mut n = 0;
         a.sort_merge_join_streamed(&b, &mut |_| {
             n += 1;
@@ -362,15 +625,34 @@ mod tests {
     }
 
     #[test]
+    fn join_into_reuses_the_output_buffer() {
+        let left = r(&[0, 1], &[1, 2, 2, 3]);
+        let right = r(&[1, 2], &[2, 7, 3, 8]);
+        let (cols, out_vars) = JoinCols::resolve(left.vars(), right.vars());
+        let index = RightIndex::hash(&right, &cols.right);
+        let mut out = Intermediate::default();
+        left.join_into(&right, &cols, &index, &out_vars, &mut out);
+        assert_eq!(out.flat_values(), &[1, 2, 7, 2, 3, 8]);
+        let capacity = out.buf.capacity();
+        let ptr = out.buf.as_ptr();
+        // A second join into the same output reuses the allocation.
+        left.join_into(&right, &cols, &index, &out_vars, &mut out);
+        assert_eq!(out.flat_values(), &[1, 2, 7, 2, 3, 8]);
+        assert_eq!(out.buf.capacity(), capacity);
+        assert_eq!(out.buf.as_ptr(), ptr);
+    }
+
+    #[test]
     fn filters_prune_rows_once_both_sides_are_present() {
-        let mut inter = r(&[0, 1], &[&[1, 2], &[3, 2], &[2, 2]]);
+        let mut inter = r(&[0, 1], &[1, 2, 3, 2, 2, 2]);
         inter.apply_filters(&[(0, 1), (2, 3)]); // the second filter is not applicable
-        assert_eq!(inter.rows, vec![vec![1, 2]]);
+        assert_eq!(inter.flat_values(), &[1, 2]);
+        assert_eq!(inter.len(), 1);
     }
 
     #[test]
     fn distinct_counts_per_column() {
-        let inter = r(&[0, 1], &[&[1, 2], &[1, 3], &[2, 3]]);
+        let inter = r(&[0, 1], &[1, 2, 1, 3, 2, 3]);
         assert_eq!(inter.distinct_count(0), 2);
         assert_eq!(inter.distinct_count(1), 2);
         assert_eq!(inter.distinct_count(9), 0);
@@ -380,7 +662,47 @@ mod tests {
     fn from_relation_preserves_rows() {
         let rel = Relation::from_pairs(vec![(1, 2), (3, 4)]);
         let inter = Intermediate::from_relation(&rel, &[5, 7]);
-        assert_eq!(inter.vars, vec![5, 7]);
+        assert_eq!(inter.vars(), &[5, 7]);
         assert_eq!(inter.len(), 2);
+        assert_eq!(inter.flat_values(), rel.flat_values());
+    }
+
+    #[test]
+    fn first_col_range_restriction_is_a_contiguous_slice() {
+        let rel = Relation::from_pairs(vec![(1, 2), (1, 5), (3, 4), (7, 0), (9, 9)]);
+        let base = Intermediate::from_relation(&rel, &[0, 1]);
+        let mut restricted = Intermediate::default();
+        restricted.load_first_col_range(&base, 1, 7);
+        assert_eq!(restricted.flat_values(), &[1, 2, 1, 5, 3, 4]);
+        restricted.load_first_col_range(&base, 8, gj_storage::POS_INF);
+        assert_eq!(restricted.flat_values(), &[9, 9]);
+        restricted.load_first_col_range(&base, gj_storage::NEG_INF, gj_storage::POS_INF);
+        assert_eq!(restricted.flat_values(), base.flat_values());
+        // Splitting at boundaries tiles the base exactly.
+        assert_eq!(base.distinct_first_values(), vec![1, 3, 7, 9]);
+        let mut reassembled = Vec::new();
+        for (lo, hi) in [(-1, 3), (3, 9), (9, gj_storage::POS_INF)] {
+            restricted.load_first_col_range(&base, lo, hi);
+            reassembled.extend_from_slice(restricted.flat_values());
+        }
+        assert_eq!(reassembled, base.flat_values());
+    }
+
+    #[test]
+    fn sort_perm_is_stable_on_equal_keys() {
+        let inter = r(&[0, 1], &[5, 1, 3, 2, 5, 0, 3, 1]);
+        assert_eq!(inter.sort_perm(&[0]), vec![1, 3, 0, 2]);
+        // The empty key is the identity (cartesian runs keep stored order).
+        assert_eq!(inter.sort_perm(&[]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut inter = r(&[0, 1], &[1, 2, 3, 4, 5, 6]);
+        let capacity = inter.buf.capacity();
+        inter.reset(&[7]);
+        assert_eq!(inter.vars(), &[7]);
+        assert!(inter.is_empty());
+        assert_eq!(inter.buf.capacity(), capacity);
     }
 }

@@ -10,7 +10,11 @@
 //!   either hash joins (the row-store / PostgreSQL stand-in) or sort-merge joins (the
 //!   column-store / MonetDB stand-in). This reproduces exactly the behaviour the
 //!   paper attributes to the relational competitors: on cyclic self-joins the
-//!   intermediates explode, regardless of the storage format.
+//!   intermediates explode, regardless of the storage format. The intermediates
+//!   themselves are columnar (one flat `len × arity` buffer, no per-row
+//!   allocations — see [`intermediate`]), and a prepared [`PairwisePlan`] runs
+//!   either serially or over the `gj-runtime` morsel driver ([`PairwiseMorsels`])
+//!   with output identical to the serial emission.
 //! * [`graph_engine`] — a hand-specialised clique counter over CSR adjacency lists
 //!   (neighbourhood intersection), standing in for GraphLab's triangle-count /
 //!   4-clique programs: very fast, but limited to exactly those patterns.
@@ -24,9 +28,9 @@ pub mod pairwise;
 pub mod planner;
 
 pub use graph_engine::GraphEngine;
-pub use intermediate::Intermediate;
+pub use intermediate::{Intermediate, JoinCols, RightIndex};
 pub use pairwise::{
     pairwise_count, pairwise_count_with_stats, pairwise_run, BaselineError, ExecLimits, JoinAlgo,
-    PairwiseStats,
+    PairwiseMorsels, PairwisePlan, PairwiseStats, PairwiseWorker,
 };
 pub use planner::{plan_left_deep, JoinPlan};

@@ -40,7 +40,7 @@
 
 use crate::database::{same_shape, Database, Engine, EngineError, QueryOutput};
 use crate::sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
-use gj_baselines::{pairwise_count_with_stats, pairwise_run, ExecLimits, GraphEngine, JoinAlgo};
+use gj_baselines::{GraphEngine, JoinAlgo, PairwiseMorsels, PairwisePlan};
 use gj_lftj::{LftjExecutor, LftjMorsels};
 use gj_minesweeper::{HybridPlan, MinesweeperExecutor, MsConfig, MsMorsels};
 use gj_query::{BindReport, BoundQuery, CatalogQuery, Query, VarId};
@@ -52,6 +52,12 @@ use std::time::{Duration, Instant};
 /// [`MsConfig::granularity`]). The paper's Table 5 uses `f = 8` for cyclic queries;
 /// over-splitting also lets the job pool work-steal around skewed partitions.
 const LFTJ_GRANULARITY: usize = 8;
+
+/// Morsels per thread for the parallel pairwise baselines. Each morsel re-runs the
+/// whole left-deep chain on a base slice, so the per-morsel overhead (a key sort of
+/// the restricted left side per merge join) is higher than the trie engines' —
+/// a moderate over-split still lets the pool work-steal around skew.
+const PAIRWISE_GRANULARITY: usize = 4;
 
 /// Cross-engine execution statistics: one shape for every engine, replacing the
 /// per-engine stats types at the API boundary. Engine-specific counters (probe
@@ -101,9 +107,10 @@ enum Plan {
     Bound(BoundQuery),
     /// The hybrid: both sub-queries bound.
     Hybrid(HybridPlan),
-    /// Pairwise baselines: nothing to prepare beyond validation (they read the
-    /// relations directly and materialise every intermediate).
-    Pairwise { algo: JoinAlgo, limits: ExecLimits },
+    /// Pairwise baselines: the prepared left-deep plan — join order chosen, every
+    /// atom's rows copied into columnar intermediates, right-side probe structures
+    /// (hash tables / sort permutations) prebuilt and shared by every execution.
+    Pairwise(Box<PairwisePlan>),
     /// The specialised graph engine: CSR adjacency loaded.
     Graph { engine: Box<GraphEngine>, op: GraphOp },
 }
@@ -152,11 +159,15 @@ impl<'db> PreparedQuery<'db> {
             }
             Engine::HashJoin(limits) => {
                 db.instance().validate_query(query).map_err(EngineError::Bind)?;
-                Plan::Pairwise { algo: JoinAlgo::Hash, limits: *limits }
+                let plan = PairwisePlan::new(db.instance(), query, JoinAlgo::Hash, *limits)
+                    .map_err(EngineError::Baseline)?;
+                Plan::Pairwise(Box::new(plan))
             }
             Engine::SortMergeJoin(limits) => {
                 db.instance().validate_query(query).map_err(EngineError::Bind)?;
-                Plan::Pairwise { algo: JoinAlgo::SortMerge, limits: *limits }
+                let plan = PairwisePlan::new(db.instance(), query, JoinAlgo::SortMerge, *limits)
+                    .map_err(EngineError::Baseline)?;
+                Plan::Pairwise(Box::new(plan))
             }
             Engine::GraphEngine => {
                 let Some(graph) = db.graph() else {
@@ -185,6 +196,13 @@ impl<'db> PreparedQuery<'db> {
             prepare: start.elapsed(),
             report,
         })
+    }
+
+    /// The database this query was prepared against. The borrow is the point:
+    /// holding a `PreparedQuery` keeps the database immutable, so cached plans and
+    /// `Arc`-shared indexes can never go stale mid-execution.
+    pub fn database(&self) -> &'db Database {
+        self.db
     }
 
     /// The prepared query.
@@ -283,13 +301,10 @@ impl<'db> PreparedQuery<'db> {
                 stats.rows = rows;
                 Ok(stats)
             }
-            Plan::Pairwise { algo, limits } => {
+            Plan::Pairwise(plan) => {
                 let run_start = Instant::now();
                 let (rows, pairwise) =
-                    pairwise_run(self.db.instance(), &self.query, *algo, limits, &mut |row| {
-                        sink.push(row)
-                    })
-                    .map_err(EngineError::Baseline)?;
+                    plan.run(&mut |row| sink.push(row)).map_err(EngineError::Baseline)?;
                 stats.run = run_start.elapsed();
                 stats.rows = rows;
                 stats.extras = vec![
@@ -312,41 +327,69 @@ impl<'db> PreparedQuery<'db> {
     /// morsel order** — so the sink observes exactly the serial emission stream of
     /// [`run`](Self::run), and `first_k`-style early termination stops all workers.
     ///
-    /// Supported by LFTJ and Minesweeper (Minesweeper takes the granularity factor
-    /// from [`MsConfig::granularity`]). With one thread, a degenerate partition, or
-    /// an engine without a range-partitionable search (the pairwise baselines),
-    /// this falls back to the serial [`run`](Self::run); the count-only engines
-    /// return [`EngineError::Unsupported`] as usual.
+    /// Supported by LFTJ, Minesweeper (which takes the granularity factor from
+    /// [`MsConfig::granularity`]) and the pairwise baselines (whose plan's base
+    /// relation is partitioned on its first column; the left-order join emission
+    /// makes the merged stream identical to the serial one, and the
+    /// [`ExecLimits`](gj_baselines::ExecLimits) budget aggregates across workers).
+    /// With one thread or a degenerate partition this falls back to the serial
+    /// [`run`](Self::run); the count-only engines return
+    /// [`EngineError::Unsupported`] as usual.
     pub fn run_parallel<K: ParallelSink>(
         &self,
         sink: &mut K,
         threads: usize,
     ) -> Result<RunStats, EngineError> {
         let threads = threads.max(1);
-        let Plan::Bound(bq) = &self.plan else {
-            return self.run(sink);
-        };
-        if threads == 1 {
-            return self.serial_fallback(sink);
+        match &self.plan {
+            Plan::Bound(_) | Plan::Pairwise(_) if threads == 1 => self.serial_fallback(sink),
+            Plan::Bound(bq) => {
+                let mut stats = self.base_stats();
+                let bind_start = Instant::now();
+                let granularity = match &self.engine {
+                    Engine::Minesweeper(config) => config.granularity.max(1),
+                    _ => LFTJ_GRANULARITY,
+                };
+                let morsels = partition_first_attribute(bq, threads * granularity);
+                if morsels.len() <= 1 {
+                    return self.serial_fallback(sink);
+                }
+                stats.bind = bind_start.elapsed();
+                let run_start = Instant::now();
+                let report = self.drive_bound(bq, &morsels, threads, sink);
+                stats.run = run_start.elapsed();
+                stats.rows = report.rows;
+                stats.threads = stats.threads.max(report.threads);
+                stats.morsels = report.morsels;
+                Ok(stats)
+            }
+            Plan::Pairwise(plan) => {
+                let mut stats = self.base_stats();
+                let bind_start = Instant::now();
+                let morsels = plan.partition(threads * PAIRWISE_GRANULARITY);
+                if morsels.len() <= 1 {
+                    return self.serial_fallback(sink);
+                }
+                stats.bind = bind_start.elapsed();
+                let run_start = Instant::now();
+                let source = PairwiseMorsels::new(plan);
+                let report = drive(&source, &morsels, threads, sink);
+                // A budget violation recorded by any worker fails the whole run,
+                // exactly like the serial abort (the sink may have received a
+                // partial prefix, as it would under a serial abort too).
+                let pairwise = source.finish().map_err(EngineError::Baseline)?;
+                stats.run = run_start.elapsed();
+                stats.rows = report.rows;
+                stats.threads = stats.threads.max(report.threads);
+                stats.morsels = report.morsels;
+                stats.extras = vec![
+                    ("materialized_rows", pairwise.materialized_rows),
+                    ("peak_intermediate", pairwise.peak_intermediate),
+                ];
+                Ok(stats)
+            }
+            Plan::Hybrid(_) | Plan::Graph { .. } => self.run(sink),
         }
-        let mut stats = self.base_stats();
-        let bind_start = Instant::now();
-        let granularity = match &self.engine {
-            Engine::Minesweeper(config) => config.granularity.max(1),
-            _ => LFTJ_GRANULARITY,
-        };
-        let morsels = partition_first_attribute(bq, threads * granularity);
-        if morsels.len() <= 1 {
-            return self.serial_fallback(sink);
-        }
-        stats.bind = bind_start.elapsed();
-        let run_start = Instant::now();
-        let report = self.drive_bound(bq, &morsels, threads, sink);
-        stats.run = run_start.elapsed();
-        stats.rows = report.rows;
-        stats.threads = stats.threads.max(report.threads);
-        stats.morsels = report.morsels;
-        Ok(stats)
     }
 
     /// The serial half of [`run_parallel`](Self::run_parallel): counting sinks take
@@ -387,7 +430,7 @@ impl<'db> PreparedQuery<'db> {
     /// counting fast path (no row is materialised). Engines without a parallel
     /// driver fall back to the serial count.
     pub fn par_count(&self, threads: usize) -> Result<u64, EngineError> {
-        if threads <= 1 || !matches!(self.plan, Plan::Bound(_)) {
+        if threads <= 1 || !matches!(self.plan, Plan::Bound(_) | Plan::Pairwise(_)) {
             return self.count();
         }
         let mut sink = CountSink::new();
@@ -493,11 +536,11 @@ impl<'db> PreparedQuery<'db> {
                 stats.run = run_start.elapsed();
                 count
             }
-            Plan::Pairwise { algo, limits } => {
+            Plan::Pairwise(plan) => {
                 let run_start = Instant::now();
-                let (count, pairwise) =
-                    pairwise_count_with_stats(self.db.instance(), &self.query, *algo, limits)
-                        .map_err(EngineError::Baseline)?;
+                let (count, pairwise) = plan
+                    .run(&mut |_| std::ops::ControlFlow::Continue(()))
+                    .map_err(EngineError::Baseline)?;
                 stats.run = run_start.elapsed();
                 stats.extras = vec![
                     ("materialized_rows", pairwise.materialized_rows),
@@ -568,6 +611,7 @@ fn ms_extras(ms: &gj_minesweeper::MsStats) -> Vec<(&'static str, u64)> {
 mod tests {
     use super::*;
     use crate::sink::CountSink;
+    use gj_baselines::ExecLimits;
     use gj_storage::{Graph, Relation};
 
     fn two_triangle_db() -> Database {
@@ -699,13 +743,37 @@ mod tests {
     }
 
     #[test]
-    fn run_parallel_falls_back_for_non_partitionable_engines() {
+    fn run_parallel_drives_the_pairwise_engines_through_morsels() {
         let db = two_triangle_db();
-        let q = CatalogQuery::FourCycle.query();
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
+            let q = cq.query();
+            for engine in [
+                Engine::HashJoin(ExecLimits::default()),
+                Engine::SortMergeJoin(ExecLimits::default()),
+            ] {
+                let prepared = db.prepare(&q, &engine).unwrap();
+                let serial = prepared.collect().unwrap();
+                for threads in [2, 4] {
+                    let label = format!("{} {} t={threads}", q.name, engine.label());
+                    assert_eq!(prepared.par_collect(threads).unwrap(), serial, "{label}");
+                    assert_eq!(prepared.par_count(threads).unwrap(), serial.len() as u64);
+                    assert_eq!(prepared.par_exists(threads).unwrap(), !serial.is_empty());
+                    let k = serial.len() / 2 + 1;
+                    assert_eq!(
+                        prepared.par_first_k(k, threads).unwrap(),
+                        serial[..k.min(serial.len())].to_vec(),
+                        "{label}"
+                    );
+                }
+            }
+        }
+        // A genuinely partitioned pairwise run reports its morsels and extras.
+        let q = CatalogQuery::ThreePath.query();
         let prepared = db.prepare(&q, &Engine::HashJoin(ExecLimits::default())).unwrap();
-        let serial = prepared.collect().unwrap();
-        assert_eq!(prepared.par_collect(4).unwrap(), serial);
-        assert_eq!(prepared.par_count(4).unwrap(), serial.len() as u64);
+        let mut sink = CountSink::new();
+        let stats = prepared.run_parallel(&mut sink, 2).unwrap();
+        assert!(stats.morsels > 1, "the pairwise parallel run must actually partition");
+        assert!(stats.extra("materialized_rows").is_some());
         // Count-only engines keep rejecting row sinks and keep counting.
         let hybrid = Engine::hybrid_for(CatalogQuery::TwoLollipop).unwrap();
         let prepared = db.prepare(&CatalogQuery::TwoLollipop.query(), &hybrid).unwrap();
@@ -715,6 +783,18 @@ mod tests {
             db.count(&CatalogQuery::TwoLollipop.query(), &Engine::Lftj).unwrap()
         );
         assert!(prepared.par_exists(4).unwrap());
+    }
+
+    #[test]
+    fn parallel_pairwise_budget_errors_propagate() {
+        let db = two_triangle_db();
+        let q = CatalogQuery::FourClique.query();
+        let tiny = ExecLimits { max_intermediate_rows: 1 };
+        let prepared = db.prepare(&q, &Engine::HashJoin(tiny)).unwrap();
+        assert!(matches!(prepared.count(), Err(EngineError::Baseline(_))));
+        assert!(matches!(prepared.par_count(4), Err(EngineError::Baseline(_))));
+        let mut sink = CountSink::new();
+        assert!(matches!(prepared.run_parallel(&mut sink, 4), Err(EngineError::Baseline(_))));
     }
 
     #[test]

@@ -87,6 +87,33 @@ impl<'a> LftjExecutor<'a> {
     /// collected enough rows, or to answer an existence check after the first
     /// output). Returns the statistics accumulated up to the stop point.
     pub fn try_run<F: FnMut(&[Val]) -> ControlFlow<()>>(mut self, emit: &mut F) -> LftjStats {
+        self.execute(emit)
+    }
+
+    /// Runs the join restricted to first-GAO-attribute values in `[lo, hi)`
+    /// **without consuming the executor** — the per-worker reuse primitive of the
+    /// parallel runtime. A worker builds one executor and calls `run_range` for
+    /// every morsel it claims: the trie iterators, participant lists, and filter
+    /// tables are carried across calls (a completed or early-terminated search
+    /// always rewinds its iterators back to the root), and only the statistics are
+    /// reset per range. The result is identical to running a fresh
+    /// [`with_range0`](Self::with_range0) executor over the same range.
+    pub fn run_range<F: FnMut(&[Val]) -> ControlFlow<()>>(
+        &mut self,
+        lo: Val,
+        hi: Val,
+        emit: &mut F,
+    ) -> LftjStats {
+        self.range0 = Some((lo, hi));
+        self.execute(emit)
+    }
+
+    /// The shared search entry: resets the statistics, runs the (possibly
+    /// range-restricted) search, and leaves the executor reusable — every level
+    /// opened during the search is closed again on unwind, even under early
+    /// termination.
+    fn execute<F: FnMut(&[Val]) -> ControlFlow<()>>(&mut self, emit: &mut F) -> LftjStats {
+        self.stats = LftjStats::default();
         if self.bq.num_vars() > 0 {
             let _ = self.search(0, emit);
         }

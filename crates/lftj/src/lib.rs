@@ -16,8 +16,10 @@
 //! and [`try_run`] (early termination); all of them consume a
 //! [`BoundQuery`](gj_query::BoundQuery) (query + GAO + GAO-consistent trie indexes)
 //! from `gj-query`. For parallel execution, [`LftjMorsels`] plugs the executor into
-//! the `gj-runtime` morsel driver (the root-level intersection is range-restricted
-//! with [`LftjExecutor::with_range0`]).
+//! the `gj-runtime` morsel driver: each worker thread reuses **one** executor
+//! across every morsel it claims ([`LftjExecutor::run_range`] range-restricts the
+//! root-level intersection without consuming the executor; [`LftjWorker`] carries
+//! it plus the re-ordering scratch row).
 
 pub mod executor;
 pub mod leapfrog;
@@ -25,4 +27,4 @@ pub mod parallel;
 
 pub use executor::{count, enumerate, run, try_run, LftjExecutor, LftjStats};
 pub use leapfrog::LeapfrogJoin;
-pub use parallel::LftjMorsels;
+pub use parallel::{LftjMorsels, LftjWorker};

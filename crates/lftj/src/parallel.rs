@@ -1,16 +1,20 @@
 //! LFTJ as a [`MorselSource`]: the engine half of parallel LeapFrog TrieJoin.
 //!
 //! The `gj-runtime` morsel driver partitions the first GAO attribute into ranges;
-//! this adapter runs one [`LftjExecutor`] per morsel with
-//! [`with_range0`](LftjExecutor::with_range0) restricting the root-level leapfrog
-//! intersection, and emits each output binding re-ordered into **variable-id order**
-//! (the sink protocol's row shape). Because the executor emits in lexicographic GAO
-//! order and morsels tile the first attribute in increasing order, the runtime's
-//! ordered merge reproduces the exact serial emission stream.
+//! this adapter runs the query restricted to each range with
+//! [`run_range`](LftjExecutor::run_range) and emits each output binding re-ordered
+//! into **variable-id order** (the sink protocol's row shape). Because the executor
+//! emits in lexicographic GAO order and morsels tile the first attribute in
+//! increasing order, the runtime's ordered merge reproduces the exact serial
+//! emission stream.
 //!
-//! Per-worker state is just the variable-order scratch row: an [`LftjExecutor`] is
-//! cheap to construct (iterator handles over `Arc`-shared tries), so one is built
-//! per morsel.
+//! Per-worker state mirrors Minesweeper's `MsWorker` pattern: each worker thread
+//! builds **one** [`LftjExecutor`] and carries it
+//! across every morsel it claims — the trie iterators, cached participant lists
+//! and filter tables are reused instead of being rebuilt per job — plus the
+//! variable-order scratch row. An ablation test below checks that the reused
+//! executor is behaviourally identical (same rows, same per-morsel result and
+//! exploration counts) to building a fresh executor per morsel.
 
 use crate::executor::LftjExecutor;
 use gj_query::BoundQuery;
@@ -24,6 +28,13 @@ pub struct LftjMorsels<'a> {
     bq: &'a BoundQuery,
 }
 
+/// Per-worker state of [`LftjMorsels`]: one executor reused across every claimed
+/// morsel, plus the GAO → variable-id scratch row.
+pub struct LftjWorker<'a> {
+    exec: LftjExecutor<'a>,
+    scratch: Vec<Val>,
+}
+
 impl<'a> LftjMorsels<'a> {
     /// Wraps a bound query for morsel-driven execution.
     pub fn new(bq: &'a BoundQuery) -> Self {
@@ -31,22 +42,22 @@ impl<'a> LftjMorsels<'a> {
     }
 }
 
-impl MorselSource for LftjMorsels<'_> {
-    /// Scratch row for the GAO → variable-id re-ordering.
-    type Worker = Vec<Val>;
+impl<'a> MorselSource for LftjMorsels<'a> {
+    type Worker = LftjWorker<'a>;
 
-    fn worker(&self) -> Vec<Val> {
-        vec![0; self.bq.num_vars()]
+    fn worker(&self) -> LftjWorker<'a> {
+        LftjWorker { exec: LftjExecutor::new(self.bq), scratch: vec![0; self.bq.num_vars()] }
     }
 
     fn run_morsel(
         &self,
-        scratch: &mut Vec<Val>,
+        worker: &mut LftjWorker<'a>,
         morsel: Morsel,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
         let gao = &self.bq.gao;
-        LftjExecutor::new(self.bq).with_range0(morsel.lo, morsel.hi).try_run(&mut |binding| {
+        let LftjWorker { exec, scratch } = worker;
+        exec.run_range(morsel.lo, morsel.hi, &mut |binding| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];
             }
@@ -54,8 +65,8 @@ impl MorselSource for LftjMorsels<'_> {
         });
     }
 
-    fn count_morsel(&self, _scratch: &mut Vec<Val>, morsel: Morsel) -> u64 {
-        LftjExecutor::new(self.bq).with_range0(morsel.lo, morsel.hi).count()
+    fn count_morsel(&self, worker: &mut LftjWorker<'a>, morsel: Morsel) -> u64 {
+        worker.exec.run_range(morsel.lo, morsel.hi, &mut |_| ControlFlow::Continue(())).results
     }
 }
 
@@ -70,6 +81,10 @@ mod tests {
         let g = Graph::new_undirected(8, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
         let mut inst = Instance::new();
         inst.add_relation("edge", g.edge_relation());
+        for (i, step) in [2usize, 3, 5, 4].iter().enumerate() {
+            let name = format!("v{}", i + 1);
+            inst.add_relation(name, gj_storage::Relation::from_values((0..8).step_by(*step)));
+        }
         (inst, q.clone())
     }
 
@@ -88,5 +103,81 @@ mod tests {
         let mut expected = Vec::new();
         crate::executor::run(&bq, &mut |b| expected.push(bq.binding_to_var_order(b)));
         assert_eq!(collect.into_rows(), expected);
+    }
+
+    /// Ablation: one executor reused across morsels (the worker behaviour) must be
+    /// indistinguishable — per-morsel result counts, exploration counts, and the
+    /// emitted rows — from the historical build-one-executor-per-morsel behaviour.
+    #[test]
+    fn reused_executor_matches_per_morsel_executors() {
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::FourCycle, CatalogQuery::ThreePath] {
+            let (inst, q) = bound(&cq.query());
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let morsels = partition_first_attribute(&bq, 8);
+            assert!(morsels.len() > 1, "the ablation needs a real partition");
+            let mut reused = LftjExecutor::new(&bq);
+            let mut total = 0;
+            for m in &morsels {
+                let mut fresh_rows: Vec<Val> = Vec::new();
+                let fresh =
+                    LftjExecutor::new(&bq).with_range0(m.lo, m.hi).try_run(&mut |binding| {
+                        fresh_rows.extend_from_slice(binding);
+                        ControlFlow::Continue(())
+                    });
+                let mut reused_rows: Vec<Val> = Vec::new();
+                let stats = reused.run_range(m.lo, m.hi, &mut |binding| {
+                    reused_rows.extend_from_slice(binding);
+                    ControlFlow::Continue(())
+                });
+                assert_eq!(stats, fresh, "{} morsel {m:?}", q.name);
+                assert_eq!(reused_rows, fresh_rows, "{} morsel {m:?}", q.name);
+                total += stats.results;
+            }
+            assert_eq!(total, crate::executor::count(&bq), "{}", q.name);
+        }
+    }
+
+    /// Signed domains: the morsel tiling starts at NEG_INF, so rows with negative
+    /// first-attribute values are enumerated by exactly one morsel and the
+    /// parallel rows stay byte-identical to the serial emission.
+    #[test]
+    fn negative_domains_partition_without_loss() {
+        let mut inst = Instance::new();
+        inst.add_relation("r", gj_storage::Relation::from_pairs((-10..10).map(|i| (i, i + 1))));
+        let q = gj_query::QueryBuilder::new("2-path")
+            .atom("r", &["a", "b"])
+            .atom("r", &["b", "c"])
+            .build();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let serial = crate::executor::count(&bq);
+        assert_eq!(serial, 19, "b ranges over -9..=9");
+        let morsels = partition_first_attribute(&bq, 6);
+        assert!(morsels.len() > 1, "the test needs a real partition");
+        assert_eq!(morsels[0].lo, gj_storage::NEG_INF);
+        let mut sink = CollectSink::new();
+        drive(&LftjMorsels::new(&bq), &morsels, 4, &mut sink);
+        let mut expected = Vec::new();
+        crate::executor::run(&bq, &mut |b| expected.push(bq.binding_to_var_order(b)));
+        assert_eq!(expected.len() as u64, serial);
+        assert_eq!(sink.into_rows(), expected);
+    }
+
+    /// Early termination inside one morsel must not poison the reused executor for
+    /// the next morsel.
+    #[test]
+    fn reuse_survives_early_termination() {
+        let (inst, q) = bound(&CatalogQuery::ThreePath.query());
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let morsels = partition_first_attribute(&bq, 6);
+        let mut exec = LftjExecutor::new(&bq);
+        // Break immediately in the first morsel ...
+        let stats = exec.run_range(morsels[0].lo, morsels[0].hi, &mut |_| ControlFlow::Break(()));
+        assert!(stats.results <= 1);
+        // ... then run every morsel to completion: totals must still be exact.
+        let total: u64 = morsels
+            .iter()
+            .map(|m| exec.run_range(m.lo, m.hi, &mut |_| ControlFlow::Continue(())).results)
+            .sum();
+        assert_eq!(total, crate::executor::count(&bq));
     }
 }

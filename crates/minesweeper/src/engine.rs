@@ -249,7 +249,11 @@ impl<'a> MinesweeperExecutor<'a> {
 
         if let Some((lo, _)) = self.range0 {
             let mut start = vec![-1; n];
-            start[0] = lo;
+            // The moving frontier encodes "before everything" as -1 (the paper's
+            // natural-number domains; NEG_INF is reserved for gap sentinels), so
+            // a morsel's open lower end is clamped to that convention — the same
+            // starting frontier an unrestricted run uses.
+            start[0] = lo.max(-1);
             self.cds.set_frontier(start);
         }
 

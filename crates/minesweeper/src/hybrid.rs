@@ -79,6 +79,22 @@ impl HybridPlan {
             return Err("the clique part of the query is empty".to_string());
         }
 
+        // Filters are classified by membership in the part's *atom* variables —
+        // not by the id-range split — so a sub-query can never end up with a
+        // filter-only variable contained in no atom (which the executors reject).
+        let path_vars: Vec<VarId> =
+            path_atoms.iter().flat_map(|a| a.vars.iter().copied()).collect();
+        let clique_vars: Vec<VarId> =
+            clique_atoms.iter().flat_map(|a| a.vars.iter().copied()).collect();
+        if !clique_vars.contains(&joint) {
+            return Err("the shared variable does not occur in the clique part".to_string());
+        }
+        if !path_vars.contains(&joint) {
+            return Err("the shared variable does not occur in the path part".to_string());
+        }
+        let in_path = |v: VarId| path_vars.contains(&v);
+        let in_clique = |v: VarId| clique_vars.contains(&v);
+
         let mut path_filters = Vec::new();
         let mut clique_filters = Vec::new();
         for &(x, y) in &query.filters {
@@ -100,7 +116,7 @@ impl HybridPlan {
         );
         let clique_joint = clique_query
             .var(&query.var_names[joint])
-            .expect("the shared variable occurs in the clique part");
+            .expect("guarded above: the shared variable occurs in a clique atom");
         // Put the shared vertex first in the clique GAO so groups are contiguous.
         let mut clique_gao: Vec<VarId> = vec![clique_joint];
         clique_gao.extend((0..clique_query.num_vars()).filter(|&v| v != clique_joint));
@@ -110,12 +126,9 @@ impl HybridPlan {
         // --- path part: bound for Minesweeper ------------------------------------
         let path_query =
             build_subquery(&format!("{}-path", query.name), query, &path_atoms, &path_filters);
-        let path_joint = match path_query.var(&query.var_names[joint]) {
-            Some(v) => v,
-            None => {
-                return Err("the shared variable does not occur in the path part".to_string());
-            }
-        };
+        let path_joint = path_query
+            .var(&query.var_names[joint])
+            .expect("guarded above: the shared variable occurs in a path atom");
         let (path_bq, path_report) =
             BoundQuery::with_cache(instance, &path_query, None, cache, threads)?;
         let path_joint_gao_pos = path_bq.var_pos[path_joint];

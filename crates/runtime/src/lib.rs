@@ -69,7 +69,7 @@ pub mod queue;
 pub mod sink;
 
 pub use drive::{drive, DriveReport, MorselSource};
-pub use morsel::{partition_first_attribute, Morsel};
+pub use morsel::{partition_first_attribute, partition_values, Morsel};
 pub use psink::{Ordered, ParallelSink, ShardSink};
 pub use queue::JobQueue;
 pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};

@@ -15,7 +15,7 @@
 //! the job pool can work-steal around stragglers.
 
 use gj_query::BoundQuery;
-use gj_storage::{Val, POS_INF};
+use gj_storage::{Val, NEG_INF, POS_INF};
 
 /// One unit of parallel work: the query restricted to first-GAO-attribute values in
 /// `[lo, hi)`. Morsels produced by [`partition_first_attribute`] tile the axis, so
@@ -36,7 +36,7 @@ impl Morsel {
 
     /// The whole axis as a single morsel (the serial fallback).
     pub fn whole_axis() -> Self {
-        Morsel { lo: -1, hi: POS_INF }
+        Morsel { lo: NEG_INF, hi: POS_INF }
     }
 }
 
@@ -56,13 +56,27 @@ pub fn partition_first_attribute(bq: &BoundQuery, parts: usize) -> Vec<Morsel> {
         return vec![Morsel::whole_axis()];
     };
     let (lo, hi) = atom.index.root_range();
-    let values = &atom.index.level_values(0)[lo..hi];
+    partition_values(&atom.index.level_values(0)[lo..hi], parts)
+}
+
+/// Splits a **sorted, distinct** slice of attribute values into at most `parts`
+/// morsels whose boundaries are values from the slice, covering the whole axis —
+/// the quantile core of [`partition_first_attribute`], exposed for engines whose
+/// partition axis is not a trie level (the pairwise baseline partitions the first
+/// column of its plan's base relation). The first morsel starts at [`NEG_INF`],
+/// so the tiling covers arbitrary signed domains; engines whose search encodes
+/// "before everything" differently clamp at their own boundary (Minesweeper's
+/// frontier clamps a morsel's `lo` to the paper's `-1` natural-number
+/// convention). Callers should fall back to serial execution when the result has
+/// fewer than two morsels.
+pub fn partition_values(values: &[Val], parts: usize) -> Vec<Morsel> {
+    debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be sorted and distinct");
     if values.is_empty() || parts <= 1 {
         return vec![Morsel::whole_axis()];
     }
     let parts = parts.min(values.len());
     let mut morsels = Vec::with_capacity(parts);
-    let mut start = -1;
+    let mut start = NEG_INF;
     for k in 1..parts {
         let boundary = values[k * values.len() / parts];
         if boundary > start {
@@ -101,11 +115,27 @@ mod tests {
         for parts in [2, 3, 7, 64] {
             let morsels = partition_first_attribute(&bq, parts);
             assert!(!morsels.is_empty());
-            assert_eq!(morsels[0].lo, -1);
+            assert_eq!(morsels[0].lo, NEG_INF);
             assert_eq!(morsels.last().unwrap().hi, POS_INF);
             for w in morsels.windows(2) {
                 assert_eq!(w[0].hi, w[1].lo, "morsels must tile the axis");
                 assert!(w[0].lo < w[0].hi);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_boundaries_keep_the_tiling_well_formed() {
+        // Signed domains: quantile boundaries may be negative; the tiling must
+        // still cover the whole axis with strictly increasing, non-inverted
+        // morsels starting at NEG_INF.
+        for parts in [2, 3, 5, 16] {
+            let morsels = partition_values(&[-20, -5, -1, 0, 3, 9], parts);
+            assert_eq!(morsels[0].lo, NEG_INF);
+            assert_eq!(morsels.last().unwrap().hi, POS_INF);
+            for w in morsels.windows(2) {
+                assert_eq!(w[0].hi, w[1].lo, "morsels must tile the axis");
+                assert!(w[0].lo < w[0].hi, "no inverted morsels");
             }
         }
     }

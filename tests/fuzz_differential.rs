@@ -1,0 +1,288 @@
+//! Seeded cross-engine differential fuzzing: a deterministic random-query
+//! generator draws ~50 conjunctive queries over random graphs/relations and checks
+//! that LFTJ, Minesweeper, both pairwise baselines (hash and sort-merge) and — on
+//! the queries it can split — the hybrid all agree, serially and through the
+//! morsel-driven parallel runtime at `threads ∈ {1, 4}`:
+//!
+//! * identical `count`;
+//! * identical **sorted** `collect` row sets across engines, and byte-identical
+//!   `par_collect` vs the same engine's serial `collect` (the ordered shard merge
+//!   guarantee, now including the parallel pairwise path);
+//! * `first_k` / `par_first_k` answers that are exact serial prefixes;
+//! * `exists` / `par_exists` consistency.
+//!
+//! Every assertion message carries the case number and the RNG seed, so a failure
+//! is reproducible by pasting the seed into [`run_case`]. The black-box approach
+//! follows the differential-testing playbook: trust an optimised engine only by
+//! checking it against independent references on inputs nobody hand-picked.
+
+use gj_baselines::BaselineError;
+use graphjoin::{
+    Database, Engine, EngineError, ExecLimits, Graph, MsConfig, Query, QueryBuilder, Relation,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Number of random cases the corpus draws.
+const CASES: u64 = 50;
+
+/// Splitmix-style per-case seed derivation from one base seed.
+fn case_seed(case: u64) -> u64 {
+    (0x9e3779b97f4a7c15u64.wrapping_mul(case + 1)) ^ 0x5eed_f022_dead_beef
+}
+
+/// A random database: a seeded undirected graph (`edge`), two unary samples
+/// (`u1`, `u2`) and one random directed binary relation (`r1`).
+fn random_database(rng: &mut StdRng) -> Database {
+    let n = rng.gen_range(8u32..26);
+    // Edge probability around 2/n .. 6/n keeps cartesian worst cases bounded.
+    let per_mille = rng.gen_range(80u64..260);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(per_mille as f64 / 1000.0))
+        .collect();
+    let mut db = Database::new();
+    db.add_graph(Graph::new_undirected(n as usize, edges));
+    for name in ["u1", "u2"] {
+        let values: Vec<i64> = (0..n as i64).filter(|_| rng.gen_bool(0.4)).collect();
+        db.add_relation(name, Relation::from_values(values));
+    }
+    let pairs: Vec<(i64, i64)> = (0..rng.gen_range(5usize..50))
+        .map(|_| (rng.gen_range(0i64..n as i64), rng.gen_range(0i64..n as i64)))
+        .collect();
+    db.add_relation("r1", Relation::from_pairs(pairs));
+    db
+}
+
+/// A random conjunctive query over the relations of [`random_database`]: 2–4 atoms
+/// over a pool of up to four variables, with 0–2 order filters restricted to
+/// variables that actually occur in an atom (every engine requires each query
+/// variable to be contained in some atom).
+fn random_query(rng: &mut StdRng, case: u64) -> Query {
+    const VARS: [&str; 4] = ["a", "b", "c", "d"];
+    let pool = rng.gen_range(2usize..5);
+    let atoms = rng.gen_range(2usize..5);
+    let mut builder = QueryBuilder::new(format!("fuzz-{case}"));
+    let mut used: Vec<usize> = Vec::new();
+    let use_var = |rng: &mut StdRng, used: &mut Vec<usize>| {
+        let v = rng.gen_range(0usize..pool);
+        if !used.contains(&v) {
+            used.push(v);
+        }
+        v
+    };
+    for _ in 0..atoms {
+        match rng.gen_range(0u32..10) {
+            // Mostly graph self-joins (the paper's workload shape) ...
+            0..=5 => {
+                let x = use_var(rng, &mut used);
+                let mut y = use_var(rng, &mut used);
+                while y == x {
+                    y = use_var(rng, &mut used);
+                }
+                builder = builder.atom("edge", &[VARS[x], VARS[y]]);
+            }
+            // ... some joins against the random binary relation ...
+            6..=7 => {
+                let x = use_var(rng, &mut used);
+                let mut y = use_var(rng, &mut used);
+                while y == x {
+                    y = use_var(rng, &mut used);
+                }
+                builder = builder.atom("r1", &[VARS[x], VARS[y]]);
+            }
+            // ... and unary sample restrictions.
+            _ => {
+                let u = if rng.gen_bool(0.5) { "u1" } else { "u2" };
+                let x = use_var(rng, &mut used);
+                builder = builder.atom(u, &[VARS[x]]);
+            }
+        }
+    }
+    for _ in 0..rng.gen_range(0u32..3) {
+        if used.len() < 2 {
+            break;
+        }
+        let x = used[rng.gen_range(0usize..used.len())];
+        let y = used[rng.gen_range(0usize..used.len())];
+        if x != y {
+            builder = builder.lt(VARS[x], VARS[y]);
+        }
+    }
+    builder.build()
+}
+
+/// The general-purpose engines every case must agree on.
+fn fuzz_engines() -> [Engine; 4] {
+    [
+        Engine::Lftj,
+        Engine::Minesweeper(MsConfig::default()),
+        Engine::HashJoin(ExecLimits::default()),
+        Engine::SortMergeJoin(ExecLimits::default()),
+    ]
+}
+
+/// Runs one differential case; every assertion names the case and seed.
+fn run_case(case: u64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_database(&mut rng);
+    let query = random_query(&mut rng, case);
+    let ctx = format!("case {case} seed {seed:#018x} [{query}]");
+
+    // Reference: LFTJ's sorted row set.
+    let reference = {
+        let prepared = db
+            .prepare(&query, &Engine::Lftj)
+            .unwrap_or_else(|e| panic!("{ctx}: reference prepare failed: {e}"));
+        let mut rows =
+            prepared.collect().unwrap_or_else(|e| panic!("{ctx}: reference collect failed: {e}"));
+        rows.sort_unstable();
+        rows
+    };
+
+    for engine in fuzz_engines() {
+        let label = format!("{ctx} {}", engine.label());
+        let prepared =
+            db.prepare(&query, &engine).unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+        let count = prepared.count().unwrap_or_else(|e| panic!("{label}: count failed: {e}"));
+        assert_eq!(count as usize, reference.len(), "{label}: count disagrees");
+
+        let serial = prepared.collect().unwrap_or_else(|e| panic!("{label}: collect failed: {e}"));
+        let mut sorted = serial.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, reference, "{label}: sorted collect disagrees");
+
+        for threads in [1usize, 4] {
+            let tlabel = format!("{label} threads {threads}");
+            assert_eq!(
+                prepared.par_count(threads).unwrap_or_else(|e| panic!("{tlabel}: {e}")),
+                count,
+                "{tlabel}: par_count disagrees"
+            );
+            assert_eq!(
+                prepared.par_collect(threads).unwrap_or_else(|e| panic!("{tlabel}: {e}")),
+                serial,
+                "{tlabel}: par_collect is not byte-identical to serial collect"
+            );
+            assert_eq!(
+                prepared.par_exists(threads).unwrap_or_else(|e| panic!("{tlabel}: {e}")),
+                !serial.is_empty(),
+                "{tlabel}: par_exists disagrees"
+            );
+            for k in [0usize, 1, serial.len() / 3, serial.len() + 2] {
+                let prefix = prepared
+                    .par_first_k(k, threads)
+                    .unwrap_or_else(|e| panic!("{tlabel}: first_k({k}): {e}"));
+                assert_eq!(
+                    prefix,
+                    serial[..k.min(serial.len())].to_vec(),
+                    "{tlabel}: first_k({k}) is not the serial prefix"
+                );
+            }
+        }
+    }
+
+    // The hybrid only counts, and only on queries it can split; every valid split
+    // must agree with the reference count.
+    for split in 1..query.num_vars() {
+        let engine = Engine::Hybrid { split, config: MsConfig::default() };
+        if let Ok(prepared) = db.prepare(&query, &engine) {
+            let count =
+                prepared.count().unwrap_or_else(|e| panic!("{ctx}: hybrid split {split}: {e}"));
+            assert_eq!(
+                count as usize,
+                reference.len(),
+                "{ctx}: hybrid split {split} count disagrees"
+            );
+        }
+    }
+}
+
+#[test]
+fn fifty_random_queries_agree_across_engines_and_thread_counts() {
+    for case in 0..CASES {
+        run_case(case, case_seed(case));
+    }
+}
+
+/// Regression: `ExecLimits::max_intermediate_rows` must abort with
+/// `IntermediateBudgetExceeded` both (a) for streamed final-join rows in a serial
+/// run and (b) on the parallel pairwise path, where per-worker row counts
+/// aggregate into one global budget — each morsel alone stays far below the
+/// budget, only the aggregate crosses it.
+#[test]
+fn pairwise_budget_aborts_streamed_and_parallel_runs() {
+    let seed = case_seed(1234);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 40u32;
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(0.3))
+        .collect();
+    let mut db = Database::new();
+    db.add_graph(Graph::new_undirected(n as usize, edges));
+    // An open wedge: the only materialised intermediate is the edge list itself,
+    // while the (much larger) wedge output streams into the sink.
+    let query =
+        QueryBuilder::new("wedge").atom("edge", &["a", "b"]).atom("edge", &["b", "c"]).build();
+    let ctx = format!("seed {seed:#018x}");
+
+    for engine_of in [Engine::HashJoin, Engine::SortMergeJoin] {
+        let full = db.prepare(&query, &engine_of(ExecLimits::default())).unwrap();
+        let count = full.count().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let edge_rows = db.instance().relation("edge").unwrap().len() as u64;
+        assert!(count > edge_rows, "{ctx}: the test needs a streamed output larger than the base");
+
+        let budget_err = |r: Result<u64, EngineError>, what: &str| {
+            let err = r.expect_err(what);
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Baseline(BaselineError::IntermediateBudgetExceeded { .. })
+                ),
+                "{ctx}: {what}: unexpected error {err:?}"
+            );
+        };
+
+        let tight = db
+            .prepare(&query, &engine_of(ExecLimits { max_intermediate_rows: count as usize - 1 }))
+            .unwrap();
+        // (a) Serial: the streamed final join overruns the budget.
+        budget_err(tight.count(), "serial streamed-row budget");
+        // (b) Parallel: no single worker exceeds the budget, the aggregate does.
+        budget_err(tight.par_count(4), "parallel aggregated budget");
+
+        // The exact budget succeeds both ways, with identical counts.
+        let exact = db
+            .prepare(&query, &engine_of(ExecLimits { max_intermediate_rows: count as usize }))
+            .unwrap();
+        assert_eq!(exact.count().unwrap(), count, "{ctx}");
+        assert_eq!(exact.par_count(4).unwrap(), count, "{ctx}");
+    }
+}
+
+/// The corpus stays meaningful: the generator must produce a healthy share of
+/// non-empty answers and some multi-row results (otherwise the differential
+/// assertions above would be vacuous).
+#[test]
+fn fuzz_corpus_is_not_vacuous() {
+    let mut non_empty = 0usize;
+    let mut multi_row = 0usize;
+    let mut hybrid_splittable = 0usize;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case_seed(case));
+        let db = random_database(&mut rng);
+        let query = random_query(&mut rng, case);
+        let rows = db.prepare(&query, &Engine::Lftj).unwrap().count().unwrap();
+        non_empty += usize::from(rows > 0);
+        multi_row += usize::from(rows > 8);
+        hybrid_splittable += usize::from((1..query.num_vars()).any(|split| {
+            db.prepare(&query, &Engine::Hybrid { split, config: MsConfig::default() }).is_ok()
+        }));
+    }
+    assert!(non_empty as u64 >= CASES / 2, "only {non_empty}/{CASES} cases had any rows");
+    assert!(multi_row as u64 >= CASES / 4, "only {multi_row}/{CASES} cases had > 8 rows");
+    assert!(
+        hybrid_splittable as u64 >= CASES / 10,
+        "only {hybrid_splittable}/{CASES} cases exercised the hybrid"
+    );
+}
