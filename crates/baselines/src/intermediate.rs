@@ -95,19 +95,35 @@ impl Intermediate {
         self.buf.clear();
     }
 
-    /// Replaces the contents with the rows of `source` whose **first column**
-    /// value lies in `[lo, hi)`. The source rows must be sorted on their first
-    /// column (base relations are — `Relation` stores rows in lexicographic
-    /// order), so the restriction is a binary search plus one `memcpy`.
-    pub fn load_first_col_range(&mut self, source: &Intermediate, lo: Val, hi: Val) {
-        self.reset(&source.vars);
-        if source.is_empty() {
-            return;
+    /// The row-index bounds `[start, end)` of the rows whose **first column**
+    /// value lies in `[lo, hi)`. The rows must be sorted on their first column
+    /// (base relations are — `Relation` stores rows in lexicographic order), so
+    /// this is a pair of binary searches. Exposed separately from
+    /// [`load_first_col_range`](Self::load_first_col_range) so callers can check
+    /// a row budget against the restriction's size *before* paying the copy.
+    pub fn first_col_range(&self, lo: Val, hi: Val) -> (usize, usize) {
+        if self.is_empty() {
+            return (0, 0);
         }
-        let first = |i: usize| source.row(i)[0];
-        debug_assert!((1..source.len()).all(|i| first(i - 1) <= first(i)));
-        let start = partition_rows(source.len(), |i| first(i) < lo);
-        let end = partition_rows(source.len(), |i| first(i) < hi);
+        let first = |i: usize| self.row(i)[0];
+        debug_assert!((1..self.len()).all(|i| first(i - 1) <= first(i)));
+        let start = partition_rows(self.len(), |i| first(i) < lo);
+        let end = partition_rows(self.len(), |i| first(i) < hi);
+        (start, end)
+    }
+
+    /// Replaces the contents with the rows of `source` whose **first column**
+    /// value lies in `[lo, hi)` (see [`first_col_range`](Self::first_col_range)):
+    /// a binary search plus one `memcpy`.
+    pub fn load_first_col_range(&mut self, source: &Intermediate, lo: Val, hi: Val) {
+        let (start, end) = source.first_col_range(lo, hi);
+        self.load_row_range(source, start, end);
+    }
+
+    /// Replaces the contents with rows `start..end` of `source` — one `memcpy`,
+    /// reusing this buffer's capacity.
+    pub fn load_row_range(&mut self, source: &Intermediate, start: usize, end: usize) {
+        self.reset(&source.vars);
         self.buf.extend_from_slice(&source.buf[start * source.width..end * source.width]);
     }
 
@@ -208,12 +224,35 @@ impl Intermediate {
     /// This is the shared core of both physical joins: the operator (hash probe vs
     /// merge of sorted runs) is picked by the index variant. Per call it allocates
     /// only the scratch row and, for the merge join, the left permutation and run
-    /// table — never anything per output row.
+    /// table — never anything per output row. Callers that execute the same join
+    /// repeatedly (the per-worker morsel path) should use
+    /// [`stream_join_with`](Self::stream_join_with) and cache the left
+    /// permutation.
     pub fn stream_join(
         &self,
         right: &Intermediate,
         cols: &JoinCols,
         index: &RightIndex,
+        emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
+    ) -> u64 {
+        self.stream_join_with(right, cols, index, None, emit)
+    }
+
+    /// [`stream_join`](Self::stream_join) with an optional precomputed **left**
+    /// sort permutation for the merge join (`self.sort_perm(&cols.left)`; ignored
+    /// by the hash join). The left sort is the only per-execution build of a
+    /// prepared merge-join step — the right side's permutation lives in the
+    /// prepared [`RightIndex`] — so workers that run the same join over the same
+    /// left rows repeatedly (same morsel, repeated executions) cache it and skip
+    /// the `O(n log n)` sort. The permutation must be exactly
+    /// `self.sort_perm(&cols.left)`; a permutation of the wrong length panics in
+    /// debug builds and must not be passed in release ones.
+    pub fn stream_join_with(
+        &self,
+        right: &Intermediate,
+        cols: &JoinCols,
+        index: &RightIndex,
+        left_perm: Option<&[u32]>,
         emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
     ) -> u64 {
         let mut out = vec![0; self.width + cols.extra.len()];
@@ -244,10 +283,17 @@ impl Intermediate {
                 }
             }
             RightIndex::Sorted { order } => {
-                // Sort-merge: sort the left by the key columns too, align the
-                // equal-key runs of both sorted sides with one linear merge, then
-                // emit in left *stored* order through the per-left-row run table.
-                let lperm = self.sort_perm(&cols.left);
+                // Sort-merge: sort the left by the key columns too (or take the
+                // caller's cached permutation), align the equal-key runs of both
+                // sorted sides with one linear merge, then emit in left *stored*
+                // order through the per-left-row run table.
+                let lperm: std::borrow::Cow<'_, [u32]> = match left_perm {
+                    Some(perm) => {
+                        debug_assert_eq!(perm.len(), self.len(), "stale left permutation");
+                        std::borrow::Cow::Borrowed(perm)
+                    }
+                    None => std::borrow::Cow::Owned(self.sort_perm(&cols.left)),
+                };
                 let mut runs = vec![(0u32, 0u32); self.len()];
                 let (mut i, mut j) = (0usize, 0usize);
                 while i < lperm.len() && j < order.len() {

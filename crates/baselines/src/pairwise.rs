@@ -14,10 +14,16 @@
 //!
 //! [`PairwisePlan`] is the prepared form: planning, the copy of every atom's rows
 //! into columnar [`Intermediate`]s, and the right-side probe structures
-//! ([`RightIndex`] — hash tables / sort permutations) are built **once** and
-//! shared read-only by every execution and every worker thread. Executions then
-//! only pay the left-deep chain itself, with per-worker intermediate buffers
-//! ([`PairwiseWorker`]) reused across runs.
+//! ([`RightIndex`] — hash tables / sort permutations, including the streamed
+//! final join's) are built **once** and shared read-only by every execution and
+//! every worker thread. Executions then only pay the left-deep chain itself, with
+//! per-worker state ([`PairwiseWorker`]) reused across runs: the two intermediate
+//! buffers the chain alternates between, plus a cache of the merge join's **left**
+//! sort permutations keyed by `(step, morsel)` — the one per-execution build a
+//! prepared merge-join step still had. Retired workers park in the plan's
+//! [`WorkerPool`] (the runtime's `retire_worker` lifecycle hook), so buffers and
+//! permutation caches survive across morsels *and* across repeated executions of
+//! the same prepared query — a warm rerun pays no left sort at all.
 //!
 //! The plan also plugs into the `gj-runtime` morsel driver: the first join's build
 //! side (the base of the left-deep chain, whose rows are sorted) is partitioned
@@ -52,8 +58,9 @@
 use crate::intermediate::{Intermediate, JoinCols, RightIndex};
 use crate::planner::plan_left_deep;
 use gj_query::{Instance, Query, VarId};
-use gj_runtime::{partition_values, Morsel, MorselSource};
+use gj_runtime::{partition_values, Morsel, MorselSource, WorkerPool};
 use gj_storage::{Relation, Val, NEG_INF, POS_INF};
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -149,6 +156,13 @@ pub struct PairwisePlan {
     steps: Vec<JoinStep>,
     /// Projection from the final schema to variable-id order.
     out_cols: Vec<usize>,
+    /// Retired [`PairwiseWorker`]s, parked between executions. Workers carry the
+    /// chain's intermediate buffers **and** the merge-join left-permutation cache,
+    /// so pooling them makes both survive across morsels *and* across repeated
+    /// executions of the same plan: a warm rerun skips every left sort the cold
+    /// run paid for. Cloning the plan starts with an empty pool (caches do not
+    /// follow clones).
+    pool: WorkerPool<PairwiseWorker>,
 }
 
 impl PairwisePlan {
@@ -205,6 +219,7 @@ impl PairwisePlan {
             base_first,
             steps,
             out_cols,
+            pool: WorkerPool::new(),
         })
     }
 
@@ -226,13 +241,29 @@ impl PairwisePlan {
 
     /// Fresh per-worker execution state: two reusable intermediate buffers (the
     /// chain alternates between them, so one run allocates at most twice and
-    /// subsequent runs not at all) plus the output scratch row.
+    /// subsequent runs not at all), the output scratch row, and an empty
+    /// merge-join left-permutation cache. Prefer
+    /// [`acquire_worker`](Self::acquire_worker), which recycles a pooled worker
+    /// with warm caches.
     pub fn worker(&self) -> PairwiseWorker {
         PairwiseWorker {
             cur: Intermediate::default(),
             next: Intermediate::default(),
             scratch: vec![0; self.num_vars],
+            perms: HashMap::new(),
         }
+    }
+
+    /// A worker from the plan's pool (warm buffers and left-permutation cache from
+    /// an earlier execution), or a fresh one when the pool is empty. Pair with
+    /// [`release_worker`](Self::release_worker) so the state keeps amortising.
+    pub fn acquire_worker(&self) -> PairwiseWorker {
+        self.pool.acquire_or(|| self.worker())
+    }
+
+    /// Parks a worker back into the plan's pool for later executions.
+    pub fn release_worker(&self, worker: PairwiseWorker) {
+        self.pool.release(worker);
     }
 
     /// Partitions the base's first attribute into at most `parts` morsels at
@@ -266,8 +297,9 @@ impl PairwisePlan {
         emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
     ) -> Result<(u64, PairwiseStats), BaselineError> {
         let budget = BudgetState::new(self.limits.max_intermediate_rows, self.materialised_steps());
-        let mut worker = self.worker();
+        let mut worker = self.acquire_worker();
         let emitted = self.run_range(&mut worker, NEG_INF, POS_INF, &budget, emit);
+        self.release_worker(worker);
         budget.finish().map(|stats| (emitted, stats))
     }
 
@@ -286,11 +318,15 @@ impl PairwisePlan {
         if budget.exceeded() {
             return 0;
         }
-        let PairwiseWorker { cur, next, scratch } = worker;
-        cur.load_first_col_range(&self.base, lo, hi);
-        if budget.track_step(0, cur.len()).is_break() {
+        let PairwiseWorker { cur, next, scratch, perms } = worker;
+        // The budget is checked against the restriction's row count *before* the
+        // copy is paid: an overrunning base build aborts during the build, not
+        // after materialising it.
+        let (start, end) = self.base.first_col_range(lo, hi);
+        if budget.track_step(0, end - start).is_break() {
             return 0;
         }
+        cur.load_row_range(&self.base, start, end);
         cur.apply_filters(&self.filters);
 
         // Materialise every join but the last, alternating between the worker's
@@ -305,7 +341,8 @@ impl PairwisePlan {
         for (k, step) in self.steps[..materialised].iter().enumerate() {
             next.reset(&step.out_vars);
             let mut overrun = false;
-            cur.stream_join(&step.right, &step.cols, &step.index, &mut |row| {
+            let lperm = cached_left_perm(perms, (k, lo, hi), cur, &step.cols, &step.index);
+            cur.stream_join_with(&step.right, &step.cols, &step.index, lperm, &mut |row| {
                 if budget.bump_step(k + 1).is_break() {
                     overrun = true;
                     return ControlFlow::Break(());
@@ -351,21 +388,75 @@ impl PairwisePlan {
                 }
             }
             Some(step) => {
-                cur.stream_join(&step.right, &step.cols, &step.index, &mut stream);
+                let lperm =
+                    cached_left_perm(perms, (materialised, lo, hi), cur, &step.cols, &step.index);
+                cur.stream_join_with(&step.right, &step.cols, &step.index, lperm, &mut stream);
             }
         }
         emitted
     }
 }
 
+/// Entry cap on a worker's left-permutation cache. One partitioning produces at
+/// most `threads × granularity` morsels × the plan's merge steps — comfortably
+/// below this — so a fixed execution configuration never hits the cap; a
+/// long-lived plan driven with *varying* thread counts produces a fresh key set
+/// per partitioning, and without the cap those generations would accumulate
+/// without bound (each entry is O(left rows)).
+const PERM_CACHE_CAP: usize = 1024;
+
+/// Looks up (or computes and caches) the merge-join left sort permutation for one
+/// `(step, morsel)` pair. Hash-join steps need no left sort and return `None`.
+///
+/// The cache key is `(step index, morsel lo, morsel hi)`: the chain is
+/// deterministic, so the left side of a given step over a given base restriction
+/// is identical on every execution — and it is always *fully* materialised by the
+/// time its join runs (a budget abort returns before reaching the join), so a
+/// cached permutation can never go stale. The length check is a defensive
+/// revalidation only. When a new key would push the cache past
+/// [`PERM_CACHE_CAP`], the stale generations are dropped wholesale and the
+/// current partitioning refills from scratch.
+fn cached_left_perm<'w>(
+    perms: &'w mut HashMap<(usize, Val, Val), Vec<u32>>,
+    key: (usize, Val, Val),
+    cur: &Intermediate,
+    cols: &JoinCols,
+    index: &RightIndex,
+) -> Option<&'w [u32]> {
+    if !matches!(index, RightIndex::Sorted { .. }) {
+        return None;
+    }
+    if perms.len() >= PERM_CACHE_CAP && !perms.contains_key(&key) {
+        perms.clear();
+    }
+    let perm = perms.entry(key).or_insert_with(|| cur.sort_perm(&cols.left));
+    if perm.len() != cur.len() {
+        *perm = cur.sort_perm(&cols.left);
+    }
+    Some(perm)
+}
+
 /// Per-worker execution state of a [`PairwisePlan`]: the two intermediate buffers
 /// the chain alternates between (reused across every morsel the worker claims,
-/// like the Minesweeper worker's executor) and the projection scratch row.
+/// like the Minesweeper worker's executor), the projection scratch row, and the
+/// merge-join left-permutation cache. Workers retired through the runtime's
+/// `retire_worker` lifecycle hook park in the plan's [`WorkerPool`], so the cache
+/// also survives across repeated executions of the same prepared plan.
 #[derive(Debug)]
 pub struct PairwiseWorker {
     cur: Intermediate,
     next: Intermediate,
     scratch: Vec<Val>,
+    /// `(step, morsel lo, morsel hi)` → the step's left sort permutation (merge
+    /// join only; see [`cached_left_perm`]).
+    perms: HashMap<(usize, Val, Val), Vec<u32>>,
+}
+
+impl PairwiseWorker {
+    /// Number of cached merge-join left sort permutations.
+    pub fn cached_perms(&self) -> usize {
+        self.perms.len()
+    }
 }
 
 /// The shared budget/statistics ledger of one execution (serial or parallel):
@@ -482,7 +573,7 @@ impl MorselSource for PairwiseMorsels<'_> {
     type Worker = PairwiseWorker;
 
     fn worker(&self) -> PairwiseWorker {
-        self.plan.worker()
+        self.plan.acquire_worker()
     }
 
     fn run_morsel(
@@ -492,6 +583,12 @@ impl MorselSource for PairwiseMorsels<'_> {
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
         self.plan.run_range(worker, morsel.lo, morsel.hi, &self.budget, emit);
+    }
+
+    /// Parks the worker (buffers + left-permutation cache) in the plan's pool, so
+    /// the next execution of the same prepared plan starts with warm caches.
+    fn retire_worker(&self, worker: PairwiseWorker) {
+        self.plan.release_worker(worker);
     }
 }
 
@@ -787,6 +884,116 @@ mod tests {
         let again = count_all(&mut worker);
         assert_eq!(total, again);
         assert_eq!(total, naive_count(&inst, &q));
+    }
+
+    #[test]
+    fn cached_left_permutations_keep_merge_join_output_identical() {
+        // A worker that re-runs the same morsels serves the merge joins from its
+        // left-permutation cache; the emitted stream must stay byte-identical and
+        // the cache must stop growing once every (step, morsel) pair is seen.
+        let inst = random_instance(41, 30, 0.2);
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::ThreePath, CatalogQuery::FourCycle] {
+            let q = cq.query();
+            let plan =
+                PairwisePlan::new(&inst, &q, JoinAlgo::SortMerge, ExecLimits::default()).unwrap();
+            let budget = BudgetState::new(usize::MAX, plan.materialised_steps());
+            let morsels = plan.partition(6);
+            assert!(morsels.len() > 1, "{}: the test needs a real partition", q.name);
+            let mut worker = plan.worker();
+            assert_eq!(worker.cached_perms(), 0);
+            let collect = |worker: &mut PairwiseWorker| -> Vec<Val> {
+                let mut rows = Vec::new();
+                for m in &morsels {
+                    plan.run_range(worker, m.lo, m.hi, &budget, &mut |r| {
+                        rows.extend_from_slice(r);
+                        ControlFlow::Continue(())
+                    });
+                }
+                rows
+            };
+            let cold = collect(&mut worker);
+            let cached = worker.cached_perms();
+            assert!(cached > 0, "{}: no permutation was cached", q.name);
+            let warm = collect(&mut worker);
+            assert_eq!(warm, cold, "{}: cached permutations changed the output", q.name);
+            assert_eq!(worker.cached_perms(), cached, "{}: cache kept growing", q.name);
+        }
+    }
+
+    #[test]
+    fn perm_cache_is_bounded_under_varying_partitionings() {
+        // A long-lived plan driven with many different partitionings (varying
+        // thread counts) must not grow a worker's permutation cache without
+        // bound: the cap drops stale generations, and results stay exact.
+        let inst = random_instance(44, 40, 0.2);
+        let q = CatalogQuery::ThreePath.query();
+        let plan =
+            PairwisePlan::new(&inst, &q, JoinAlgo::SortMerge, ExecLimits::default()).unwrap();
+        let budget = BudgetState::new(usize::MAX, plan.materialised_steps());
+        let mut worker = plan.worker();
+        let serial = plan.run(&mut |_| ControlFlow::Continue(())).unwrap().0;
+        // Hundreds of distinct partitionings -> thousands of distinct keys.
+        for parts in 2..200 {
+            let mut rows = 0;
+            for m in plan.partition(parts) {
+                rows += plan.run_range(&mut worker, m.lo, m.hi, &budget, &mut |_| {
+                    ControlFlow::Continue(())
+                });
+            }
+            assert_eq!(rows, serial, "parts {parts}");
+            assert!(
+                worker.cached_perms() <= PERM_CACHE_CAP,
+                "cache exceeded its cap: {} at parts {parts}",
+                worker.cached_perms()
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_survives_across_executions() {
+        let inst = random_instance(42, 30, 0.2);
+        let q = CatalogQuery::ThreePath.query();
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge] {
+            let plan = PairwisePlan::new(&inst, &q, algo, ExecLimits::default()).unwrap();
+            let (first, _) = plan.run(&mut |_| ControlFlow::Continue(())).unwrap();
+            // Serial reruns recycle the pooled worker (and its caches).
+            let (second, _) = plan.run(&mut |_| ControlFlow::Continue(())).unwrap();
+            assert_eq!(first, second, "{algo:?}");
+            // Parallel executions retire their workers into the same pool; a
+            // rerun over the same morsels must be byte-identical to the cold run.
+            let morsels = plan.partition(8);
+            let run_par = || {
+                let source = PairwiseMorsels::new(&plan);
+                let mut sink = CollectSink::new();
+                drive(&source, &morsels, 4, &mut sink);
+                source.finish().unwrap();
+                sink.into_rows()
+            };
+            let cold = run_par();
+            let warm = run_par();
+            assert_eq!(cold, warm, "{algo:?}");
+            assert_eq!(cold.len() as u64, first, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn base_budget_aborts_before_the_copy() {
+        // A budget smaller than the restricted base must abort the run during the
+        // base build; the step-0 aggregate still records the attempted size.
+        let inst = random_instance(43, 40, 0.25);
+        let q = CatalogQuery::ThreeClique.query();
+        let edge_rows = inst.relation("edge").unwrap().len();
+        let tight = ExecLimits { max_intermediate_rows: edge_rows - 1 };
+        let plan = PairwisePlan::new(&inst, &q, JoinAlgo::Hash, tight).unwrap();
+        let mut emitted = 0u64;
+        let err = plan
+            .run(&mut |_| {
+                emitted += 1;
+                ControlFlow::Continue(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, BaselineError::IntermediateBudgetExceeded { .. }));
+        assert_eq!(emitted, 0, "the run must abort before any row is produced");
     }
 
     #[test]

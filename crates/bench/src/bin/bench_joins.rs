@@ -22,7 +22,13 @@
 //!   cost under repeated traffic);
 //! * `par4_run_ms` / `par4_speedup` — the same execution through
 //!   `PreparedQuery::par_count` on 4 worker threads (the morsel-driven runtime),
-//!   so the JSON records a scaling column next to the serial trajectory.
+//!   so the JSON records a scaling column next to the serial trajectory;
+//! * `par4_rerun_ms` / `par4_rerun_speedup` — a **warm** parallel rerun of the
+//!   same prepared query: the workers retired by the first parallel run left
+//!   their state behind (the pairwise engines pool their buffers and merge-join
+//!   left sort permutations in the plan), so the rerun column tracks the
+//!   steady-state per-request cost under repeated parallel traffic, next to the
+//!   cold `par4_run_ms`.
 //!
 //! Besides the trie engines, the pairwise baselines (`psql` = hash join,
 //! `monetdb` = sort-merge join) are benchmarked on the sample-restricted acyclic
@@ -174,12 +180,33 @@ fn main() {
             let (rerun_ms, recount) = min_ms(opts.reps, || prepared.count().expect("count"));
             assert_eq!(count, recount, "re-execution must be deterministic");
 
-            // The scaling column: the same count through the morsel runtime on 4
-            // worker threads. Correctness is asserted against the serial count.
-            let (par4_run_ms, par_count) =
-                min_ms(opts.reps, || prepared.par_count(4).expect("par_count"));
-            assert_eq!(par_count, count, "parallel execution must agree with serial");
+            // The scaling columns: the same count through the morsel runtime on 4
+            // worker threads, cold and then warm. Each cold rep re-prepares the
+            // query (warm index cache, but a fresh plan whose worker pool is
+            // empty), so cold and warm are both minima over `reps` genuinely
+            // cold / genuinely reusable runs; the warm rerun executes the
+            // long-lived prepared query whose retired workers — buffers,
+            // merge-join sort-permutation caches — survive in the plan's pool.
+            // Correctness is asserted against the serial count.
+            let mut par4_run_ms = f64::INFINITY;
+            for _ in 0..opts.reps.max(1) {
+                let cold = db.prepare(&q, engine).expect("cold parallel prepare");
+                let start = Instant::now();
+                let par_count = cold.par_count(4).expect("par_count");
+                par4_run_ms = par4_run_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(par_count, count, "parallel execution must agree with serial");
+            }
+            // One untimed warm-up populates the plan's worker pool with
+            // morsel-keyed caches, so every timed rerun rep measures the warm
+            // steady state (without this, rep 1 — the only rep under --reps 1 —
+            // would be a cold parallel run mislabelled as warm).
+            let warmup = prepared.par_count(4).expect("par_count warm-up");
+            assert_eq!(warmup, count, "warm-up must agree with serial");
+            let (par4_rerun_ms, par_recount) =
+                min_ms(opts.reps, || prepared.par_count(4).expect("par_count rerun"));
+            assert_eq!(par_recount, count, "warm parallel rerun must agree with serial");
             let par4_speedup = run_ms / par4_run_ms.max(1e-9);
+            let par4_rerun_speedup = rerun_ms / par4_rerun_ms.max(1e-9);
 
             // Warm prepare: the cache already holds every index this query needs.
             let (warm_prepare_ms, warm_built) = min_ms(opts.reps, || {
@@ -189,12 +216,12 @@ fn main() {
             assert_eq!(warm_built, 0, "a warm prepare must build nothing");
 
             println!(
-                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   count {}",
-                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, count
+                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   par4 rerun {:>9.3} ms ({:>4.2}x)   count {}",
+                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}}}",
-                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, threads, count
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, threads, count
             ));
         }
     }

@@ -179,6 +179,30 @@ impl Database {
     /// selection and trie-index construction happen now (against the shared index
     /// cache); every execution of the returned [`PreparedQuery`] only pays the run
     /// itself.
+    ///
+    /// ```
+    /// use graphjoin::{CatalogQuery, Database, Engine, Graph};
+    ///
+    /// // Two triangles sharing the edge (1, 2).
+    /// let graph = Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+    /// let mut db = Database::new();
+    /// db.add_graph(graph);
+    ///
+    /// // Prepare once (builds the trie indexes) ...
+    /// let prepared = db.prepare(&CatalogQuery::ThreeClique.query(), &Engine::Lftj)?;
+    /// assert!(prepared.indexes_built() > 0);
+    /// // ... execute many times: count, collect, first_k, exists.
+    /// assert_eq!(prepared.count()?, 2);
+    /// assert_eq!(prepared.collect()?.len(), 2);
+    /// assert!(prepared.exists()?);
+    ///
+    /// // A second prepare — same query, different engine — finds the shared
+    /// // index cache warm and builds nothing.
+    /// let warm = db.prepare(&CatalogQuery::ThreeClique.query(), &Engine::minesweeper())?;
+    /// assert_eq!(warm.indexes_built(), 0);
+    /// assert_eq!(warm.count()?, 2);
+    /// # Ok::<(), graphjoin::EngineError>(())
+    /// ```
     pub fn prepare(
         &self,
         query: &Query,

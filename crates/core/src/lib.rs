@@ -17,6 +17,11 @@
 //! * [`Engine::GraphEngine`] — a hand-specialised clique counter standing in for
 //!   GraphLab (`gj-baselines`).
 //!
+//! The repository-level `ARCHITECTURE.md` maps the whole workspace (crate
+//! dependency graph, the prepare/execute split, the `Sink` protocol, the
+//! parallel ordering guarantee, per-engine feature matrix); `README.md` has the
+//! quickstart and benchmark instructions.
+//!
 //! # Quick start
 //!
 //! The primary API is the prepare/execute split: [`Database::prepare`] pays for

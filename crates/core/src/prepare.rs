@@ -335,6 +335,34 @@ impl<'db> PreparedQuery<'db> {
     /// With one thread or a degenerate partition this falls back to the serial
     /// [`run`](Self::run); the count-only engines return
     /// [`EngineError::Unsupported`] as usual.
+    ///
+    /// Engine state is reused across the morsels each worker claims (and, for the
+    /// pairwise baselines, across repeated executions of the same prepared
+    /// query): Minesweeper carries its learned CDS constraints from morsel to
+    /// morsel, the pairwise engines pool their buffers and merge-join sort
+    /// permutations. The per-engine statistics workers accumulate are folded into
+    /// [`RunStats::extras`].
+    ///
+    /// ```
+    /// use graphjoin::{CatalogQuery, CountSink, Database, Engine, Graph};
+    ///
+    /// let graph = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+    /// let mut db = Database::new();
+    /// db.add_graph(graph);
+    /// let prepared = db.prepare(&CatalogQuery::ThreeClique.query(), &Engine::Lftj)?;
+    ///
+    /// // Same rows, same order as the serial run — the morsel-ordered merge
+    /// // makes parallel output identical to serial emission.
+    /// let serial = prepared.collect()?;
+    /// assert_eq!(prepared.par_collect(4)?, serial);
+    ///
+    /// // Any ParallelSink works; CountSink takes the zero-materialisation path.
+    /// let mut sink = CountSink::new();
+    /// let stats = prepared.run_parallel(&mut sink, 4)?;
+    /// assert_eq!(sink.rows(), serial.len() as u64);
+    /// assert_eq!(stats.rows, 2);
+    /// # Ok::<(), graphjoin::EngineError>(())
+    /// ```
     pub fn run_parallel<K: ParallelSink>(
         &self,
         sink: &mut K,
@@ -356,11 +384,12 @@ impl<'db> PreparedQuery<'db> {
                 }
                 stats.bind = bind_start.elapsed();
                 let run_start = Instant::now();
-                let report = self.drive_bound(bq, &morsels, threads, sink);
+                let (report, extras) = self.drive_bound(bq, &morsels, threads, sink);
                 stats.run = run_start.elapsed();
                 stats.rows = report.rows;
                 stats.threads = stats.threads.max(report.threads);
                 stats.morsels = report.morsels;
+                stats.extras = extras;
                 Ok(stats)
             }
             Plan::Pairwise(plan) => {
@@ -408,18 +437,34 @@ impl<'db> PreparedQuery<'db> {
     }
 
     /// Runs the morsels of a bound plan through the engine's [`MorselSource`]
-    /// (`gj_runtime::MorselSource`) adapter.
+    /// (`gj_runtime::MorselSource`) adapter. Besides the drive report it returns
+    /// the engine-specific statistics the sources aggregated across their retired
+    /// workers (the runtime's `retire_worker` lifecycle hook), so parallel
+    /// executions report the same extras serial ones do.
     fn drive_bound<K: ParallelSink>(
         &self,
         bq: &BoundQuery,
         morsels: &[gj_runtime::Morsel],
         threads: usize,
         sink: &mut K,
-    ) -> DriveReport {
+    ) -> (DriveReport, Vec<(&'static str, u64)>) {
         match &self.engine {
-            Engine::Lftj => drive(&LftjMorsels::new(bq), morsels, threads, sink),
+            Engine::Lftj => {
+                let source = LftjMorsels::new(bq);
+                let report = drive(&source, morsels, threads, sink);
+                (report, vec![("bindings_explored", source.total_bindings_explored())])
+            }
             Engine::Minesweeper(config) => {
-                drive(&MsMorsels::new(bq, config.clone()), morsels, threads, sink)
+                // CDS carry-over only pays when workers claim several morsels
+                // each; with at most one morsel per worker (granularity 1, the
+                // acyclic default) there is no later range to re-seed, so the
+                // constraint recording would be pure overhead.
+                let mut config = config.clone();
+                config.cds_carryover = config.cds_carryover && morsels.len() > threads;
+                let source = MsMorsels::new(bq, config);
+                let report = drive(&source, morsels, threads, sink);
+                let extras = ms_extras(&source.totals());
+                (report, extras)
             }
             _ => unreachable!("Plan::Bound only serves LFTJ and Minesweeper"),
         }
@@ -507,9 +552,11 @@ impl<'db> PreparedQuery<'db> {
                         ms.results
                     } else {
                         let mut sink = CountSink::new();
-                        let report = self.drive_bound(bq, &morsels, config.threads, &mut sink);
+                        let (report, extras) =
+                            self.drive_bound(bq, &morsels, config.threads, &mut sink);
                         stats.threads = stats.threads.max(report.threads);
                         stats.morsels = report.morsels;
+                        stats.extras = extras;
                         sink.rows()
                     };
                     stats.run = run_start.elapsed();
@@ -604,6 +651,7 @@ fn ms_extras(ms: &gj_minesweeper::MsStats) -> Vec<(&'static str, u64)> {
         ("truncations", ms.truncations),
         ("complete_node_hits", ms.complete_node_hits),
         ("cds_nodes", ms.cds_nodes),
+        ("carried_constraints", ms.carried_constraints),
     ]
 }
 
@@ -740,6 +788,27 @@ mod tests {
         // Serial executions report no morsels.
         let (_, serial) = prepared.count_with_stats().unwrap();
         assert_eq!(serial.morsels, 0);
+    }
+
+    #[test]
+    fn run_parallel_reports_engine_extras_from_retired_workers() {
+        // The worker lifecycle hooks fold per-worker statistics into the run
+        // totals, so parallel executions report the same engine extras serial
+        // ones do (they used to report none).
+        let db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        let prepared = db.prepare(&q, &Engine::minesweeper()).unwrap();
+        let mut sink = CountSink::new();
+        let stats = prepared.run_parallel(&mut sink, 2).unwrap();
+        assert!(stats.morsels > 1, "the run must actually partition");
+        assert!(stats.extra("probes").unwrap() > 0);
+        assert_eq!(stats.extra("carried_constraints").map(|_| ()), Some(()));
+        let serial_results = prepared.count().unwrap();
+        assert_eq!(stats.rows, serial_results);
+        let lftj = db.prepare(&q, &Engine::Lftj).unwrap();
+        let mut sink = CountSink::new();
+        let stats = lftj.run_parallel(&mut sink, 2).unwrap();
+        assert!(stats.extra("bindings_explored").unwrap() >= stats.rows);
     }
 
     #[test]

@@ -15,30 +15,54 @@
 //! variable-order scratch row. An ablation test below checks that the reused
 //! executor is behaviourally identical (same rows, same per-morsel result and
 //! exploration counts) to building a fresh executor per morsel.
+//!
+//! The runtime's worker lifecycle hooks are adopted too: each worker accumulates
+//! its [`LftjStats`] across the morsels it ran, and `retire_worker` folds them
+//! into run totals ([`LftjMorsels::total_bindings_explored`]) when the worker
+//! loop ends — so parallel executions report the same `bindings_explored`
+//! statistic serial ones do.
 
-use crate::executor::LftjExecutor;
+use crate::executor::{LftjExecutor, LftjStats};
 use gj_query::BoundQuery;
 use gj_runtime::{Morsel, MorselSource};
 use gj_storage::Val;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A bound query exposed to the parallel runtime through LFTJ.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct LftjMorsels<'a> {
     bq: &'a BoundQuery,
+    /// Bindings explored, folded from retired workers (the `retire_worker` hook).
+    bindings_explored: AtomicU64,
 }
 
 /// Per-worker state of [`LftjMorsels`]: one executor reused across every claimed
-/// morsel, plus the GAO → variable-id scratch row.
+/// morsel, the GAO → variable-id scratch row, and the worker's accumulated
+/// statistics.
 pub struct LftjWorker<'a> {
     exec: LftjExecutor<'a>,
     scratch: Vec<Val>,
+    totals: LftjStats,
+}
+
+impl LftjWorker<'_> {
+    /// The statistics accumulated over every morsel this worker ran.
+    pub fn totals(&self) -> LftjStats {
+        self.totals
+    }
 }
 
 impl<'a> LftjMorsels<'a> {
     /// Wraps a bound query for morsel-driven execution.
     pub fn new(bq: &'a BoundQuery) -> Self {
-        LftjMorsels { bq }
+        LftjMorsels { bq, bindings_explored: AtomicU64::new(0) }
+    }
+
+    /// Total bindings explored, summed over every retired worker — available once
+    /// `gj_runtime::drive` returned (all workers are retired by then).
+    pub fn total_bindings_explored(&self) -> u64 {
+        self.bindings_explored.load(Ordering::Relaxed)
     }
 }
 
@@ -46,7 +70,11 @@ impl<'a> MorselSource for LftjMorsels<'a> {
     type Worker = LftjWorker<'a>;
 
     fn worker(&self) -> LftjWorker<'a> {
-        LftjWorker { exec: LftjExecutor::new(self.bq), scratch: vec![0; self.bq.num_vars()] }
+        LftjWorker {
+            exec: LftjExecutor::new(self.bq),
+            scratch: vec![0; self.bq.num_vars()],
+            totals: LftjStats::default(),
+        }
     }
 
     fn run_morsel(
@@ -56,17 +84,27 @@ impl<'a> MorselSource for LftjMorsels<'a> {
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
         let gao = &self.bq.gao;
-        let LftjWorker { exec, scratch } = worker;
-        exec.run_range(morsel.lo, morsel.hi, &mut |binding| {
+        let LftjWorker { exec, scratch, totals } = worker;
+        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |binding| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];
             }
             emit(scratch)
         });
+        totals.results += stats.results;
+        totals.bindings_explored += stats.bindings_explored;
     }
 
     fn count_morsel(&self, worker: &mut LftjWorker<'a>, morsel: Morsel) -> u64 {
-        worker.exec.run_range(morsel.lo, morsel.hi, &mut |_| ControlFlow::Continue(())).results
+        let stats = worker.exec.run_range(morsel.lo, morsel.hi, &mut |_| ControlFlow::Continue(()));
+        worker.totals.results += stats.results;
+        worker.totals.bindings_explored += stats.bindings_explored;
+        stats.results
+    }
+
+    /// Folds the worker's accumulated exploration count into the run totals.
+    fn retire_worker(&self, worker: LftjWorker<'a>) {
+        self.bindings_explored.fetch_add(worker.totals.bindings_explored, Ordering::Relaxed);
     }
 }
 
@@ -160,6 +198,31 @@ mod tests {
         crate::executor::run(&bq, &mut |b| expected.push(bq.binding_to_var_order(b)));
         assert_eq!(expected.len() as u64, serial);
         assert_eq!(sink.into_rows(), expected);
+    }
+
+    /// The lifecycle hooks fold per-worker stats into run totals: the parallel
+    /// exploration count equals the sum of the serial per-morsel counts.
+    #[test]
+    fn retired_workers_fold_bindings_explored_into_totals() {
+        let (inst, q) = bound(&CatalogQuery::ThreeClique.query());
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let morsels = partition_first_attribute(&bq, 6);
+        assert!(morsels.len() > 1, "the test needs a real partition");
+        let expected: u64 = morsels
+            .iter()
+            .map(|m| {
+                LftjExecutor::new(&bq)
+                    .with_range0(m.lo, m.hi)
+                    .try_run(&mut |_| ControlFlow::Continue(()))
+                    .bindings_explored
+            })
+            .sum();
+        for threads in [1, 3] {
+            let source = LftjMorsels::new(&bq);
+            let mut sink = CountSink::new();
+            drive(&source, &morsels, threads, &mut sink);
+            assert_eq!(source.total_bindings_explored(), expected, "threads {threads}");
+        }
     }
 
     /// Early termination inside one morsel must not poison the reused executor for

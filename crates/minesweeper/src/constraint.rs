@@ -9,7 +9,7 @@
 use gj_storage::Val;
 
 /// One pattern component: either "any value" or "exactly this value".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternComp {
     /// `˚` — matches every value of the attribute.
     Wildcard,
@@ -30,7 +30,7 @@ impl PatternComp {
 
 /// A gap-box constraint: equality/wildcard pattern, one open interval, implicit
 /// wildcard suffix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Constraint {
     /// The components before the interval (GAO positions `0 .. pattern.len()`).
     pub pattern: Vec<PatternComp>,

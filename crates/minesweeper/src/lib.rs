@@ -28,9 +28,12 @@
 //!   atoms only advance the frontier);
 //! * **Idea 8** — #Minesweeper-style counting (per-free-value counts propagated
 //!   through completed nodes);
-//! * the **multi-threaded** partitioning of Section 4.10 — now served through the
+//! * the **multi-threaded** partitioning of Section 4.10 — served through the
 //!   shared `gj-runtime` morsel driver ([`MsMorsels`]), with one executor reused
-//!   per worker across morsels and full sink support (parallel
+//!   per worker across morsels, **CDS constraint carry-over** between the morsels
+//!   a worker claims (value-independent gap constraints re-seed each reset CDS via
+//!   the runtime's `morsel_done` lifecycle hook; see
+//!   [`MinesweeperExecutor::harvest_carryover`]) and full sink support (parallel
 //!   enumerate/collect/first_k, not just counting) — and the **hybrid**
 //!   Minesweeper + LFTJ algorithm of Section 4.12.
 //!
@@ -50,6 +53,4 @@ pub use cds::Cds;
 pub use constraint::{Constraint, PatternComp};
 pub use engine::{count, enumerate, run, try_run, MinesweeperExecutor, MsConfig, MsStats};
 pub use hybrid::{hybrid_count, HybridPlan};
-#[allow(deprecated)]
-pub use parallel::par_count;
 pub use parallel::{MsMorsels, MsWorker};

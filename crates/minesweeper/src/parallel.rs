@@ -14,15 +14,31 @@
 //! [`MinesweeperExecutor`] and carries it across every morsel it claims —
 //! [`run_range`](MinesweeperExecutor::run_range) recycles the CDS node arena and
 //! keeps the probers' Idea 4 gap memos warm, instead of paying a fresh executor
-//! (and a fresh CDS) per job. Beyond the historical count-only driver this supports
-//! full sink execution: parallel enumerate/collect/first_k through the runtime's
-//! ordered shard merge.
+//! (and a fresh CDS) per job.
+//!
+//! On top of that reuse sit the runtime's worker lifecycle hooks:
+//!
+//! * after each morsel, `morsel_done` **harvests the CDS carry-over**
+//!   ([`MinesweeperExecutor::harvest_carryover`]): the value-independent skeleton
+//!   gap constraints the morsel discovered enter the executor's ledger, and every
+//!   later morsel re-seeds its reset CDS with them instead of starting cold — the
+//!   constraints learned during search keep paying for themselves across ranges
+//!   (the paper's core bet, extended across the morsel boundary). The ablation
+//!   test below quantifies the probes saved.
+//! * when the worker loop ends, `retire_worker` folds the worker's accumulated
+//!   [`MsStats`] into run totals ([`MsMorsels::totals`]), so parallel executions
+//!   report the same engine statistics serial ones do.
+//!
+//! The historical `par_count` free function (deprecated since the runtime landed)
+//! is gone; use `PreparedQuery::par_count` in `gj-core`, or drive [`MsMorsels`]
+//! through `gj_runtime::drive` directly.
 
-use crate::engine::{MinesweeperExecutor, MsConfig};
+use crate::engine::{MinesweeperExecutor, MsConfig, MsStats};
 use gj_query::BoundQuery;
-use gj_runtime::{drive, partition_first_attribute, CountSink, Morsel, MorselSource};
+use gj_runtime::{Morsel, MorselSource};
 use gj_storage::Val;
 use std::ops::ControlFlow;
+use std::sync::Mutex;
 
 /// Minesweeper as a [`MorselSource`] for the `gj-runtime` morsel driver.
 ///
@@ -30,25 +46,48 @@ use std::ops::ControlFlow;
 /// row shape) and disables Idea 8 batch counting (a counting-only optimisation);
 /// the counting fast path ([`MorselSource::count_morsel`]) keeps the configuration
 /// exactly as given, multiplicities included.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MsMorsels<'a> {
     bq: &'a BoundQuery,
     config: MsConfig,
+    /// Run totals folded from retired workers (the `retire_worker` hook).
+    totals: Mutex<MsStats>,
 }
 
 /// Per-worker state of [`MsMorsels`]: the executor reused across claimed morsels
 /// (tagged with the configuration it was built for, so a worker that switches
 /// between the counting and the row path rebuilds instead of serving rows from a
-/// batch-counting executor), plus the variable-order scratch row.
+/// batch-counting executor), the variable-order scratch row, and the worker's
+/// accumulated statistics.
 pub struct MsWorker<'a> {
     exec: Option<(MinesweeperExecutor<'a>, bool)>,
     scratch: Vec<Val>,
+    totals: MsStats,
+}
+
+impl MsWorker<'_> {
+    /// The statistics accumulated over every morsel this worker ran.
+    pub fn totals(&self) -> MsStats {
+        self.totals
+    }
+
+    /// Number of constraints in the reused executor's carry-over ledger (0 until
+    /// the first `morsel_done` harvest, or when no executor was built yet).
+    pub fn carryover_len(&self) -> usize {
+        self.exec.as_ref().map_or(0, |(exec, _)| exec.carryover_len())
+    }
 }
 
 impl<'a> MsMorsels<'a> {
     /// Wraps a bound query for morsel-driven execution under `config`.
     pub fn new(bq: &'a BoundQuery, config: MsConfig) -> Self {
-        MsMorsels { bq, config }
+        MsMorsels { bq, config, totals: Mutex::new(MsStats::default()) }
+    }
+
+    /// The engine statistics summed over every retired worker — available once
+    /// `gj_runtime::drive` returned (all workers are retired by then).
+    pub fn totals(&self) -> MsStats {
+        *self.totals.lock().expect("totals mutex poisoned")
     }
 
     /// The worker's executor for the counting (`counting = true`, configuration as
@@ -66,7 +105,12 @@ impl<'a> MsMorsels<'a> {
             } else {
                 MsConfig { idea8_batch_counting: false, ..self.config.clone() }
             };
-            worker.exec = Some((MinesweeperExecutor::new(self.bq, config), counting));
+            let mut exec = MinesweeperExecutor::new(self.bq, config);
+            // The morsel lifecycle harvests after every morsel, so recording the
+            // carryable constraints pays off here (one-shot executors stay
+            // unarmed and skip the recording cost).
+            exec.arm_carryover();
+            worker.exec = Some((exec, counting));
         }
         &mut worker.exec.as_mut().expect("executor just ensured").0
     }
@@ -76,7 +120,7 @@ impl<'a> MorselSource for MsMorsels<'a> {
     type Worker = MsWorker<'a>;
 
     fn worker(&self) -> MsWorker<'a> {
-        MsWorker { exec: None, scratch: vec![0; self.bq.num_vars()] }
+        MsWorker { exec: None, scratch: vec![0; self.bq.num_vars()], totals: MsStats::default() }
     }
 
     fn run_morsel(
@@ -89,58 +133,48 @@ impl<'a> MorselSource for MsMorsels<'a> {
         if worker.exec.as_ref().is_none_or(|&(_, kind)| kind) {
             self.executor(worker, false);
         }
-        let MsWorker { exec, scratch } = worker;
+        let MsWorker { exec, scratch, totals } = worker;
         let exec = &mut exec.as_mut().expect("row executor just ensured").0;
-        exec.run_range(morsel.lo, morsel.hi, &mut |binding, _| {
+        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |binding, _| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];
             }
             emit(scratch)
         });
+        totals.merge(&stats);
     }
 
     fn count_morsel(&self, worker: &mut MsWorker<'a>, morsel: Morsel) -> u64 {
         let exec = self.executor(worker, true);
         let mut rows = 0;
-        exec.run_range(morsel.lo, morsel.hi, &mut |_, multiplicity| {
+        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |_, multiplicity| {
             rows += multiplicity;
             ControlFlow::Continue(())
         });
+        worker.totals.merge(&stats);
         rows
     }
-}
 
-/// Counts the output of the bound query with Minesweeper using
-/// `config.threads` worker threads and `config.threads * config.granularity`
-/// morsels.
-///
-/// Falls back to the sequential executor when one thread is requested or when the
-/// first attribute has too few distinct values to split.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PreparedQuery::run_parallel` (or `gj_runtime::drive` over `MsMorsels`), which \
-            also supports parallel enumerate/collect/first_k/exists"
-)]
-pub fn par_count(bq: &BoundQuery, config: &MsConfig) -> u64 {
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return crate::engine::count(bq, config);
+    /// The CDS carry-over harvest: the value-independent gap constraints this
+    /// morsel discovered enter the executor's ledger, so the next morsel's reset
+    /// CDS starts from everything the worker has already learned.
+    fn morsel_done(&self, worker: &mut MsWorker<'a>, _morsel: Morsel) {
+        if let Some((exec, _)) = worker.exec.as_mut() {
+            exec.harvest_carryover();
+        }
     }
-    let morsels = partition_first_attribute(bq, threads * config.granularity.max(1));
-    if morsels.len() <= 1 {
-        return crate::engine::count(bq, config);
+
+    /// Folds the worker's accumulated statistics into the run totals.
+    fn retire_worker(&self, worker: MsWorker<'a>) {
+        self.totals.lock().expect("totals mutex poisoned").merge(&worker.totals);
     }
-    let mut sink = CountSink::new();
-    drive(&MsMorsels::new(bq, config.clone()), &morsels, threads, &mut sink);
-    sink.rows()
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use gj_query::{CatalogQuery, Instance};
-    use gj_runtime::CollectSink;
+    use gj_runtime::{drive, partition_first_attribute, CollectSink, CountSink};
     use gj_storage::{Graph, Relation};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -158,6 +192,14 @@ mod tests {
         inst
     }
 
+    /// Drives a full parallel count through the runtime.
+    fn par_count(bq: &BoundQuery, config: &MsConfig, threads: usize, parts: usize) -> u64 {
+        let morsels = partition_first_attribute(bq, parts);
+        let mut sink = CountSink::new();
+        drive(&MsMorsels::new(bq, config.clone()), &morsels, threads, &mut sink);
+        sink.rows()
+    }
+
     #[test]
     fn parallel_count_matches_sequential_on_cyclic_query() {
         let inst = random_instance(11, 60, 0.12);
@@ -165,8 +207,11 @@ mod tests {
         let bq = BoundQuery::new(&inst, &q, None).unwrap();
         let sequential = crate::engine::count(&bq, &MsConfig::default());
         for (threads, granularity) in [(2, 1), (4, 2), (3, 8)] {
-            let cfg = MsConfig { threads, granularity, ..MsConfig::default() };
-            assert_eq!(par_count(&bq, &cfg), sequential, "threads={threads} f={granularity}");
+            assert_eq!(
+                par_count(&bq, &MsConfig::default(), threads, threads * granularity),
+                sequential,
+                "threads={threads} f={granularity}"
+            );
         }
     }
 
@@ -176,17 +221,7 @@ mod tests {
         let q = CatalogQuery::ThreePath.query();
         let bq = BoundQuery::new(&inst, &q, None).unwrap();
         let sequential = crate::engine::count(&bq, &MsConfig::default());
-        let cfg = MsConfig { threads: 4, granularity: 2, ..MsConfig::default() };
-        assert_eq!(par_count(&bq, &cfg), sequential);
-    }
-
-    #[test]
-    fn single_thread_falls_back_to_sequential() {
-        let inst = random_instance(13, 30, 0.15);
-        let q = CatalogQuery::FourCycle.query();
-        let bq = BoundQuery::new(&inst, &q, None).unwrap();
-        let cfg = MsConfig { threads: 1, granularity: 8, ..MsConfig::default() };
-        assert_eq!(par_count(&bq, &cfg), crate::engine::count(&bq, &MsConfig::default()));
+        assert_eq!(par_count(&bq, &MsConfig::default(), 4, 8), sequential);
     }
 
     #[test]
@@ -195,13 +230,8 @@ mod tests {
         let q = CatalogQuery::ThreePath.query();
         let bq = BoundQuery::new(&inst, &q, None).unwrap();
         let sequential = crate::engine::count(&bq, &MsConfig::default());
-        let cfg = MsConfig {
-            idea8_batch_counting: true,
-            threads: 4,
-            granularity: 2,
-            ..MsConfig::default()
-        };
-        assert_eq!(par_count(&bq, &cfg), sequential);
+        let cfg = MsConfig { idea8_batch_counting: true, ..MsConfig::default() };
+        assert_eq!(par_count(&bq, &cfg, 4, 8), sequential);
     }
 
     #[test]
@@ -259,5 +289,111 @@ mod tests {
         let mut worker = source.worker();
         let total: u64 = morsels.iter().map(|&m| source.count_morsel(&mut worker, m)).sum();
         assert_eq!(total, crate::engine::count(&bq, &MsConfig::default()));
+    }
+
+    /// Runs every morsel through one worker with the full lifecycle (count,
+    /// harvest, retire) and returns (total rows, per-worker totals).
+    fn lifecycle_count(source: &MsMorsels<'_>, morsels: &[Morsel]) -> (u64, MsStats) {
+        let mut worker = source.worker();
+        let mut rows = 0;
+        for &m in morsels {
+            rows += source.count_morsel(&mut worker, m);
+            source.morsel_done(&mut worker, m);
+        }
+        let totals = worker.totals();
+        source.retire_worker(worker);
+        (rows, totals)
+    }
+
+    /// Ablation for the CDS constraint carry-over: identical results, measurably
+    /// fewer probes — the constraints a morsel learned keep pruning the next one.
+    #[test]
+    fn cds_carryover_saves_probes_across_morsels() {
+        let inst = random_instance(19, 60, 0.12);
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::ThreePath, CatalogQuery::FourCycle] {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let morsels = partition_first_attribute(&bq, 8);
+            assert!(morsels.len() > 1, "the ablation needs a real partition");
+            let cold_cfg = MsConfig { cds_carryover: false, ..MsConfig::default() };
+            let warm_cfg = MsConfig::default();
+            let cold_src = MsMorsels::new(&bq, cold_cfg);
+            let warm_src = MsMorsels::new(&bq, warm_cfg);
+            let (cold_rows, cold) = lifecycle_count(&cold_src, &morsels);
+            let (warm_rows, warm) = lifecycle_count(&warm_src, &morsels);
+            assert_eq!(warm_rows, cold_rows, "{}: carry-over must not change results", q.name);
+            assert_eq!(warm_rows, crate::engine::count(&bq, &MsConfig::default()), "{}", q.name);
+            assert_eq!(cold.carried_constraints, 0, "{}", q.name);
+            assert!(warm.carried_constraints > 0, "{}: no constraint was carried over", q.name);
+            assert!(
+                warm.probes < cold.probes,
+                "{}: carry-over saved no probes ({} vs {})",
+                q.name,
+                warm.probes,
+                cold.probes
+            );
+            // The run totals folded by retire_worker match the worker's own.
+            assert_eq!(warm_src.totals().probes, warm.probes, "{}", q.name);
+            assert_eq!(cold_src.totals().results, cold_rows, "{}", q.name);
+        }
+    }
+
+    /// The harvest only adopts each constraint once, and the ledger survives the
+    /// morsel sequence (visible through the public worker API).
+    #[test]
+    fn carryover_ledger_deduplicates_and_persists() {
+        let inst = random_instance(20, 50, 0.15);
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        let source = MsMorsels::new(&bq, MsConfig::default());
+        let morsels = partition_first_attribute(&bq, 6);
+        assert!(morsels.len() > 2, "the test needs several morsels");
+        let mut worker = source.worker();
+        assert_eq!(worker.carryover_len(), 0);
+        let mut sizes = Vec::new();
+        for &m in &morsels {
+            source.count_morsel(&mut worker, m);
+            source.morsel_done(&mut worker, m);
+            sizes.push(worker.carryover_len());
+        }
+        assert!(sizes[0] > 0, "the first morsel must contribute to the ledger");
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "the ledger never shrinks: {sizes:?}");
+        // Re-running the same morsels discovers nothing new: every gap is already
+        // in the ledger, so its size is stable.
+        let stable = worker.carryover_len();
+        for &m in &morsels {
+            source.count_morsel(&mut worker, m);
+            source.morsel_done(&mut worker, m);
+        }
+        assert_eq!(worker.carryover_len(), stable, "a repeated pass must deduplicate");
+    }
+
+    /// Carry-over through the actual multi-threaded driver: counts agree with the
+    /// serial engine for every thread/granularity mix, and the folded totals see
+    /// the carried constraints.
+    #[test]
+    fn parallel_carryover_keeps_counts_exact() {
+        let inst = random_instance(21, 60, 0.12);
+        for cq in [CatalogQuery::ThreeClique, CatalogQuery::ThreePath] {
+            let q = cq.query();
+            let bq = BoundQuery::new(&inst, &q, None).unwrap();
+            let sequential = crate::engine::count(&bq, &MsConfig::default());
+            for (threads, parts) in [(2, 6), (4, 16), (3, 24)] {
+                let source = MsMorsels::new(&bq, MsConfig::default());
+                let morsels = partition_first_attribute(&bq, parts);
+                let mut sink = CountSink::new();
+                drive(&source, &morsels, threads, &mut sink);
+                assert_eq!(sink.rows(), sequential, "{} t={threads} p={parts}", q.name);
+                let totals = source.totals();
+                assert_eq!(totals.results, sequential, "{} t={threads} p={parts}", q.name);
+                if morsels.len() > 1 {
+                    assert!(
+                        totals.carried_constraints > 0,
+                        "{} t={threads} p={parts}: nothing carried",
+                        q.name
+                    );
+                }
+            }
+        }
     }
 }

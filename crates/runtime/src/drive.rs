@@ -11,6 +11,16 @@
 //! Per-worker engine state ([`MorselSource::Worker`]) lives for the whole worker
 //! loop: an engine can keep its executor, search buffers, or constraint store alive
 //! across every morsel the worker claims, instead of re-allocating per job.
+//!
+//! Two lifecycle hooks bracket that state. After a worker finishes one morsel the
+//! driver calls [`MorselSource::morsel_done`] — the engine's chance to *harvest*
+//! whatever the morsel taught it into worker state that benefits the next morsel
+//! (Minesweeper moves the globally-valid gap constraints it discovered into its
+//! carry-over ledger there). When a worker's loop ends the driver calls
+//! [`MorselSource::retire_worker`] with the worker state by value — the engine's
+//! chance to *reclaim* it: fold per-worker statistics into run totals, or return
+//! expensive caches to a [`WorkerPool`](crate::WorkerPool) so the next execution of
+//! the same prepared plan starts warm instead of cold.
 
 use crate::morsel::Morsel;
 use crate::psink::{ParallelSink, ShardSink};
@@ -32,7 +42,31 @@ pub trait MorselSource: Sync {
     type Worker;
 
     /// Creates the state for one worker thread.
+    ///
+    /// Sources whose workers carry expensive caches should pull from a
+    /// [`WorkerPool`](crate::WorkerPool) here (and give the worker back in
+    /// [`retire_worker`](Self::retire_worker)), so the caches survive across
+    /// repeated executions of the same prepared plan, not just across the morsels
+    /// of one run.
     fn worker(&self) -> Self::Worker;
+
+    /// Lifecycle hook: called by the driver after `worker` finished `morsel`
+    /// (after [`run_morsel`](Self::run_morsel) / [`count_morsel`](Self::count_morsel)
+    /// returned, before the shard is merged or the next morsel is claimed).
+    ///
+    /// This is where an engine harvests what the morsel taught it into state that
+    /// carries over: Minesweeper moves the value-independent gap constraints
+    /// discovered during the morsel into the ledger that re-seeds its reset CDS
+    /// for the next range. The default does nothing.
+    fn morsel_done(&self, _worker: &mut Self::Worker, _morsel: Morsel) {}
+
+    /// Lifecycle hook: called by the driver exactly once per worker, when its loop
+    /// ends (no more morsels, or the run stopped early). Receives the worker state
+    /// by value so the source can reclaim it — fold per-worker statistics into run
+    /// totals, or return the worker (with its warmed caches) to a
+    /// [`WorkerPool`](crate::WorkerPool) shared by later executions. The default
+    /// drops the worker.
+    fn retire_worker(&self, _worker: Self::Worker) {}
 
     /// Runs one morsel, emitting rows until exhaustion or until `emit` breaks.
     fn run_morsel(
@@ -155,11 +189,13 @@ pub fn drive<S: MorselSource, K: ParallelSink>(
                             flow
                         });
                     }
+                    source.morsel_done(&mut worker, morsels[job]);
                     let merged = merger.lock().expect("merger mutex poisoned").complete(job, shard);
                     if merged.is_break() {
                         queue.stop();
                     }
                 }
+                source.retire_worker(worker);
             });
         }
     });

@@ -26,6 +26,14 @@
 //! leapfrog intersection, `gj-minesweeper` restricts the CDS frontier; the runtime
 //! never needs to know how a search is actually performed.
 //!
+//! Per-worker engine state lives for the whole worker loop and is bracketed by two
+//! lifecycle hooks: [`MorselSource::morsel_done`] (harvest what one morsel taught
+//! the worker — Minesweeper's CDS constraint carry-over) and
+//! [`MorselSource::retire_worker`] (reclaim the worker when the loop ends — fold
+//! statistics into run totals, or park warmed caches in a [`WorkerPool`] embedded
+//! in the prepared plan so the *next* execution starts warm too, which is how the
+//! pairwise baselines keep their merge-join sort permutations across reruns).
+//!
 //! Early termination propagates across workers: a sink that answers
 //! [`ControlFlow::Break`](std::ops::ControlFlow::Break) during the merge (`first_k`
 //! reached, `exists` answered) trips the queue's stop flag, workers stop claiming
@@ -64,12 +72,14 @@
 
 pub mod drive;
 pub mod morsel;
+pub mod pool;
 pub mod psink;
 pub mod queue;
 pub mod sink;
 
 pub use drive::{drive, DriveReport, MorselSource};
 pub use morsel::{partition_first_attribute, partition_values, Morsel};
+pub use pool::WorkerPool;
 pub use psink::{Ordered, ParallelSink, ShardSink};
 pub use queue::JobQueue;
 pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};

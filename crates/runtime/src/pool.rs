@@ -1,0 +1,105 @@
+//! A reclaim pool for per-worker engine state.
+//!
+//! The driver creates one [`MorselSource::Worker`](crate::MorselSource::Worker) per
+//! worker thread and, since the lifecycle hooks landed, hands it back through
+//! [`retire_worker`](crate::MorselSource::retire_worker) when the worker's loop
+//! ends. A [`WorkerPool`] is the natural home for those retired workers: a prepared
+//! plan embeds one, [`MorselSource::worker`](crate::MorselSource::worker) pops a
+//! recycled worker (warm caches and all) instead of building a cold one, and
+//! `retire_worker` pushes it back. Because the pool lives in the *plan* — not in
+//! the per-execution morsel source — worker state survives not only across the
+//! morsels of one run but across **repeated executions** of the same prepared
+//! query: the pairwise baselines keep their merge-join left sort permutations this
+//! way, so a warm parallel rerun skips every left sort the cold run paid for.
+//!
+//! The pool is a plain mutex-guarded stack: acquisition order is unspecified, and
+//! workers must therefore be interchangeable (any worker must produce correct
+//! results for any morsel — caches may differ, answers may not).
+
+use std::sync::Mutex;
+
+/// A mutex-guarded stack of reusable per-worker states.
+///
+/// Cloning a `WorkerPool` yields a fresh **empty** pool: pooled workers are caches,
+/// and caches do not follow clones (a cloned plan starts cold, exactly like a newly
+/// prepared one).
+#[derive(Debug, Default)]
+pub struct WorkerPool<W> {
+    workers: Mutex<Vec<W>>,
+}
+
+impl<W> WorkerPool<W> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        WorkerPool { workers: Mutex::new(Vec::new()) }
+    }
+
+    /// Pops a retired worker, or builds a fresh one with `fresh` when the pool is
+    /// empty (first execution, or more threads than ever retired).
+    pub fn acquire_or(&self, fresh: impl FnOnce() -> W) -> W {
+        self.workers.lock().expect("worker pool mutex poisoned").pop().unwrap_or_else(fresh)
+    }
+
+    /// Returns a worker (and its warmed caches) to the pool for later executions.
+    pub fn release(&self, worker: W) {
+        self.workers.lock().expect("worker pool mutex poisoned").push(worker);
+    }
+
+    /// Number of workers currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.workers.lock().expect("worker pool mutex poisoned").len()
+    }
+
+    /// Whether the pool holds no parked worker.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<W> Clone for WorkerPool<W> {
+    fn clone(&self) -> Self {
+        WorkerPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_prefers_pooled_workers_and_falls_back_to_fresh() {
+        let pool: WorkerPool<Vec<u32>> = WorkerPool::new();
+        assert!(pool.is_empty());
+        let fresh = pool.acquire_or(|| vec![1]);
+        assert_eq!(fresh, vec![1]);
+        pool.release(vec![2, 3]);
+        assert_eq!(pool.len(), 1);
+        let recycled = pool.acquire_or(|| vec![1]);
+        assert_eq!(recycled, vec![2, 3], "the pooled worker wins over the fresh closure");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn clones_start_cold() {
+        let pool: WorkerPool<u8> = WorkerPool::new();
+        pool.release(7);
+        let clone = pool.clone();
+        assert!(clone.is_empty(), "caches do not follow clones");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        let pool: WorkerPool<usize> = WorkerPool::new();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || pool.release(i));
+            }
+        });
+        assert_eq!(pool.len(), 4, "every thread's release lands in the shared pool");
+        let mut drained: Vec<usize> = (0..4).map(|_| pool.acquire_or(|| 99)).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+    }
+}

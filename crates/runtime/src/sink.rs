@@ -30,6 +30,44 @@ use gj_storage::Val;
 use std::ops::ControlFlow;
 
 /// A consumer of query output rows (bindings in variable-id order).
+///
+/// Engines call [`push`](Sink::push) once per output row and stop the search as
+/// soon as it answers [`ControlFlow::Break`] — early termination is part of the
+/// protocol, not an afterthought. Implement it to stream rows anywhere (and wrap
+/// the sink in [`Ordered`](crate::Ordered) to use it under parallel execution):
+///
+/// ```
+/// use gj_runtime::{Sink, Val};
+/// use std::ops::ControlFlow;
+///
+/// /// Sums the first column, giving up once the sum passes a cap.
+/// struct CappedSum {
+///     sum: Val,
+///     cap: Val,
+/// }
+///
+/// impl Sink for CappedSum {
+///     fn push(&mut self, row: &[Val]) -> ControlFlow<()> {
+///         self.sum += row[0];
+///         if self.sum >= self.cap {
+///             ControlFlow::Break(())
+///         } else {
+///             ControlFlow::Continue(())
+///         }
+///     }
+/// }
+///
+/// let mut sink = CappedSum { sum: 0, cap: 9 };
+/// let rows: &[&[Val]] = &[&[4, 0], &[5, 1], &[6, 2]];
+/// let mut delivered = 0;
+/// for row in rows {
+///     delivered += 1;
+///     if sink.push(row).is_break() {
+///         break;
+///     }
+/// }
+/// assert_eq!((delivered, sink.sum), (2, 9), "the third row is never visited");
+/// ```
 pub trait Sink {
     /// Receives one output row; return [`ControlFlow::Break`] to stop the execution.
     fn push(&mut self, binding: &[Val]) -> ControlFlow<()>;

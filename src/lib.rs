@@ -6,8 +6,12 @@
 //! workspace crates and is re-exported here for convenience:
 //!
 //! * [`graphjoin`] — the public façade ([`graphjoin::Database`], engines, catalog);
-//! * `gj-storage`, `gj-query`, `gj-lftj`, `gj-minesweeper`, `gj-baselines`,
-//!   `gj-datagen` — the individual building blocks;
+//! * `gj-storage`, `gj-query`, `gj-runtime`, `gj-lftj`, `gj-minesweeper`,
+//!   `gj-baselines`, `gj-datagen` — the individual building blocks;
 //! * `gj-bench` (not re-exported) — the table/figure harness binaries.
+//!
+//! Start with the repository-level `README.md` (quickstart, bench instructions)
+//! and `ARCHITECTURE.md` (crate dependency graph, the prepare/execute split, the
+//! `Sink` protocol, the parallel ordering guarantee, per-engine feature matrix).
 
 pub use graphjoin;

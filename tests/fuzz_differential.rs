@@ -204,6 +204,60 @@ fn fifty_random_queries_agree_across_engines_and_thread_counts() {
     }
 }
 
+/// Number of cases the repeated-execution corpus draws (a slice of the main
+/// corpus's seed stream; smaller because every case runs each engine 3 × 2 ways).
+const RERUN_CASES: u64 = 12;
+
+/// Repeated executions of one `PreparedQuery` reuse worker state — Minesweeper
+/// carries CDS constraints across morsels, the pairwise engines pool their
+/// buffers and merge-join left sort permutations across whole executions — so the
+/// second and third runs exercise warm caches the first run populated. Every warm
+/// run must be byte-identical to the cold one, at one and at four threads, for
+/// count, collect and first_k alike.
+#[test]
+fn repeated_executions_serve_warm_caches_without_drift() {
+    for case in 0..RERUN_CASES {
+        let seed = case_seed(1000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = random_database(&mut rng);
+        let query = random_query(&mut rng, 1000 + case);
+        let ctx = format!("rerun case {case} seed {seed:#018x} [{query}]");
+
+        for engine in fuzz_engines() {
+            let label = format!("{ctx} {}", engine.label());
+            let prepared = db
+                .prepare(&query, &engine)
+                .unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+            let cold =
+                prepared.collect().unwrap_or_else(|e| panic!("{label}: cold collect failed: {e}"));
+            let count = cold.len() as u64;
+            let k = cold.len() / 2 + 1;
+            for threads in [1usize, 4] {
+                for run in 0..3 {
+                    let rlabel = format!("{label} threads {threads} run {run}");
+                    assert_eq!(
+                        prepared.par_count(threads).unwrap_or_else(|e| panic!("{rlabel}: {e}")),
+                        count,
+                        "{rlabel}: warm count drifted"
+                    );
+                    assert_eq!(
+                        prepared.par_collect(threads).unwrap_or_else(|e| panic!("{rlabel}: {e}")),
+                        cold,
+                        "{rlabel}: warm collect is not byte-identical to the cold run"
+                    );
+                    assert_eq!(
+                        prepared
+                            .par_first_k(k, threads)
+                            .unwrap_or_else(|e| panic!("{rlabel}: {e}")),
+                        cold[..k.min(cold.len())].to_vec(),
+                        "{rlabel}: warm first_k is not the cold prefix"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Regression: `ExecLimits::max_intermediate_rows` must abort with
 /// `IntermediateBudgetExceeded` both (a) for streamed final-join rows in a serial
 /// run and (b) on the parallel pairwise path, where per-worker row counts
@@ -250,13 +304,19 @@ fn pairwise_budget_aborts_streamed_and_parallel_runs() {
         budget_err(tight.count(), "serial streamed-row budget");
         // (b) Parallel: no single worker exceeds the budget, the aggregate does.
         budget_err(tight.par_count(4), "parallel aggregated budget");
+        // (c) Warm reruns (pooled workers, cached permutations) abort identically:
+        // the budget ledger is per-execution, the caches are not a loophole.
+        budget_err(tight.count(), "warm serial budget rerun");
+        budget_err(tight.par_count(4), "warm parallel budget rerun");
 
-        // The exact budget succeeds both ways, with identical counts.
+        // The exact budget succeeds both ways, with identical counts — repeatedly.
         let exact = db
             .prepare(&query, &engine_of(ExecLimits { max_intermediate_rows: count as usize }))
             .unwrap();
-        assert_eq!(exact.count().unwrap(), count, "{ctx}");
-        assert_eq!(exact.par_count(4).unwrap(), count, "{ctx}");
+        for _ in 0..2 {
+            assert_eq!(exact.count().unwrap(), count, "{ctx}");
+            assert_eq!(exact.par_count(4).unwrap(), count, "{ctx}");
+        }
     }
 }
 
