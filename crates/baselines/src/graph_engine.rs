@@ -8,6 +8,7 @@
 //! the trade-off the paper discusses (specialised engines versus a general-purpose
 //! engine with optimal joins).
 
+use gj_runtime::ExecCtx;
 use gj_storage::{Csr, Graph};
 
 /// A graph loaded into the specialised engine.
@@ -29,15 +30,47 @@ impl GraphEngine {
         self.csr.triangle_count()
     }
 
+    /// [`triangle_count`](Self::triangle_count) under an execution context: polls
+    /// `ctx` once per edge and stops on a trip (an aborted run returns a partial
+    /// count — the caller must consult the context's monitor).
+    pub fn triangle_count_ctx(&self, ctx: &ExecCtx<'_>) -> u64 {
+        let mut watch = ctx.watch();
+        let mut count = 0u64;
+        let mut above_b: Vec<u32> = Vec::new();
+        for a in 0..self.csr.num_nodes() as u32 {
+            let na = self.csr.neighbors(a);
+            for &b in na.iter().filter(|&&b| b > a) {
+                if watch.tick() {
+                    return count;
+                }
+                above_b.clear();
+                intersect_into(na, self.csr.neighbors(b), b, &mut above_b);
+                count += above_b.len() as u64;
+            }
+        }
+        count
+    }
+
     /// Counts 4-cliques: for every triangle `a < b < c`, count the common neighbours
     /// `d > c` of all three vertices.
     pub fn four_clique_count(&self) -> u64 {
+        self.four_clique_count_ctx(&ExecCtx::none())
+    }
+
+    /// [`four_clique_count`](Self::four_clique_count) under an execution context:
+    /// polls `ctx` once per edge and stops on a trip (an aborted run returns a
+    /// partial count — the caller must consult the context's monitor).
+    pub fn four_clique_count_ctx(&self, ctx: &ExecCtx<'_>) -> u64 {
+        let mut watch = ctx.watch();
         let n = self.csr.num_nodes();
         let mut count = 0u64;
         let mut common_ab: Vec<u32> = Vec::new();
         for a in 0..n as u32 {
             let na = self.csr.neighbors(a);
             for &b in na.iter().filter(|&&b| b > a) {
+                if watch.tick() {
+                    return count;
+                }
                 let nb = self.csr.neighbors(b);
                 // Common neighbours of a and b that are greater than b.
                 common_ab.clear();
@@ -119,6 +152,9 @@ mod tests {
             engine.four_clique_count(),
             naive_count(&inst, &CatalogQuery::FourClique.query())
         );
+        // The watch-polling variants count the same patterns.
+        assert_eq!(engine.triangle_count_ctx(&ExecCtx::none()), engine.triangle_count());
+        assert_eq!(engine.four_clique_count_ctx(&ExecCtx::none()), engine.four_clique_count());
     }
 
     #[test]

@@ -58,7 +58,7 @@
 use crate::intermediate::{Intermediate, JoinCols, RightIndex};
 use crate::planner::plan_left_deep;
 use gj_query::{Instance, Query, VarId};
-use gj_runtime::{partition_values, Morsel, MorselSource, WorkerPool};
+use gj_runtime::{partition_values, ExecCtx, Morsel, MorselSource, WorkerPool};
 use gj_storage::{Relation, Val, NEG_INF, POS_INF};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -296,9 +296,21 @@ impl PairwisePlan {
         &self,
         emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
     ) -> Result<(u64, PairwiseStats), BaselineError> {
+        self.run_ctx(&ExecCtx::none(), emit)
+    }
+
+    /// [`run`](Self::run) under an execution context: the materialise and stream
+    /// loops poll `ctx` at the coarse check stride and stop cleanly on a trip. An
+    /// aborted run returns `Ok` with a meaningless partial row count — the caller
+    /// must consult the context's monitor before using the result.
+    pub fn run_ctx(
+        &self,
+        ctx: &ExecCtx<'_>,
+        emit: &mut impl FnMut(&[Val]) -> ControlFlow<()>,
+    ) -> Result<(u64, PairwiseStats), BaselineError> {
         let budget = BudgetState::new(self.limits.max_intermediate_rows, self.materialised_steps());
         let mut worker = self.acquire_worker();
-        let emitted = self.run_range(&mut worker, NEG_INF, POS_INF, &budget, emit);
+        let emitted = self.run_range(&mut worker, NEG_INF, POS_INF, &budget, ctx, emit);
         self.release_worker(worker);
         budget.finish().map(|stats| (emitted, stats))
     }
@@ -313,11 +325,13 @@ impl PairwisePlan {
         lo: Val,
         hi: Val,
         budget: &BudgetState,
+        ctx: &ExecCtx<'_>,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) -> u64 {
-        if budget.exceeded() {
+        if budget.exceeded() || ctx.should_stop() {
             return 0;
         }
+        let mut watch = ctx.watch();
         let PairwiseWorker { cur, next, scratch, perms } = worker;
         // The budget is checked against the restriction's row count *before* the
         // copy is paid: an overrunning base build aborts during the build, not
@@ -341,8 +355,13 @@ impl PairwisePlan {
         for (k, step) in self.steps[..materialised].iter().enumerate() {
             next.reset(&step.out_vars);
             let mut overrun = false;
+            let mut stopped = false;
             let lperm = cached_left_perm(perms, (k, lo, hi), cur, &step.cols, &step.index);
             cur.stream_join_with(&step.right, &step.cols, &step.index, lperm, &mut |row| {
+                if watch.tick() {
+                    stopped = true;
+                    return ControlFlow::Break(());
+                }
                 if budget.bump_step(k + 1).is_break() {
                     overrun = true;
                     return ControlFlow::Break(());
@@ -350,7 +369,7 @@ impl PairwisePlan {
                 next.push_row(row);
                 ControlFlow::Continue(())
             });
-            if overrun {
+            if overrun || stopped {
                 return 0;
             }
             std::mem::swap(cur, next);
@@ -367,6 +386,9 @@ impl PairwisePlan {
         let (out_cols, filters) = (&self.out_cols, &self.filters);
         let mut emitted = 0u64;
         let mut stream = |row: &[Val]| {
+            if watch.tick() {
+                return ControlFlow::Break(());
+            }
             for (slot, &c) in scratch.iter_mut().zip(out_cols) {
                 *slot = row[c];
             }
@@ -491,7 +513,7 @@ impl BudgetState {
     /// Records the first budget violation (later ones are dropped).
     fn fail(&self, rows: usize) {
         if !self.failed.swap(true, Ordering::Relaxed) {
-            *self.error.lock().expect("budget error mutex poisoned") =
+            *self.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                 Some(BaselineError::IntermediateBudgetExceeded { rows, budget: self.limit });
         }
     }
@@ -527,7 +549,9 @@ impl BudgetState {
 
     /// The aggregated statistics, or the recorded budget violation.
     fn finish(&self) -> Result<PairwiseStats, BaselineError> {
-        if let Some(err) = self.error.lock().expect("budget error mutex poisoned").take() {
+        if let Some(err) =
+            self.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+        {
             return Err(err);
         }
         let mut stats = PairwiseStats::default();
@@ -580,9 +604,10 @@ impl MorselSource for PairwiseMorsels<'_> {
         &self,
         worker: &mut PairwiseWorker,
         morsel: Morsel,
+        ctx: &ExecCtx<'_>,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
-        self.plan.run_range(worker, morsel.lo, morsel.hi, &self.budget, emit);
+        self.plan.run_range(worker, morsel.lo, morsel.hi, &self.budget, ctx, emit);
     }
 
     /// Parks the worker (buffers + left-permutation cache) in the plan's pool, so
@@ -873,7 +898,9 @@ mod tests {
             morsels
                 .iter()
                 .map(|m| {
-                    plan.run_range(worker, m.lo, m.hi, &budget, &mut |_| ControlFlow::Continue(()))
+                    plan.run_range(worker, m.lo, m.hi, &budget, &ExecCtx::none(), &mut |_| {
+                        ControlFlow::Continue(())
+                    })
                 })
                 .sum()
         };
@@ -904,7 +931,7 @@ mod tests {
             let collect = |worker: &mut PairwiseWorker| -> Vec<Val> {
                 let mut rows = Vec::new();
                 for m in &morsels {
-                    plan.run_range(worker, m.lo, m.hi, &budget, &mut |r| {
+                    plan.run_range(worker, m.lo, m.hi, &budget, &ExecCtx::none(), &mut |r| {
                         rows.extend_from_slice(r);
                         ControlFlow::Continue(())
                     });
@@ -936,9 +963,10 @@ mod tests {
         for parts in 2..200 {
             let mut rows = 0;
             for m in plan.partition(parts) {
-                rows += plan.run_range(&mut worker, m.lo, m.hi, &budget, &mut |_| {
-                    ControlFlow::Continue(())
-                });
+                rows +=
+                    plan.run_range(&mut worker, m.lo, m.hi, &budget, &ExecCtx::none(), &mut |_| {
+                        ControlFlow::Continue(())
+                    });
             }
             assert_eq!(rows, serial, "parts {parts}");
             assert!(

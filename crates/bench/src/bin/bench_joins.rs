@@ -37,7 +37,10 @@
 //! trajectory worth recording per PR. Their `par4_*` columns exercise the
 //! morsel-parallel pairwise path.
 
-use graphjoin::{CatalogQuery, Database, Engine, ExecLimits, MsConfig, PreparedQuery, Query};
+use graphjoin::{
+    CatalogQuery, Database, Engine, ExecLimits, MsConfig, PreparedQuery, Query, QueryBudget,
+    RunOutcome,
+};
 use std::io::Write;
 use std::time::Instant;
 
@@ -157,18 +160,25 @@ fn main() {
             let threads = prepared.build_threads();
 
             // The pairwise baselines can overrun their materialisation budget at
-            // bench scale — the paper's "-" (timeout) cells. Probe once (only the
-            // pairwise engines; the trie engines have no budget to trip) and
-            // record the timeout instead of dying; the budget aborts mid-join, so
-            // the probe is cheap in both time and memory.
-            if let Err(err) = if expects_indexes { Ok(0) } else { prepared.count() } {
+            // bench scale — the paper's "-" (timeout) cells. Probe once through the
+            // never-failing outcome entry point (only the pairwise engines; the
+            // trie engines have no budget to trip): a budget abort is typed in
+            // `RunStats::outcome`, so the harness records the timeout cell instead
+            // of dying; the budget aborts mid-join, so the probe is cheap in both
+            // time and memory.
+            let probe = if expects_indexes {
+                RunOutcome::Completed
+            } else {
+                prepared.count_outcome(1, &QueryBudget::new()).outcome
+            };
+            if let RunOutcome::Aborted { reason, .. } = &probe {
                 println!(
-                    "{:<10} {:<8} prepare {:>9.3} ms   TIMEOUT ({err})",
+                    "{:<10} {:<8} prepare {:>9.3} ms   TIMEOUT ({reason})",
                     q.name, label, prepare_ms
                 );
                 records.push(format!(
-                    "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"timeout\": true}}",
-                    q.name, label, prepare_ms
+                    "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"timeout\": true, \"outcome\": \"{}\"}}",
+                    q.name, label, prepare_ms, probe.label()
                 ));
                 continue;
             }
@@ -220,8 +230,8 @@ fn main() {
                 q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}}}",
-                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, threads, count
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}, \"outcome\": \"{}\"}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, threads, count, probe.label()
             ));
         }
     }

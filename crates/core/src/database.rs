@@ -16,7 +16,9 @@ use crate::prepare::PreparedQuery;
 use gj_baselines::{BaselineError, ExecLimits};
 use gj_minesweeper::MsConfig;
 use gj_query::{BoundQuery, CatalogQuery, IndexCache, Instance, Query, VarId};
+use gj_runtime::{panic_payload, ExecError};
 use gj_storage::{Graph, Relation, Val};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Which join engine evaluates a query.
@@ -74,6 +76,10 @@ pub enum EngineError {
     /// The selected engine does not support this query (e.g. the graph engine on a
     /// path query, or the hybrid on a query that cannot be split).
     Unsupported(String),
+    /// The execution was aborted early but cleanly: budget, deadline, cancellation,
+    /// or a panic caught at a worker boundary (see [`ExecError`]). Surfaced by the
+    /// `try_*` executions of a [`PreparedQuery`] and by panic-safe preparation.
+    Exec(ExecError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -82,6 +88,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Bind(msg) => write!(f, "binding failed: {msg}"),
             EngineError::Baseline(err) => write!(f, "baseline execution failed: {err}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::Exec(err) => write!(f, "execution aborted: {err}"),
         }
     }
 }
@@ -91,6 +98,28 @@ impl std::error::Error for EngineError {}
 impl From<BaselineError> for EngineError {
     fn from(err: BaselineError) -> Self {
         EngineError::Baseline(err)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(err: ExecError) -> Self {
+        EngineError::Exec(err)
+    }
+}
+
+/// Runs a preparation under `catch_unwind`: a panic anywhere in binding or index
+/// construction (including an armed `trie_build` failpoint) surfaces as
+/// [`EngineError::Exec`]\([`ExecError::WorkerPanicked`]\) instead of unwinding
+/// through the caller. The shared index cache recovers from the poisoned locks a
+/// mid-build panic leaves behind, so the database stays usable.
+fn catch_prepare<'db>(
+    f: impl FnOnce() -> Result<PreparedQuery<'db>, EngineError>,
+) -> Result<PreparedQuery<'db>, EngineError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            Err(EngineError::Exec(ExecError::WorkerPanicked { payload: panic_payload(payload) }))
+        }
     }
 }
 
@@ -208,7 +237,7 @@ impl Database {
         query: &Query,
         engine: &Engine,
     ) -> Result<PreparedQuery<'_>, EngineError> {
-        PreparedQuery::new(self, query, engine, None)
+        catch_prepare(|| PreparedQuery::new(self, query, engine, None))
     }
 
     /// Like [`prepare`](Self::prepare), with an explicit GAO (LFTJ and Minesweeper
@@ -219,7 +248,7 @@ impl Database {
         engine: &Engine,
         gao: Option<Vec<VarId>>,
     ) -> Result<PreparedQuery<'_>, EngineError> {
-        PreparedQuery::new(self, query, engine, gao)
+        catch_prepare(|| PreparedQuery::new(self, query, engine, gao))
     }
 
     /// Binds a query against the stored relations under an optional explicit GAO,

@@ -64,15 +64,17 @@ pub mod sink;
 pub mod workload;
 
 pub use database::{Database, Engine, EngineError, QueryOutput};
-pub use prepare::{PreparedQuery, RunStats};
+pub use prepare::{PreparedQuery, RunOutcome, RunStats};
 pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
 pub use workload::{workload_database, Workload};
 
 // The morsel-driven parallel runtime (`gj-runtime`): the sink shard layer for
-// `PreparedQuery::run_parallel`, and the building blocks for custom drivers.
+// `PreparedQuery::run_parallel`, the building blocks for custom drivers, and the
+// error-model types (typed aborts, cancellation, budgets) of the `try_*` API.
 pub use gj_runtime::{
-    drive, partition_first_attribute, DriveReport, JobQueue, Morsel, MorselSource, Ordered,
-    ParallelSink, ShardSink,
+    drive, partition_first_attribute, try_drive, CancelToken, DriveReport, ExecCtx, ExecError,
+    ExecMonitor, ExecWatch, JobQueue, Morsel, MorselSource, Ordered, ParallelSink, QueryBudget,
+    ShardSink, CHECK_STRIDE,
 };
 
 // Re-export the pieces users of the façade routinely need.
@@ -83,4 +85,7 @@ pub use gj_query::{
     agm_bound, naive_count, naive_join, BoundQuery, CatalogQuery, Hypergraph, IndexCache, Instance,
     Query, QueryBuilder, VarId,
 };
+// The fault-injection harness (`gj-storage::fault`): named failpoint sites the
+// tests arm through `QueryBudget::with_failpoints` / `IndexCache::set_failpoints`.
+pub use gj_storage::{fault, FailAction, FailpointHit, FailpointRegistry};
 pub use gj_storage::{Graph, Relation, TrieIndex, Val};

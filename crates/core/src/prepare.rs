@@ -40,12 +40,17 @@
 
 use crate::database::{same_shape, Database, Engine, EngineError, QueryOutput};
 use crate::sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
-use gj_baselines::{GraphEngine, JoinAlgo, PairwiseMorsels, PairwisePlan};
+use gj_baselines::{BaselineError, GraphEngine, JoinAlgo, PairwiseMorsels, PairwisePlan};
 use gj_lftj::{LftjExecutor, LftjMorsels};
 use gj_minesweeper::{HybridPlan, MinesweeperExecutor, MsConfig, MsMorsels};
 use gj_query::{BindReport, BoundQuery, CatalogQuery, Query, VarId};
-use gj_runtime::{drive, partition_first_attribute, DriveReport, ParallelSink, ShardSink};
+use gj_runtime::{
+    panic_payload, partition_first_attribute, try_drive, DriveReport, ExecCtx, ExecError,
+    ExecMonitor, ParallelSink, QueryBudget, ShardSink,
+};
 use gj_storage::Val;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Morsels per thread for parallel LFTJ (Minesweeper takes the factor from
@@ -84,12 +89,52 @@ pub struct RunStats {
     /// Engine-specific counters, e.g. `("probes", …)` for Minesweeper or
     /// `("peak_intermediate", …)` for the pairwise baselines.
     pub extras: Vec<(&'static str, u64)>,
+    /// How the execution ended: ran to completion, or aborted early with a typed
+    /// reason. Always [`RunOutcome::Completed`] for the infallible API (which has
+    /// no budget to trip); the `try_*` executions and
+    /// [`count_outcome`](PreparedQuery::count_outcome) report aborts here.
+    pub outcome: RunOutcome,
 }
 
 impl RunStats {
     /// Looks up an engine-specific counter by name.
     pub fn extra(&self, name: &str) -> Option<u64> {
         self.extras.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+}
+
+/// How an execution ended — the [`RunStats`] field benchmark harnesses consume to
+/// record timeout/abort cells without losing the rest of the statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run delivered its complete answer.
+    #[default]
+    Completed,
+    /// The run was aborted early but cleanly.
+    Aborted {
+        /// The typed abort reason.
+        reason: ExecError,
+        /// The fault-injection site that fired during the run, when a
+        /// [`FailpointRegistry`](gj_storage::FailpointRegistry) was attached to the
+        /// budget (fault-injection harness only; `None` in production).
+        failpoint: Option<String>,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run delivered its complete answer.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Short machine-readable label for benchmark cells: `"completed"`, or the
+    /// abort reason's [`kind`](ExecError::kind) (`"budget"`, `"deadline"`,
+    /// `"cancelled"`, `"panic"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Aborted { reason, .. } => reason.kind(),
+        }
     }
 }
 
@@ -129,6 +174,10 @@ pub struct PreparedQuery<'db> {
     prepare: Duration,
     report: BindReport,
 }
+
+/// A drive report plus the engine-specific stat extras its retired workers
+/// aggregated (what [`PreparedQuery::drive_bound`] hands back).
+type DrivenBound = (DriveReport, Vec<(&'static str, u64)>);
 
 impl<'db> PreparedQuery<'db> {
     /// Prepares `query` for `engine` over `db` (called by [`Database::prepare`]).
@@ -257,7 +306,16 @@ impl<'db> PreparedQuery<'db> {
     /// engine) return [`EngineError::Unsupported`]; use [`count`](Self::count) for
     /// those.
     pub fn run(&self, sink: &mut impl Sink) -> Result<RunStats, EngineError> {
+        self.run_ctx(sink, &ExecCtx::none())
+    }
+
+    /// [`run`](Self::run) under an execution context: the engine inner loops poll
+    /// `ctx` at the coarse check stride, and every delivered row is accounted
+    /// against the context's monitor (row budget). With [`ExecCtx::none()`] this
+    /// *is* the infallible serial execution.
+    fn run_ctx(&self, sink: &mut impl Sink, ctx: &ExecCtx<'_>) -> Result<RunStats, EngineError> {
         let mut stats = self.base_stats();
+        let monitor = ctx.monitor();
         match &self.plan {
             Plan::Bound(bq) => {
                 let bind_start = Instant::now();
@@ -269,9 +327,12 @@ impl<'db> PreparedQuery<'db> {
                         let exec = LftjExecutor::new(bq);
                         stats.bind = bind_start.elapsed();
                         let run_start = Instant::now();
-                        let lftj = exec.try_run(&mut |binding| {
+                        let lftj = exec.try_run_ctx(ctx, &mut |binding| {
                             for (pos, &v) in gao.iter().enumerate() {
                                 scratch[v] = binding[pos];
+                            }
+                            if monitor.is_some_and(|m| m.note_rows(1)) {
+                                return ControlFlow::Break(());
                             }
                             rows += 1;
                             sink.push(&scratch)
@@ -286,9 +347,12 @@ impl<'db> PreparedQuery<'db> {
                         let mut exec = MinesweeperExecutor::new(bq, config);
                         stats.bind = bind_start.elapsed();
                         let run_start = Instant::now();
-                        let ms = exec.try_run(&mut |binding, _| {
+                        let ms = exec.try_run_ctx(ctx, &mut |binding, _| {
                             for (pos, &v) in gao.iter().enumerate() {
                                 scratch[v] = binding[pos];
+                            }
+                            if monitor.is_some_and(|m| m.note_rows(1)) {
+                                return ControlFlow::Break(());
                             }
                             rows += 1;
                             sink.push(&scratch)
@@ -303,8 +367,14 @@ impl<'db> PreparedQuery<'db> {
             }
             Plan::Pairwise(plan) => {
                 let run_start = Instant::now();
-                let (rows, pairwise) =
-                    plan.run(&mut |row| sink.push(row)).map_err(EngineError::Baseline)?;
+                let (rows, pairwise) = plan
+                    .run_ctx(ctx, &mut |row| {
+                        if monitor.is_some_and(|m| m.note_rows(1)) {
+                            return ControlFlow::Break(());
+                        }
+                        sink.push(row)
+                    })
+                    .map_err(EngineError::Baseline)?;
                 stats.run = run_start.elapsed();
                 stats.rows = rows;
                 stats.extras = vec![
@@ -368,9 +438,30 @@ impl<'db> PreparedQuery<'db> {
         sink: &mut K,
         threads: usize,
     ) -> Result<RunStats, EngineError> {
+        let monitor = ExecMonitor::unlimited();
+        match self.run_parallel_ctx(sink, threads, &monitor) {
+            // Without a budget the only possible ExecError is a worker panic;
+            // re-raise it like the scoped join used to (the `try_*` API returns
+            // it as a typed error instead).
+            Err(EngineError::Exec(err)) => panic!("{err}"),
+            other => other,
+        }
+    }
+
+    /// [`run_parallel`](Self::run_parallel) under a shared [`ExecMonitor`]: workers
+    /// run under `catch_unwind`, poll the monitor at morsel boundaries and inside
+    /// morsels, and the first tripped abort reason surfaces as
+    /// [`EngineError::Exec`].
+    fn run_parallel_ctx<K: ParallelSink>(
+        &self,
+        sink: &mut K,
+        threads: usize,
+        monitor: &ExecMonitor,
+    ) -> Result<RunStats, EngineError> {
         let threads = threads.max(1);
+        let ctx = ExecCtx::with_monitor(monitor);
         match &self.plan {
-            Plan::Bound(_) | Plan::Pairwise(_) if threads == 1 => self.serial_fallback(sink),
+            Plan::Bound(_) | Plan::Pairwise(_) if threads == 1 => self.serial_fallback(sink, &ctx),
             Plan::Bound(bq) => {
                 let mut stats = self.base_stats();
                 let bind_start = Instant::now();
@@ -380,11 +471,11 @@ impl<'db> PreparedQuery<'db> {
                 };
                 let morsels = partition_first_attribute(bq, threads * granularity);
                 if morsels.len() <= 1 {
-                    return self.serial_fallback(sink);
+                    return self.serial_fallback(sink, &ctx);
                 }
                 stats.bind = bind_start.elapsed();
                 let run_start = Instant::now();
-                let (report, extras) = self.drive_bound(bq, &morsels, threads, sink);
+                let (report, extras) = self.drive_bound(bq, &morsels, threads, sink, monitor)?;
                 stats.run = run_start.elapsed();
                 stats.rows = report.rows;
                 stats.threads = stats.threads.max(report.threads);
@@ -397,16 +488,20 @@ impl<'db> PreparedQuery<'db> {
                 let bind_start = Instant::now();
                 let morsels = plan.partition(threads * PAIRWISE_GRANULARITY);
                 if morsels.len() <= 1 {
-                    return self.serial_fallback(sink);
+                    return self.serial_fallback(sink, &ctx);
                 }
                 stats.bind = bind_start.elapsed();
                 let run_start = Instant::now();
                 let source = PairwiseMorsels::new(plan);
-                let report = drive(&source, &morsels, threads, sink);
-                // A budget violation recorded by any worker fails the whole run,
+                let driven = try_drive(&source, &morsels, threads, sink, monitor);
+                // Reclaim the workers (and collect the aggregated budget state)
+                // before surfacing any error: a monitor trip outranks the
+                // pairwise materialisation budget, which in turn fails the run
                 // exactly like the serial abort (the sink may have received a
                 // partial prefix, as it would under a serial abort too).
-                let pairwise = source.finish().map_err(EngineError::Baseline)?;
+                let pairwise = source.finish();
+                let report = driven.map_err(EngineError::Exec)?;
+                let pairwise = pairwise.map_err(EngineError::Baseline)?;
                 stats.run = run_start.elapsed();
                 stats.rows = report.rows;
                 stats.threads = stats.threads.max(report.threads);
@@ -417,7 +512,7 @@ impl<'db> PreparedQuery<'db> {
                 ];
                 Ok(stats)
             }
-            Plan::Hybrid(_) | Plan::Graph { .. } => self.run(sink),
+            Plan::Hybrid(_) | Plan::Graph { .. } => self.run_ctx(sink, &ctx),
         }
     }
 
@@ -425,15 +520,19 @@ impl<'db> PreparedQuery<'db> {
     /// the engine's counting fast path (preserving e.g. Minesweeper's Idea 8 batch
     /// counting, which the row-wise sink protocol disables); everything else runs
     /// through the plain sink execution.
-    fn serial_fallback<K: ParallelSink>(&self, sink: &mut K) -> Result<RunStats, EngineError> {
+    fn serial_fallback<K: ParallelSink>(
+        &self,
+        sink: &mut K,
+        ctx: &ExecCtx<'_>,
+    ) -> Result<RunStats, EngineError> {
         if K::COUNT_ONLY {
-            let (count, stats) = self.count_with_stats()?;
+            let (count, stats) = self.count_with_stats_ctx(ctx)?;
             let mut shard = sink.shard();
             shard.push_count(count);
             let _ = sink.absorb(shard);
             return Ok(stats);
         }
-        self.run(sink)
+        self.run_ctx(sink, ctx)
     }
 
     /// Runs the morsels of a bound plan through the engine's [`MorselSource`]
@@ -447,12 +546,13 @@ impl<'db> PreparedQuery<'db> {
         morsels: &[gj_runtime::Morsel],
         threads: usize,
         sink: &mut K,
-    ) -> (DriveReport, Vec<(&'static str, u64)>) {
+        monitor: &ExecMonitor,
+    ) -> Result<DrivenBound, ExecError> {
         match &self.engine {
             Engine::Lftj => {
                 let source = LftjMorsels::new(bq);
-                let report = drive(&source, morsels, threads, sink);
-                (report, vec![("bindings_explored", source.total_bindings_explored())])
+                let report = try_drive(&source, morsels, threads, sink, monitor)?;
+                Ok((report, vec![("bindings_explored", source.total_bindings_explored())]))
             }
             Engine::Minesweeper(config) => {
                 // CDS carry-over only pays when workers claim several morsels
@@ -462,9 +562,9 @@ impl<'db> PreparedQuery<'db> {
                 let mut config = config.clone();
                 config.cds_carryover = config.cds_carryover && morsels.len() > threads;
                 let source = MsMorsels::new(bq, config);
-                let report = drive(&source, morsels, threads, sink);
+                let report = try_drive(&source, morsels, threads, sink, monitor)?;
                 let extras = ms_extras(&source.totals());
-                (report, extras)
+                Ok((report, extras))
             }
             _ => unreachable!("Plan::Bound only serves LFTJ and Minesweeper"),
         }
@@ -524,7 +624,15 @@ impl<'db> PreparedQuery<'db> {
 
     /// Counts the output rows and reports the execution statistics.
     pub fn count_with_stats(&self) -> Result<(u64, RunStats), EngineError> {
+        self.count_with_stats_ctx(&ExecCtx::none())
+    }
+
+    /// [`count_with_stats`](Self::count_with_stats) under an execution context:
+    /// every engine's counting loop polls `ctx` at the coarse check stride. With
+    /// [`ExecCtx::none()`] this *is* the infallible serial count.
+    fn count_with_stats_ctx(&self, ctx: &ExecCtx<'_>) -> Result<(u64, RunStats), EngineError> {
         let mut stats = self.base_stats();
+        let monitor = ctx.monitor();
         let count = match &self.plan {
             Plan::Bound(bq) => match &self.engine {
                 Engine::Lftj => {
@@ -532,7 +640,12 @@ impl<'db> PreparedQuery<'db> {
                     let exec = LftjExecutor::new(bq);
                     stats.bind = bind_start.elapsed();
                     let run_start = Instant::now();
-                    let lftj = exec.run(&mut |_| {});
+                    let lftj = exec.try_run_ctx(ctx, &mut |_| {
+                        if monitor.is_some_and(|m| m.note_rows(1)) {
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    });
                     stats.run = run_start.elapsed();
                     stats.extras = vec![("bindings_explored", lftj.bindings_explored)];
                     lftj.results
@@ -547,13 +660,34 @@ impl<'db> PreparedQuery<'db> {
                     let count = if morsels.len() <= 1 {
                         // Too few distinct values to split: sequential fallback.
                         let mut exec = MinesweeperExecutor::new(bq, config.clone());
-                        let ms = exec.run(&mut |_, _| {});
+                        let ms = exec.try_run_ctx(ctx, &mut |_, mult| {
+                            if monitor.is_some_and(|m| m.note_rows(mult)) {
+                                return ControlFlow::Break(());
+                            }
+                            ControlFlow::Continue(())
+                        });
                         stats.extras = ms_extras(&ms);
                         ms.results
                     } else {
                         let mut sink = CountSink::new();
-                        let (report, extras) =
-                            self.drive_bound(bq, &morsels, config.threads, &mut sink);
+                        let unlimited;
+                        let monitor = match monitor {
+                            Some(m) => m,
+                            None => {
+                                unlimited = ExecMonitor::unlimited();
+                                &unlimited
+                            }
+                        };
+                        let (report, extras) = self
+                            .drive_bound(bq, &morsels, config.threads, &mut sink, monitor)
+                            .map_err(|err| {
+                                if ctx.monitor().is_none() {
+                                    // Infallible path: re-raise the worker panic
+                                    // like the scoped join used to.
+                                    panic!("{err}");
+                                }
+                                EngineError::Exec(err)
+                            })?;
                         stats.threads = stats.threads.max(report.threads);
                         stats.morsels = report.morsels;
                         stats.extras = extras;
@@ -567,7 +701,12 @@ impl<'db> PreparedQuery<'db> {
                     let mut exec = MinesweeperExecutor::new(bq, config.clone());
                     stats.bind = bind_start.elapsed();
                     let run_start = Instant::now();
-                    let ms = exec.run(&mut |_, _| {});
+                    let ms = exec.try_run_ctx(ctx, &mut |_, mult| {
+                        if monitor.is_some_and(|m| m.note_rows(mult)) {
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    });
                     stats.run = run_start.elapsed();
                     stats.extras = ms_extras(&ms);
                     ms.results
@@ -579,14 +718,19 @@ impl<'db> PreparedQuery<'db> {
                     unreachable!("Plan::Hybrid only serves the hybrid engine");
                 };
                 let run_start = Instant::now();
-                let count = plan.count(config);
+                let count = plan.count_ctx(config, ctx);
                 stats.run = run_start.elapsed();
                 count
             }
             Plan::Pairwise(plan) => {
                 let run_start = Instant::now();
                 let (count, pairwise) = plan
-                    .run(&mut |_| std::ops::ControlFlow::Continue(()))
+                    .run_ctx(ctx, &mut |_| {
+                        if monitor.is_some_and(|m| m.note_rows(1)) {
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    })
                     .map_err(EngineError::Baseline)?;
                 stats.run = run_start.elapsed();
                 stats.extras = vec![
@@ -597,9 +741,13 @@ impl<'db> PreparedQuery<'db> {
             }
             Plan::Graph { engine, op } => {
                 let run_start = Instant::now();
-                let count = match op {
-                    GraphOp::Triangles => engine.triangle_count(),
-                    GraphOp::FourCliques => engine.four_clique_count(),
+                let count = match (op, monitor.is_some()) {
+                    // The watch-free CSR loop is the hot benchmarked path; keep it
+                    // for unmonitored counts.
+                    (GraphOp::Triangles, false) => engine.triangle_count(),
+                    (GraphOp::Triangles, true) => engine.triangle_count_ctx(ctx),
+                    (GraphOp::FourCliques, false) => engine.four_clique_count(),
+                    (GraphOp::FourCliques, true) => engine.four_clique_count_ctx(ctx),
                 };
                 stats.run = run_start.elapsed();
                 count
@@ -636,6 +784,186 @@ impl<'db> PreparedQuery<'db> {
             Ok(sink.found())
         } else {
             Ok(self.count()? > 0)
+        }
+    }
+
+    /// Runs `f` under `monitor` with panic isolation: a panic anywhere in engine
+    /// code is caught, recorded as [`ExecError::WorkerPanicked`], and shared state
+    /// (index cache, worker pools) stays reusable. The monitor's recorded abort
+    /// reason outranks whatever `f` returned — an engine that stopped early on a
+    /// trip returns a meaningless partial result, which must not leak out as `Ok`.
+    fn guard<T>(
+        &self,
+        monitor: &ExecMonitor,
+        f: impl FnOnce(&ExecCtx<'_>) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let ctx = ExecCtx::with_monitor(monitor);
+        // Poll once before the run: a budget that is already violated (cancelled
+        // token, zero deadline) aborts deterministically even when the query is so
+        // small the engine would finish before its first stride poll.
+        monitor.check();
+        let result = match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+            Ok(result) => result,
+            Err(payload) => {
+                monitor.trip(ExecError::WorkerPanicked { payload: panic_payload(payload) });
+                Err(EngineError::Exec(ExecError::WorkerPanicked {
+                    payload: "worker panicked".to_string(),
+                }))
+            }
+        };
+        match monitor.take_reason() {
+            Some(reason) => Err(EngineError::Exec(reason)),
+            None => result,
+        }
+    }
+
+    /// Counts the output rows under `budget` — the fallible counterpart of
+    /// [`count`](Self::count): the engine polls the budget cooperatively (bounded
+    /// by one check stride, [`CHECK_STRIDE`](gj_runtime::CHECK_STRIDE) inner-loop
+    /// steps) and an abort surfaces as a typed [`EngineError::Exec`] instead of a
+    /// panic or a silently truncated answer.
+    ///
+    /// ```
+    /// use graphjoin::{
+    ///     CancelToken, CatalogQuery, Database, Engine, EngineError, ExecError, Graph, QueryBudget,
+    /// };
+    /// use std::time::Duration;
+    ///
+    /// let graph = Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+    /// let mut db = Database::new();
+    /// db.add_graph(graph);
+    /// let prepared = db.prepare(&CatalogQuery::ThreeClique.query(), &Engine::Lftj)?;
+    ///
+    /// // An unlimited budget behaves exactly like `count`.
+    /// assert_eq!(prepared.try_count(&QueryBudget::new())?, 2);
+    ///
+    /// // A cancel token aborts the run cleanly from any thread ...
+    /// let token = CancelToken::new();
+    /// token.cancel();
+    /// let budget = QueryBudget::new().with_cancel_token(token);
+    /// assert_eq!(prepared.try_count(&budget), Err(EngineError::Exec(ExecError::Cancelled)));
+    ///
+    /// // ... and so does a wall-clock deadline. The prepared query survives the
+    /// // abort: re-running it gives the exact answer again.
+    /// let budget = QueryBudget::new().with_timeout(Duration::ZERO);
+    /// assert_eq!(
+    ///     prepared.try_count(&budget),
+    ///     Err(EngineError::Exec(ExecError::DeadlineExceeded))
+    /// );
+    /// assert_eq!(prepared.try_count(&QueryBudget::new())?, 2);
+    /// # Ok::<(), graphjoin::EngineError>(())
+    /// ```
+    pub fn try_count(&self, budget: &QueryBudget) -> Result<u64, EngineError> {
+        self.try_count_with_stats(budget).map(|(count, _)| count)
+    }
+
+    /// [`count_with_stats`](Self::count_with_stats) under `budget`.
+    pub fn try_count_with_stats(
+        &self,
+        budget: &QueryBudget,
+    ) -> Result<(u64, RunStats), EngineError> {
+        let monitor = ExecMonitor::new(budget);
+        self.guard(&monitor, |ctx| self.count_with_stats_ctx(ctx))
+    }
+
+    /// [`run`](Self::run) under `budget`: the serial sink execution with
+    /// cooperative budget checks and panic isolation. On `Err` the sink holds a
+    /// meaningless prefix and must be discarded.
+    pub fn try_run(
+        &self,
+        sink: &mut impl Sink,
+        budget: &QueryBudget,
+    ) -> Result<RunStats, EngineError> {
+        let monitor = ExecMonitor::new(budget);
+        self.guard(&monitor, |ctx| self.run_ctx(sink, ctx))
+    }
+
+    /// [`run_parallel`](Self::run_parallel) under `budget`: every worker runs under
+    /// `catch_unwind`, the budget is polled at morsel boundaries and inside each
+    /// morsel, and the first abort reason tripped by any worker surfaces as
+    /// [`EngineError::Exec`]. On `Err` the sink holds a meaningless prefix and must
+    /// be discarded.
+    pub fn try_run_parallel<K: ParallelSink>(
+        &self,
+        sink: &mut K,
+        threads: usize,
+        budget: &QueryBudget,
+    ) -> Result<RunStats, EngineError> {
+        let monitor = ExecMonitor::new(budget);
+        self.guard(&monitor, |_| self.run_parallel_ctx(sink, threads, &monitor))
+    }
+
+    /// [`par_count`](Self::par_count) under `budget`.
+    pub fn try_par_count(&self, threads: usize, budget: &QueryBudget) -> Result<u64, EngineError> {
+        if threads <= 1 || !matches!(self.plan, Plan::Bound(_) | Plan::Pairwise(_)) {
+            return self.try_count(budget);
+        }
+        let mut sink = CountSink::new();
+        self.try_run_parallel(&mut sink, threads, budget)?;
+        Ok(sink.rows())
+    }
+
+    /// [`collect`](Self::collect) under `budget`.
+    pub fn try_collect(&self, budget: &QueryBudget) -> Result<QueryOutput, EngineError> {
+        let mut sink = CollectSink::new();
+        self.try_run(&mut sink, budget)?;
+        Ok(sink.into_rows())
+    }
+
+    /// [`first_k`](Self::first_k) under `budget`.
+    pub fn try_first_k(
+        &self,
+        limit: usize,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutput, EngineError> {
+        let mut sink = FirstK::new(limit);
+        self.try_run(&mut sink, budget)?;
+        Ok(sink.into_rows())
+    }
+
+    /// [`exists`](Self::exists) under `budget`.
+    pub fn try_exists(&self, budget: &QueryBudget) -> Result<bool, EngineError> {
+        if self.supports_enumeration() {
+            let mut sink = ExistsSink::new();
+            self.try_run(&mut sink, budget)?;
+            Ok(sink.found())
+        } else {
+            Ok(self.try_count(budget)? > 0)
+        }
+    }
+
+    /// Counts under `budget` on `threads` workers and **never fails**: an abort is
+    /// folded into [`RunStats::outcome`] instead of an `Err`, so benchmark
+    /// harnesses can record timeout/abort cells uniformly. A pairwise
+    /// materialisation-budget abort is reported as
+    /// [`ExecError::BudgetExceeded`]; any other engine error is reported as a
+    /// [`WorkerPanicked`](ExecError::WorkerPanicked) outcome carrying the error
+    /// text. When the budget carries a fault-injection registry, the outcome also
+    /// names the failpoint that fired.
+    pub fn count_outcome(&self, threads: usize, budget: &QueryBudget) -> RunStats {
+        let result = if threads > 1 {
+            let mut sink = CountSink::new();
+            self.try_run_parallel(&mut sink, threads, budget)
+        } else {
+            self.try_count_with_stats(budget).map(|(_, stats)| stats)
+        };
+        match result {
+            Ok(stats) => stats,
+            Err(err) => {
+                let reason = match err {
+                    EngineError::Exec(reason) => reason,
+                    EngineError::Baseline(BaselineError::IntermediateBudgetExceeded {
+                        rows,
+                        budget,
+                    }) => ExecError::BudgetExceeded { rows: rows as u64, budget: budget as u64 },
+                    other => ExecError::WorkerPanicked { payload: other.to_string() },
+                };
+                let failpoint = budget.failpoints().and_then(|fp| fp.fired());
+                let mut stats = self.base_stats();
+                stats.threads = stats.threads.max(threads);
+                stats.outcome = RunOutcome::Aborted { reason, failpoint };
+                stats
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::leapfrog::LeapfrogJoin;
 use gj_query::BoundQuery;
+use gj_runtime::{ExecCtx, ExecWatch};
 use gj_storage::{TrieIterator, Val};
 use std::ops::ControlFlow;
 
@@ -86,8 +87,21 @@ impl<'a> LftjExecutor<'a> {
     /// [`ControlFlow::Break`] to stop the search immediately (e.g. once a sink has
     /// collected enough rows, or to answer an existence check after the first
     /// output). Returns the statistics accumulated up to the stop point.
-    pub fn try_run<F: FnMut(&[Val]) -> ControlFlow<()>>(mut self, emit: &mut F) -> LftjStats {
-        self.execute(emit)
+    pub fn try_run<F: FnMut(&[Val]) -> ControlFlow<()>>(self, emit: &mut F) -> LftjStats {
+        self.try_run_ctx(&ExecCtx::none(), emit)
+    }
+
+    /// [`try_run`](Self::try_run) under an execution context: the search
+    /// additionally polls `ctx` once per explored binding (at the coarse
+    /// [`CHECK_STRIDE`](gj_runtime::CHECK_STRIDE)) and unwinds cleanly when a
+    /// cancel, deadline, or stop flag trips — the caller learns the reason from
+    /// the context's monitor.
+    pub fn try_run_ctx<F: FnMut(&[Val]) -> ControlFlow<()>>(
+        mut self,
+        ctx: &ExecCtx<'_>,
+        emit: &mut F,
+    ) -> LftjStats {
+        self.execute(ctx, emit)
     }
 
     /// Runs the join restricted to first-GAO-attribute values in `[lo, hi)`
@@ -104,18 +118,45 @@ impl<'a> LftjExecutor<'a> {
         hi: Val,
         emit: &mut F,
     ) -> LftjStats {
+        self.run_range_ctx(lo, hi, &ExecCtx::none(), emit)
+    }
+
+    /// [`run_range`](Self::run_range) under an execution context (see
+    /// [`try_run_ctx`](Self::try_run_ctx)) — the form the parallel runtime calls,
+    /// so stop flags and budgets are honored *inside* a long morsel, not only
+    /// between morsels.
+    pub fn run_range_ctx<F: FnMut(&[Val]) -> ControlFlow<()>>(
+        &mut self,
+        lo: Val,
+        hi: Val,
+        ctx: &ExecCtx<'_>,
+        emit: &mut F,
+    ) -> LftjStats {
         self.range0 = Some((lo, hi));
-        self.execute(emit)
+        self.execute(ctx, emit)
     }
 
     /// The shared search entry: resets the statistics, runs the (possibly
     /// range-restricted) search, and leaves the executor reusable — every level
     /// opened during the search is closed again on unwind, even under early
     /// termination.
-    fn execute<F: FnMut(&[Val]) -> ControlFlow<()>>(&mut self, emit: &mut F) -> LftjStats {
+    fn execute<F: FnMut(&[Val]) -> ControlFlow<()>>(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        emit: &mut F,
+    ) -> LftjStats {
         self.stats = LftjStats::default();
         if self.bq.num_vars() > 0 {
-            let _ = self.search(0, emit);
+            let mut watch = ctx.watch();
+            // The watched and unwatched searches are separate monomorphisations:
+            // the per-binding `tick()` is cheap but the leapfrog inner loop is
+            // cheaper still, so unmonitored runs (the serial fast path) must not
+            // pay even that branch.
+            let _ = if watch.is_inert() {
+                self.search::<F, false>(0, &mut watch, emit)
+            } else {
+                self.search::<F, true>(0, &mut watch, emit)
+            };
         }
         self.stats
     }
@@ -129,10 +170,11 @@ impl<'a> LftjExecutor<'a> {
 
     /// Recursive triejoin over GAO positions `depth..n`. Propagates the emitter's
     /// `Break` up through every recursion level, so a stopped search unwinds without
-    /// visiting any further binding.
-    fn search<F: FnMut(&[Val]) -> ControlFlow<()>>(
+    /// visiting any further binding; a tripped `watch` unwinds the same way.
+    fn search<F: FnMut(&[Val]) -> ControlFlow<()>, const WATCHED: bool>(
         &mut self,
         depth: usize,
+        watch: &mut ExecWatch<'_>,
         emit: &mut F,
     ) -> ControlFlow<()> {
         let parts = self.participants[depth].clone();
@@ -175,11 +217,15 @@ impl<'a> LftjExecutor<'a> {
             }
             self.binding[depth] = v;
             self.stats.bindings_explored += 1;
+            if WATCHED && watch.tick() {
+                flow = ControlFlow::Break(());
+                break;
+            }
             if depth + 1 == self.bq.num_vars() {
                 self.stats.results += 1;
                 flow = emit(&self.binding);
             } else {
-                flow = self.search(depth + 1, emit);
+                flow = self.search::<F, WATCHED>(depth + 1, watch, emit);
             }
             if flow.is_break() {
                 break;

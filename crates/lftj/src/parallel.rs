@@ -24,7 +24,7 @@
 
 use crate::executor::{LftjExecutor, LftjStats};
 use gj_query::BoundQuery;
-use gj_runtime::{Morsel, MorselSource};
+use gj_runtime::{ExecCtx, Morsel, MorselSource};
 use gj_storage::Val;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,11 +81,12 @@ impl<'a> MorselSource for LftjMorsels<'a> {
         &self,
         worker: &mut LftjWorker<'a>,
         morsel: Morsel,
+        ctx: &ExecCtx<'_>,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
         let gao = &self.bq.gao;
         let LftjWorker { exec, scratch, totals } = worker;
-        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |binding| {
+        let stats = exec.run_range_ctx(morsel.lo, morsel.hi, ctx, &mut |binding| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];
             }
@@ -95,8 +96,10 @@ impl<'a> MorselSource for LftjMorsels<'a> {
         totals.bindings_explored += stats.bindings_explored;
     }
 
-    fn count_morsel(&self, worker: &mut LftjWorker<'a>, morsel: Morsel) -> u64 {
-        let stats = worker.exec.run_range(morsel.lo, morsel.hi, &mut |_| ControlFlow::Continue(()));
+    fn count_morsel(&self, worker: &mut LftjWorker<'a>, morsel: Morsel, ctx: &ExecCtx<'_>) -> u64 {
+        let stats = worker
+            .exec
+            .run_range_ctx(morsel.lo, morsel.hi, ctx, &mut |_| ControlFlow::Continue(()));
         worker.totals.results += stats.results;
         worker.totals.bindings_explored += stats.bindings_explored;
         stats.results

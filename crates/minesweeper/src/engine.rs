@@ -18,6 +18,7 @@ use crate::counting::count_last_level_run;
 use crate::gaps::{build_probers, AtomProber, ProbeOutcome, ProbeStats};
 use gj_query::gao::is_neo;
 use gj_query::{acyclic_skeleton, BoundQuery, Hypergraph, Query};
+use gj_runtime::ExecCtx;
 use gj_storage::{Val, POS_INF};
 use std::ops::ControlFlow;
 
@@ -255,10 +256,24 @@ impl<'a> MinesweeperExecutor<'a> {
         hi: Val,
         emit: &mut F,
     ) -> MsStats {
+        self.run_range_ctx(lo, hi, &ExecCtx::none(), emit)
+    }
+
+    /// [`run_range`](Self::run_range) under an execution context: the outer loop
+    /// additionally polls `ctx` once per iteration (at the coarse
+    /// [`CHECK_STRIDE`](gj_runtime::CHECK_STRIDE)), so a stop flag, cancel token or
+    /// deadline is honored inside a long morsel with bounded latency.
+    pub fn run_range_ctx<F: FnMut(&[Val], u64) -> ControlFlow<()>>(
+        &mut self,
+        lo: Val,
+        hi: Val,
+        ctx: &ExecCtx<'_>,
+        emit: &mut F,
+    ) -> MsStats {
         // The restriction is transient: it must not leak into a later full-range
         // run on this (reusable) executor.
         let previous = self.range0.replace((lo, hi));
-        let stats = self.try_run(emit);
+        let stats = self.try_run_ctx(ctx, emit);
         self.range0 = previous;
         stats
     }
@@ -344,7 +359,20 @@ impl<'a> MinesweeperExecutor<'a> {
     /// CDS and no further probe is issued. Returns the statistics accumulated up to
     /// the stop point.
     pub fn try_run<F: FnMut(&[Val], u64) -> ControlFlow<()>>(&mut self, emit: &mut F) -> MsStats {
+        self.try_run_ctx(&ExecCtx::none(), emit)
+    }
+
+    /// [`try_run`](Self::try_run) under an execution context (see
+    /// [`run_range_ctx`](Self::run_range_ctx)): the outer loop stops cleanly when
+    /// the context's watch observes a trip; the caller learns the abort reason from
+    /// the context's monitor.
+    pub fn try_run_ctx<F: FnMut(&[Val], u64) -> ControlFlow<()>>(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        emit: &mut F,
+    ) -> MsStats {
         let n = self.bq.num_vars();
+        let mut watch = ctx.watch();
         // The CDS is owned by the executor and recycled (arena and all) across runs;
         // the probers keep their Idea 4 memos, which stay valid because gap boxes
         // are range-independent facts about the relations — but each memo's first
@@ -389,6 +417,9 @@ impl<'a> MinesweeperExecutor<'a> {
                 }
             }
             stats.iterations += 1;
+            if watch.tick() {
+                break;
+            }
             if std::env::var_os("MS_TRACE").is_some() {
                 eprintln!("[ms-trace] it={} t={:?}", stats.iterations, t);
             }

@@ -10,7 +10,9 @@
 
 use crate::engine::{MinesweeperExecutor, MsConfig};
 use gj_query::{BindReport, BoundQuery, IndexCache, Instance, Query, QueryBuilder, VarId};
+use gj_runtime::ExecCtx;
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 
 /// A hybrid query prepared once: the clique and path sub-queries are split, validated
 /// and bound (GAO selection + trie indexes), so repeated executions only pay the two
@@ -144,16 +146,27 @@ impl HybridPlan {
     /// number of clique completions; Minesweeper enumerates the path bindings and
     /// each one contributes the pre-computed clique count of its endpoint.
     pub fn count(&self, config: &MsConfig) -> u64 {
+        self.count_ctx(config, &ExecCtx::none())
+    }
+
+    /// [`count`](Self::count) under an execution context: both sub-engine runs poll
+    /// `ctx` at their coarse check stride and stop cleanly on a trip. An aborted
+    /// run returns a meaningless partial total — the caller must consult the
+    /// context's monitor before using it.
+    pub fn count_ctx(&self, config: &MsConfig, ctx: &ExecCtx<'_>) -> u64 {
         let mut clique_counts: HashMap<i64, u64> = HashMap::new();
-        gj_lftj::run(&self.clique_bq, &mut |binding| {
+        gj_lftj::LftjExecutor::new(&self.clique_bq).try_run_ctx(ctx, &mut |binding| {
             *clique_counts.entry(binding[0]).or_insert(0) += 1;
+            ControlFlow::Continue(())
         });
 
         let mut total = 0u64;
-        MinesweeperExecutor::new(&self.path_bq, config.clone()).run(
+        MinesweeperExecutor::new(&self.path_bq, config.clone()).try_run_ctx(
+            ctx,
             &mut |binding, multiplicity| {
                 let joint_value = binding[self.path_joint_gao_pos];
                 total += multiplicity * clique_counts.get(&joint_value).copied().unwrap_or(0);
+                ControlFlow::Continue(())
             },
         );
         total

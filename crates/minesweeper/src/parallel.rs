@@ -35,10 +35,10 @@
 
 use crate::engine::{MinesweeperExecutor, MsConfig, MsStats};
 use gj_query::BoundQuery;
-use gj_runtime::{Morsel, MorselSource};
+use gj_runtime::{ExecCtx, Morsel, MorselSource};
 use gj_storage::Val;
 use std::ops::ControlFlow;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Minesweeper as a [`MorselSource`] for the `gj-runtime` morsel driver.
 ///
@@ -87,7 +87,7 @@ impl<'a> MsMorsels<'a> {
     /// The engine statistics summed over every retired worker — available once
     /// `gj_runtime::drive` returned (all workers are retired by then).
     pub fn totals(&self) -> MsStats {
-        *self.totals.lock().expect("totals mutex poisoned")
+        *self.totals.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The worker's executor for the counting (`counting = true`, configuration as
@@ -127,6 +127,7 @@ impl<'a> MorselSource for MsMorsels<'a> {
         &self,
         worker: &mut MsWorker<'a>,
         morsel: Morsel,
+        ctx: &ExecCtx<'_>,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     ) {
         let gao = &self.bq.gao;
@@ -135,7 +136,7 @@ impl<'a> MorselSource for MsMorsels<'a> {
         }
         let MsWorker { exec, scratch, totals } = worker;
         let exec = &mut exec.as_mut().expect("row executor just ensured").0;
-        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |binding, _| {
+        let stats = exec.run_range_ctx(morsel.lo, morsel.hi, ctx, &mut |binding, _| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];
             }
@@ -144,10 +145,10 @@ impl<'a> MorselSource for MsMorsels<'a> {
         totals.merge(&stats);
     }
 
-    fn count_morsel(&self, worker: &mut MsWorker<'a>, morsel: Morsel) -> u64 {
+    fn count_morsel(&self, worker: &mut MsWorker<'a>, morsel: Morsel, ctx: &ExecCtx<'_>) -> u64 {
         let exec = self.executor(worker, true);
         let mut rows = 0;
-        let stats = exec.run_range(morsel.lo, morsel.hi, &mut |_, multiplicity| {
+        let stats = exec.run_range_ctx(morsel.lo, morsel.hi, ctx, &mut |_, multiplicity| {
             rows += multiplicity;
             ControlFlow::Continue(())
         });
@@ -166,7 +167,7 @@ impl<'a> MorselSource for MsMorsels<'a> {
 
     /// Folds the worker's accumulated statistics into the run totals.
     fn retire_worker(&self, worker: MsWorker<'a>) {
-        self.totals.lock().expect("totals mutex poisoned").merge(&worker.totals);
+        self.totals.lock().unwrap_or_else(PoisonError::into_inner).merge(&worker.totals);
     }
 }
 
@@ -262,10 +263,11 @@ mod tests {
         let source = MsMorsels::new(&bq, config);
         let morsels = partition_first_attribute(&bq, 4);
         let mut worker = source.worker();
-        let counted: u64 = morsels.iter().map(|&m| source.count_morsel(&mut worker, m)).sum();
+        let counted: u64 =
+            morsels.iter().map(|&m| source.count_morsel(&mut worker, m, &ExecCtx::none())).sum();
         let mut rows = 0u64;
         for &m in &morsels {
-            source.run_morsel(&mut worker, m, &mut |_| {
+            source.run_morsel(&mut worker, m, &ExecCtx::none(), &mut |_| {
                 rows += 1;
                 ControlFlow::Continue(())
             });
@@ -273,7 +275,8 @@ mod tests {
         assert_eq!(rows, counted, "row path after count path must emit every row");
         assert_eq!(counted, crate::engine::count(&bq, &MsConfig::default()));
         // And switching back to counting still batch-counts correctly.
-        let recounted: u64 = morsels.iter().map(|&m| source.count_morsel(&mut worker, m)).sum();
+        let recounted: u64 =
+            morsels.iter().map(|&m| source.count_morsel(&mut worker, m, &ExecCtx::none())).sum();
         assert_eq!(recounted, counted);
     }
 
@@ -287,7 +290,8 @@ mod tests {
         let source = MsMorsels::new(&bq, MsConfig::default());
         let morsels = partition_first_attribute(&bq, 8);
         let mut worker = source.worker();
-        let total: u64 = morsels.iter().map(|&m| source.count_morsel(&mut worker, m)).sum();
+        let total: u64 =
+            morsels.iter().map(|&m| source.count_morsel(&mut worker, m, &ExecCtx::none())).sum();
         assert_eq!(total, crate::engine::count(&bq, &MsConfig::default()));
     }
 
@@ -297,7 +301,7 @@ mod tests {
         let mut worker = source.worker();
         let mut rows = 0;
         for &m in morsels {
-            rows += source.count_morsel(&mut worker, m);
+            rows += source.count_morsel(&mut worker, m, &ExecCtx::none());
             source.morsel_done(&mut worker, m);
         }
         let totals = worker.totals();
@@ -352,7 +356,7 @@ mod tests {
         assert_eq!(worker.carryover_len(), 0);
         let mut sizes = Vec::new();
         for &m in &morsels {
-            source.count_morsel(&mut worker, m);
+            source.count_morsel(&mut worker, m, &ExecCtx::none());
             source.morsel_done(&mut worker, m);
             sizes.push(worker.carryover_len());
         }
@@ -362,7 +366,7 @@ mod tests {
         // in the ledger, so its size is stable.
         let stable = worker.carryover_len();
         for &m in &morsels {
-            source.count_morsel(&mut worker, m);
+            source.count_morsel(&mut worker, m, &ExecCtx::none());
             source.morsel_done(&mut worker, m);
         }
         assert_eq!(worker.carryover_len(), stable, "a repeated pass must deduplicate");

@@ -15,10 +15,10 @@
 //! [`IndexCache::invalidate`] with its name; the `Database` façade in `gj-core`
 //! does this from `add_relation`/`add_graph`.
 
-use gj_storage::{Relation, TrieIndex};
+use gj_storage::{FailpointHit, FailpointRegistry, Relation, TrieIndex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The per-relation slice of the cache: column permutation → shared index.
 type PermMap = HashMap<Vec<usize>, Arc<TrieIndex>>;
@@ -27,16 +27,35 @@ type PermMap = HashMap<Vec<usize>, Arc<TrieIndex>>;
 ///
 /// Cloning the cache clones its *contents* (the `Arc`s, not the tries), giving the
 /// clone an independent map: a cloned `Database` starts warm but diverges freely.
+/// Clones do **not** inherit an armed failpoint registry.
+///
+/// Every lock acquisition recovers from poisoning: a build that panicked (e.g. an
+/// armed [`TRIE_BUILD`](gj_storage::fault::sites::TRIE_BUILD) failpoint) leaves
+/// the cache usable — the map only ever holds fully-built indexes, so the
+/// recovered state is consistent.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     /// relation name → column permutation → shared index.
     entries: RwLock<HashMap<String, PermMap>>,
+    /// Fault-injection registry consulted before every trie build (tests only;
+    /// `None` in production, costing one mutex lock per *build*, never per hit).
+    failpoints: Mutex<Option<Arc<FailpointRegistry>>>,
+}
+
+/// Read-locks `entries`, recovering from poisoning.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `entries`, recovering from poisoning.
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Clone for IndexCache {
     fn clone(&self) -> Self {
-        let entries = self.entries.read().expect("index cache poisoned").clone();
-        IndexCache { entries: RwLock::new(entries) }
+        let entries = read(&self.entries).clone();
+        IndexCache { entries: RwLock::new(entries), failpoints: Mutex::new(None) }
     }
 }
 
@@ -46,15 +65,33 @@ impl IndexCache {
         IndexCache::default()
     }
 
+    /// Arms (or, with `None`, disarms) a fault-injection registry. Every
+    /// subsequent trie build first consults the registry's
+    /// [`TRIE_BUILD`](gj_storage::fault::sites::TRIE_BUILD) site.
+    pub fn set_failpoints(&self, failpoints: Option<Arc<FailpointRegistry>>) {
+        *self.failpoints.lock().unwrap_or_else(PoisonError::into_inner) = failpoints;
+    }
+
+    /// Fires the `trie_build` failpoint if a registry is armed. A `Trip` action is
+    /// meaningless at prepare time (there is no budget monitor) and is ignored.
+    fn fire_trie_build(&self) {
+        let registry = self.failpoints.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        if let Some(registry) = registry {
+            if let Some(FailpointHit::Panic) = registry.hit(gj_storage::fault::sites::TRIE_BUILD) {
+                panic!("failpoint panic: trie_build");
+            }
+        }
+    }
+
     /// Looks up the index for `name` under the column permutation `perm`.
     pub fn get(&self, name: &str, perm: &[usize]) -> Option<Arc<TrieIndex>> {
-        self.entries.read().expect("index cache poisoned").get(name)?.get(perm).cloned()
+        read(&self.entries).get(name)?.get(perm).cloned()
     }
 
     /// Inserts an index, returning the cached copy (the existing one if another
     /// thread raced the build — all callers then share a single physical index).
     pub fn insert(&self, name: &str, perm: Vec<usize>, index: Arc<TrieIndex>) -> Arc<TrieIndex> {
-        let mut entries = self.entries.write().expect("index cache poisoned");
+        let mut entries = write(&self.entries);
         entries.entry(name.to_string()).or_default().entry(perm).or_insert(index).clone()
     }
 
@@ -64,6 +101,7 @@ impl IndexCache {
         if let Some(hit) = self.get(name, perm) {
             return hit;
         }
+        self.fire_trie_build();
         let built = Arc::new(TrieIndex::build(relation, perm));
         self.insert(name, perm.to_vec(), built)
     }
@@ -71,17 +109,17 @@ impl IndexCache {
     /// Drops every index built over the relation `name`. Must be called whenever
     /// that relation is replaced, or stale indexes would keep serving the old data.
     pub fn invalidate(&self, name: &str) {
-        self.entries.write().expect("index cache poisoned").remove(name);
+        write(&self.entries).remove(name);
     }
 
     /// Drops every cached index (used by benchmarks to measure cold preparations).
     pub fn clear(&self) {
-        self.entries.write().expect("index cache poisoned").clear();
+        write(&self.entries).clear();
     }
 
     /// Number of physical indexes currently cached.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("index cache poisoned").values().map(HashMap::len).sum()
+        read(&self.entries).values().map(HashMap::len).sum()
     }
 
     /// Whether the cache holds no indexes.
@@ -127,12 +165,13 @@ impl IndexCache {
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(_, relation, perm)) = missing.get(i) else { break };
+                    self.fire_trie_build();
                     let index = Arc::new(TrieIndex::build(relation, perm));
-                    built.lock().expect("build results poisoned")[i] = Some(index);
+                    built.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(index);
                 });
             }
         });
-        let built = built.into_inner().expect("build results poisoned");
+        let built = built.into_inner().unwrap_or_else(PoisonError::into_inner);
         for ((name, _, perm), index) in missing.iter().zip(built) {
             let index = index.expect("every job was claimed by a worker");
             self.insert(name, perm.to_vec(), index);
@@ -213,6 +252,25 @@ mod tests {
             let b = cache_par.get("r", p).unwrap();
             assert_eq!(a.level_values(0), b.level_values(0), "perm {p:?}");
         }
+    }
+
+    #[test]
+    fn an_armed_trie_build_failpoint_panics_and_leaves_the_cache_usable() {
+        use gj_storage::{fault::sites, FailAction};
+        let cache = IndexCache::new();
+        let r = edge();
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm(sites::TRIE_BUILD, FailAction::Panic);
+        cache.set_failpoints(Some(fp.clone()));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build("edge", &r, &[0, 1])
+        }));
+        assert!(result.is_err());
+        assert_eq!(fp.fired(), Some("trie_build".to_string()));
+        // Disarm and retry: the failed build left nothing behind, the cache works.
+        cache.set_failpoints(None);
+        cache.get_or_build("edge", &r, &[0, 1]);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The morsel driver: scoped workers, a shared job pool, and the ordered merge.
 //!
-//! [`drive`] is the runtime's engine-independent core. It spawns `threads` scoped
-//! worker threads (std-only, no external thread pool); each worker repeatedly claims
-//! the next unclaimed morsel from the [`JobQueue`], runs it through the engine's
-//! [`MorselSource`] into the morsel's private shard, and hands the completed shard
-//! to the merger. The merger absorbs shards strictly **in morsel order** — shards
-//! finishing out of order wait in a pending map — so the sink observes the serial
-//! emission stream regardless of scheduling.
+//! [`try_drive`] is the runtime's engine-independent core. It spawns `threads`
+//! scoped worker threads (std-only, no external thread pool); each worker
+//! repeatedly claims the next unclaimed morsel from the [`JobQueue`], runs it
+//! through the engine's [`MorselSource`] into the morsel's private shard, and hands
+//! the completed shard to the merger. The merger absorbs shards strictly **in
+//! morsel order** — shards finishing out of order wait in a pending map — so the
+//! sink observes the serial emission stream regardless of scheduling.
 //!
 //! Per-worker engine state ([`MorselSource::Worker`]) lives for the whole worker
 //! loop: an engine can keep its executor, search buffers, or constraint store alive
@@ -21,14 +21,32 @@
 //! chance to *reclaim* it: fold per-worker statistics into run totals, or return
 //! expensive caches to a [`WorkerPool`](crate::WorkerPool) so the next execution of
 //! the same prepared plan starts warm instead of cold.
+//!
+//! # Fault tolerance
+//!
+//! Each worker's whole loop runs under `catch_unwind`: a panic anywhere in engine
+//! code trips the queue's stop flag, is recorded as
+//! [`ExecError::WorkerPanicked`] on the shared [`ExecMonitor`], and surfaces as a
+//! typed `Err` from [`try_drive`] — never as a propagated panic, and never leaving
+//! a poisoned lock behind (every shared lock here recovers from poisoning). The
+//! monitor is additionally polled at every morsel boundary, and engines poll it
+//! *inside* morsels through the [`ExecCtx`] the driver threads into
+//! [`MorselSource::run_morsel`] / [`count_morsel`](MorselSource::count_morsel), so
+//! cancellations and deadlines are honored with bounded latency even during one
+//! long morsel. The legacy [`drive`] wrapper keeps the infallible signature for
+//! callers without a budget (and re-raises worker panics like the scoped join
+//! used to).
 
+use crate::exec::{panic_payload, ExecCtx, ExecError, ExecMonitor};
 use crate::morsel::Morsel;
 use crate::psink::{ParallelSink, ShardSink};
 use crate::queue::JobQueue;
+use gj_storage::fault::{sites, FailpointHit};
 use gj_storage::Val;
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// A range-restricted engine execution: everything the runtime needs to drive an
 /// engine in parallel.
@@ -68,20 +86,26 @@ pub trait MorselSource: Sync {
     /// drops the worker.
     fn retire_worker(&self, _worker: Self::Worker) {}
 
-    /// Runs one morsel, emitting rows until exhaustion or until `emit` breaks.
+    /// Runs one morsel, emitting rows until exhaustion, until `emit` breaks, or
+    /// until the engine's [`ExecWatch`](crate::ExecWatch) (derived from `ctx`)
+    /// observes a stop — engines must poll `ctx` inside long searches so a tripped
+    /// stop flag, cancel token or deadline is honored with bounded latency.
     fn run_morsel(
         &self,
         worker: &mut Self::Worker,
         morsel: Morsel,
+        ctx: &ExecCtx<'_>,
         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
     );
 
     /// Counting fast path: the number of output rows in one morsel. Engines with a
     /// dedicated counting mode (e.g. Minesweeper's batch counting) should override
-    /// this; the default enumerates and counts.
-    fn count_morsel(&self, worker: &mut Self::Worker, morsel: Morsel) -> u64 {
+    /// this; the default enumerates and counts. The same in-loop polling duty as
+    /// [`run_morsel`](Self::run_morsel) applies — a stopped run may return a
+    /// partial count (the driver discards it).
+    fn count_morsel(&self, worker: &mut Self::Worker, morsel: Morsel, ctx: &ExecCtx<'_>) -> u64 {
         let mut rows = 0;
-        self.run_morsel(worker, morsel, &mut |_| {
+        self.run_morsel(worker, morsel, ctx, &mut |_| {
             rows += 1;
             ControlFlow::Continue(())
         });
@@ -140,19 +164,106 @@ impl<'s, K: ParallelSink> Merger<'s, K> {
     }
 }
 
-/// Runs `morsels` of `source` on `threads` worker threads, merging every morsel's
-/// output into `sink` in morsel order.
+/// One worker's claim/run/merge loop. Runs under `catch_unwind` in [`try_drive`];
+/// everything here must leave shared state consistent if it unwinds.
+fn worker_loop<S: MorselSource, K: ParallelSink>(
+    source: &S,
+    morsels: &[Morsel],
+    queue: &JobQueue,
+    shards: &[Mutex<Option<K::Shard>>],
+    merger: &Mutex<Merger<'_, K>>,
+    monitor: &ExecMonitor,
+) {
+    let mut worker = source.worker();
+    let ctx = ExecCtx::for_drive(monitor, queue);
+    loop {
+        // Morsel-boundary checks: budget state, then the claim failpoint.
+        if monitor.check() {
+            queue.stop();
+            break;
+        }
+        if let Some(fp) = monitor.failpoints() {
+            match fp.hit(sites::MORSEL_CLAIM) {
+                Some(FailpointHit::Panic) => panic!("failpoint panic: {}", sites::MORSEL_CLAIM),
+                Some(FailpointHit::Trip) => {
+                    monitor.trip_budget();
+                    queue.stop();
+                    break;
+                }
+                None => {}
+            }
+        }
+        let Some(job) = queue.claim() else { break };
+        let mut shard = shards[job]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("every job is claimed exactly once");
+        if K::COUNT_ONLY {
+            let count = source.count_morsel(&mut worker, morsels[job], &ctx);
+            // Counting runs see the row budget at morsel granularity: no row is
+            // materialised, so the count is noted when the morsel completes.
+            if monitor.note_rows(count) {
+                queue.stop();
+            }
+            shard.push_count(count);
+        } else {
+            source.run_morsel(&mut worker, morsels[job], &ctx, &mut |row| {
+                if queue.is_stopped() {
+                    return ControlFlow::Break(());
+                }
+                if monitor.note_rows(1) {
+                    queue.stop();
+                    return ControlFlow::Break(());
+                }
+                let flow = shard.push(row);
+                if shard.wants_global_stop() {
+                    queue.stop();
+                }
+                flow
+            });
+        }
+        source.morsel_done(&mut worker, morsels[job]);
+        if let Some(fp) = monitor.failpoints() {
+            match fp.hit(sites::SHARD_MERGE) {
+                Some(FailpointHit::Panic) => panic!("failpoint panic: {}", sites::SHARD_MERGE),
+                Some(FailpointHit::Trip) => {
+                    monitor.trip_budget();
+                    queue.stop();
+                    break;
+                }
+                None => {}
+            }
+        }
+        let merged = merger.lock().unwrap_or_else(PoisonError::into_inner).complete(job, shard);
+        if merged.is_break() {
+            queue.stop();
+        }
+    }
+    source.retire_worker(worker);
+}
+
+/// Runs `morsels` of `source` on `threads` worker threads under `monitor`, merging
+/// every morsel's output into `sink` in morsel order.
 ///
 /// With a single thread or a single morsel this still goes through the worker loop
 /// (one worker, in-order completion), so serial and parallel execution share one
 /// code path; callers that want the engine's serial fast path should branch before
-/// calling. Panics in a worker propagate to the caller via the scoped join.
-pub fn drive<S: MorselSource, K: ParallelSink>(
+/// calling.
+///
+/// # Errors
+///
+/// Returns the first [`ExecError`] tripped on `monitor` — a cancel, deadline or
+/// row-budget abort, or a worker panic (caught at the worker boundary; the panic
+/// payload rides in the error and shared state stays reusable). On an `Err` the
+/// sink holds a meaningless prefix of the output and must be discarded.
+pub fn try_drive<S: MorselSource, K: ParallelSink>(
     source: &S,
     morsels: &[Morsel],
     threads: usize,
     sink: &mut K,
-) -> DriveReport {
+    monitor: &ExecMonitor,
+) -> Result<DriveReport, ExecError> {
     let n = morsels.len();
     let threads = threads.max(1).min(n.max(1));
     let queue = JobQueue::new(n);
@@ -168,47 +279,53 @@ pub fn drive<S: MorselSource, K: ParallelSink>(
             let shards = &shards;
             let merger = &merger;
             scope.spawn(move || {
-                let mut worker = source.worker();
-                while let Some(job) = queue.claim() {
-                    let mut shard = shards[job]
-                        .lock()
-                        .expect("shard mutex poisoned")
-                        .take()
-                        .expect("every job is claimed exactly once");
-                    if K::COUNT_ONLY {
-                        shard.push_count(source.count_morsel(&mut worker, morsels[job]));
-                    } else {
-                        source.run_morsel(&mut worker, morsels[job], &mut |row| {
-                            if queue.is_stopped() {
-                                return ControlFlow::Break(());
-                            }
-                            let flow = shard.push(row);
-                            if shard.wants_global_stop() {
-                                queue.stop();
-                            }
-                            flow
-                        });
-                    }
-                    source.morsel_done(&mut worker, morsels[job]);
-                    let merged = merger.lock().expect("merger mutex poisoned").complete(job, shard);
-                    if merged.is_break() {
-                        queue.stop();
-                    }
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(source, morsels, queue, shards, merger, monitor);
+                }));
+                if let Err(payload) = caught {
+                    monitor.trip(ExecError::WorkerPanicked { payload: panic_payload(payload) });
+                    queue.stop();
                 }
-                source.retire_worker(worker);
             });
         }
     });
 
-    let merger = merger.into_inner().expect("merger mutex poisoned");
-    DriveReport { morsels: n, threads, rows: merger.rows, morsels_run: merger.next }
+    let merger = merger.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let report = DriveReport { morsels: n, threads, rows: merger.rows, morsels_run: merger.next };
+    match monitor.take_reason() {
+        Some(reason) => Err(reason),
+        None => Ok(report),
+    }
+}
+
+/// Infallible wrapper around [`try_drive`] with an unlimited monitor, for callers
+/// without a budget.
+///
+/// # Panics
+///
+/// Re-raises a worker panic as a panic in the calling thread (matching the old
+/// scoped-join behaviour); no other [`ExecError`] can occur without a budget.
+pub fn drive<S: MorselSource, K: ParallelSink>(
+    source: &S,
+    morsels: &[Morsel],
+    threads: usize,
+    sink: &mut K,
+) -> DriveReport {
+    let monitor = ExecMonitor::unlimited();
+    match try_drive(source, morsels, threads, sink, &monitor) {
+        Ok(report) => report,
+        Err(err) => panic!("{err}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{CancelToken, QueryBudget};
     use crate::sink::{CollectSink, CountSink, ExistsSink, FirstK};
+    use gj_storage::fault::{FailAction, FailpointRegistry};
     use gj_storage::POS_INF;
+    use std::sync::Arc;
 
     /// A toy source that emits `(v, v)` for every v in the morsel ∩ [0, n).
     struct Iota {
@@ -226,9 +343,14 @@ mod tests {
             &self,
             scratch: &mut Vec<Val>,
             m: Morsel,
+            ctx: &ExecCtx<'_>,
             emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
         ) {
+            let mut watch = ctx.watch();
             for v in m.lo.max(0)..m.hi.min(self.n) {
+                if watch.tick() {
+                    return;
+                }
                 scratch[0] = v;
                 scratch[1] = v;
                 if emit(scratch).is_break() {
@@ -316,5 +438,110 @@ mod tests {
         let report = drive(&source, &[Morsel::whole_axis()], 16, &mut sink);
         assert_eq!(sink.rows(), 50);
         assert_eq!(report.threads, 1, "threads are clamped to the morsel count");
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_as_a_typed_error() {
+        let source = Iota { n: 100_000 };
+        let morsels = tile(&[50_000]);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = QueryBudget::new().with_cancel_token(token);
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = CountSink::new();
+        let err = try_drive(&source, &morsels, 2, &mut sink, &monitor).unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+    }
+
+    #[test]
+    fn row_budget_aborts_the_run() {
+        let source = Iota { n: 10_000 };
+        let morsels = tile(&[2000, 4000, 6000, 8000]);
+        let budget = QueryBudget::new().with_max_rows(10);
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = CollectSink::new();
+        let err = try_drive(&source, &morsels, 4, &mut sink, &monitor).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn counting_runs_see_the_row_budget_at_morsel_granularity() {
+        // COUNT_ONLY materialises nothing, so the budget is noted per completed
+        // morsel rather than per row — it must still abort the run.
+        let source = Iota { n: 10_000 };
+        let morsels = tile(&(1..10).map(|i| i * 1000).collect::<Vec<_>>());
+        let budget = QueryBudget::new().with_max_rows(10);
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = CountSink::new();
+        let err = try_drive(&source, &morsels, 4, &mut sink, &monitor).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_typed() {
+        struct Bomb;
+        impl MorselSource for Bomb {
+            type Worker = ();
+            fn worker(&self) {}
+            fn run_morsel(
+                &self,
+                _w: &mut (),
+                m: Morsel,
+                _ctx: &ExecCtx<'_>,
+                _emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
+            ) {
+                if m.lo >= 10 {
+                    panic!("engine bug at {}", m.lo);
+                }
+            }
+        }
+        let morsels = tile(&[10, 20, 30]);
+        let monitor = ExecMonitor::unlimited();
+        let mut sink = CollectSink::new();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = try_drive(&Bomb, &morsels, 2, &mut sink, &monitor);
+        std::panic::set_hook(prev);
+        match result {
+            Err(ExecError::WorkerPanicked { payload }) => {
+                assert!(payload.contains("engine bug"), "{payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn morsel_claim_failpoints_fire_in_the_driver() {
+        let source = Iota { n: 1000 };
+        let morsels = tile(&[250, 500, 750]);
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm_after(sites::MORSEL_CLAIM, FailAction::Trip, 1, 1);
+        let budget = QueryBudget::new().with_failpoints(fp.clone());
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = CountSink::new();
+        let err = try_drive(&source, &morsels, 1, &mut sink, &monitor).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }));
+        assert_eq!(fp.fired().as_deref(), Some(sites::MORSEL_CLAIM));
+    }
+
+    #[test]
+    fn counting_path_honors_the_stop_flag_inside_a_single_morsel() {
+        // One huge morsel on the COUNT_ONLY path: only the in-engine watch can see
+        // the cancel, so a bounded number of ticks later the run must abort.
+        let source = Iota { n: Val::MAX };
+        let morsels = [Morsel::whole_axis()];
+        let token = CancelToken::new();
+        let budget = QueryBudget::new().with_cancel_token(token.clone());
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = CountSink::new();
+        // Cancel once the single morsel is already running: only the in-engine
+        // watch can observe it (the morsel would otherwise run for years).
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            token.cancel();
+        });
+        let err = try_drive(&source, &morsels, 1, &mut sink, &monitor).unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err, ExecError::Cancelled);
     }
 }

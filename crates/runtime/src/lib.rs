@@ -39,8 +39,13 @@
 //! reached, `exists` answered) trips the queue's stop flag, workers stop claiming
 //! morsels, and in-flight morsels abort at their next row.
 //!
+//! Execution is fault-tolerant end to end: [`try_drive`] threads an [`ExecCtx`]
+//! (budget monitor + stop flag) into every [`MorselSource`] call, engines poll it
+//! at a coarse stride through an [`ExecWatch`], and worker panics are caught at
+//! the worker boundary and surfaced as typed [`ExecError`]s — see [`exec`].
+//!
 //! ```
-//! use gj_runtime::{drive, CountSink, JobQueue, Morsel, MorselSource, Val};
+//! use gj_runtime::{drive, CountSink, ExecCtx, JobQueue, Morsel, MorselSource, Val};
 //! use std::ops::ControlFlow;
 //!
 //! /// A toy engine: "outputs" every value of its domain, range-restricted.
@@ -52,10 +57,12 @@
 //!         &self,
 //!         _w: &mut (),
 //!         m: Morsel,
+//!         ctx: &ExecCtx<'_>,
 //!         emit: &mut dyn FnMut(&[Val]) -> ControlFlow<()>,
 //!     ) {
+//!         let mut watch = ctx.watch();
 //!         for v in m.lo.max(0)..m.hi.min(self.0) {
-//!             if emit(&[v]).is_break() {
+//!             if watch.tick() || emit(&[v]).is_break() {
 //!                 return;
 //!             }
 //!         }
@@ -71,13 +78,18 @@
 //! ```
 
 pub mod drive;
+pub mod exec;
 pub mod morsel;
 pub mod pool;
 pub mod psink;
 pub mod queue;
 pub mod sink;
 
-pub use drive::{drive, DriveReport, MorselSource};
+pub use drive::{drive, try_drive, DriveReport, MorselSource};
+pub use exec::{
+    panic_payload, CancelToken, ExecCtx, ExecError, ExecMonitor, ExecWatch, QueryBudget,
+    CHECK_STRIDE,
+};
 pub use morsel::{partition_first_attribute, partition_values, Morsel};
 pub use pool::WorkerPool;
 pub use psink::{Ordered, ParallelSink, ShardSink};

@@ -16,13 +16,19 @@
 //! workers must therefore be interchangeable (any worker must produce correct
 //! results for any morsel — caches may differ, answers may not).
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A mutex-guarded stack of reusable per-worker states.
 ///
 /// Cloning a `WorkerPool` yields a fresh **empty** pool: pooled workers are caches,
 /// and caches do not follow clones (a cloned plan starts cold, exactly like a newly
 /// prepared one).
+///
+/// The pool is panic-tolerant by construction: the lock is held only around plain
+/// `Vec` push/pop (never across user code — `acquire_or` runs its `fresh` closure
+/// *after* releasing the lock), and poisoning left behind by a panicked worker
+/// thread is recovered, so a crashed query never makes the pool unusable for the
+/// next one.
 #[derive(Debug, Default)]
 pub struct WorkerPool<W> {
     workers: Mutex<Vec<W>>,
@@ -34,20 +40,29 @@ impl<W> WorkerPool<W> {
         WorkerPool { workers: Mutex::new(Vec::new()) }
     }
 
+    fn lock(&self) -> MutexGuard<'_, Vec<W>> {
+        // A poisoned pool holds parked workers, which are caches of valid state —
+        // the panic that poisoned the lock cannot have corrupted them mid-push.
+        self.workers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Pops a retired worker, or builds a fresh one with `fresh` when the pool is
-    /// empty (first execution, or more threads than ever retired).
+    /// empty (first execution, or more threads than ever retired). `fresh` runs
+    /// without the pool lock held, so a panicking constructor cannot poison the
+    /// pool.
     pub fn acquire_or(&self, fresh: impl FnOnce() -> W) -> W {
-        self.workers.lock().expect("worker pool mutex poisoned").pop().unwrap_or_else(fresh)
+        let recycled = self.lock().pop();
+        recycled.unwrap_or_else(fresh)
     }
 
     /// Returns a worker (and its warmed caches) to the pool for later executions.
     pub fn release(&self, worker: W) {
-        self.workers.lock().expect("worker pool mutex poisoned").push(worker);
+        self.lock().push(worker);
     }
 
     /// Number of workers currently parked in the pool.
     pub fn len(&self) -> usize {
-        self.workers.lock().expect("worker pool mutex poisoned").len()
+        self.lock().len()
     }
 
     /// Whether the pool holds no parked worker.

@@ -1,0 +1,202 @@
+//! Fault-injection failpoints for the execution stack.
+//!
+//! A [`FailpointRegistry`] is a small, instance-scoped switchboard of **named
+//! sites** at which tests can inject faults: a panic (exercises the panic-isolation
+//! path), a delay (stretches a run so cancellation can race it deterministically),
+//! or a forced budget trip (exercises the typed-abort path without wall-clock
+//! dependence). Production code carries the registry as an
+//! `Option<Arc<FailpointRegistry>>` and never constructs one outside tests, so the
+//! disabled cost on hot paths is a single `Option` branch at coarse check points —
+//! there is no global state and no build-time feature to keep in sync.
+//!
+//! Sites are plain strings; the canonical sites instrumented by the runtime and
+//! engines live in [`sites`]. A site does nothing until it is
+//! [`arm`](FailpointRegistry::arm)ed; arming can skip the first `n` hits and fire a
+//! bounded number of times, which lets a test place a fault *inside* a long run
+//! ("panic at the 1000th join step") rather than only at its edges.
+//!
+//! The registry records the first site that actually fired so abort diagnostics
+//! (`RunStats` outcomes in `gj-core`) can report *which* injected fault ended a run.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Canonical failpoint site names instrumented across the workspace.
+pub mod sites {
+    /// Hit by each parallel worker just before claiming a morsel from the queue.
+    pub const MORSEL_CLAIM: &str = "morsel_claim";
+    /// Hit after a morsel completes, just before its shard enters the ordered merge.
+    pub const SHARD_MERGE: &str = "shard_merge";
+    /// Hit inside `IndexCache` just before a trie index is built.
+    pub const TRIE_BUILD: &str = "trie_build";
+    /// Hit from every engine's inner loop at the cooperative check stride.
+    pub const JOIN_STEP: &str = "join_step";
+}
+
+/// What an armed failpoint injects when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic at the site (payload: `"failpoint panic: <site>"`).
+    Panic,
+    /// Sleep for the given duration at the site, then continue normally.
+    Delay(Duration),
+    /// Force a budget trip: the caller aborts with a typed budget error.
+    Trip,
+}
+
+/// The action a caller must perform after [`FailpointRegistry::hit`] returns
+/// `Some` — delays are absorbed inside `hit` itself and never surface here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailpointHit {
+    /// The caller should `panic!("failpoint panic: <site>")`.
+    Panic,
+    /// The caller should trip its budget/stop machinery.
+    Trip,
+}
+
+#[derive(Debug, Clone)]
+struct Armed {
+    action: FailAction,
+    /// Hits to ignore before the site starts firing.
+    skip: u64,
+    /// Remaining times the site fires before going dormant.
+    remaining: u64,
+}
+
+/// An instance-scoped set of armed failpoints (see the module docs).
+///
+/// All methods take `&self`; the registry is shared across worker threads behind an
+/// `Arc`. Lock poisoning is impossible to observe from the outside: the registry is
+/// explicitly used on panic paths, so every lock access recovers the inner value.
+#[derive(Debug, Default)]
+pub struct FailpointRegistry {
+    armed: Mutex<HashMap<String, Armed>>,
+    /// First site that actually fired an action (sticky until [`clear`](Self::clear)).
+    fired: Mutex<Option<String>>,
+}
+
+impl FailpointRegistry {
+    /// Creates a registry with no site armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `site` to fire `action` on every hit until disarmed.
+    pub fn arm(&self, site: &str, action: FailAction) {
+        self.arm_after(site, action, 0, u64::MAX);
+    }
+
+    /// Arms `site` to ignore its first `skip` hits, then fire `action` for the next
+    /// `times` hits, then go dormant.
+    pub fn arm_after(&self, site: &str, action: FailAction, skip: u64, times: u64) {
+        let armed = Armed { action, skip, remaining: times };
+        self.lock_armed().insert(site.to_string(), armed);
+    }
+
+    /// Disarms `site` (a no-op if it was never armed).
+    pub fn disarm(&self, site: &str) {
+        self.lock_armed().remove(site);
+    }
+
+    /// Disarms every site and forgets which site fired.
+    pub fn clear(&self) {
+        self.lock_armed().clear();
+        *self.lock_fired() = None;
+    }
+
+    /// The first site that actually fired an action, if any.
+    pub fn fired(&self) -> Option<String> {
+        self.lock_fired().clone()
+    }
+
+    /// Registers one hit of `site`.
+    ///
+    /// Returns the action the caller must perform, or `None` when the site is
+    /// dormant. [`FailAction::Delay`] sleeps *here* (with no lock held) and returns
+    /// `None`, so callers only ever handle panics and trips.
+    pub fn hit(&self, site: &str) -> Option<FailpointHit> {
+        let action = {
+            let mut armed = self.lock_armed();
+            let entry = armed.get_mut(site)?;
+            if entry.skip > 0 {
+                entry.skip -= 1;
+                return None;
+            }
+            if entry.remaining == 0 {
+                return None;
+            }
+            entry.remaining -= 1;
+            entry.action
+        };
+        self.lock_fired().get_or_insert_with(|| site.to_string());
+        match action {
+            FailAction::Panic => Some(FailpointHit::Panic),
+            FailAction::Trip => Some(FailpointHit::Trip),
+            FailAction::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+        }
+    }
+
+    fn lock_armed(&self) -> std::sync::MutexGuard<'_, HashMap<String, Armed>> {
+        self.armed.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_fired(&self) -> std::sync::MutexGuard<'_, Option<String>> {
+        self.fired.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_sites_never_fire() {
+        let fp = FailpointRegistry::new();
+        assert_eq!(fp.hit(sites::JOIN_STEP), None);
+        assert_eq!(fp.fired(), None);
+    }
+
+    #[test]
+    fn skip_and_times_bound_the_firing_window() {
+        let fp = FailpointRegistry::new();
+        fp.arm_after(sites::JOIN_STEP, FailAction::Trip, 2, 1);
+        assert_eq!(fp.hit(sites::JOIN_STEP), None, "skipped");
+        assert_eq!(fp.hit(sites::JOIN_STEP), None, "skipped");
+        assert_eq!(fp.hit(sites::JOIN_STEP), Some(FailpointHit::Trip));
+        assert_eq!(fp.hit(sites::JOIN_STEP), None, "budget of 1 firing exhausted");
+        assert_eq!(fp.fired().as_deref(), Some(sites::JOIN_STEP));
+    }
+
+    #[test]
+    fn delay_is_absorbed_and_still_recorded() {
+        let fp = FailpointRegistry::new();
+        fp.arm(sites::MORSEL_CLAIM, FailAction::Delay(Duration::from_millis(1)));
+        assert_eq!(fp.hit(sites::MORSEL_CLAIM), None);
+        assert_eq!(fp.fired().as_deref(), Some(sites::MORSEL_CLAIM));
+    }
+
+    #[test]
+    fn first_fired_site_is_sticky_until_clear() {
+        let fp = FailpointRegistry::new();
+        fp.arm(sites::SHARD_MERGE, FailAction::Trip);
+        fp.arm(sites::TRIE_BUILD, FailAction::Trip);
+        fp.hit(sites::SHARD_MERGE);
+        fp.hit(sites::TRIE_BUILD);
+        assert_eq!(fp.fired().as_deref(), Some(sites::SHARD_MERGE));
+        fp.clear();
+        assert_eq!(fp.fired(), None);
+        assert_eq!(fp.hit(sites::SHARD_MERGE), None, "clear disarms everything");
+    }
+
+    #[test]
+    fn disarm_silences_a_site() {
+        let fp = FailpointRegistry::new();
+        fp.arm(sites::JOIN_STEP, FailAction::Panic);
+        fp.disarm(sites::JOIN_STEP);
+        assert_eq!(fp.hit(sites::JOIN_STEP), None);
+    }
+}

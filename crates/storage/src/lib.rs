@@ -42,11 +42,13 @@
 //! `(NEG_INF, POS_INF)`, which every loader in this workspace guarantees (node
 //! identifiers are non-negative and far below `i64::MAX`).
 
+pub mod fault;
 pub mod graph;
 pub mod relation;
 pub mod trie;
 pub mod value;
 
+pub use fault::{FailAction, FailpointHit, FailpointRegistry};
 pub use graph::{Csr, Graph};
 pub use relation::Relation;
 pub use trie::{ProbeResult, TrieIndex, TrieIterator};

@@ -1,0 +1,324 @@
+//! Fault-injection sweep for the fault-tolerant execution stack: armed
+//! [`FailpointRegistry`] sites (morsel claim, shard merge, join step, trie build)
+//! inject panics, forced budget trips and delays into every engine at 1 and 4
+//! worker threads, and the suite asserts the robustness contract:
+//!
+//! * a run under an injected fault either **completes with the exact answer**
+//!   (the site was never reached — e.g. parallel-only sites under a serial run)
+//!   or surfaces a **typed [`ExecError`]** matching the injected action — never a
+//!   process abort and never a wrong answer;
+//! * after the fault, the *same* `PreparedQuery` (same plan, same shared index
+//!   cache, same worker pool) re-executes cleanly and byte-identically to a
+//!   fresh database;
+//! * abort reasons agree between the serial and the parallel execution paths;
+//! * cancellation is observed within a bounded latency even when morsel claims
+//!   are artificially slowed.
+
+use graphjoin::{
+    fault::sites, CancelToken, CatalogQuery, Database, Engine, EngineError, ExecError, ExecLimits,
+    FailAction, FailpointRegistry, Graph, MsConfig, QueryBudget, Relation, RunOutcome,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// Silences the default panic-hook backtrace for *injected* panics (payloads
+/// starting with `"failpoint panic"`). Installed once per process and delegating
+/// to the previous hook otherwise, so a genuine test failure still prints.
+fn quiet_failpoint_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+            if !msg.is_some_and(|m| m.contains("failpoint panic")) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A seeded random database big enough that every engine's inner loop passes the
+/// cooperative check stride many times (so `join_step` faults genuinely fire),
+/// yet small enough for a debug-mode sweep.
+fn test_database(seed: u64) -> Database {
+    let n: u32 = 40;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(0.22))
+        .collect();
+    let mut db = Database::new();
+    db.add_graph(Graph::new_undirected(n as usize, edges));
+    for (i, step) in [3usize, 2, 5, 4].iter().enumerate() {
+        let name = format!("v{}", i + 1);
+        db.add_relation(name, Relation::from_values((0..n as i64).step_by(*step)));
+    }
+    db
+}
+
+/// Every engine the fault sweep covers: both trie engines plus both pairwise
+/// baselines (the morsel-parallel pairwise path has its own driver wiring).
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine::Lftj,
+        Engine::Minesweeper(MsConfig::default()),
+        Engine::HashJoin(ExecLimits::default()),
+        Engine::SortMergeJoin(ExecLimits::default()),
+    ]
+}
+
+/// The central sweep: sites × actions × engines × threads. Each run must either
+/// complete exactly (fault site never reached) or abort with the typed error the
+/// action dictates; either way the same prepared query then re-executes cleanly.
+#[test]
+fn injected_faults_yield_typed_errors_or_exact_answers_and_clean_reruns() {
+    quiet_failpoint_panics();
+    let db = test_database(11);
+    let q = CatalogQuery::ThreePath.query();
+    for engine in engines() {
+        let prepared = db.prepare(&q, &engine).unwrap();
+        let expected = prepared.count().unwrap();
+        for site in [sites::MORSEL_CLAIM, sites::SHARD_MERGE, sites::JOIN_STEP] {
+            for action in [FailAction::Panic, FailAction::Trip] {
+                for threads in [1usize, 4] {
+                    let tag = format!("{} {site} {action:?} threads {threads}", engine.label());
+                    let fp = Arc::new(FailpointRegistry::new());
+                    fp.arm(site, action);
+                    let budget = QueryBudget::new().with_failpoints(fp.clone());
+                    match prepared.try_par_count(threads, &budget) {
+                        Ok(count) => {
+                            // Legitimate only when the site was never reached
+                            // (driver-level sites do not exist on a serial run).
+                            assert_eq!(count, expected, "completed run must be exact: {tag}");
+                            assert_eq!(
+                                fp.fired(),
+                                None,
+                                "a fired fault must not yield a completed run: {tag}"
+                            );
+                        }
+                        Err(EngineError::Exec(err)) => {
+                            assert_eq!(fp.fired().as_deref(), Some(site), "attribution: {tag}");
+                            let want = match action {
+                                FailAction::Panic => "panic",
+                                FailAction::Trip => "budget",
+                                FailAction::Delay(_) => unreachable!("sweep injects no delays"),
+                            };
+                            assert_eq!(err.kind(), want, "typed abort reason: {tag}");
+                        }
+                        Err(other) => panic!("untyped failure {other} under fault: {tag}"),
+                    }
+                    // Post-fault reuse: the same prepared query, a clean budget,
+                    // the exact answer — pool and cache survived the fault.
+                    assert_eq!(
+                        prepared.try_par_count(threads, &QueryBudget::new()).unwrap(),
+                        expected,
+                        "clean rerun after fault: {tag}"
+                    );
+                }
+            }
+        }
+        assert_eq!(prepared.count().unwrap(), expected, "{} after sweep", engine.label());
+    }
+}
+
+/// The `join_step` site sits behind the cooperative check stride; assert it is
+/// genuinely reachable from every engine's serial inner loop on the sweep
+/// database (otherwise the sweep above would be vacuous for that engine).
+#[test]
+fn the_join_step_site_is_reachable_from_every_engine() {
+    let db = test_database(11);
+    let q = CatalogQuery::ThreePath.query();
+    for engine in engines() {
+        let prepared = db.prepare(&q, &engine).unwrap();
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm(sites::JOIN_STEP, FailAction::Trip);
+        let budget = QueryBudget::new().with_failpoints(fp.clone());
+        let err = prepared.try_count(&budget).expect_err(engine.label());
+        assert!(
+            matches!(err, EngineError::Exec(ExecError::BudgetExceeded { .. })),
+            "{}: {err}",
+            engine.label()
+        );
+        assert_eq!(fp.fired().as_deref(), Some(sites::JOIN_STEP), "{}", engine.label());
+    }
+}
+
+/// After a worker panic mid-join, re-executing the same prepared query must give
+/// rows byte-identical to a freshly built database — no partial state leaks out
+/// of the poisoned run.
+#[test]
+fn post_fault_reexecution_is_byte_identical_to_a_fresh_database() {
+    quiet_failpoint_panics();
+    let db = test_database(17);
+    let fresh = test_database(17);
+    let q = CatalogQuery::ThreePath.query();
+    for engine in engines() {
+        // Engines emit rows in their own (deterministic) order, so the
+        // byte-identical reference is a fresh database under the same engine.
+        let reference = fresh.prepare(&q, &engine).unwrap().collect().unwrap();
+        let prepared = db.prepare(&q, &engine).unwrap();
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm(sites::MORSEL_CLAIM, FailAction::Panic);
+        let budget = QueryBudget::new().with_failpoints(fp.clone());
+        let err = prepared.try_par_count(4, &budget).expect_err(engine.label());
+        assert!(
+            matches!(err, EngineError::Exec(ExecError::WorkerPanicked { .. })),
+            "{}: {err}",
+            engine.label()
+        );
+        // Same prepared query, same cache, same pool: the rows must be the
+        // reference rows, byte for byte.
+        assert_eq!(prepared.collect().unwrap(), reference, "{}", engine.label());
+    }
+}
+
+/// A zero deadline (and a pre-cancelled token) abort deterministically before any
+/// work, even on queries small enough to finish inside one check stride.
+#[test]
+fn pre_violated_budgets_abort_deterministically() {
+    let db = test_database(19);
+    let q = CatalogQuery::ThreeClique.query();
+    for engine in [Engine::Lftj, Engine::minesweeper()] {
+        let prepared = db.prepare(&q, &engine).unwrap();
+        for threads in [1usize, 4] {
+            let deadline = QueryBudget::new().with_timeout(Duration::ZERO);
+            assert!(
+                matches!(
+                    prepared.try_par_count(threads, &deadline),
+                    Err(EngineError::Exec(ExecError::DeadlineExceeded))
+                ),
+                "{} threads {threads}",
+                engine.label()
+            );
+            let token = CancelToken::default();
+            token.cancel();
+            let cancelled = QueryBudget::new().with_cancel_token(token);
+            assert!(
+                matches!(
+                    prepared.try_par_count(threads, &cancelled),
+                    Err(EngineError::Exec(ExecError::Cancelled))
+                ),
+                "{} threads {threads}",
+                engine.label()
+            );
+        }
+    }
+}
+
+/// Serial and parallel executions surface the *same* typed abort reason for the
+/// same budget violation — callers can branch on `ExecError::kind` without caring
+/// how many threads ran.
+#[test]
+fn abort_reasons_agree_between_serial_and_parallel() {
+    let db = test_database(23);
+    let q = CatalogQuery::ThreePath.query();
+    let budgets: Vec<(&str, QueryBudget)> = vec![
+        ("deadline", QueryBudget::new().with_timeout(Duration::ZERO)),
+        ("cancelled", {
+            let token = CancelToken::default();
+            token.cancel();
+            QueryBudget::new().with_cancel_token(token)
+        }),
+        ("budget", QueryBudget::new().with_max_rows(5)),
+    ];
+    let kind = |r: Result<u64, EngineError>| match r {
+        Err(EngineError::Exec(err)) => err.kind(),
+        other => panic!("expected a typed exec abort, got {other:?}"),
+    };
+    for engine in engines() {
+        let prepared = db.prepare(&q, &engine).unwrap();
+        for (want, budget) in &budgets {
+            let serial = kind(prepared.try_count(budget));
+            let parallel = kind(prepared.try_par_count(4, budget));
+            assert_eq!(serial, *want, "serial {} {want}", engine.label());
+            assert_eq!(serial, parallel, "parity {} {want}", engine.label());
+        }
+    }
+}
+
+/// An armed `trie_build` failpoint makes *preparation* panic; the panic is caught
+/// and typed, and after disarming the same database prepares and answers exactly.
+#[test]
+fn prepare_survives_a_trie_build_panic_and_the_cache_stays_usable() {
+    quiet_failpoint_panics();
+    let db = test_database(13);
+    let q = CatalogQuery::ThreeClique.query();
+    let expected = test_database(13).prepare(&q, &Engine::Lftj).unwrap().count().unwrap();
+    let fp = Arc::new(FailpointRegistry::new());
+    fp.arm(sites::TRIE_BUILD, FailAction::Panic);
+    db.cache().set_failpoints(Some(fp.clone()));
+    let err = db.prepare(&q, &Engine::Lftj).expect_err("armed trie build");
+    assert!(
+        matches!(err, EngineError::Exec(ExecError::WorkerPanicked { .. })),
+        "prepare-time panic must be typed: {err}"
+    );
+    assert_eq!(fp.fired().as_deref(), Some(sites::TRIE_BUILD));
+    // Disarm: the cache recovered (it only ever holds fully-built indexes), so the
+    // same database now prepares cleanly and counts exactly.
+    db.cache().set_failpoints(None);
+    let prepared = db.prepare(&q, &Engine::Lftj).expect("disarmed prepare");
+    assert_eq!(prepared.count().unwrap(), expected);
+}
+
+/// Cancellation latency is bounded even when every morsel claim is artificially
+/// slowed: workers poll the monitor at each claim boundary, so a cancel lands
+/// after at most one in-flight delay instead of after the whole (slowed) run.
+#[test]
+fn cancellation_is_observed_promptly_under_slow_morsel_claims() {
+    let db = test_database(29);
+    let q = CatalogQuery::ThreePath.query();
+    let prepared = db.prepare(&q, &Engine::Lftj).unwrap();
+    let fp = Arc::new(FailpointRegistry::new());
+    fp.arm(sites::MORSEL_CLAIM, FailAction::Delay(Duration::from_millis(100)));
+    let token = CancelToken::default();
+    let budget = QueryBudget::new().with_failpoints(fp.clone()).with_cancel_token(token.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(25));
+        token.cancel();
+    });
+    let start = Instant::now();
+    let result = prepared.try_par_count(2, &budget);
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    assert!(
+        matches!(result, Err(EngineError::Exec(ExecError::Cancelled))),
+        "cancel must win over the slowed run: {result:?}"
+    );
+    // Generous bound: without the boundary checks the delay applies to every
+    // remaining claim; with them the run ends after roughly one in-flight delay.
+    assert!(elapsed < Duration::from_secs(2), "cancellation latency {elapsed:?}");
+    assert_eq!(fp.fired().as_deref(), Some(sites::MORSEL_CLAIM));
+}
+
+/// `count_outcome` never errors: completed runs and typed aborts (with failpoint
+/// attribution) both come back as `RunStats.outcome` — the bench harness records
+/// its timeout cells through exactly this path.
+#[test]
+fn count_outcome_reports_completion_and_attributed_aborts() {
+    let db = test_database(31);
+    let q = CatalogQuery::ThreePath.query();
+    let prepared = db.prepare(&q, &Engine::Lftj).unwrap();
+    let clean = prepared.count_outcome(1, &QueryBudget::new());
+    assert!(clean.outcome.is_completed());
+    assert_eq!(clean.outcome.label(), "completed");
+
+    let fp = Arc::new(FailpointRegistry::new());
+    fp.arm(sites::MORSEL_CLAIM, FailAction::Trip);
+    let tripped = prepared.count_outcome(4, &QueryBudget::new().with_failpoints(fp));
+    match &tripped.outcome {
+        RunOutcome::Aborted { reason, failpoint } => {
+            assert_eq!(reason.kind(), "budget");
+            assert_eq!(failpoint.as_deref(), Some(sites::MORSEL_CLAIM));
+        }
+        RunOutcome::Completed => panic!("armed trip must abort the run"),
+    }
+    assert_eq!(tripped.outcome.label(), "budget");
+
+    let overrun = prepared.count_outcome(1, &QueryBudget::new().with_max_rows(3));
+    assert_eq!(tripped.outcome.label(), overrun.outcome.label(), "both are budget aborts");
+}

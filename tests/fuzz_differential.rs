@@ -320,6 +320,78 @@ fn pairwise_budget_aborts_streamed_and_parallel_runs() {
     }
 }
 
+/// Number of cases the cancellation corpus draws.
+const CANCEL_CASES: u64 = 10;
+
+/// Cancellation fuzz: a bounded delay failpoint stretches the first morsel claims
+/// while a canceller thread fires at a case-randomized instant. Whichever way the
+/// race goes, the run must end in a typed outcome — the exact count or
+/// [`ExecError::Cancelled`], never a wrong answer or an untyped failure — and a
+/// warm re-execution of the *same* prepared query under a fresh budget must be
+/// byte-identical to the pre-cancellation rows.
+#[test]
+fn randomized_cancellation_never_corrupts_a_prepared_query() {
+    use graphjoin::{
+        fault::sites, CancelToken, ExecError, FailAction, FailpointRegistry, QueryBudget,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    for case in 0..CANCEL_CASES {
+        let seed = case_seed(2000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = random_database(&mut rng);
+        let query = random_query(&mut rng, 2000 + case);
+        let ctx = format!("cancel case {case} seed {seed:#018x} [{query}]");
+
+        for engine in fuzz_engines() {
+            let label = format!("{ctx} {}", engine.label());
+            let prepared = db
+                .prepare(&query, &engine)
+                .unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+            let rows =
+                prepared.collect().unwrap_or_else(|e| panic!("{label}: collect failed: {e}"));
+            // Cancel somewhere inside (or just after) the stretched run window.
+            let cancel_after = Duration::from_micros(rng.gen_range(0u64..6000));
+
+            for threads in [1usize, 4] {
+                let tlabel = format!("{label} threads {threads}");
+                let fp = Arc::new(FailpointRegistry::new());
+                fp.arm_after(
+                    sites::MORSEL_CLAIM,
+                    FailAction::Delay(Duration::from_millis(2)),
+                    0,
+                    4,
+                );
+                let token = CancelToken::default();
+                let budget =
+                    QueryBudget::new().with_failpoints(fp).with_cancel_token(token.clone());
+                let canceller = std::thread::spawn(move || {
+                    std::thread::sleep(cancel_after);
+                    token.cancel();
+                });
+                let result = prepared.try_par_count(threads, &budget);
+                canceller.join().unwrap();
+                match result {
+                    Ok(count) => assert_eq!(
+                        count,
+                        rows.len() as u64,
+                        "{tlabel}: a completed race must be exact"
+                    ),
+                    Err(EngineError::Exec(ExecError::Cancelled)) => {}
+                    Err(other) => panic!("{tlabel}: untyped cancellation outcome: {other}"),
+                }
+                // Warm rerun under a fresh, unlimited budget: byte-identical rows.
+                assert_eq!(
+                    prepared.par_collect(threads).unwrap_or_else(|e| panic!("{tlabel}: {e}")),
+                    rows,
+                    "{tlabel}: post-cancellation rerun drifted"
+                );
+            }
+        }
+    }
+}
+
 /// The corpus stays meaningful: the generator must produce a healthy share of
 /// non-empty answers and some multi-row results (otherwise the differential
 /// assertions above would be vacuous).
