@@ -99,6 +99,10 @@ pub enum BaselineError {
     /// An intermediate grew past the configured budget (reported as a timeout in the
     /// harness, mirroring the paper's "-" cells).
     IntermediateBudgetExceeded { rows: usize, budget: usize },
+    /// The left-deep plan's final schema does not cover a query variable (a
+    /// variable that occurs in no atom) — rejected as a typed error rather than
+    /// panicking mid-plan.
+    UncoveredVariable(usize),
 }
 
 impl std::fmt::Display for BaselineError {
@@ -107,6 +111,9 @@ impl std::fmt::Display for BaselineError {
             BaselineError::MissingRelation(name) => write!(f, "relation {name} not found"),
             BaselineError::IntermediateBudgetExceeded { rows, budget } => {
                 write!(f, "intermediate result of {rows} rows exceeded the budget of {budget}")
+            }
+            BaselineError::UncoveredVariable(v) => {
+                write!(f, "query variable v{v} is not covered by any join atom")
             }
         }
     }
@@ -204,12 +211,9 @@ impl PairwisePlan {
         }
         let out_cols = (0..query.num_vars())
             .map(|v| {
-                left_vars
-                    .iter()
-                    .position(|&s| s == v)
-                    .expect("the final join's schema covers every query variable")
+                left_vars.iter().position(|&s| s == v).ok_or(BaselineError::UncoveredVariable(v))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         Ok(PairwisePlan {
             algo,
             limits,

@@ -106,7 +106,12 @@ pub fn plan_left_deep(query: &Query, relations: &[&Relation]) -> JoinPlan {
         }
     }
 
-    let full = best[(1 << m) - 1].clone().expect("the full plan always exists");
+    let Some(full) = best[(1 << m) - 1].clone() else {
+        // The DP always fills the full subset (every singleton seeds it and every
+        // extension step is admissible); if that invariant ever breaks, degrade
+        // to textual atom order instead of taking the whole query down.
+        return JoinPlan { order: (0..m).collect(), estimated_rows: u64::MAX };
+    };
     JoinPlan { order: full.order, estimated_rows: full.cost.min(u64::MAX as f64) as u64 }
 }
 

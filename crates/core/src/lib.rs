@@ -58,9 +58,13 @@
 //! assert_eq!(db.count(&q, &Engine::Lftj).unwrap(), 2);
 //! ```
 
+/// The [`Database`] façade: load relations, pick an [`Engine`], run queries.
 pub mod database;
+/// Prepared queries: bind once, run many, inspect [`RunStats`]/[`RunOutcome`].
 pub mod prepare;
+/// Result sinks: collect, count, existence probe, first-k.
 pub mod sink;
+/// The paper's workload: canned queries and the generator-backed instances.
 pub mod workload;
 
 pub use database::{Database, Engine, EngineError, QueryOutput};

@@ -1,0 +1,257 @@
+//! `lint.toml` parsing: rule → crate-scope mapping.
+//!
+//! The workspace has no crates-registry access, so this is a self-contained
+//! parser for the TOML *subset* the config actually uses — `[section]` headers,
+//! `key = "string"`, `key = ["array", "of", "strings"]`, `key = true/false`, and
+//! `#` comments. Anything else is a hard configuration error: a config typo
+//! must fail the lint run loudly, never silently disable a rule.
+//!
+//! Schema:
+//!
+//! ```toml
+//! [lint]
+//! exclude = ["target", "crates/lint/tests/fixtures"]   # never linted
+//!
+//! [rule.no-panic-in-engines]
+//! scopes = ["crates/lftj/src", "crates/runtime/src"]   # path prefixes
+//! exclude = []                                         # exempt sub-prefixes
+//! include_tests = false                                # lint #[cfg(test)] code?
+//!
+//! [rule.watch-tick-in-executors]
+//! files = ["crates/lftj/src/executor.rs"]              # file-level rules
+//!
+//! [rule.sink-controlflow-propagated]
+//! receivers = ["sink", "shard"]                        # receiver heuristic
+//! ```
+//!
+//! A rule missing from the config is **disabled** (scopes default to empty);
+//! the two waiver meta-rules (`waiver-syntax`, `unused-waiver`) are always on.
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration (see the module docs for the schema).
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative) where the rule applies; `"."` means
+    /// everywhere.
+    pub scopes: Vec<String>,
+    /// Path prefixes exempt even when inside a scope.
+    pub exclude: Vec<String>,
+    /// Exact files, for file-level rules (`watch-tick-in-executors`).
+    pub files: Vec<String>,
+    /// Receiver-identifier suffixes for the sink rule.
+    pub receivers: Vec<String>,
+    /// Whether the rule also checks `#[cfg(test)]` / `#[test]` / `tests/` code.
+    pub include_tests: bool,
+}
+
+impl RuleConfig {
+    /// A config that applies the rule everywhere (used by the fixture harness).
+    pub fn everywhere() -> Self {
+        RuleConfig { scopes: vec![".".into()], ..Default::default() }
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is in scope.
+    pub fn applies_to(&self, path: &str) -> bool {
+        let in_scope = self.scopes.iter().any(|s| s == "." || has_prefix(path, s))
+            || self.files.iter().any(|f| f == path);
+        in_scope && !self.exclude.iter().any(|e| has_prefix(path, e))
+    }
+}
+
+/// Path-component-aware prefix test: `crates/lftj` matches `crates/lftj/src/x.rs`
+/// but not `crates/lftj2/src/x.rs`.
+fn has_prefix(path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix || path.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes never linted at all.
+    pub exclude: Vec<String>,
+    /// rule id → its scope config. Ordered for deterministic reporting.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses the `lint.toml` text. Errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0;
+        while idx < raw_lines.len() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw_lines[idx]).trim().to_string();
+            idx += 1;
+            // Multi-line arrays: keep folding lines until the `[` closes.
+            while line.contains('[')
+                && !line.starts_with('[')
+                && !line.contains(']')
+                && idx < raw_lines.len()
+            {
+                line.push(' ');
+                line.push_str(strip_comment(raw_lines[idx]).trim());
+                idx += 1;
+            }
+            let line = line.trim_end_matches(',').trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("lint.toml:{lineno}: unterminated section header"));
+                };
+                section = name.trim().to_string();
+                if section != "lint" && section.strip_prefix("rule.").is_none() {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown section [{section}] (expected [lint] or [rule.<id>])"
+                    ));
+                }
+                if let Some(rule) = section.strip_prefix("rule.") {
+                    config.rules.entry(rule.to_string()).or_default();
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let target = if section == "lint" {
+                None
+            } else if let Some(rule) = section.strip_prefix("rule.") {
+                Some(rule.to_string())
+            } else {
+                return Err(format!("lint.toml:{lineno}: key outside any section"));
+            };
+            match target {
+                None => match key {
+                    "exclude" => config.exclude = parse_string_array(value, lineno)?,
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown [lint] key `{other}`"))
+                    }
+                },
+                Some(rule) => {
+                    let rc = config.rules.entry(rule).or_default();
+                    match key {
+                        "scopes" => rc.scopes = parse_string_array(value, lineno)?,
+                        "exclude" => rc.exclude = parse_string_array(value, lineno)?,
+                        "files" => rc.files = parse_string_array(value, lineno)?,
+                        "receivers" => rc.receivers = parse_string_array(value, lineno)?,
+                        "include_tests" => {
+                            rc.include_tests = match value {
+                                "true" => true,
+                                "false" => false,
+                                other => {
+                                    return Err(format!(
+                                        "lint.toml:{lineno}: include_tests must be true/false, got `{other}`"
+                                    ))
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!("lint.toml:{lineno}: unknown rule key `{other}`"))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Drops a trailing `# comment`, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"a"` or `["a", "b"]` into a vector of strings.
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let parse_one = |s: &str| -> Result<String, String> {
+        let s = s.trim();
+        s.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("lint.toml:{lineno}: expected a quoted string, got `{s}`"))
+    };
+    if let Some(inner) = value.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(format!("lint.toml:{lineno}: unterminated array"));
+        };
+        let inner = inner.trim().trim_end_matches(',').trim();
+        if inner.is_empty() {
+            return Ok(Vec::new());
+        }
+        inner.split(",").map(parse_one).collect()
+    } else {
+        Ok(vec![parse_one(value)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[lint]
+exclude = ["target"] # trailing comment
+
+[rule.no-panic-in-engines]
+scopes = ["crates/lftj/src", "crates/runtime/src"]
+include_tests = false
+
+[rule.watch-tick-in-executors]
+files = ["crates/lftj/src/executor.rs"]
+
+[rule.sink-controlflow-propagated]
+scopes = ["."]
+receivers = ["sink", "shard"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, ["target"]);
+        let panic_rule = &cfg.rules["no-panic-in-engines"];
+        assert!(panic_rule.applies_to("crates/lftj/src/executor.rs"));
+        assert!(!panic_rule.applies_to("crates/query/src/cache.rs"));
+        assert!(cfg.rules["sink-controlflow-propagated"].applies_to("crates/query/src/cache.rs"));
+        assert_eq!(cfg.rules["watch-tick-in-executors"].files.len(), 1);
+    }
+
+    #[test]
+    fn prefix_matching_is_component_aware() {
+        let rc = RuleConfig { scopes: vec!["crates/lftj".into()], ..Default::default() };
+        assert!(rc.applies_to("crates/lftj/src/lib.rs"));
+        assert!(!rc.applies_to("crates/lftj2/src/lib.rs"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Config::parse("[rule.x]\nscopes = [unquoted]\n").unwrap_err();
+        assert!(err.contains("lint.toml:2"), "{err}");
+        let err = Config::parse("[weird]\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+        let err = Config::parse("[rule.x]\nbogus = true\n").unwrap_err();
+        assert!(err.contains("unknown rule key"), "{err}");
+    }
+
+    #[test]
+    fn files_make_a_rule_apply_to_exact_paths() {
+        let rc = RuleConfig { files: vec!["a/b.rs".into()], ..Default::default() };
+        assert!(rc.applies_to("a/b.rs"));
+        assert!(!rc.applies_to("a/c.rs"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The rule engine: runs every scoped rule over every file, applies inline
+//! waivers, and turns waiver problems into findings of their own.
+//!
+//! Pipeline per file: lex → parse waivers → run the rules whose `lint.toml`
+//! scope covers the path → suppress findings covered by a waiver → report
+//! malformed waivers (`waiver-syntax`) and waivers that suppressed nothing
+//! (`unused-waiver`). The meta-rules are always on: a waiver is a standing
+//! exception, and both a typo'd one (protecting nothing) and a stale one
+//! (excusing code that no longer exists) must fail CI, not rot.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::rules::{known_rule_ids, Rule, UNUSED_WAIVER, WAIVER_SYNTAX};
+use crate::source::SourceFile;
+use crate::waiver::parse_waivers;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// File path (workspace-relative, `/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The rule id that fired.
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col: [rule] message` — the human report line.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Lints one file under `config`, returning surviving findings sorted by
+/// position.
+pub fn lint_file(file: &SourceFile, config: &Config, rules: &[Box<dyn Rule>]) -> Vec<Finding> {
+    let known = known_rule_ids();
+    let (waivers, waiver_errors) = parse_waivers(file, &known);
+
+    let mut raw = Vec::new();
+    for rule in rules {
+        let Some(rule_cfg) = config.rules.get(rule.id()) else {
+            continue; // a rule absent from lint.toml is disabled
+        };
+        if !rule_cfg.applies_to(&file.path) {
+            continue;
+        }
+        rule.check(file, rule_cfg, &mut raw);
+    }
+
+    // Apply waivers: a finding is suppressed when a waiver targets its line and
+    // names its rule. Track which waivers actually suppressed something.
+    let mut used = vec![false; waivers.len()];
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let mut suppressed = false;
+            for (w, flag) in waivers.iter().zip(used.iter_mut()) {
+                if w.target_line == f.line && w.rules.contains(&f.rule) {
+                    *flag = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+
+    for err in &waiver_errors {
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: err.line,
+            col: 1,
+            rule: WAIVER_SYNTAX.to_string(),
+            message: err.message.clone(),
+        });
+    }
+    for (w, used) in waivers.iter().zip(used) {
+        if !used {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: w.comment_line,
+                col: 1,
+                rule: UNUSED_WAIVER.to_string(),
+                message: format!(
+                    "waiver for {} suppresses nothing on line {} — remove it (stale exceptions must not accumulate)",
+                    w.rules.join(", "),
+                    w.target_line
+                ),
+            });
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Lints a set of files and cross-checks file-level rule configs: a rule whose
+/// `files` list names a path that was not walked (renamed executor, stale
+/// config) is itself a finding — otherwise renaming `executor.rs` would
+/// silently disable the watch-tick guard.
+pub fn lint_files(files: &[SourceFile], config: &Config, rules: &[Box<dyn Rule>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        findings.extend(lint_file(file, config, rules));
+    }
+    let walked: BTreeSet<&str> = files.iter().map(|f| f.path.as_str()).collect();
+    for (rule_id, rule_cfg) in &config.rules {
+        for path in &rule_cfg.files {
+            if !walked.contains(path.as_str()) {
+                findings.push(Finding {
+                    file: "lint.toml".to_string(),
+                    line: 1,
+                    col: 1,
+                    rule: rule_id.clone(),
+                    message: format!(
+                        "[rule.{rule_id}] names `{path}` but no such file was walked — renamed? update lint.toml so the guard keeps applying"
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleConfig;
+    use crate::rules::all_rules;
+
+    fn config_with(rule: &str, rc: RuleConfig) -> Config {
+        let mut cfg = Config::default();
+        cfg.rules.insert(rule.to_string(), rc);
+        cfg
+    }
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), src.into(), false)
+    }
+
+    #[test]
+    fn findings_fire_and_waivers_suppress() {
+        let cfg = config_with("no-panic-in-engines", RuleConfig::everywhere());
+        let rules = all_rules();
+        let f = file("fn a() { x.unwrap(); }\n");
+        let findings = lint_file(&f, &cfg, &rules);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "no-panic-in-engines");
+
+        let f = file(
+            "fn a() { x.unwrap(); } // gj-lint: allow(no-panic-in-engines) — exercised only at startup\n",
+        );
+        let findings = lint_file(&f, &cfg, &rules);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unused_waivers_and_malformed_waivers_are_findings() {
+        let cfg = config_with("no-panic-in-engines", RuleConfig::everywhere());
+        let rules = all_rules();
+        let f =
+            file("fn ok() {} // gj-lint: allow(no-panic-in-engines) — nothing here to excuse\n");
+        let findings = lint_file(&f, &cfg, &rules);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, UNUSED_WAIVER);
+
+        let f = file("fn a() { x.unwrap(); } // gj-lint: allow(no-panic-in-engines)\n");
+        let findings = lint_file(&f, &cfg, &rules);
+        // The waiver is malformed (no reason), so it suppresses nothing: both the
+        // syntax error and the original finding surface.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.rule == WAIVER_SYNTAX));
+        assert!(findings.iter().any(|f| f.rule == "no-panic-in-engines"));
+    }
+
+    #[test]
+    fn out_of_scope_files_are_untouched() {
+        let rc = RuleConfig { scopes: vec!["crates/other".into()], ..Default::default() };
+        let cfg = config_with("no-panic-in-engines", rc);
+        let f = file("fn a() { x.unwrap(); }\n");
+        assert!(lint_file(&f, &cfg, &all_rules()).is_empty());
+    }
+
+    #[test]
+    fn missing_configured_file_is_a_finding() {
+        let rc =
+            RuleConfig { files: vec!["crates/gone/src/executor.rs".into()], ..Default::default() };
+        let cfg = config_with("watch-tick-in-executors", rc);
+        let f = file("fn a() {}\n");
+        let findings = lint_files(std::slice::from_ref(&f), &cfg, &all_rules());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no such file"), "{}", findings[0].message);
+    }
+}

@@ -1,0 +1,149 @@
+//! The self-test corpus runner: lints `tests/fixtures/<rule-id>/*.rs` and
+//! checks the findings against inline `//~ ERROR <rule-id>` markers
+//! (rustc-UI-test style).
+//!
+//! Each fixture directory is named after the single rule it exercises; its
+//! `bad.rs` carries one marker per expected finding and its `good.rs` carries
+//! none (and must produce none — both directions are pinned). The two waiver
+//! meta-rule directories additionally enable `no-panic-in-engines` as the rule
+//! being waived. Fixture files are linted with *path-based* test detection off
+//! (`test_file = false`) so a fixture can prove that `#[cfg(test)]` regions are
+//! exempt.
+
+use std::fs;
+use std::path::Path;
+
+use crate::config::{Config, RuleConfig};
+use crate::engine::lint_file;
+use crate::rules::{all_rules, known_rule_ids, UNUSED_WAIVER, WAIVER_SYNTAX};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// The marker that declares an expected finding: `//~ ERROR <rule>` on the
+/// flagged line itself, or `//~^ ERROR <rule>` with one `^` per line *above*
+/// the marker (rustc UI-test style) when the flagged line cannot carry a second
+/// comment — e.g. when the finding is about a waiver comment.
+pub const ERROR_MARKER: &str = "//~";
+
+/// Result of running the whole corpus.
+pub struct FixtureReport {
+    /// Number of fixture files linted.
+    pub files_checked: usize,
+    /// Every finding the corpus produced (for `--fixtures` display).
+    pub findings: Vec<Finding>,
+    /// Human-readable discrepancies; empty means the corpus matched exactly.
+    pub mismatches: Vec<String>,
+}
+
+/// Lints every fixture file under `root` and compares against its markers.
+pub fn check_fixtures(root: &Path) -> Result<FixtureReport, String> {
+    let known = known_rule_ids();
+    let mut report =
+        FixtureReport { files_checked: 0, findings: Vec::new(), mismatches: Vec::new() };
+    let mut dirs: Vec<_> = fs::read_dir(root)
+        .map_err(|e| format!("cannot read fixture root {}: {e}", root.display()))?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .collect();
+    dirs.sort_by_key(|e| e.file_name());
+    if dirs.is_empty() {
+        return Err(format!("no fixture directories under {}", root.display()));
+    }
+    for dir in dirs {
+        let rule_id = dir.file_name().to_string_lossy().to_string();
+        if !known.contains(&rule_id.as_str()) {
+            return Err(format!(
+                "fixture directory `{rule_id}` does not name a known rule (known: {})",
+                known.join(", ")
+            ));
+        }
+        let mut files: Vec<_> = fs::read_dir(dir.path())
+            .map_err(|e| format!("cannot read {}: {e}", dir.path().display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("fixture directory `{rule_id}` has no .rs files"));
+        }
+        for path in files {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel =
+                format!("{rule_id}/{}", path.file_name().unwrap_or_default().to_string_lossy());
+            check_one(&rel, &text, &rule_id, &mut report);
+        }
+    }
+    Ok(report)
+}
+
+/// Lints one fixture file with only its directory's rule enabled and records
+/// discrepancies against the `//~ ERROR` markers.
+fn check_one(rel: &str, text: &str, rule_id: &str, report: &mut FixtureReport) {
+    let file = SourceFile::new(rel.to_string(), text.to_string(), false);
+    let config = fixture_config(rule_id, rel);
+    let findings = lint_file(&file, &config, &all_rules());
+
+    let mut expected: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(pos) = line.find(ERROR_MARKER) else { continue };
+        let rest = &line[pos + ERROR_MARKER.len()..];
+        let carets = rest.chars().take_while(|&c| c == '^').count();
+        let Some(rule_part) = rest[carets..].trim_start().strip_prefix("ERROR") else {
+            continue;
+        };
+        let rule = rule_part.split_whitespace().next().unwrap_or("").to_string();
+        expected.push((idx + 1 - carets, rule));
+    }
+    expected.sort();
+
+    let mut actual: Vec<(usize, String)> =
+        findings.iter().map(|f| (f.line, f.rule.clone())).collect();
+    actual.sort();
+
+    for e in &expected {
+        if !actual.contains(e) {
+            report
+                .mismatches
+                .push(format!("{rel}:{}: expected a `{}` finding that did not fire", e.0, e.1));
+        }
+    }
+    for a in &actual {
+        if !expected.contains(a) {
+            report
+                .mismatches
+                .push(format!("{rel}:{}: unexpected `{}` finding (no //~ ERROR marker)", a.0, a.1));
+        }
+    }
+    report.files_checked += 1;
+    report.findings.extend(findings);
+}
+
+/// The per-directory config: the directory's rule everywhere, plus whatever
+/// that rule needs to be exercisable in isolation.
+fn fixture_config(rule_id: &str, rel: &str) -> Config {
+    let mut config = Config::default();
+    match rule_id {
+        "watch-tick-in-executors" => {
+            // File-level rule: point its `files` list at this very fixture.
+            let rc = RuleConfig { files: vec![rel.to_string()], ..RuleConfig::everywhere() };
+            config.rules.insert(rule_id.to_string(), rc);
+        }
+        "sink-controlflow-propagated" => {
+            let rc = RuleConfig {
+                receivers: vec!["sink".to_string(), "shard".to_string()],
+                ..RuleConfig::everywhere()
+            };
+            config.rules.insert(rule_id.to_string(), rc);
+        }
+        WAIVER_SYNTAX | UNUSED_WAIVER => {
+            // The meta-rules are always on; give them a real rule to waive.
+            config.rules.insert("no-panic-in-engines".to_string(), RuleConfig::everywhere());
+        }
+        _ => {
+            config.rules.insert(rule_id.to_string(), RuleConfig::everywhere());
+        }
+    }
+    config
+}

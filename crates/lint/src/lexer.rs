@@ -1,0 +1,455 @@
+//! A lightweight Rust lexer: the shared front-end of every lint rule.
+//!
+//! The lexer's only job is to split a source file into a token stream that rules
+//! can pattern-match without tripping over the classic text-grep failure modes:
+//! `unwrap` inside a string literal, `.lock()` inside a comment, `'a` lifetimes
+//! mistaken for char literals, nested block comments. It is *not* a parser — no
+//! AST is built — but every token carries a byte span and a line number, and the
+//! comments are kept (with spans) because the waiver and `SAFETY:` rules read
+//! them.
+//!
+//! Handled explicitly: line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`), string literals with escapes, raw strings (`r"…"`,
+//! `r#"…"#`, any hash depth, with `b`/`c` prefixes), byte/char literals with
+//! escapes, lifetimes vs char literals (`'a` vs `'a'`), raw identifiers
+//! (`r#match`), and numeric literals (loosely — enough to keep `1.0e-3` a single
+//! token and `0..n` three).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `pub`, `self`, `_`, raw idents).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (`42`, `1.0e-3`, `0xFF`).
+    Num,
+    /// String / raw string / byte-string / char / byte literal.
+    Literal,
+    /// A single punctuation character (`.`, `(`, `{`, `?`, `!`, …).
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of the lexeme.
+    pub kind: TokKind,
+    /// The lexeme text (for `Literal` only the opening delimiter region matters
+    /// to rules, but the full text is kept).
+    pub text: String,
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+    /// 1-based source line of `lo`.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A comment with its span (line and block comments, doc comments included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text, delimiters included (`// …` / `/* … */`).
+    pub text: String,
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based line of the last character (differs for block comments).
+    pub end_line: usize,
+}
+
+impl Comment {
+    /// Whether this is an outer doc comment (`///` or `/** … */`).
+    ///
+    /// `////…` separator bars are plain comments, matching rustdoc.
+    pub fn is_outer_doc(&self) -> bool {
+        (self.text.starts_with("///") && !self.text.starts_with("////"))
+            || (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+    }
+
+    /// Whether this is any doc comment (outer or inner). Doc comments are
+    /// rendered prose — text in them (e.g. a waiver example in rustdoc) is
+    /// never an *active* lint directive.
+    pub fn is_doc(&self) -> bool {
+        self.is_outer_doc() || self.text.starts_with("//!") || self.text.starts_with("/*!")
+    }
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order. Comments are *not* tokens.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated literals or
+/// comments simply extend to the end of the file (good enough for linting — a
+/// file in that state does not compile anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src, pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(ahead)
+    }
+
+    /// Advances one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokKind, lo: usize, line: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text: self.src[lo..self.pos].to_string(),
+            lo,
+            hi: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let lo = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(lo, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(lo, line),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push_token(TokKind::Literal, lo, line);
+                }
+                '\'' => self.lifetime_or_char(lo, line),
+                'r' | 'b' | 'c' if self.raw_or_prefixed_string(lo, line) => {}
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push_token(TokKind::Ident, lo, line);
+                }
+                c if c.is_ascii_digit() => self.number(lo, line),
+                _ => {
+                    self.bump();
+                    self.push_token(TokKind::Punct, lo, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, lo: usize, line: usize) {
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.src[lo..self.pos].to_string(),
+            lo,
+            hi: self.pos,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self, lo: usize, line: usize) {
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: extend to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.src[lo..self.pos].to_string(),
+            lo,
+            hi: self.pos,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Consumes a (non-raw) string body after the opening `"`.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'a'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self, lo: usize, line: usize) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Definitely a char literal with an escape.
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.bump(); // \u{…} bodies
+                }
+                self.bump(); // closing '
+                self.push_token(TokKind::Literal, lo, line);
+            }
+            Some(c) if is_ident_continue(c) => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a one-char literal.
+                    self.bump();
+                    self.bump();
+                    self.push_token(TokKind::Literal, lo, line);
+                } else {
+                    // 'ident — a lifetime.
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push_token(TokKind::Lifetime, lo, line);
+                }
+            }
+            Some(_) => {
+                // ' followed by punctuation: a char literal like '(' .
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push_token(TokKind::Literal, lo, line);
+            }
+            None => self.push_token(TokKind::Punct, lo, line),
+        }
+    }
+
+    /// Tries to lex `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `c"…"`, or a raw
+    /// identifier `r#ident` at the current position. Returns `false` when the
+    /// position is a plain identifier starting with r/b/c (the caller then lexes
+    /// it as an ident).
+    fn raw_or_prefixed_string(&mut self, lo: usize, line: usize) -> bool {
+        let rest = &self.src[self.pos..];
+        let prefix_len = ["br", "cr", "r", "b", "c"]
+            .iter()
+            .find(|p| rest.starts_with(**p))
+            .map_or(0, |p| p.len());
+        // Count hashes after the prefix, then require a quote for a raw string.
+        let after = &rest[prefix_len..];
+        let hashes = after.chars().take_while(|&c| c == '#').count();
+        let raw = after[hashes..].starts_with('"');
+        let has_r = rest[..prefix_len].contains('r');
+        if raw && (hashes == 0 || has_r) {
+            if !has_r && hashes == 0 {
+                // b"…" / c"…": a normal (escaped) string with a prefix byte.
+                for _ in 0..prefix_len + 1 {
+                    self.bump();
+                }
+                self.string_body();
+                self.push_token(TokKind::Literal, lo, line);
+                return true;
+            }
+            // Raw string: consume prefix, hashes, quote, then scan for `"####`.
+            for _ in 0..prefix_len + hashes + 1 {
+                self.bump();
+            }
+            loop {
+                match self.bump() {
+                    Some('"') => {
+                        let mut seen = 0;
+                        while seen < hashes && self.peek(0) == Some('#') {
+                            self.bump();
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                    None => break,
+                    Some(_) => {}
+                }
+            }
+            self.push_token(TokKind::Literal, lo, line);
+            return true;
+        }
+        if rest.starts_with("r#") && after[1..].chars().next().is_some_and(is_ident_start) {
+            // Raw identifier r#match: lex as an identifier (text keeps the r#).
+            self.bump();
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push_token(TokKind::Ident, lo, line);
+            return true;
+        }
+        false
+    }
+
+    fn number(&mut self, lo: usize, line: usize) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        // A fraction only when followed by `.digit` (leaves `0..n` as a range).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        // Exponent sign: 1.0e-3 — the e was consumed above, pick up `-3`/`+3`.
+        if self.src[lo..self.pos].ends_with(['e', 'E'])
+            && self.peek(0).is_some_and(|c| c == '+' || c == '-')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        self.push_token(TokKind::Num, lo, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_split_correctly() {
+        assert_eq!(
+            texts("x.lock().unwrap()"),
+            ["x", ".", "lock", "(", ")", ".", "unwrap", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_rules() {
+        let toks = texts(r#"let s = "call .unwrap() here";"#);
+        assert!(toks.iter().all(|t| t != "unwrap"));
+        assert_eq!(toks.iter().filter(|t| *t == "\"call .unwrap() here\"").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_at_matching_depth() {
+        let src = r###"let s = r#"a "quoted" unwrap()"#; x.unwrap()"###;
+        let toks = texts(src);
+        assert_eq!(toks.iter().filter(|t| *t == "unwrap").count(), 1, "{toks:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_literals_lex_as_one_token() {
+        let lexed = lex(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, [r"'\n'", r"'\''", r"'\u{1F600}'"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let lexed = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn comments_carry_lines_and_doc_flag() {
+        let lexed = lex("/// docs\n// plain\nfn f() {}\n");
+        assert!(lexed.comments[0].is_outer_doc());
+        assert!(!lexed.comments[1].is_outer_doc());
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let lexed = lex("let r#match = 1;");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e-3"), ["1.5e-3"]);
+        assert_eq!(texts("0xFF_u8"), ["0xFF_u8"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_literals() {
+        let lexed = lex(r##"let a = b"bytes"; let c = c"cstr"; let r = br#"raw"#;"##);
+        let lits = lexed.tokens.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! `gj-lint`: workspace-native static analysis for the graph-join engine.
+//!
+//! The engine's load-bearing invariants — panic-free hot paths, poison-tolerant
+//! locks, columnar intermediates, propagated sink `ControlFlow`, cooperative
+//! watch ticks — were established by hand across PRs 4–6 and live nowhere the
+//! compiler can see. This crate turns them into CI-enforced rules: a
+//! dependency-free lexer (std only; the workspace has no registry access), a
+//! token-pattern rule engine with per-line waivers, and a `lint.toml` mapping
+//! each rule to the crates it polices.
+//!
+//! Run it on the tree:
+//!
+//! ```text
+//! cargo run --release -p gj-lint            # human output, exit 1 on findings
+//! cargo run --release -p gj-lint -- --json  # CI gate
+//! cargo run --release -p gj-lint -- --list-rules
+//! ```
+//!
+//! Waive a finding inline — the reason is mandatory and reviewed:
+//!
+//! ```text
+//! intentional_panic(); // gj-lint: allow(no-panic-in-engines) — failpoint for the fault harness
+//! ```
+//!
+//! The fixture corpus under `tests/fixtures/` pins every rule in both
+//! directions (`bad.rs` fires exactly its `//~ ERROR` markers, `good.rs` stays
+//! clean); `cargo test -p gj-lint` and the CI `--fixtures` step enforce it.
+
+pub mod config;
+pub mod engine;
+pub mod fixtures;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+
+pub use engine::{lint_file, lint_files, Finding};

@@ -1,0 +1,221 @@
+//! The `gj-lint` binary: walks the workspace, lints every `.rs` file under the
+//! `lint.toml` scopes, and exits non-zero on findings.
+//!
+//! ```text
+//! gj-lint [--json] [--config PATH] [--root DIR] [--list-rules] [--fixtures] [PATH...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or configuration error. With
+//! explicit `PATH` arguments only those files are linted (still under the
+//! configured scopes) — handy for pre-commit hooks.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gj_lint::config::Config;
+use gj_lint::fixtures::check_fixtures;
+use gj_lint::report::{render_human, render_json};
+use gj_lint::rules::all_rules;
+use gj_lint::source::SourceFile;
+
+/// Directories the walker never descends into, config aside.
+const ALWAYS_SKIP: &[&str] = &["target", ".git", ".github"];
+
+struct Options {
+    json: bool,
+    list_rules: bool,
+    fixtures: bool,
+    config_path: PathBuf,
+    root: PathBuf,
+    paths: Vec<String>,
+}
+
+fn usage() -> String {
+    "usage: gj-lint [--json] [--config PATH] [--root DIR] [--list-rules] [--fixtures] [PATH...]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        list_rules: false,
+        fixtures: false,
+        config_path: PathBuf::from("lint.toml"),
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+    };
+    let mut explicit_config = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--fixtures" => opts.fixtures = true,
+            "--config" => {
+                let path =
+                    it.next().ok_or_else(|| format!("--config needs a path\n{}", usage()))?;
+                opts.config_path = PathBuf::from(path);
+                explicit_config = true;
+            }
+            "--root" => {
+                let dir =
+                    it.next().ok_or_else(|| format!("--root needs a directory\n{}", usage()))?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+    if !explicit_config {
+        opts.config_path = opts.root.join("lint.toml");
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:<42} {}", rule.id(), rule.describe());
+        }
+        let ws = "meta: malformed waiver (bad syntax, unknown rule, or missing reason)";
+        println!("{:<42} {ws}", "waiver-syntax");
+        let uw = "meta: a waiver that suppressed nothing";
+        println!("{:<42} {uw}", "unused-waiver");
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.fixtures {
+        return run_fixtures(&opts);
+    }
+
+    run_tree(&opts)
+}
+
+/// Lints the workspace tree (or the explicit paths) under `lint.toml`.
+fn run_tree(opts: &Options) -> ExitCode {
+    let config_text = match fs::read_to_string(&opts.config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gj-lint: cannot read {}: {e}", opts.config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gj-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rel_paths = if opts.paths.is_empty() {
+        let mut found = Vec::new();
+        walk(&opts.root, &opts.root, &config.exclude, &mut found);
+        found.sort();
+        found
+    } else {
+        opts.paths.clone()
+    };
+
+    let mut files = Vec::new();
+    for rel in &rel_paths {
+        let full = opts.root.join(rel);
+        let text = match fs::read_to_string(&full) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gj-lint: cannot read {}: {e}", full.display());
+                return ExitCode::from(2);
+            }
+        };
+        files.push(SourceFile::new(rel.clone(), text, is_test_path(rel)));
+    }
+
+    let findings = gj_lint::lint_files(&files, &config, &all_rules());
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the self-test corpus: prints its findings and fails on any divergence
+/// from the `//~ ERROR` markers. Exit 1 when the corpus fires as expected (it
+/// always does — the bad fixtures exist to fire), 2 on divergence.
+fn run_fixtures(opts: &Options) -> ExitCode {
+    let root = opts.root.join("crates/lint/tests/fixtures");
+    let report = match check_fixtures(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gj-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", render_json(&report.findings));
+    } else {
+        print!("{}", render_human(&report.findings));
+    }
+    if !report.mismatches.is_empty() {
+        for m in &report.mismatches {
+            eprintln!("gj-lint: fixture mismatch: {m}");
+        }
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "gj-lint: fixture corpus matched exactly ({} files, {} findings)",
+        report.files_checked,
+        report.findings.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Collects workspace-relative `/`-separated paths of every `.rs` file.
+fn walk(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if ALWAYS_SKIP.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            if exclude.contains(&rel) {
+                continue;
+            }
+            walk(root, &path, exclude, out);
+        } else if name.ends_with(".rs") && !exclude.contains(&rel) {
+            out.push(rel);
+        }
+    }
+}
+
+/// Whether a path is test code by location alone.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "examples" || c == "benches")
+}

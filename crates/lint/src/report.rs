@@ -1,0 +1,99 @@
+//! Rendering findings: human-readable for terminals, JSON for CI.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free by design); it
+//! emits an object `{"findings": [...], "count": N}` with every string escaped
+//! per RFC 8259, so the CI gate can `jq`-inspect results without trusting any
+//! particular finding text.
+
+use crate::Finding;
+
+/// Renders findings for a terminal, one `file:line:col: [rule] message` per
+/// finding plus a summary line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("gj-lint: clean\n");
+    } else {
+        out.push_str(&format!(
+            "gj-lint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON document for CI consumption.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(&f.rule),
+            json_string(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}\n", findings.len()));
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(msg: &str) -> Finding {
+        Finding {
+            file: "a/b.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "no-panic-in-engines".into(),
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn human_report_has_positions_and_summary() {
+        let out = render_human(&[finding("boom")]);
+        assert!(out.contains("a/b.rs:3:7: [no-panic-in-engines] boom"));
+        assert!(out.contains("1 finding\n"));
+        assert!(render_human(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let out = render_json(&[finding("say \"hi\"\nback\\slash")]);
+        assert!(out.contains(r#"\"hi\""#), "{out}");
+        assert!(out.contains(r"\n"), "{out}");
+        assert!(out.contains(r"back\\slash"), "{out}");
+        assert!(out.contains("\"count\":1"), "{out}");
+    }
+}

@@ -1,0 +1,207 @@
+//! A lexed source file plus the derived facts rules query: line mapping and
+//! `#[cfg(test)]` / `#[test]` region detection.
+//!
+//! Most rules only police *production* code: anything inside an item annotated
+//! `#[test]` or `#[cfg(test)]` (the conventional `mod tests`) is exempt unless a
+//! rule opts in with `include_tests`. Detection is token-based, not syntactic: a
+//! test attribute marks the byte range of the item that follows it (up to the
+//! matching `}` of its body, or the terminating `;`), which is exactly right for
+//! `mod tests { … }`, `#[test] fn …` and `#[cfg(test)] use …` alike. Attributes
+//! containing `not(test)` (production-only items) are ignored. Files that are
+//! test-only by *location* — under a `tests/` directory, `examples/`, or
+//! `benches/` — are marked wholesale by the walker.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+
+/// One file, lexed and indexed, handed to every rule.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across platforms).
+    pub path: String,
+    /// The raw text.
+    pub text: String,
+    /// Code tokens (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comments with spans.
+    pub comments: Vec<Comment>,
+    /// Whether the whole file is test code by location (`tests/`, `examples/`).
+    pub test_file: bool,
+    /// Byte ranges covered by `#[test]` / `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Byte offset of the start of each line (line N starts at `line_starts[N-1]`).
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and computes the derived indexes.
+    pub fn new(path: String, text: String, test_file: bool) -> Self {
+        let Lexed { tokens, comments } = lex(&text);
+        let mut line_starts = vec![0];
+        line_starts.extend(text.match_indices('\n').map(|(i, _)| i + 1));
+        let test_regions = find_test_regions(&tokens);
+        SourceFile { path, text, tokens, comments, test_file, test_regions, line_starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based column of byte `offset` within its line.
+    pub fn col_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line - 1] + 1
+    }
+
+    /// The text of 1-based `line` (without the newline), or `""` out of range.
+    pub fn line_text(&self, line: usize) -> &str {
+        let lo = match self.line_starts.get(line - 1) {
+            Some(&lo) => lo,
+            None => return "",
+        };
+        let hi = self.line_starts.get(line).map_or(self.text.len(), |&next| next);
+        self.text[lo..hi].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Whether byte `offset` lies in test code (by file location or region).
+    pub fn is_test(&self, offset: usize) -> bool {
+        self.test_file || self.test_regions.iter().any(|&(lo, hi)| lo <= offset && offset < hi)
+    }
+}
+
+/// Finds the byte ranges of items guarded by a test attribute.
+///
+/// Strategy: find every `#[…]` attribute group whose tokens include the bare
+/// identifier `test` (covers `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`)
+/// but not `not` (skips `#[cfg(not(test))]`); then extend the region over any
+/// further attributes and the item head to the item's body `{ … }` (matched
+/// braces) or its terminating `;` at bracket depth zero.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, i + 1, '[', ']') else { break };
+        let attr = &tokens[i + 2..close];
+        let is_test =
+            attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        let start = tokens[i].lo;
+        // Skip any further attributes between this one and the item head.
+        let mut j = close + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching(tokens, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // Scan the item head for its body `{` or terminating `;` at depth 0.
+        let mut depth = 0i32;
+        let mut end = tokens.last().map_or(start, |t| t.hi);
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if depth == 0 && t.is_punct('{') {
+                end = matching(tokens, j, '{', '}').map_or(end, |c| tokens[c].hi);
+                break;
+            }
+            if depth == 0 && t.is_punct(';') {
+                end = t.hi;
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        regions.push((start, end));
+        i = close + 1;
+    }
+    regions
+}
+
+/// Index of the token closing the group opened at `open_idx` (which must hold
+/// `open`), honouring nesting. `None` when unbalanced.
+pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("x.rs".into(), src.into(), false)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src =
+            "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = file(src);
+        let prod = src.find("x.unwrap").unwrap();
+        let test = src.find("y.unwrap").unwrap();
+        assert!(!f.is_test(prod));
+        assert!(f.is_test(test));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_a_test_region() {
+        let src = "#[test]\n#[ignore]\nfn t() { boom(); }\nfn prod() {}\n";
+        let f = file(src);
+        assert!(f.is_test(src.find("boom").unwrap()));
+        assert!(!f.is_test(src.find("prod").unwrap()));
+    }
+
+    #[test]
+    fn not_test_cfg_is_production() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n";
+        let f = file(src);
+        assert!(!f.is_test(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn semicolon_items_close_their_region() {
+        let src = "#[cfg(test)]\nuse helpers::*;\nfn prod() { x(); }\n";
+        let f = file(src);
+        assert!(f.is_test(src.find("helpers").unwrap()));
+        assert!(!f.is_test(src.find("prod").unwrap()));
+    }
+
+    #[test]
+    fn lines_and_cols_are_one_based() {
+        let f = file("ab\ncd\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(3), 2);
+        assert_eq!(f.col_of(4), 2);
+        assert_eq!(f.line_text(2), "cd");
+    }
+
+    #[test]
+    fn arrays_with_semicolons_do_not_end_a_region_early() {
+        let src = "#[cfg(test)]\nconst X: [u8; 3] = [1, 2, 3];\nfn prod() {}\n";
+        let f = file(src);
+        assert!(f.is_test(src.find("[1, 2, 3]").unwrap()));
+        assert!(!f.is_test(src.find("prod").unwrap()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Inline waivers: `// gj-lint: allow(<rule>) — <reason>`.
+//!
+//! A waiver suppresses findings of the named rule(s) on **its own line**, or —
+//! when the comment stands alone on a line — on the **next** line. The reason is
+//! mandatory: a waiver is a reviewed exception, and the reviewer's argument must
+//! live next to the code it excuses. Malformed waivers (missing reason, unknown
+//! rule id, bad syntax) are findings themselves (`waiver-syntax`), and waivers
+//! that suppress nothing are too (`unused-waiver`) so stale exceptions cannot
+//! accumulate. Several rules can share one waiver:
+//! `// gj-lint: allow(rule-a, rule-b) — reason`.
+//!
+//! The separator before the reason may be an em dash, `--`, `-`, or `:`; the
+//! reason must be at least 10 characters — "ok" is not an argument.
+
+use crate::lexer::Comment;
+use crate::source::SourceFile;
+
+/// The marker that introduces a waiver inside a comment.
+pub const MARKER: &str = "gj-lint:";
+
+/// Minimum length of a waiver reason, in characters.
+pub const MIN_REASON: usize = 10;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule ids this waiver suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the waiver suppresses findings on.
+    pub target_line: usize,
+    /// 1-based line of the comment itself (== `target_line` for trailing
+    /// comments, `target_line - 1` for standalone ones).
+    pub comment_line: usize,
+}
+
+/// A malformed waiver, reported as a `waiver-syntax` finding by the engine.
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts all waivers from a file's comments. `known_rules` is used to reject
+/// typo'd rule ids — a waiver for a rule that does not exist would otherwise
+/// silently protect nothing.
+pub fn parse_waivers(file: &SourceFile, known_rules: &[&str]) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for comment in &file.comments {
+        if comment.is_doc() {
+            continue; // rustdoc prose may *show* waivers without enacting them
+        }
+        let Some(idx) = comment.text.find(MARKER) else { continue };
+        let rest = comment.text[idx + MARKER.len()..].trim();
+        match parse_one(rest, known_rules) {
+            Ok((rules, reason)) => {
+                let target_line =
+                    if is_standalone(file, comment) { comment.end_line + 1 } else { comment.line };
+                waivers.push(Waiver { rules, reason, target_line, comment_line: comment.line });
+            }
+            Err(message) => errors.push(WaiverError { line: comment.line, message }),
+        }
+    }
+    (waivers, errors)
+}
+
+/// Whether the comment is the first thing on its line (waives the next line)
+/// rather than trailing code (waives its own line).
+fn is_standalone(file: &SourceFile, comment: &Comment) -> bool {
+    let line_text = file.line_text(comment.line);
+    let col = file.col_of(comment.lo);
+    line_text[..col - 1].trim().is_empty()
+}
+
+/// Parses `allow(rule-a, rule-b) — reason` (the text after the marker).
+fn parse_one(rest: &str, known_rules: &[&str]) -> Result<(Vec<String>, String), String> {
+    let Some(after_allow) = rest.strip_prefix("allow") else {
+        return Err(format!("expected `allow(<rule>) — <reason>` after `{MARKER}`"));
+    };
+    let after_allow = after_allow.trim_start();
+    let Some(args_start) = after_allow.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = args_start.find(')') else {
+        return Err("unterminated `allow(...)`".to_string());
+    };
+    let rules: Vec<String> = args_start[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("`allow()` names no rule".to_string());
+    }
+    for rule in &rules {
+        if !known_rules.contains(&rule.as_str()) {
+            return Err(format!("unknown rule `{rule}` in waiver"));
+        }
+    }
+    let mut reason = args_start[close + 1..].trim();
+    // Strip the leading separator (em dash / en dash / hyphens / colon).
+    reason = reason.trim_start_matches(['\u{2014}', '\u{2013}', '-', ':']).trim_start();
+    // Block comments: drop a trailing `*/`.
+    let reason = reason.trim_end_matches("*/").trim().to_string();
+    if reason.chars().count() < MIN_REASON {
+        return Err(format!(
+            "waiver reason is mandatory (≥ {MIN_REASON} chars): every waiver is a reviewed exception and must say why"
+        ));
+    }
+    Ok((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["no-panic-in-engines", "poison-tolerant-locks"];
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("x.rs".into(), src.into(), false)
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let f = file("let x = a.unwrap(); // gj-lint: allow(no-panic-in-engines) — startup path, config is validated\n");
+        let (ws, errs) = parse_waivers(&f, RULES);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target_line, 1);
+        assert_eq!(ws[0].rules, ["no-panic-in-engines"]);
+        assert!(ws[0].reason.contains("startup"));
+    }
+
+    #[test]
+    fn standalone_waiver_targets_the_next_line() {
+        let f = file("// gj-lint: allow(poison-tolerant-locks) — helper below recovers poisoning\nlet g = m.lock();\n");
+        let (ws, errs) = parse_waivers(&f, RULES);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws[0].target_line, 2);
+        assert_eq!(ws[0].comment_line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let f = file("x(); // gj-lint: allow(no-panic-in-engines)\n");
+        let (ws, errs) = parse_waivers(&f, RULES);
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("reason"), "{}", errs[0].message);
+    }
+
+    #[test]
+    fn short_reason_is_an_error() {
+        let f = file("x(); // gj-lint: allow(no-panic-in-engines) — ok\n");
+        let (_, errs) = parse_waivers(&f, RULES);
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let f = file("x(); // gj-lint: allow(no-such-rule) — a perfectly long reason\n");
+        let (_, errs) = parse_waivers(&f, RULES);
+        assert!(errs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn multiple_rules_share_one_waiver_and_ascii_separators_work() {
+        let f = file(
+            "y(); // gj-lint: allow(no-panic-in-engines, poison-tolerant-locks) -- both intentional here\n",
+        );
+        let (ws, errs) = parse_waivers(&f, RULES);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn non_waiver_comments_are_ignored() {
+        let f = file("// just words about gj-lint the tool\nx();\n");
+        let (ws, errs) = parse_waivers(&f, RULES);
+        // Mentions the tool but never the marker, so nothing parses.
+        assert!(ws.is_empty() && errs.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_enact_waivers() {
+        let f = file(
+            "/// Example: `x(); // gj-lint: allow(no-panic-in-engines) — some long reason`\nfn documented() {}\n",
+        );
+        let (ws, errs) = parse_waivers(&f, RULES);
+        assert!(ws.is_empty() && errs.is_empty(), "{ws:?} {errs:?}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Self-test: every rule's fixture corpus must produce *exactly* the findings
+//! its `//~ ERROR` markers declare — no more (false positives), no fewer
+//! (false negatives). This is the same check CI runs via `gj-lint --fixtures`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use gj_lint::fixtures::check_fixtures;
+use gj_lint::rules::all_rules;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn corpus_matches_markers_exactly() {
+    let report = check_fixtures(&fixtures_root()).expect("corpus must be readable");
+    assert!(
+        report.mismatches.is_empty(),
+        "fixture corpus diverged:\n{}",
+        report.mismatches.join("\n")
+    );
+    assert!(report.findings.len() >= 20, "suspiciously few findings: {}", report.findings.len());
+}
+
+#[test]
+fn every_rule_has_a_fixture_directory_in_both_directions() {
+    let root = fixtures_root();
+    let mut expected: BTreeSet<String> = all_rules().iter().map(|r| r.id().to_string()).collect();
+    expected.insert("waiver-syntax".to_string());
+    expected.insert("unused-waiver".to_string());
+    for rule in &expected {
+        let dir = root.join(rule);
+        assert!(dir.is_dir(), "rule `{rule}` has no fixture directory");
+        assert!(dir.join("bad.rs").is_file(), "rule `{rule}` has no bad.rs fixture");
+        assert!(dir.join("good.rs").is_file(), "rule `{rule}` has no good.rs fixture");
+    }
+    // And no orphan directories that name a rule which no longer exists —
+    // check_fixtures already rejects those, but make the intent explicit here.
+    for entry in std::fs::read_dir(&root).expect("fixtures root") {
+        let name = entry.expect("dir entry").file_name().to_string_lossy().to_string();
+        assert!(expected.contains(&name), "fixture dir `{name}` names no known rule");
+    }
+}
+
+#[test]
+fn bad_fixtures_fire_and_good_fixtures_stay_clean() {
+    let report = check_fixtures(&fixtures_root()).expect("corpus must be readable");
+    let bad_files: BTreeSet<&str> = report.findings.iter().map(|f| f.file.as_str()).collect();
+    for file in &bad_files {
+        assert!(file.ends_with("/bad.rs"), "finding in a good fixture: {file}");
+    }
+    // Every bad.rs produced at least one finding.
+    for rule_dir in std::fs::read_dir(fixtures_root()).expect("fixtures root") {
+        let dir = rule_dir.expect("dir entry");
+        let bad = format!("{}/bad.rs", dir.file_name().to_string_lossy());
+        assert!(bad_files.contains(bad.as_str()), "{bad} produced no findings at all");
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: direct threading primitives outside the runtime crate.
+
+use std::thread;
+
+fn bare_spawn() {
+    let handle = thread::spawn(|| 1 + 1); //~ ERROR no-direct-thread-spawn-outside-runtime
+    let _ = handle.join();
+}
+
+fn scoped(xs: &[i64]) -> usize {
+    std::thread::scope(|s| { //~ ERROR no-direct-thread-spawn-outside-runtime
+        s.spawn(|| xs.len());
+        xs.len()
+    })
+}
+
+fn named_builder() {
+    let _builder = thread::Builder::new().name("rogue".into()); //~ ERROR no-direct-thread-spawn-outside-runtime
+}

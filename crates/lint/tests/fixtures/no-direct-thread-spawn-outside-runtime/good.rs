@@ -1,0 +1,20 @@
+//! Fixture: work routed through the runtime driver, and test-only spawns.
+
+fn through_the_driver(work: Vec<Job>) -> Report {
+    // The driver owns panic isolation and the cooperative stop protocol.
+    gj_runtime::drive(&work)
+}
+
+fn mentions_thread_without_spawning() -> &'static str {
+    // The identifier alone (e.g. in strings or names) is not a spawn.
+    "one thread per worker"
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may use raw threads (this rule leaves `include_tests` off).
+    fn spawn_in_test() {
+        let h = std::thread::spawn(|| ());
+        let _ = h.join();
+    }
+}

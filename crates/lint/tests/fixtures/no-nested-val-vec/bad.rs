@@ -1,0 +1,17 @@
+//! Fixture: nested `Vec<Vec<Val>>` intermediates (the shape the columnar
+//! rewrite removed) fire, in test code too (`include_tests = true` in
+//! lint.toml; the fixture harness exercises the production path).
+
+type Val = i64;
+
+struct NestedIntermediate {
+    rows: Vec<Vec<Val>>, //~ ERROR no-nested-val-vec
+}
+
+fn materialise() -> Vec<Vec<Val>> { //~ ERROR no-nested-val-vec
+    Vec::new()
+}
+
+fn with_spacing(rows: Vec<Vec<Val>>) -> usize { //~ ERROR no-nested-val-vec
+    rows.len()
+}

@@ -1,0 +1,17 @@
+//! Fixture: the flat columnar shape, and nested vectors of *other* types.
+
+type Val = i64;
+
+/// The blessed shape: one flat `len × arity` buffer.
+struct Intermediate {
+    vals: Vec<Val>,
+    arity: usize,
+}
+
+fn rows(inter: &Intermediate) -> usize {
+    inter.vals.len() / inter.arity.max(1)
+}
+
+fn nested_of_other_types(ids: Vec<Vec<usize>>) -> usize {
+    ids.len()
+}

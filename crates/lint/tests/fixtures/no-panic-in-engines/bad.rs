@@ -1,0 +1,26 @@
+//! Fixture: every panicking construct fires in production engine code, and
+//! test regions are exempt (the `#[cfg(test)]` module below must stay silent).
+
+fn production(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap(); //~ ERROR no-panic-in-engines
+    let b = y.expect("present"); //~ ERROR no-panic-in-engines
+    if a + b > 10 {
+        panic!("too big"); //~ ERROR no-panic-in-engines
+    }
+    todo!() //~ ERROR no-panic-in-engines
+}
+
+fn more_macros(kind: u8) {
+    match kind {
+        0 => unimplemented!(), //~ ERROR no-panic-in-engines
+        _ => unreachable!(), //~ ERROR no-panic-in-engines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely: none of these fire.
+    fn in_tests(x: Option<u32>) -> u32 {
+        x.unwrap() + x.expect("still fine")
+    }
+}

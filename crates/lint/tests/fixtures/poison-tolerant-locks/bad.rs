@@ -1,0 +1,20 @@
+//! Fixture: `.lock()` results that do not recover from poisoning.
+
+use std::sync::Mutex;
+
+fn unwraps(m: &Mutex<Vec<u32>>) -> usize {
+    let g = m.lock().unwrap(); //~ ERROR poison-tolerant-locks
+    g.len()
+}
+
+fn expects(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned") //~ ERROR poison-tolerant-locks
+}
+
+fn binds_the_result(m: &Mutex<u32>) {
+    let _guard = m.lock(); //~ ERROR poison-tolerant-locks
+}
+
+fn recovers_without_into_inner(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|_| unimplemented!()) //~ ERROR poison-tolerant-locks
+}

@@ -1,0 +1,30 @@
+//! Fixture: the accepted poison-recovery forms.
+
+use std::sync::{Mutex, PoisonError};
+
+fn path_form(m: &Mutex<Vec<u32>>) -> usize {
+    m.lock().unwrap_or_else(PoisonError::into_inner).len()
+}
+
+fn closure_form(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn propagates(m: &Mutex<u32>) -> Result<u32, Box<dyn std::error::Error + '_>> {
+    Ok(*m.lock()?)
+}
+
+struct Pool {
+    inner: Mutex<u32>,
+}
+
+impl Pool {
+    fn lock(&self) -> u32 {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn callers_go_through_the_helper(&self) -> u32 {
+        // `self.lock()` is a poison-tolerant helper, never Mutex::lock itself.
+        self.lock()
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: undocumented pub items in a façade crate.
+
+pub fn undocumented() {} //~ ERROR pub-item-has-doc
+
+pub struct Bare; //~ ERROR pub-item-has-doc
+
+#[derive(Clone)]
+pub enum AttrsAloneAreNotDocs { //~ ERROR pub-item-has-doc
+    A,
+}
+
+pub mod undocumented_module; //~ ERROR pub-item-has-doc

@@ -1,0 +1,18 @@
+//! Fixture: documented items, restricted visibility, and re-exports.
+
+/// Documented the ordinary way.
+pub fn documented() {}
+
+/// Docs survive attribute stacks between them and the item.
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct WithAttrs;
+
+#[doc = "attribute-style documentation counts too"]
+pub struct AttrDocs;
+
+pub(crate) fn restricted_visibility_is_exempt() {}
+
+pub use std::cmp::Ordering;
+
+fn private_items_need_nothing() {}

@@ -1,0 +1,17 @@
+//! Fixture: `unsafe` without a SAFETY argument.
+
+fn no_comment_at_all(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() } //~ ERROR safety-comment-on-unsafe
+}
+
+fn wrong_magic_word(xs: &[u8]) -> u8 {
+    // Safety considerations were definitely pondered here, honest.
+    unsafe { *xs.as_ptr() } //~ ERROR safety-comment-on-unsafe
+}
+
+fn comment_too_far_away(xs: &[u8]) -> u8 {
+    // SAFETY: this argument is orphaned — two code lines separate it from the block.
+    let n = xs.len();
+    let m = n.saturating_sub(1);
+    unsafe { *xs.as_ptr().add(m) } //~ ERROR safety-comment-on-unsafe
+}

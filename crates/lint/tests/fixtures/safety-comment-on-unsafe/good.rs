@@ -1,0 +1,20 @@
+//! Fixture: properly argued `unsafe`.
+
+fn block_comment_above(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `xs` is non-empty, so reading the first
+    // element stays in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+fn trailing_on_the_same_line(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() } // SAFETY: xs is non-empty, checked by the caller
+}
+
+/// # Safety
+/// The pointer must be valid for reads.
+///
+// SAFETY: propagated contract — see the doc comment above.
+unsafe fn documented_unsafe_fn(p: *const u8) -> u8 {
+    // SAFETY: validity for reads is this function's own precondition.
+    unsafe { *p }
+}

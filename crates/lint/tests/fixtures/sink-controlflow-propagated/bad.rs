@@ -1,0 +1,17 @@
+//! Fixture: sink pushes whose returned `ControlFlow` is dropped.
+
+use std::ops::ControlFlow;
+
+fn drops_the_flow(sink: &mut CollectSink, row: &[i64]) {
+    sink.push(row); //~ ERROR sink-controlflow-propagated
+}
+
+fn explicitly_discards(shard: &mut Shard, row: &[i64]) {
+    let _ = shard.push(row); //~ ERROR sink-controlflow-propagated
+}
+
+fn drops_in_a_loop(my_sink: &mut CollectSink, rows: &[&[i64]]) {
+    for row in rows {
+        my_sink.push(row); //~ ERROR sink-controlflow-propagated
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: consumed `ControlFlow`, and non-sink receivers.
+
+use std::ops::ControlFlow;
+
+fn branches(sink: &mut CollectSink, row: &[i64]) -> bool {
+    if sink.push(row).is_break() {
+        return true;
+    }
+    false
+}
+
+fn binds(shard: &mut Shard, row: &[i64]) -> ControlFlow<()> {
+    let flow = shard.push(row);
+    flow
+}
+
+fn tail_position(sink: &mut CollectSink, row: &[i64]) -> ControlFlow<()> {
+    sink.push(row)
+}
+
+fn matched(sink: &mut CollectSink, row: &[i64]) -> u32 {
+    match sink.push(row) {
+        ControlFlow::Continue(()) => 0,
+        ControlFlow::Break(()) => 1,
+    }
+}
+
+fn other_receivers_are_not_sinks(vec: &mut Vec<i64>, x: i64) {
+    vec.push(x);
+}

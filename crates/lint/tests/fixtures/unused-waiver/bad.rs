@@ -1,0 +1,13 @@
+//! Fixture: waivers that suppress nothing are stale and must be removed.
+
+fn stale_standalone(x: Option<u32>) -> u32 {
+    // gj-lint: allow(no-panic-in-engines) — stale: the unwrap this excused is long gone
+    //~^ ERROR unused-waiver
+    x.map_or(0, |v| v)
+}
+
+fn stale_trailing(x: Option<u32>) -> u32 {
+    let v = x.map_or(0, |v| v); // gj-lint: allow(no-panic-in-engines) — waives a line with nothing on it
+    //~^ ERROR unused-waiver
+    v
+}

@@ -1,0 +1,10 @@
+//! Fixture: a waiver that actually suppresses a finding is not "unused".
+
+fn used_waiver(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: allow(no-panic-in-engines) — fixture: reviewed, input validated upstream
+}
+
+fn one_waiver_two_findings(x: Option<u32>, y: Option<u32>) -> u32 {
+    // gj-lint: allow(no-panic-in-engines) — fixture: both unwraps below are covered by one waiver
+    x.unwrap() + y.unwrap()
+}

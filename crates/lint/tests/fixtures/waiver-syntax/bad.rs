@@ -1,0 +1,26 @@
+//! Fixture: malformed waivers are findings themselves — and since a malformed
+//! waiver suppresses nothing, the original finding surfaces alongside it.
+
+fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: allow(no-panic-in-engines)
+    //~^ ERROR waiver-syntax
+    //~^^ ERROR no-panic-in-engines
+}
+
+fn reason_too_short(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: allow(no-panic-in-engines) — ok
+    //~^ ERROR waiver-syntax
+    //~^^ ERROR no-panic-in-engines
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: allow(no-such-rule) — a perfectly reasonable-length reason
+    //~^ ERROR waiver-syntax
+    //~^^ ERROR no-panic-in-engines
+}
+
+fn not_the_allow_form(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: suppress(no-panic-in-engines) — wrong verb entirely
+    //~^ ERROR waiver-syntax
+    //~^^ ERROR no-panic-in-engines
+}

@@ -1,0 +1,15 @@
+//! Fixture: well-formed waivers parse silently and suppress their findings.
+
+fn trailing_form(x: Option<u32>) -> u32 {
+    x.unwrap() // gj-lint: allow(no-panic-in-engines) — fixture: validated at construction time
+}
+
+fn standalone_form(x: Option<u32>) -> u32 {
+    // gj-lint: allow(no-panic-in-engines) — fixture: the waiver on this line covers the next
+    x.unwrap()
+}
+
+fn multi_rule_form(x: Option<u32>) -> u32 {
+    // gj-lint: allow(no-panic-in-engines, poison-tolerant-locks) — fixture: one reviewed reason for both
+    x.unwrap()
+}

@@ -1,0 +1,11 @@
+//! An "executor" that never polls the cooperative stop probe. //~ ERROR watch-tick-in-executors
+
+pub fn run_join(rows: &[i64]) -> u64 {
+    let mut n = 0;
+    for pair in rows.windows(2) {
+        if pair[0] == pair[1] {
+            n += 1;
+        }
+    }
+    n
+}

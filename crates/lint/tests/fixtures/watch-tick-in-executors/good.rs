@@ -1,0 +1,15 @@
+//! An executor whose inner loop ticks the watch: budget and cancellation
+//! latency stay bounded by the loop body.
+
+pub fn run_join(rows: &[i64], watch: &ExecWatch) -> u64 {
+    let mut n = 0;
+    for pair in rows.windows(2) {
+        if watch.tick() {
+            break;
+        }
+        if pair[0] == pair[1] {
+            n += 1;
+        }
+    }
+    n
+}

@@ -537,7 +537,9 @@ impl<'a> MinesweeperExecutor<'a> {
 /// The lexicographic successor of `t` (last component incremented).
 fn successor(t: &[Val]) -> Vec<Val> {
     let mut s = t.to_vec();
-    *s.last_mut().expect("tuples are non-empty") += 1;
+    if let Some(last) = s.last_mut() {
+        *last += 1;
+    }
     s
 }
 

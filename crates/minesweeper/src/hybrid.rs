@@ -118,7 +118,7 @@ impl HybridPlan {
         );
         let clique_joint = clique_query
             .var(&query.var_names[joint])
-            .expect("guarded above: the shared variable occurs in a clique atom");
+            .ok_or_else(|| "the shared variable is missing from the clique subquery".to_string())?;
         // Put the shared vertex first in the clique GAO so groups are contiguous.
         let mut clique_gao: Vec<VarId> = vec![clique_joint];
         clique_gao.extend((0..clique_query.num_vars()).filter(|&v| v != clique_joint));
@@ -130,7 +130,7 @@ impl HybridPlan {
             build_subquery(&format!("{}-path", query.name), query, &path_atoms, &path_filters);
         let path_joint = path_query
             .var(&query.var_names[joint])
-            .expect("guarded above: the shared variable occurs in a path atom");
+            .ok_or_else(|| "the shared variable is missing from the path subquery".to_string())?;
         let (path_bq, path_report) =
             BoundQuery::with_cache(instance, &path_query, None, cache, threads)?;
         let path_joint_gao_pos = path_bq.var_pos[path_joint];

@@ -100,6 +100,9 @@ impl<'a> MsMorsels<'a> {
         counting: bool,
     ) -> &'w mut MinesweeperExecutor<'a> {
         if worker.exec.as_ref().is_none_or(|&(_, kind)| kind != counting) {
+            worker.exec = None;
+        }
+        let (exec, _) = worker.exec.get_or_insert_with(|| {
             let config = if counting {
                 self.config.clone()
             } else {
@@ -110,9 +113,9 @@ impl<'a> MsMorsels<'a> {
             // carryable constraints pays off here (one-shot executors stay
             // unarmed and skip the recording cost).
             exec.arm_carryover();
-            worker.exec = Some((exec, counting));
-        }
-        &mut worker.exec.as_mut().expect("executor just ensured").0
+            (exec, counting)
+        });
+        exec
     }
 }
 
@@ -135,7 +138,7 @@ impl<'a> MorselSource for MsMorsels<'a> {
             self.executor(worker, false);
         }
         let MsWorker { exec, scratch, totals } = worker;
-        let exec = &mut exec.as_mut().expect("row executor just ensured").0;
+        let Some((exec, _)) = exec.as_mut() else { return };
         let stats = exec.run_range_ctx(morsel.lo, morsel.hi, ctx, &mut |binding, _| {
             for (pos, &v) in gao.iter().enumerate() {
                 scratch[v] = binding[pos];

@@ -157,6 +157,7 @@ impl IndexCache {
 
         let built: Mutex<Vec<Option<Arc<TrieIndex>>>> = Mutex::new(vec![None; missing.len()]);
         let next = AtomicUsize::new(0);
+        // gj-lint: allow(no-direct-thread-spawn-outside-runtime) — structured scoped build before any runtime driver exists; joins before returning
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let next = &next;
@@ -271,6 +272,29 @@ mod tests {
         cache.set_failpoints(None);
         cache.get_or_build("edge", &r, &[0, 1]);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The poison-tolerance contract, pinned per structure: a build thread that
+    /// panics while holding the `entries` lock leaves the cache poisoned but
+    /// fully usable, and the indexes it serves afterwards are the *same shared
+    /// allocations* as before the fault (`Arc::ptr_eq`, stronger than equality).
+    #[test]
+    fn a_poisoned_cache_serves_the_identical_shared_indexes() {
+        let cache = IndexCache::new();
+        let r = edge();
+        let before = cache.get_or_build("edge", &r, &[0, 1]);
+        let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.entries.write().unwrap();
+            panic!("build thread dies while holding the cache lock");
+        }));
+        assert!(unwind.is_err());
+        assert!(cache.entries.is_poisoned(), "the panic must actually poison the lock");
+        let after = cache.get("edge", &[0, 1]).expect("a poisoned cache still serves reads");
+        assert!(Arc::ptr_eq(&before, &after), "the recovered index is the same allocation");
+        let rebuilt = cache.get_or_build("edge", &r, &[0, 1]);
+        assert!(Arc::ptr_eq(&before, &rebuilt), "no spurious rebuild after recovery");
+        cache.get_or_build("edge", &r, &[1, 0]);
+        assert_eq!(cache.len(), 2, "writes keep working on a poisoned cache");
     }
 
     #[test]

@@ -184,6 +184,7 @@ fn worker_loop<S: MorselSource, K: ParallelSink>(
         }
         if let Some(fp) = monitor.failpoints() {
             match fp.hit(sites::MORSEL_CLAIM) {
+                // gj-lint: allow(no-panic-in-engines) — fault-injection failpoint: the panic IS the fault under test
                 Some(FailpointHit::Panic) => panic!("failpoint panic: {}", sites::MORSEL_CLAIM),
                 Some(FailpointHit::Trip) => {
                     monitor.trip_budget();
@@ -198,6 +199,7 @@ fn worker_loop<S: MorselSource, K: ParallelSink>(
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .take()
+            // gj-lint: allow(no-panic-in-engines) — double-claim means corrupt results; aborting the worker is the safe outcome
             .expect("every job is claimed exactly once");
         if K::COUNT_ONLY {
             let count = source.count_morsel(&mut worker, morsels[job], &ctx);
@@ -226,6 +228,7 @@ fn worker_loop<S: MorselSource, K: ParallelSink>(
         source.morsel_done(&mut worker, morsels[job]);
         if let Some(fp) = monitor.failpoints() {
             match fp.hit(sites::SHARD_MERGE) {
+                // gj-lint: allow(no-panic-in-engines) — fault-injection failpoint: the panic IS the fault under test
                 Some(FailpointHit::Panic) => panic!("failpoint panic: {}", sites::SHARD_MERGE),
                 Some(FailpointHit::Trip) => {
                     monitor.trip_budget();
@@ -314,6 +317,7 @@ pub fn drive<S: MorselSource, K: ParallelSink>(
     let monitor = ExecMonitor::unlimited();
     match try_drive(source, morsels, threads, sink, &monitor) {
         Ok(report) => report,
+        // gj-lint: allow(no-panic-in-engines) — documented infallible wrapper ("# Panics"); limit-free runs cannot abort
         Err(err) => panic!("{err}"),
     }
 }
@@ -543,5 +547,67 @@ mod tests {
         let err = try_drive(&source, &morsels, 1, &mut sink, &monitor).unwrap_err();
         canceller.join().unwrap();
         assert_eq!(err, ExecError::Cancelled);
+    }
+
+    /// A sink whose first `absorb` panics — *while the worker holds the merger
+    /// mutex*, poisoning it mid-run.
+    struct PoisonOnFirstAbsorb {
+        inner: CollectSink,
+        armed: bool,
+    }
+
+    impl crate::sink::Sink for PoisonOnFirstAbsorb {
+        fn push(&mut self, row: &[Val]) -> ControlFlow<()> {
+            crate::sink::Sink::push(&mut self.inner, row)
+        }
+    }
+
+    impl ParallelSink for PoisonOnFirstAbsorb {
+        type Shard = <CollectSink as ParallelSink>::Shard;
+
+        fn shard(&self) -> Self::Shard {
+            self.inner.shard()
+        }
+
+        fn absorb(&mut self, shard: Self::Shard) -> (u64, ControlFlow<()>) {
+            if self.armed {
+                self.armed = false;
+                panic!("absorb dies while holding the merger lock");
+            }
+            self.inner.absorb(shard)
+        }
+    }
+
+    /// The poison-tolerance contract at the shard-merge mutex: an `absorb` that
+    /// panics poisons the merger lock mid-run, the fault surfaces as a typed
+    /// [`ExecError::WorkerPanicked`], and a fresh run over the same source is
+    /// byte-identical to the serial answer — nothing sticks.
+    #[test]
+    fn a_poisoned_merger_surfaces_worker_panicked_and_reruns_byte_identical() {
+        let source = Iota { n: 400 };
+        let morsels = tile(&[100, 200, 300]);
+        let budget = QueryBudget::new();
+        let monitor = ExecMonitor::new(&budget);
+        let mut sink = PoisonOnFirstAbsorb { inner: CollectSink::new(), armed: true };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = try_drive(&source, &morsels, 4, &mut sink, &monitor);
+        std::panic::set_hook(prev);
+        match result {
+            Err(ExecError::WorkerPanicked { payload }) => {
+                assert!(payload.contains("merger lock"), "{payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+
+        let mut serial = CollectSink::new();
+        drive(&source, &morsels, 1, &mut serial);
+        let expected = serial.into_rows();
+        let rerun_monitor = ExecMonitor::new(&budget);
+        let mut rerun = CollectSink::new();
+        let report = try_drive(&source, &morsels, 4, &mut rerun, &rerun_monitor)
+            .expect("the fault must not stick to source or morsels");
+        assert_eq!(rerun.into_rows(), expected, "byte-identical after the poisoned run");
+        assert_eq!(report.rows, 400);
     }
 }

@@ -374,6 +374,7 @@ impl ExecWatch<'_> {
         };
         if let Some(fp) = monitor.failpoints() {
             match fp.hit(sites::JOIN_STEP) {
+                // gj-lint: allow(no-panic-in-engines) — fault-injection failpoint: the panic IS the fault under test
                 Some(FailpointHit::Panic) => panic!("failpoint panic: {}", sites::JOIN_STEP),
                 Some(FailpointHit::Trip) => monitor.trip_budget(),
                 None => {}

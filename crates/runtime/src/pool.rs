@@ -103,6 +103,26 @@ mod tests {
         assert_eq!(pool.len(), 1);
     }
 
+    /// The PR 6 contract, pinned per structure: a panicked worker may poison the
+    /// pool's mutex, but the next query must see byte-identical pool contents —
+    /// the lock is never held across user code, so the parked workers are intact.
+    #[test]
+    fn a_poisoned_pool_serves_byte_identical_workers() {
+        let pool: WorkerPool<Vec<u32>> = WorkerPool::new();
+        pool.release(vec![1, 2, 3]);
+        let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.workers.lock().unwrap();
+            panic!("worker dies while holding the pool lock");
+        }));
+        assert!(unwind.is_err());
+        assert!(pool.workers.is_poisoned(), "the panic must actually poison the mutex");
+        assert_eq!(pool.len(), 1, "a poisoned pool still counts its workers");
+        let worker = pool.acquire_or(Vec::new);
+        assert_eq!(worker, vec![1, 2, 3], "recovered state is byte-identical");
+        pool.release(worker);
+        assert_eq!(pool.len(), 1, "release works on a poisoned pool too");
+    }
+
     #[test]
     fn pool_is_shared_across_threads() {
         let pool: WorkerPool<usize> = WorkerPool::new();

@@ -61,6 +61,7 @@ pub trait ShardSink: Send {
     /// Receives a whole morsel's output count at once (counting fast path; only
     /// called when the owning sink sets [`ParallelSink::COUNT_ONLY`]).
     fn push_count(&mut self, _rows: u64) {
+        // gj-lint: allow(no-panic-in-engines) — protocol guard: COUNT_ONLY sinks must override; silently dropping counts would corrupt results
         unreachable!("push_count is only driven for COUNT_ONLY parallel sinks");
     }
 

@@ -314,6 +314,8 @@ mod tests {
         assert_eq!(collected, vec![&[1, 2, 3][..], &[4, 5, 6][..]]);
         // Row slices alias the single flat buffer.
         let base = r.flat_values().as_ptr();
+        // SAFETY: the relation holds 2 rows × 3 columns = 6 values in one flat
+        // allocation, so base + 3 is in bounds of that same allocation.
         assert_eq!(r.row(1).as_ptr(), unsafe { base.add(3) });
     }
 

@@ -1,0 +1,78 @@
+//! Stability contract for the typed-error surface.
+//!
+//! The short labels returned by [`ExecError::kind`] and [`RunOutcome::label`]
+//! are machine-readable: benchmark outcome cells, abort-parity assertions, and
+//! the fault-injection harness all match on the literal strings. This test pins
+//! every one of them, so renaming a label (or adding a variant without deciding
+//! its label) fails here first — loudly — instead of silently reshaping
+//! downstream reports.
+
+use graphjoin::{CancelToken, CatalogQuery, Database, ExecError, Graph, QueryBudget, RunOutcome};
+use std::time::Duration;
+
+/// Every `ExecError` variant, constructed directly.
+fn all_variants() -> Vec<ExecError> {
+    vec![
+        ExecError::BudgetExceeded { rows: 7, budget: 5 },
+        ExecError::DeadlineExceeded,
+        ExecError::Cancelled,
+        ExecError::WorkerPanicked { payload: "boom".to_string() },
+    ]
+}
+
+#[test]
+fn every_exec_error_kind_string_is_pinned() {
+    let kinds: Vec<&str> = all_variants().iter().map(ExecError::kind).collect();
+    assert_eq!(kinds, ["budget", "deadline", "cancelled", "panic"]);
+}
+
+#[test]
+fn every_display_rendering_is_pinned() {
+    let rendered: Vec<String> = all_variants().iter().map(ExecError::to_string).collect();
+    assert_eq!(
+        rendered,
+        [
+            "row budget exceeded (7 rows delivered, budget 5)",
+            "deadline exceeded",
+            "cancelled",
+            "worker panicked: boom",
+        ]
+    );
+}
+
+#[test]
+fn run_outcome_labels_are_pinned() {
+    assert_eq!(RunOutcome::Completed.label(), "completed");
+    assert!(RunOutcome::Completed.is_completed());
+    for err in all_variants() {
+        let outcome = RunOutcome::Aborted { reason: err.clone(), failpoint: None };
+        assert_eq!(outcome.label(), err.kind(), "aborted label delegates to kind");
+        assert!(!outcome.is_completed());
+    }
+}
+
+/// The labels a live run reports must be the same pinned strings — the contract
+/// holds end to end, not just on hand-built values.
+#[test]
+fn live_runs_report_the_pinned_labels() {
+    let mut db = Database::new();
+    let n = 24u32;
+    let edges: Vec<(u32, u32)> = (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    db.add_graph(Graph::new_undirected(n as usize, edges));
+    let q = CatalogQuery::ThreeClique.query();
+    let prepared = db.prepare(&q, &graphjoin::Engine::Lftj).unwrap();
+
+    let completed = prepared.count_outcome(1, &QueryBudget::new());
+    assert_eq!(completed.outcome.label(), "completed");
+
+    let budget = prepared.count_outcome(1, &QueryBudget::new().with_max_rows(1));
+    assert_eq!(budget.outcome.label(), "budget");
+
+    let deadline = prepared.count_outcome(1, &QueryBudget::new().with_timeout(Duration::ZERO));
+    assert_eq!(deadline.outcome.label(), "deadline");
+
+    let token = CancelToken::default();
+    token.cancel();
+    let cancelled = prepared.count_outcome(1, &QueryBudget::new().with_cancel_token(token));
+    assert_eq!(cancelled.outcome.label(), "cancelled");
+}
