@@ -36,7 +36,17 @@
 //! intermediates explode into the budget, which is the paper's point, not a
 //! trajectory worth recording per PR. Their `par4_*` columns exercise the
 //! morsel-parallel pairwise path.
+//!
+//! Two serving-stack columns ride along per record:
+//!
+//! * `open_ms` — cold-start-to-first-answer from disk: `Database::open` on a
+//!   store persisted once at startup, plus prepare and one count (lazy slot
+//!   hydration through the buffer pool included);
+//! * `svc8_qps` — sustained queries/second through `gj-service`: 8 concurrent
+//!   sessions over one shared snapshot, each issuing repeated counts through
+//!   admission control and the history recorder.
 
+use gj_service::{Service, ServiceConfig};
 use graphjoin::{
     CatalogQuery, Database, Engine, ExecLimits, MsConfig, PreparedQuery, Query, QueryBudget,
     RunOutcome,
@@ -117,6 +127,18 @@ fn main() {
     for (name, rel) in gj_datagen::sample_relations(num_nodes, 10, 4, opts.seed) {
         db.add_relation(name, rel);
     }
+
+    // Persist the database once: the `open_ms` column below measures the full
+    // cold-start path (open the paged store, prepare, count) against this image.
+    let store_dir = std::env::temp_dir().join(format!("gj-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let persist_start = Instant::now();
+    db.persist(&store_dir).expect("persist bench database");
+    println!(
+        "store: persisted to {} in {:.1} ms",
+        store_dir.display(),
+        persist_start.elapsed().as_secs_f64() * 1e3
+    );
 
     let queries = [
         CatalogQuery::ThreeClique,
@@ -225,13 +247,50 @@ fn main() {
             });
             assert_eq!(warm_built, 0, "a warm prepare must build nothing");
 
+            // Cold-start from disk: open the persisted store, prepare against a
+            // fresh (per-open) index cache, count. Lazy slots hydrate the
+            // relations the query touches through the buffer pool.
+            let (open_ms, open_count) = min_ms(opts.reps, || {
+                let disk = Database::open(&store_dir).expect("open persisted store");
+                let p = disk.prepare(&q, engine).expect("prepare from disk");
+                p.count().expect("count from disk")
+            });
+            assert_eq!(open_count, count, "disk-backed count must agree with memory");
+
+            // Serving throughput: 8 sessions over one shared snapshot, each
+            // issuing `reps + 1` counts through admission + history recording.
+            // Threads go through the runtime's panic-isolating worker scope.
+            let svc_iters = opts.reps.max(1) + 1;
+            let service = Service::new(
+                db.clone(),
+                ServiceConfig { max_concurrent: 8, queue_depth: 64, ..Default::default() },
+            );
+            let svc_start = Instant::now();
+            let svc_results = gj_runtime::scoped_workers(8, |_| {
+                let session = service.session();
+                let mut last = 0u64;
+                for _ in 0..svc_iters {
+                    last = session.count(&q, engine).expect("service count");
+                }
+                last
+            });
+            let svc_secs = svc_start.elapsed().as_secs_f64();
+            for result in svc_results {
+                assert_eq!(
+                    result.expect("service worker"),
+                    count,
+                    "service sessions must agree with serial"
+                );
+            }
+            let svc8_qps = (8 * svc_iters) as f64 / svc_secs.max(1e-9);
+
             println!(
-                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   par4 rerun {:>9.3} ms ({:>4.2}x)   count {}",
-                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, count
+                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   par4 rerun {:>9.3} ms ({:>4.2}x)   open {:>9.3} ms   svc8 {:>8.1} qps   count {}",
+                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, open_ms, svc8_qps, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"build_threads\": {}, \"count\": {}, \"outcome\": \"{}\"}}",
-                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, threads, count, probe.label()
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"open_ms\": {:.3}, \"svc8_qps\": {:.1}, \"build_threads\": {}, \"count\": {}, \"outcome\": \"{}\"}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, open_ms, svc8_qps, threads, count, probe.label()
             ));
         }
     }
@@ -252,4 +311,5 @@ fn main() {
     let mut file = std::fs::File::create(path).expect("create BENCH_joins.json");
     file.write_all(json.as_bytes()).expect("write BENCH_joins.json");
     println!("\njson: {}", path.display());
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

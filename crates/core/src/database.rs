@@ -128,12 +128,19 @@ pub type QueryOutput = Vec<Vec<Val>>;
 
 /// An in-memory database of named relations plus an optional source graph, with a
 /// shared trie-index cache that amortises index builds across prepared queries.
+///
+/// A database can additionally be *disk-backed* (see [`Database::open`] and
+/// [`Database::persist`] in the persistence module): relations then hydrate
+/// lazily from a [`gj_store::Store`] on first query, and mutations can be made
+/// durable through the store's write-ahead log. Cloning a disk-backed database
+/// shares the attached store (both clones commit to the same WAL).
 #[derive(Debug, Clone)]
 pub struct Database {
     instance: Instance,
     graph: Option<Arc<Graph>>,
     cache: IndexCache,
     prepare_threads: usize,
+    store: Option<Arc<gj_store::Store>>,
 }
 
 impl Default for Database {
@@ -143,6 +150,7 @@ impl Default for Database {
             graph: None,
             cache: IndexCache::new(),
             prepare_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            store: None,
         }
     }
 }
@@ -178,6 +186,29 @@ impl Database {
     /// The underlying instance (relation catalog).
     pub fn instance(&self) -> &Instance {
         &self.instance
+    }
+
+    /// The attached disk store, if this database was opened from (or persisted
+    /// and re-attached to) one.
+    pub fn store(&self) -> Option<&Arc<gj_store::Store>> {
+        self.store.as_ref()
+    }
+
+    /// Mutable catalog access for the persistence module (lazy-slot installs).
+    pub(crate) fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// Sets the graph *without* re-deriving the `"edge"` relation — used when
+    /// reopening a store, where the persisted `"edge"` relation is already the
+    /// authoritative one (it may have been overwritten after `add_graph`).
+    pub(crate) fn set_graph_raw(&mut self, graph: Arc<Graph>) {
+        self.graph = Some(graph);
+    }
+
+    /// Attaches the disk store that backs this database.
+    pub(crate) fn set_store(&mut self, store: Arc<gj_store::Store>) {
+        self.store = Some(store);
     }
 
     /// The stored graph, if any.

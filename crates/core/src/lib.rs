@@ -60,6 +60,8 @@
 
 /// The [`Database`] façade: load relations, pick an [`Engine`], run queries.
 pub mod database;
+/// Disk persistence: [`Database::open`], [`Database::persist`], durable commits.
+pub mod persist;
 /// Prepared queries: bind once, run many, inspect [`RunStats`]/[`RunOutcome`].
 pub mod prepare;
 /// Result sinks: collect, count, existence probe, first-k.
@@ -93,3 +95,6 @@ pub use gj_query::{
 // tests arm through `QueryBudget::with_failpoints` / `IndexCache::set_failpoints`.
 pub use gj_storage::{fault, FailAction, FailpointHit, FailpointRegistry};
 pub use gj_storage::{Graph, Relation, TrieIndex, Val};
+// The paged disk store (`gj-store`) behind `Database::open` / `persist`:
+// buffer-pool statistics and the typed store error surface.
+pub use gj_store::{PoolStats, Store, StoreError, PAGE_SIZE};

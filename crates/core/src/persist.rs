@@ -1,0 +1,280 @@
+//! Disk persistence for [`Database`]: open, persist, durable commits,
+//! checkpoints.
+//!
+//! The division of labour with `gj-store`: the store knows pages, extents, the
+//! WAL and recovery; this module knows the `Database` shape — which relations
+//! exist, how the graph and its derived `"edge"` relation relate, and how to
+//! install *lazy* catalog slots so that [`Database::open`] is cheap no matter
+//! how large the image is. A relation's bytes are only read (through the
+//! store's buffer pool, checksum-verified) the first time a query binds it.
+//!
+//! ## Failure surfacing
+//!
+//! Opening, persisting and committing return typed [`StoreError`]s. Lazy
+//! hydration happens *inside* `prepare`, which already runs under a
+//! `catch_unwind` boundary: if the store reports an error at hydration time
+//! (bit rot caught by an extent checksum, a vanished file), the loader panics
+//! with the rendered error and `prepare` surfaces it as
+//! `EngineError::Exec(ExecError::WorkerPanicked)` — queries fail cleanly, the
+//! database object stays usable.
+
+use crate::database::Database;
+use gj_query::RelationLoader;
+use gj_storage::fault::FailpointRegistry;
+use gj_storage::{Graph, Relation};
+use gj_store::{Store, StoreError};
+use std::path::Path;
+use std::sync::Arc;
+
+impl Database {
+    /// Opens the disk store at `path` and returns a database over it.
+    ///
+    /// Every persisted relation is installed as a lazy slot (hydrated through
+    /// the store's buffer pool on first use); the graph, if persisted, is
+    /// rebuilt eagerly (its CSR adjacency is needed by the graph engine and is
+    /// cheap relative to relation extents). WAL recovery runs inside
+    /// [`Store::open`]: committed-but-not-checkpointed mutations are replayed,
+    /// a torn tail from a crash is discarded.
+    ///
+    /// ```no_run
+    /// use graphjoin::{CatalogQuery, Database, Engine, Graph};
+    ///
+    /// let mut db = Database::new();
+    /// db.add_graph(Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]));
+    /// db.persist("/tmp/my-store")?;
+    ///
+    /// let reopened = Database::open("/tmp/my-store")?;
+    /// let prepared = reopened.prepare(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap();
+    /// assert_eq!(prepared.count().unwrap(), 1);
+    /// # Ok::<(), graphjoin::StoreError>(())
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> Result<Database, StoreError> {
+        Self::open_with_failpoints(path, None)
+    }
+
+    /// [`open`](Self::open) with a fault-injection registry threaded into the
+    /// store (arms `wal_append` / `page_flush` / `recovery_replay` sites).
+    pub fn open_with_failpoints(
+        path: impl AsRef<Path>,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<Database, StoreError> {
+        let store = Arc::new(Store::open(path.as_ref(), failpoints)?);
+        let mut db = Database::new();
+        for name in store.relation_names() {
+            db.instance_mut().add_lazy_relation(name.clone(), lazy_loader(&store, name));
+        }
+        if let Some(graph) = store.load_graph()? {
+            db.set_graph_raw(Arc::new(graph));
+        }
+        db.set_store(store);
+        Ok(db)
+    }
+
+    /// Writes a complete checkpoint image of this database to `path`
+    /// (creating or replacing the store directory) with an empty WAL. The
+    /// database itself is *not* attached to the new store; use
+    /// [`Database::open`] to serve from it.
+    ///
+    /// Persisting hydrates every lazy slot (the image must contain full data).
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.persist_with_failpoints(path, None)
+    }
+
+    /// [`persist`](Self::persist) with a fault-injection registry threaded into
+    /// the store (every page write passes the `page_flush` site).
+    pub fn persist_with_failpoints(
+        &self,
+        path: impl AsRef<Path>,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<(), StoreError> {
+        let store = Store::create(path.as_ref(), failpoints)?;
+        checkpoint_into(self, &store)
+    }
+
+    /// Durably replaces relation `name`: the mutation is appended to the
+    /// attached store's WAL *before* the in-memory apply, so a crash between
+    /// the two replays it on the next open. Errors with
+    /// [`StoreError::NotAttached`] when the database has no store.
+    pub fn commit_relation(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+    ) -> Result<&mut Self, StoreError> {
+        let name = name.into();
+        let store = self.store().ok_or(StoreError::NotAttached)?;
+        store.log_add_relation(&name, &relation)?;
+        self.add_relation(name, relation);
+        Ok(self)
+    }
+
+    /// Durably replaces the graph (and its derived `"edge"` relation), WAL
+    /// first — the durable counterpart of [`Database::add_graph`].
+    pub fn commit_graph(&mut self, graph: impl Into<Arc<Graph>>) -> Result<&mut Self, StoreError> {
+        let graph = graph.into();
+        let store = self.store().ok_or(StoreError::NotAttached)?;
+        store.log_add_graph(&graph)?;
+        self.add_graph(graph);
+        Ok(self)
+    }
+
+    /// Folds the WAL into a fresh checkpoint image of the attached store:
+    /// hydrates everything, writes the new image, atomically renames it over
+    /// the old one, truncates the WAL. Reopening afterwards replays nothing.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let store = self.store().ok_or(StoreError::NotAttached)?;
+        checkpoint_into(self, store)
+    }
+}
+
+/// A loader that reads `name` from `store` on first access. Store errors
+/// surface as a panic with the rendered error, caught by the prepare path's
+/// panic-isolation boundary (see the module docs).
+fn lazy_loader(store: &Arc<Store>, name: String) -> RelationLoader {
+    let store = Arc::clone(store);
+    Arc::new(move || match store.load_relation(&name) {
+        Ok(relation) => relation,
+        Err(err) => panic!("lazy hydration of relation '{name}' failed: {err}"),
+    })
+}
+
+/// Hydrates the database's full image and checkpoints it into `store`.
+fn checkpoint_into(db: &Database, store: &Store) -> Result<(), StoreError> {
+    let names: Vec<String> = db.instance().relation_names().map(str::to_string).collect();
+    let mut image: Vec<(&str, &Relation)> = Vec::with_capacity(names.len());
+    for name in &names {
+        let relation = db
+            .instance()
+            .relation(name)
+            .ok_or_else(|| StoreError::MissingRelation(name.clone()))?;
+        image.push((name.as_str(), relation));
+    }
+    store.checkpoint(&image, db.graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Engine;
+    use gj_query::CatalogQuery;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gj-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_db() -> Database {
+        let graph = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut db = Database::new();
+        db.add_graph(graph);
+        db.add_relation("v1", Relation::from_values(vec![0, 1, 3]));
+        db.add_relation("v2", Relation::from_values(vec![2, 3, 4]));
+        db
+    }
+
+    #[test]
+    fn persist_open_roundtrip_is_query_identical_and_lazy() {
+        let dir = scratch("roundtrip");
+        let db = sample_db();
+        db.persist(&dir).unwrap();
+
+        let reopened = Database::open(&dir).unwrap();
+        assert!(!reopened.instance().is_resident("edge"), "open must not hydrate relation extents");
+        let q = CatalogQuery::ThreeClique.query();
+        assert_eq!(
+            reopened.count(&q, &Engine::Lftj).unwrap(),
+            db.count(&q, &Engine::Lftj).unwrap()
+        );
+        assert!(reopened.instance().is_resident("edge"), "first query hydrates");
+        // The graph engine sees the persisted graph too.
+        assert_eq!(
+            reopened.count(&q, &Engine::GraphEngine).unwrap(),
+            db.count(&q, &Engine::GraphEngine).unwrap()
+        );
+        assert_eq!(reopened.instance().total_tuples(), db.instance().total_tuples());
+    }
+
+    #[test]
+    fn commits_survive_reopen_without_checkpoint() {
+        let dir = scratch("commits");
+        sample_db().persist(&dir).unwrap();
+        let mut db = Database::open(&dir).unwrap();
+        db.commit_relation("v1", Relation::from_values(vec![7, 8, 9])).unwrap();
+        let g2 = Graph::new_undirected(3, vec![(0, 1), (1, 2), (0, 2)]);
+        db.commit_graph(g2).unwrap();
+        drop(db);
+
+        let reopened = Database::open(&dir).unwrap();
+        assert_eq!(
+            reopened.instance().relation("v1").unwrap().flat_values(),
+            &[7, 8, 9],
+            "committed relation replayed from the WAL"
+        );
+        let q = CatalogQuery::ThreeClique.query();
+        assert_eq!(reopened.count(&q, &Engine::Lftj).unwrap(), 1, "committed graph replayed");
+    }
+
+    #[test]
+    fn checkpoint_folds_the_wal_and_preserves_state() {
+        let dir = scratch("checkpoint");
+        sample_db().persist(&dir).unwrap();
+        let mut db = Database::open(&dir).unwrap();
+        db.commit_relation("v9", Relation::from_values(vec![4, 2])).unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join("wal.gj")).unwrap().len(),
+            0,
+            "checkpoint truncates the WAL"
+        );
+        drop(db);
+        let reopened = Database::open(&dir).unwrap();
+        // Relations canonicalize (sort) on construction: [4, 2] stores as [2, 4].
+        assert_eq!(reopened.instance().relation("v9").unwrap().flat_values(), &[2, 4]);
+    }
+
+    #[test]
+    fn commit_without_a_store_is_a_typed_error() {
+        let mut db = sample_db();
+        let err = db.commit_relation("x", Relation::from_values(vec![1])).unwrap_err();
+        assert_eq!(err, StoreError::NotAttached);
+        assert_eq!(db.checkpoint().unwrap_err(), StoreError::NotAttached);
+    }
+
+    #[test]
+    fn memory_only_mutations_on_an_attached_db_are_not_durable() {
+        let dir = scratch("volatile");
+        sample_db().persist(&dir).unwrap();
+        let mut db = Database::open(&dir).unwrap();
+        db.add_relation("scratchpad", Relation::from_values(vec![1, 2]));
+        assert!(db.instance().relation("scratchpad").is_some());
+        drop(db);
+        let reopened = Database::open(&dir).unwrap();
+        assert!(
+            reopened.instance().relation("scratchpad").is_none(),
+            "plain add_relation is memory-only; use commit_relation for durability"
+        );
+    }
+
+    #[test]
+    fn hydration_failure_is_a_typed_exec_error_not_an_unwind() {
+        let dir = scratch("hydration-fail");
+        sample_db().persist(&dir).unwrap();
+        let reopened = Database::open(&dir).unwrap();
+        // Destroy the data file after open: the catalog is read, but extents
+        // now hit bad bytes at first hydration.
+        let data = dir.join("data.gj");
+        let len = std::fs::metadata(&data).unwrap().len();
+        let bytes = vec![0u8; len as usize];
+        std::fs::write(&data, bytes).unwrap();
+        // NOTE: the open store's pager holds the *old* inode on unix only if
+        // the file were renamed; overwriting in place changes what reads see.
+        let q = CatalogQuery::ThreeClique.query();
+        let err = reopened.prepare(&q, &Engine::Lftj).unwrap_err();
+        match err {
+            crate::database::EngineError::Exec(e) => {
+                assert_eq!(e.kind(), "panic", "hydration failure surfaces as a caught panic");
+            }
+            other => panic!("expected Exec error, got {other:?}"),
+        }
+    }
+}

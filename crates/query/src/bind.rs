@@ -17,12 +17,69 @@ use crate::gao::{atom_gao_vars, atom_index_perm, select_gao};
 use crate::query::{Query, VarId};
 use gj_storage::{Relation, TrieIndex, Val};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// A loader that materializes a relation on first access (e.g. reading a
+/// `gj-store` extent through its buffer pool). Infallible by signature: loaders
+/// that can fail report through a panic, which the prepare path catches at its
+/// `catch_unwind` boundary and surfaces as a typed `WorkerPanicked` error.
+pub type RelationLoader = Arc<dyn Fn() -> Relation + Send + Sync>;
+
+/// One catalog slot: a resident relation, or a lazily hydrated one.
+///
+/// Hydration happens at most once per slot (enforced by `OnceLock`) and is
+/// thread-safe, so a shared instance can be queried concurrently while slots
+/// fill in. Cloning an unhydrated lazy slot clones the *loader* (both clones
+/// hydrate independently); cloning a hydrated slot clones the relation.
+enum Slot {
+    Resident(Relation),
+    Lazy { cell: OnceLock<Relation>, load: RelationLoader },
+}
+
+impl Slot {
+    fn get(&self) -> &Relation {
+        match self {
+            Slot::Resident(r) => r,
+            Slot::Lazy { cell, load } => cell.get_or_init(|| load()),
+        }
+    }
+
+    fn is_resident(&self) -> bool {
+        match self {
+            Slot::Resident(_) => true,
+            Slot::Lazy { cell, .. } => cell.get().is_some(),
+        }
+    }
+}
+
+impl Clone for Slot {
+    fn clone(&self) -> Self {
+        match self {
+            Slot::Resident(r) => Slot::Resident(r.clone()),
+            Slot::Lazy { cell, load } => match cell.get() {
+                Some(r) => Slot::Resident(r.clone()),
+                None => Slot::Lazy { cell: OnceLock::new(), load: Arc::clone(load) },
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Resident(r) => f.debug_tuple("Resident").field(r).finish(),
+            Slot::Lazy { cell, .. } => match cell.get() {
+                Some(r) => f.debug_tuple("Lazy(hydrated)").field(r).finish(),
+                None => f.write_str("Lazy(unhydrated)"),
+            },
+        }
+    }
+}
 
 /// A database instance: a set of named relations.
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Slot>,
 }
 
 impl Instance {
@@ -33,12 +90,26 @@ impl Instance {
 
     /// Adds (or replaces) a relation under `name`.
     pub fn add_relation(&mut self, name: impl Into<String>, relation: Relation) {
-        self.relations.insert(name.into(), relation);
+        self.relations.insert(name.into(), Slot::Resident(relation));
     }
 
-    /// Looks up a relation by name.
+    /// Adds (or replaces) a relation under `name` whose contents are produced
+    /// by `load` on first access (see [`RelationLoader`]). Until then the slot
+    /// holds no data, so opening a large disk-backed catalog stays cheap.
+    pub fn add_lazy_relation(&mut self, name: impl Into<String>, load: RelationLoader) {
+        self.relations.insert(name.into(), Slot::Lazy { cell: OnceLock::new(), load });
+    }
+
+    /// Looks up a relation by name, hydrating a lazy slot on first access.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(Slot::get)
+    }
+
+    /// Whether `name`'s slot currently holds materialized data — `false` only
+    /// for a lazy slot that has never been accessed. (Observability for tests
+    /// and tools; never affects query results.)
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.relations.get(name).is_some_and(Slot::is_resident)
     }
 
     /// Resolves the relation an atom refers to, checking existence and arity — the
@@ -75,9 +146,9 @@ impl Instance {
         self.relations.keys().map(String::as_str)
     }
 
-    /// Total number of tuples across all relations.
+    /// Total number of tuples across all relations (hydrates every lazy slot).
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|s| s.get().len()).sum()
     }
 }
 
@@ -249,6 +320,45 @@ mod tests {
         inst.add_relation("v1", Relation::from_values(vec![0, 1, 2, 3, 4]));
         inst.add_relation("v2", Relation::from_values(vec![0, 1, 2, 3, 4]));
         inst
+    }
+
+    #[test]
+    fn lazy_slots_hydrate_once_on_first_access() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut inst = Instance::new();
+        let counter = Arc::clone(&calls);
+        inst.add_lazy_relation(
+            "u",
+            Arc::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Relation::from_values(vec![1, 2, 3])
+            }),
+        );
+        assert!(!inst.is_resident("u"), "untouched lazy slot holds no data");
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(inst.relation("u").unwrap().len(), 3);
+        assert_eq!(inst.relation("u").unwrap().len(), 3);
+        assert!(inst.is_resident("u"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "loader ran exactly once");
+        // A clone of the unhydrated slot re-runs the loader; a clone of the
+        // hydrated slot does not.
+        let clone = inst.clone();
+        assert_eq!(clone.relation("u").unwrap().len(), 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lazy_slots_bind_like_resident_ones() {
+        let g = Graph::new_undirected(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let edge = g.edge_relation();
+        let mut inst = Instance::new();
+        let source = edge.clone();
+        inst.add_lazy_relation("edge", Arc::new(move || source.clone()));
+        let q = CatalogQuery::ThreeClique.query();
+        let bq = BoundQuery::new(&inst, &q, None).unwrap();
+        assert_eq!(bq.atoms.len(), 3);
+        assert!(inst.is_resident("edge"), "binding hydrated the slot");
     }
 
     #[test]

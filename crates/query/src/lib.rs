@@ -33,7 +33,7 @@ pub mod naive;
 pub mod query;
 
 pub use agm::agm_bound;
-pub use bind::{BindReport, BoundAtom, BoundQuery, Instance};
+pub use bind::{BindReport, BoundAtom, BoundQuery, Instance, RelationLoader};
 pub use cache::IndexCache;
 pub use catalog::CatalogQuery;
 pub use gao::{acyclic_skeleton, atom_index_perm, is_neo, select_gao};

@@ -57,17 +57,27 @@ pub enum ExecError {
         /// The panic payload, rendered to a string.
         payload: String,
     },
+    /// The serving layer's admission queue was full: the query was rejected
+    /// *before* execution started (see `gj-service`). Retry later or shed load.
+    Saturated {
+        /// Queries executing or queued when the rejection happened.
+        active: usize,
+        /// Total admission capacity (concurrent slots + queue depth).
+        capacity: usize,
+    },
 }
 
 impl ExecError {
-    /// Short machine-readable label ("budget" / "deadline" / "cancelled" / "panic"),
-    /// used by bench outcome cells and abort-parity assertions.
+    /// Short machine-readable label ("budget" / "deadline" / "cancelled" /
+    /// "panic" / "saturated"), used by bench outcome cells and abort-parity
+    /// assertions.
     pub fn kind(&self) -> &'static str {
         match self {
             ExecError::BudgetExceeded { .. } => "budget",
             ExecError::DeadlineExceeded => "deadline",
             ExecError::Cancelled => "cancelled",
             ExecError::WorkerPanicked { .. } => "panic",
+            ExecError::Saturated { .. } => "saturated",
         }
     }
 }
@@ -81,6 +91,9 @@ impl std::fmt::Display for ExecError {
             ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ExecError::Cancelled => write!(f, "cancelled"),
             ExecError::WorkerPanicked { payload } => write!(f, "worker panicked: {payload}"),
+            ExecError::Saturated { active, capacity } => {
+                write!(f, "service saturated ({active} in flight, capacity {capacity})")
+            }
         }
     }
 }

@@ -84,6 +84,7 @@ pub mod pool;
 pub mod psink;
 pub mod queue;
 pub mod sink;
+pub mod workers;
 
 pub use drive::{drive, try_drive, DriveReport, MorselSource};
 pub use exec::{
@@ -95,6 +96,7 @@ pub use pool::WorkerPool;
 pub use psink::{Ordered, ParallelSink, ShardSink};
 pub use queue::JobQueue;
 pub use sink::{CollectSink, CountSink, ExistsSink, FirstK, Sink};
+pub use workers::scoped_workers;
 
 /// Re-exported value type, so engine-independent callers need only this crate.
 pub use gj_storage::Val;

@@ -1,0 +1,212 @@
+//! Session-history recording and black-box serializability checking.
+//!
+//! The service appends one [`SessionEvent`] per successful read and per
+//! update. Updates are recorded *while holding the database write lock*, so
+//! their position in the log is their epoch order; reads record the epoch of
+//! the snapshot they executed against. [`check_history`] then replays the
+//! updates into a chain of epoch snapshots and re-executes every read
+//! serially: the history is valid iff each read's count matches what a
+//! single-threaded client would have seen at that epoch. This is a black-box
+//! checker — it exercises the public prepare/execute surface only.
+
+use gj_storage::Relation;
+use graphjoin::{Database, Engine, Query};
+use std::sync::{Mutex, PoisonError};
+
+/// One entry in a service's history log.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// A successful read: `session`'s `seq`-th query, executed against the
+    /// snapshot of `epoch`, observed `count` rows.
+    Read {
+        /// Session that issued the query.
+        session: u64,
+        /// Per-session sequence number of the query.
+        seq: u64,
+        /// Database epoch the query's snapshot was taken at.
+        epoch: u64,
+        /// The query that ran.
+        query: Query,
+        /// Engine it ran on.
+        engine: Engine,
+        /// Row count the session observed.
+        count: u64,
+    },
+    /// A committed update: replacing relation `name` produced `epoch`.
+    Update {
+        /// The epoch this update produced (first update produces epoch 1).
+        epoch: u64,
+        /// Relation replaced.
+        name: String,
+        /// Its new contents.
+        relation: Relation,
+    },
+}
+
+/// A thread-safe, append-only log of [`SessionEvent`]s.
+#[derive(Debug, Default)]
+pub struct HistoryLog {
+    events: Mutex<Vec<SessionEvent>>,
+}
+
+impl HistoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: SessionEvent) {
+        self.lock().push(event);
+    }
+
+    /// A point-in-time copy of the whole log.
+    pub fn events(&self) -> Vec<SessionEvent> {
+        self.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<SessionEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Verifies a concurrent history against serial re-execution.
+///
+/// `base` must be the database state at epoch 0 (before any recorded update).
+/// Replays every [`SessionEvent::Update`] in log order to materialise the
+/// snapshot chain, then re-runs every [`SessionEvent::Read`] against its
+/// epoch's snapshot on a single thread and compares counts. Returns a
+/// human-readable description of the first divergence.
+pub fn check_history(base: &Database, events: &[SessionEvent]) -> Result<(), String> {
+    let mut snapshots: Vec<Database> = vec![base.clone()];
+    for event in events {
+        if let SessionEvent::Update { epoch, name, relation } = event {
+            if *epoch as usize != snapshots.len() {
+                return Err(format!(
+                    "update '{name}' recorded at epoch {epoch}, expected epoch {}: \
+                     updates must be logged in epoch order",
+                    snapshots.len()
+                ));
+            }
+            let mut next = snapshots[snapshots.len() - 1].clone();
+            next.add_relation(name.clone(), relation.clone());
+            snapshots.push(next);
+        }
+    }
+    for event in events {
+        if let SessionEvent::Read { session, seq, epoch, query, engine, count } = event {
+            let snapshot = snapshots.get(*epoch as usize).ok_or_else(|| {
+                format!(
+                    "session {session} read at epoch {epoch}, but only {} epochs exist",
+                    snapshots.len()
+                )
+            })?;
+            let serial = snapshot
+                .count(query, engine)
+                .map_err(|e| format!("serial re-execution of '{}' failed: {e}", query.name))?;
+            if serial != *count {
+                return Err(format!(
+                    "session {session} query #{seq} ('{}', {engine:?}) at epoch {epoch}: \
+                     observed {count}, serial replay says {serial}",
+                    query.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_storage::Graph;
+    use graphjoin::CatalogQuery;
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.add_graph(Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]));
+        db
+    }
+
+    #[test]
+    fn valid_history_passes() {
+        let db = base();
+        let q = CatalogQuery::ThreeClique.query();
+        let events = vec![
+            SessionEvent::Read {
+                session: 1,
+                seq: 0,
+                epoch: 0,
+                query: q.clone(),
+                engine: Engine::Lftj,
+                count: 2,
+            },
+            SessionEvent::Update {
+                epoch: 1,
+                name: "edge".into(),
+                relation: Relation::from_flat(2, vec![0, 1, 1, 0, 1, 2, 2, 1, 0, 2, 2, 0]),
+            },
+            SessionEvent::Read {
+                session: 2,
+                seq: 0,
+                epoch: 1,
+                query: q,
+                engine: Engine::Lftj,
+                count: 1,
+            },
+        ];
+        check_history(&db, &events).unwrap();
+    }
+
+    #[test]
+    fn wrong_count_is_reported() {
+        let db = base();
+        let q = CatalogQuery::ThreeClique.query();
+        let events = vec![SessionEvent::Read {
+            session: 7,
+            seq: 3,
+            epoch: 0,
+            query: q,
+            engine: Engine::Lftj,
+            count: 999,
+        }];
+        let err = check_history(&db, &events).unwrap_err();
+        assert!(err.contains("session 7"), "diagnostic names the session: {err}");
+        assert!(err.contains("999"), "diagnostic includes the bad count: {err}");
+    }
+
+    #[test]
+    fn out_of_order_updates_are_rejected() {
+        let db = base();
+        let events = vec![SessionEvent::Update {
+            epoch: 5,
+            name: "x".into(),
+            relation: Relation::from_values(vec![1]),
+        }];
+        assert!(check_history(&db, &events).is_err());
+    }
+
+    #[test]
+    fn reads_at_unknown_epochs_are_rejected() {
+        let db = base();
+        let events = vec![SessionEvent::Read {
+            session: 1,
+            seq: 0,
+            epoch: 3,
+            query: CatalogQuery::ThreeClique.query(),
+            engine: Engine::Lftj,
+            count: 2,
+        }];
+        assert!(check_history(&db, &events).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! # gj-service
+//!
+//! A concurrent serving layer over the `graphjoin` engine: many sessions,
+//! one shared snapshot-versioned [`Database`](graphjoin::Database), bounded
+//! admission, typed rejections, and a black-box serializability checker.
+//!
+//! * [`Service`] owns the current database behind an epoch-stamped lock;
+//!   [`Service::session`] hands out independent [`Session`] handles that
+//!   execute queries against consistent snapshots (an update never tears a
+//!   running query). All snapshots share one
+//!   [`IndexCache`](graphjoin::IndexCache), so indexes built by any session
+//!   warm the rest.
+//! * [`Gate`] bounds concurrency: `max_concurrent` executing queries plus a
+//!   `queue_depth` wait queue, with immediate typed
+//!   [`ExecError::Saturated`](gj_runtime::ExecError) rejections past that —
+//!   the service sheds load, it never queues unboundedly or panics.
+//! * Every query runs under a [`QueryBudget`](gj_runtime::QueryBudget):
+//!   deadlines, row caps and per-query cancellation via
+//!   [`CancelToken`](gj_runtime::CancelToken) all surface as typed
+//!   `EngineError::Exec` aborts.
+//! * [`HistoryLog`] records every successful read and every update;
+//!   [`check_history`] replays the log serially and verifies that each
+//!   session observed exactly what some single serial order of the updates
+//!   would have produced.
+//!
+//! ```
+//! use gj_service::{Service, ServiceConfig};
+//! use graphjoin::{CatalogQuery, Database, Engine};
+//! use gj_storage::Graph;
+//!
+//! let mut db = Database::new();
+//! db.add_graph(Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]));
+//! let base = db.clone();
+//!
+//! let service = Service::new(db, ServiceConfig::default());
+//! let session = service.session();
+//! let q = CatalogQuery::ThreeClique.query();
+//! assert_eq!(session.count(&q, &Engine::Lftj).unwrap(), 2);
+//!
+//! // Every read was recorded; the checker replays them serially.
+//! service.verify_history(&base).unwrap();
+//! ```
+
+/// Bounded admission: the [`Gate`], its RAII [`Permit`]s, typed rejections.
+pub mod admission;
+/// History recording ([`HistoryLog`]) and the serial replay checker.
+pub mod history;
+/// The [`Service`] / [`Session`] surface over one shared database.
+pub mod service;
+
+pub use admission::{Gate, Permit};
+pub use history::{check_history, HistoryLog, SessionEvent};
+pub use service::{Service, ServiceConfig, Session};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_runtime::{CancelToken, ExecError, QueryBudget};
+    use gj_storage::{Graph, Relation};
+    use graphjoin::{CatalogQuery, Database, Engine, EngineError};
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.add_graph(Graph::new_undirected(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]));
+        db
+    }
+
+    #[test]
+    fn sessions_share_the_snapshot_and_record_history() {
+        let db = sample();
+        let base = db.clone();
+        let service = Service::with_defaults(db);
+        let q = CatalogQuery::ThreeClique.query();
+        let s1 = service.session();
+        let s2 = service.session();
+        assert_eq!(s1.count(&q, &Engine::Lftj).unwrap(), 2);
+        assert_eq!(s2.count(&q, &Engine::minesweeper()).unwrap(), 2);
+        assert_eq!(s2.collect(&q, &Engine::Lftj).unwrap().len(), 2);
+        assert_eq!(service.history().len(), 3);
+        service.verify_history(&base).unwrap();
+    }
+
+    #[test]
+    fn updates_bump_the_epoch_and_future_reads_see_them() {
+        let db = sample();
+        let base = db.clone();
+        let service = Service::with_defaults(db);
+        let q = CatalogQuery::ThreeClique.query();
+        let session = service.session();
+        assert_eq!(session.count(&q, &Engine::Lftj).unwrap(), 2);
+        assert_eq!(service.epoch(), 0);
+        // Shrink the edge relation to a single (bidirectional) triangle.
+        let epoch = service.update_relation(
+            "edge",
+            Relation::from_flat(2, vec![0, 1, 1, 0, 1, 2, 2, 1, 0, 2, 2, 0]),
+        );
+        assert_eq!(epoch, 1);
+        assert_eq!(session.count(&q, &Engine::Lftj).unwrap(), 1);
+        service.verify_history(&base).unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_updates() {
+        let db = sample();
+        let service = Service::with_defaults(db);
+        let before = service.snapshot();
+        service.update_relation("edge", Relation::from_flat(2, vec![0, 1, 1, 0]));
+        let q = CatalogQuery::ThreeClique.query();
+        // The pre-update snapshot still answers with the old state.
+        assert_eq!(before.count(&q, &Engine::Lftj).unwrap(), 2);
+        assert_eq!(service.snapshot().count(&q, &Engine::Lftj).unwrap(), 0);
+    }
+
+    #[test]
+    fn cancellation_and_budgets_surface_as_typed_errors() {
+        let db = sample();
+        let service = Service::with_defaults(db);
+        let session = service.session();
+        let q = CatalogQuery::ThreeClique.query();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = QueryBudget::new().with_cancel_token(token);
+        match session.count_with(&q, &Engine::Lftj, &budget) {
+            Err(EngineError::Exec(e)) => assert_eq!(e.kind(), "cancelled"),
+            other => panic!("expected a cancelled abort, got {other:?}"),
+        }
+        // A cancelled read is not recorded: the history stays serially valid.
+        assert!(service.history().is_empty());
+    }
+
+    #[test]
+    fn saturation_rejections_are_typed_and_capacity_recovers() {
+        let db = sample();
+        let base = db.clone();
+        let service = Service::new(
+            db,
+            ServiceConfig { max_concurrent: 1, queue_depth: 0, ..ServiceConfig::default() },
+        );
+        let probe = service.session();
+        let q = CatalogQuery::ThreeClique.query();
+        std::thread::scope(|s| {
+            let svc = service.clone();
+            let query = q.clone();
+            // The blocker is a contender too: with one slot and no queue its
+            // own admissions can lose the race, so it tolerates Saturated.
+            let blocker = s.spawn(move || {
+                let session = svc.session();
+                for _ in 0..64 {
+                    match session.count(&query, &Engine::Lftj) {
+                        Ok(n) => assert_eq!(n, 2),
+                        Err(EngineError::Exec(ExecError::Saturated { .. })) => {}
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                }
+            });
+            // Race admissions against the blocker; with one slot and no queue
+            // every loser of the race gets a typed Saturated rejection.
+            for _ in 0..256 {
+                match probe.count(&q, &Engine::Lftj) {
+                    Ok(n) => assert_eq!(n, 2),
+                    Err(EngineError::Exec(ExecError::Saturated { active, capacity })) => {
+                        assert!(active >= capacity, "rejection only at capacity");
+                    }
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            blocker.join().unwrap();
+        });
+        // Capacity recovered, the service still answers, and everything that
+        // did succeed is serially consistent.
+        assert_eq!(service.in_flight(), 0);
+        assert_eq!(probe.count(&q, &Engine::Lftj).unwrap(), 2);
+        service.verify_history(&base).unwrap();
+    }
+}

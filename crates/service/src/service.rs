@@ -1,0 +1,230 @@
+//! The [`Service`]: one shared database, many concurrent sessions.
+//!
+//! A service owns an `Arc<Database>` behind an epoch-stamped `RwLock`.
+//! Sessions read by cloning the `Arc` (a snapshot: queries never see a
+//! half-applied update), updates copy-on-write the database and swap the
+//! `Arc` under the write lock, bumping the epoch. Because every clone of a
+//! [`Database`](graphjoin::Database) shares one
+//! [`IndexCache`](graphjoin::IndexCache), trie indexes built by any session
+//! warm all the others.
+//!
+//! Execution is bounded on two axes: the admission [`Gate`] caps concurrent
+//! queries (typed [`ExecError::Saturated`](gj_runtime::ExecError) rejections
+//! past capacity), and every query runs under a
+//! [`QueryBudget`](gj_runtime::QueryBudget) — the session default or a caller
+//! override carrying deadlines, row caps and a
+//! [`CancelToken`](gj_runtime::CancelToken).
+
+use crate::admission::Gate;
+use crate::history::{check_history, HistoryLog, SessionEvent};
+use gj_runtime::QueryBudget;
+use gj_storage::Relation;
+use graphjoin::{Database, Engine, EngineError, Query};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queries allowed to execute concurrently (clamped to at least 1).
+    pub max_concurrent: usize,
+    /// Callers allowed to wait for a slot before admission rejects with
+    /// `ExecError::Saturated`.
+    pub queue_depth: usize,
+    /// Worker threads each admitted query executes on.
+    pub exec_threads: usize,
+    /// Budget applied to queries issued without an explicit one.
+    pub default_budget: QueryBudget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let parallelism =
+            std::thread::available_parallelism().map(usize::from).unwrap_or(4).clamp(1, 8);
+        ServiceConfig {
+            max_concurrent: parallelism,
+            queue_depth: 2 * parallelism,
+            exec_threads: 1,
+            default_budget: QueryBudget::new(),
+        }
+    }
+}
+
+/// Shared state behind every session of one service.
+#[derive(Debug)]
+struct ServiceInner {
+    /// Epoch-stamped current database. The pair is swapped atomically under
+    /// the write lock so a reader always sees a consistent (epoch, snapshot).
+    db: RwLock<(u64, Arc<Database>)>,
+    gate: Gate,
+    history: HistoryLog,
+    next_session: AtomicU64,
+    config: ServiceConfig,
+}
+
+impl ServiceInner {
+    fn snapshot(&self) -> (u64, Arc<Database>) {
+        let guard = self.db.read().unwrap_or_else(PoisonError::into_inner);
+        (guard.0, Arc::clone(&guard.1))
+    }
+}
+
+/// A concurrent serving layer over one shared [`Database`].
+///
+/// Cheap to clone; all clones (and all [`Session`]s) share the same database,
+/// admission gate and history log.
+#[derive(Debug, Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Creates a service over `db` with the given configuration.
+    pub fn new(db: impl Into<Arc<Database>>, config: ServiceConfig) -> Self {
+        let gate = Gate::new(config.max_concurrent, config.queue_depth);
+        Service {
+            inner: Arc::new(ServiceInner {
+                db: RwLock::new((0, db.into())),
+                gate,
+                history: HistoryLog::new(),
+                next_session: AtomicU64::new(0),
+                config,
+            }),
+        }
+    }
+
+    /// Creates a service with [`ServiceConfig::default`].
+    pub fn with_defaults(db: impl Into<Arc<Database>>) -> Self {
+        Self::new(db, ServiceConfig::default())
+    }
+
+    /// Opens a new session. Sessions are `Send` and independent: hand one to
+    /// each client thread.
+    pub fn session(&self) -> Session {
+        Session {
+            inner: Arc::clone(&self.inner),
+            id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces relation `name` for all *future* snapshots and returns the new
+    /// epoch. In-flight queries keep their old snapshot. The update event is
+    /// recorded while the write lock is held, so log order is epoch order.
+    pub fn update_relation(&self, name: impl Into<String>, relation: Relation) -> u64 {
+        let name = name.into();
+        let mut guard = self.inner.db.write().unwrap_or_else(PoisonError::into_inner);
+        let mut next = (*guard.1).clone();
+        next.add_relation(name.clone(), relation.clone());
+        guard.0 += 1;
+        guard.1 = Arc::new(next);
+        let epoch = guard.0;
+        self.inner.history.record(SessionEvent::Update { epoch, name, relation });
+        epoch
+    }
+
+    /// The current snapshot (epoch advances as updates land).
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.inner.snapshot().1
+    }
+
+    /// The current epoch: 0 at creation, +1 per update.
+    pub fn epoch(&self) -> u64 {
+        self.inner.snapshot().0
+    }
+
+    /// Queries currently executing or queued for admission.
+    pub fn in_flight(&self) -> usize {
+        self.inner.gate.in_flight()
+    }
+
+    /// A point-in-time copy of the recorded history.
+    pub fn history(&self) -> Vec<SessionEvent> {
+        self.inner.history.events()
+    }
+
+    /// Black-box serializability check: replays the recorded history against
+    /// `base` (the state this service was created over) on a single thread
+    /// and verifies every session read. See [`check_history`].
+    pub fn verify_history(&self, base: &Database) -> Result<(), String> {
+        check_history(base, &self.history())
+    }
+}
+
+/// One client's handle on a [`Service`]: issues queries against the current
+/// snapshot, under admission control and a per-query budget.
+#[derive(Debug)]
+pub struct Session {
+    inner: Arc<ServiceInner>,
+    id: u64,
+    seq: AtomicU64,
+}
+
+impl Session {
+    /// This session's service-unique id (also recorded in the history log).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Counts the answers of `query` under the service's default budget.
+    pub fn count(&self, query: &Query, engine: &Engine) -> Result<u64, EngineError> {
+        let budget = self.inner.config.default_budget.clone();
+        self.count_with(query, engine, &budget)
+    }
+
+    /// Counts the answers of `query` under an explicit `budget` (deadline,
+    /// row cap, cancel token).
+    ///
+    /// The full pipeline: admission (may reject with a typed
+    /// `ExecError::Saturated`), snapshot the current (epoch, database) pair,
+    /// prepare against the shared index cache, execute on the service's
+    /// worker threads, and — only on success — record the read in the
+    /// history log.
+    pub fn count_with(
+        &self,
+        query: &Query,
+        engine: &Engine,
+        budget: &QueryBudget,
+    ) -> Result<u64, EngineError> {
+        let _permit = self.inner.gate.admit().map_err(EngineError::Exec)?;
+        let (epoch, db) = self.inner.snapshot();
+        let prepared = db.prepare(query, engine)?;
+        let count = prepared.try_par_count(self.inner.config.exec_threads, budget)?;
+        self.record_read(epoch, query, engine, count);
+        Ok(count)
+    }
+
+    /// Collects the answers of `query` under the service's default budget.
+    /// The read is recorded by its row count.
+    pub fn collect(&self, query: &Query, engine: &Engine) -> Result<Vec<Vec<i64>>, EngineError> {
+        let budget = self.inner.config.default_budget.clone();
+        self.collect_with(query, engine, &budget)
+    }
+
+    /// [`collect`](Self::collect) under an explicit budget.
+    pub fn collect_with(
+        &self,
+        query: &Query,
+        engine: &Engine,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Vec<i64>>, EngineError> {
+        let _permit = self.inner.gate.admit().map_err(EngineError::Exec)?;
+        let (epoch, db) = self.inner.snapshot();
+        let prepared = db.prepare(query, engine)?;
+        let rows = prepared.try_collect(budget)?;
+        self.record_read(epoch, query, engine, rows.len() as u64);
+        Ok(rows)
+    }
+
+    fn record_read(&self, epoch: u64, query: &Query, engine: &Engine, count: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.history.record(SessionEvent::Read {
+            session: self.id,
+            seq,
+            epoch,
+            query: query.clone(),
+            engine: engine.clone(),
+            count,
+        });
+    }
+}

@@ -32,6 +32,16 @@ pub mod sites {
     pub const TRIE_BUILD: &str = "trie_build";
     /// Hit from every engine's inner loop at the cooperative check stride.
     pub const JOIN_STEP: &str = "join_step";
+    /// Hit by the disk store just before a record is appended to the write-ahead
+    /// log. A `Panic` here leaves a deliberately torn record on disk (the crash
+    /// the recovery scan must discard); a `Trip` surfaces as a typed store fault.
+    pub const WAL_APPEND: &str = "wal_append";
+    /// Hit by the pager just before a page is written to the data file (buffer
+    /// pool evictions and checkpoint writes alike).
+    pub const PAGE_FLUSH: &str = "page_flush";
+    /// Hit during recovery just before each scanned WAL record is replayed onto
+    /// the checkpoint image.
+    pub const RECOVERY_REPLAY: &str = "recovery_replay";
 }
 
 /// What an armed failpoint injects when hit.

@@ -1,0 +1,90 @@
+//! The typed error surface of the disk store.
+//!
+//! Every fallible store operation returns [`StoreError`]; the crate never
+//! panics on bad input or bad bytes (the lint gate enforces this). The only
+//! intentional panic in the crate is the simulated crash a `Panic`-armed
+//! failpoint injects, and that panic *is* the fault under test.
+
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed. `op` names the operation
+    /// (`"open"`, `"read_page"`, …); `detail` is the OS error rendering.
+    Io {
+        /// The store operation that was executing.
+        op: &'static str,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// On-disk bytes failed validation (bad magic, checksum mismatch, a
+    /// catalog entry pointing outside the file, …).
+    Corrupt(String),
+    /// An armed failpoint tripped the operation (fault injection only).
+    Fault(&'static str),
+    /// Every buffer-pool frame was pinned; the page could not be cached.
+    PoolExhausted {
+        /// The pool's frame capacity.
+        capacity: usize,
+    },
+    /// The named relation is not in the store's catalog.
+    MissingRelation(String),
+    /// A durable mutation was requested on a database with no attached store.
+    NotAttached,
+}
+
+impl StoreError {
+    /// Wraps an `std::io::Error` with the name of the failing operation.
+    pub fn io(op: &'static str, err: std::io::Error) -> Self {
+        StoreError::Io { op, detail: err.to_string() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, detail } => write!(f, "io error during {op}: {detail}"),
+            StoreError::Corrupt(detail) => write!(f, "corrupt store: {detail}"),
+            StoreError::Fault(site) => write!(f, "injected fault at {site}"),
+            StoreError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted (all {capacity} frames pinned)")
+            }
+            StoreError::MissingRelation(name) => {
+                write!(f, "relation '{name}' is not in the store catalog")
+            }
+            StoreError::NotAttached => write!(f, "database has no attached store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (
+                StoreError::Io { op: "read_page", detail: "boom".into() },
+                "io error during read_page: boom",
+            ),
+            (StoreError::Corrupt("bad magic".into()), "corrupt store: bad magic"),
+            (StoreError::Fault("wal_append"), "injected fault at wal_append"),
+            (
+                StoreError::PoolExhausted { capacity: 4 },
+                "buffer pool exhausted (all 4 frames pinned)",
+            ),
+            (
+                StoreError::MissingRelation("edge".into()),
+                "relation 'edge' is not in the store catalog",
+            ),
+            (StoreError::NotAttached, "database has no attached store"),
+        ];
+        for (err, rendered) in cases {
+            assert_eq!(err.to_string(), rendered);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `gj-store`: a paged on-disk relation store with write-ahead logging.
+//!
+//! This crate gives the engine a durable home for the columnar flat buffers
+//! that [`gj_storage::Relation`] already uses in memory, without changing the
+//! in-memory representation at all: an extent on disk *is* the `rows × arity`
+//! value buffer, so hydration is one checksum pass plus one `from_flat` call.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`Pager`] — whole-page I/O over the data file ([`PAGE_SIZE`] bytes/page),
+//!   with the `page_flush` failpoint on every write;
+//! * [`BufferPool`] / [`PageGuard`] — a fixed-capacity page cache with pin
+//!   counts and a clock replacer; pinned pages are never evicted, dirty pages
+//!   are written back on eviction or flush;
+//! * [`Wal`] / [`WalRecord`] — checksummed full-replacement redo records with
+//!   a torn-tail recovery scan, and the `wal_append` failpoint (whose `Panic`
+//!   action deliberately tears a record, simulating a crash mid-append);
+//! * [`Store`] — the catalog, the atomic-rename checkpoint protocol, and
+//!   ARIES-lite redo recovery (the `recovery_replay` failpoint fires once per
+//!   replayed record).
+//!
+//! `gj-core` builds `Database::open` / `Database::persist` on top: relations
+//! hydrate lazily through the pool on first query, so opening a store is cheap
+//! regardless of image size.
+//!
+//! Everything here returns typed [`StoreError`]s — the crate's only panics are
+//! the simulated crashes injected by `Panic`-armed failpoints.
+
+mod codec;
+mod error;
+mod pager;
+mod pool;
+mod store;
+mod wal;
+
+pub use error::StoreError;
+pub use pager::{Pager, PAGE_SIZE};
+pub use pool::{BufferPool, PageGuard, PoolStats};
+pub use store::Store;
+pub use wal::{Wal, WalRecord};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_storage::fault::{sites, FailAction, FailpointRegistry};
+    use gj_storage::{Graph, Relation};
+    use std::sync::Arc;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gj-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn unary(vals: &[i64]) -> Relation {
+        Relation::from_flat(1, vals.to_vec())
+    }
+
+    fn sample_graph() -> Graph {
+        Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    }
+
+    #[test]
+    fn checkpoint_then_open_roundtrips_relations_and_graph() {
+        let dir = scratch("roundtrip");
+        let store = Store::create(&dir, None).unwrap();
+        let r1 = unary(&[3, 1, 4, 1, 5]);
+        let r2 = Relation::from_flat(2, vec![1, 2, 3, 4, 5, 6]);
+        let g = sample_graph();
+        let edge = g.edge_relation();
+        store.checkpoint(&[("u", &r1), ("r", &r2), ("edge", &edge)], Some(&g)).unwrap();
+        drop(store);
+
+        let store = Store::open(&dir, None).unwrap();
+        assert_eq!(store.relation_names(), ["edge", "r", "u"]);
+        assert_eq!(store.load_relation("u").unwrap().flat_values(), r1.flat_values());
+        assert_eq!(store.load_relation("r").unwrap().flat_values(), r2.flat_values());
+        let reopened = store.load_graph().unwrap().unwrap();
+        assert_eq!(reopened.edges(), g.edges());
+        assert_eq!(reopened.num_nodes(), g.num_nodes());
+        assert!(matches!(store.load_relation("nope").unwrap_err(), StoreError::MissingRelation(_)));
+    }
+
+    #[test]
+    fn a_large_extent_spans_pages_and_survives_pool_pressure() {
+        let dir = scratch("large");
+        let store = Store::create(&dir, None).unwrap();
+        // ~8 pages of values: forces multi-page extents and, at checkpoint
+        // time, eviction traffic through the 8-frame write pool.
+        let vals: Vec<i64> = (0..4096).collect();
+        let big = Relation::from_flat(2, vals.clone());
+        store.checkpoint(&[("big", &big)], None).unwrap();
+        drop(store);
+        let store = Store::open(&dir, None).unwrap();
+        assert_eq!(store.load_relation("big").unwrap().flat_values(), &vals[..]);
+        let stats = store.pool_stats();
+        assert!(stats.misses > 0, "image reads go through the pool: {stats:?}");
+    }
+
+    #[test]
+    fn wal_records_survive_reopen_without_checkpoint() {
+        let dir = scratch("wal-replay");
+        let store = Store::create(&dir, None).unwrap();
+        store.log_add_relation("u", &unary(&[7, 8])).unwrap();
+        let g = sample_graph();
+        store.log_add_graph(&g).unwrap();
+        store.log_add_relation("u", &unary(&[9])).unwrap(); // replacement wins
+        drop(store);
+
+        let store = Store::open(&dir, None).unwrap();
+        assert_eq!(store.load_relation("u").unwrap().flat_values(), &[9]);
+        assert_eq!(
+            store.load_relation("edge").unwrap().flat_values(),
+            g.edge_relation().flat_values(),
+            "add_graph replay derives the edge relation, mirroring Database::add_graph"
+        );
+        assert_eq!(store.load_graph().unwrap().unwrap().edges(), g.edges());
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_keeps_state() {
+        let dir = scratch("ckpt-truncate");
+        let store = Store::create(&dir, None).unwrap();
+        let r = unary(&[1, 2, 3]);
+        store.log_add_relation("u", &r).unwrap();
+        store.checkpoint(&[("u", &r)], None).unwrap();
+        assert_eq!(std::fs::metadata(dir.join("wal.gj")).unwrap().len(), 0);
+        assert_eq!(store.load_relation("u").unwrap().flat_values(), r.flat_values());
+        drop(store);
+        let store = Store::open(&dir, None).unwrap();
+        assert_eq!(store.load_relation("u").unwrap().flat_values(), r.flat_values());
+    }
+
+    #[test]
+    fn recovery_replay_trip_is_a_typed_open_error_and_retry_succeeds() {
+        let dir = scratch("replay-trip");
+        let store = Store::create(&dir, None).unwrap();
+        store.log_add_relation("u", &unary(&[1])).unwrap();
+        store.log_add_relation("v", &unary(&[2])).unwrap();
+        drop(store);
+
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm_after(sites::RECOVERY_REPLAY, FailAction::Trip, 1, 1);
+        let err = Store::open(&dir, Some(Arc::clone(&fp))).unwrap_err();
+        assert_eq!(err, StoreError::Fault(sites::RECOVERY_REPLAY));
+        assert_eq!(fp.fired().as_deref(), Some(sites::RECOVERY_REPLAY));
+
+        // Recovery is read-only until it completes: a clean retry sees all.
+        let store = Store::open(&dir, None).unwrap();
+        assert_eq!(store.relation_names(), ["u", "v"]);
+    }
+
+    #[test]
+    fn corrupt_header_is_a_typed_error() {
+        let dir = scratch("corrupt");
+        drop(Store::create(&dir, None).unwrap());
+        let data = dir.join("data.gj");
+        let mut bytes = std::fs::read(&data).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&data, bytes).unwrap();
+        assert!(matches!(Store::open(&dir, None).unwrap_err(), StoreError::Corrupt(_)));
+    }
+
+    #[test]
+    fn corrupt_extent_is_caught_by_its_checksum() {
+        let dir = scratch("bitrot");
+        let store = Store::create(&dir, None).unwrap();
+        let vals: Vec<i64> = (0..2048).collect();
+        store.checkpoint(&[("u", &Relation::from_flat(1, vals))], None).unwrap();
+        drop(store);
+        let data = dir.join("data.gj");
+        let mut bytes = std::fs::read(&data).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip a bit in the final extent page
+        std::fs::write(&data, bytes).unwrap();
+        let store = Store::open(&dir, None).unwrap();
+        assert!(matches!(store.load_relation("u").unwrap_err(), StoreError::Corrupt(_)));
+    }
+}

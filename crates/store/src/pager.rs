@@ -1,0 +1,167 @@
+//! Fixed-size page I/O over a single data file.
+//!
+//! The pager is the only code that touches the data file's bytes. Pages are
+//! [`PAGE_SIZE`] bytes, addressed by a `u32` page number; page 0 is the store
+//! header, the catalog and extents follow (layout is the catalog's business —
+//! the pager only moves whole pages).
+//!
+//! Every page write passes the [`sites::PAGE_FLUSH`] failpoint first, so the
+//! fault harness can trip a typed error or simulate a crash at any individual
+//! page of a checkpoint.
+
+use crate::error::StoreError;
+use gj_storage::fault::{sites, FailpointHit, FailpointRegistry};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Size in bytes of every page in a store data file.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Whole-page reader/writer over one file (see the module docs).
+#[derive(Debug)]
+pub struct Pager {
+    file: Mutex<File>,
+    failpoints: Option<Arc<FailpointRegistry>>,
+}
+
+impl Pager {
+    /// Opens an existing data file read/write.
+    pub fn open(
+        path: &Path,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io("open data file", e))?;
+        Ok(Pager { file: Mutex::new(file), failpoints })
+    }
+
+    /// Creates (or truncates) a data file.
+    pub fn create(
+        path: &Path,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io("create data file", e))?;
+        Ok(Pager { file: Mutex::new(file), failpoints })
+    }
+
+    fn lock_file(&self) -> std::sync::MutexGuard<'_, File> {
+        self.file.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of whole pages in the file (a partial trailing page counts as one).
+    pub fn num_pages(&self) -> Result<u32, StoreError> {
+        let file = self.lock_file();
+        let len = file.metadata().map_err(|e| StoreError::io("stat data file", e))?.len();
+        Ok(len.div_ceil(PAGE_SIZE as u64) as u32)
+    }
+
+    /// Reads page `page` into a fresh `PAGE_SIZE` buffer, zero-padding past EOF.
+    pub fn read_page(&self, page: u32) -> Result<Box<[u8; PAGE_SIZE]>, StoreError> {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        let mut file = self.lock_file();
+        file.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io("seek for read_page", e))?;
+        // Read as much of the page as exists; a short read at EOF leaves zeros.
+        let mut filled = 0;
+        while filled < PAGE_SIZE {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(StoreError::io("read_page", e)),
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Writes `data` (at most one page) at page `page`, passing the
+    /// `page_flush` failpoint first.
+    pub fn write_page(&self, page: u32, data: &[u8]) -> Result<(), StoreError> {
+        if data.len() > PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "page write of {} bytes exceeds page size {PAGE_SIZE}",
+                data.len()
+            )));
+        }
+        if let Some(fp) = &self.failpoints {
+            match fp.hit(sites::PAGE_FLUSH) {
+                Some(FailpointHit::Trip) => return Err(StoreError::Fault(sites::PAGE_FLUSH)),
+                Some(FailpointHit::Panic) => {
+                    // gj-lint: allow(no-panic-in-engines) — fault-injection failpoint: the panic IS the simulated crash under test
+                    panic!("failpoint panic: {}", sites::PAGE_FLUSH);
+                }
+                None => {}
+            }
+        }
+        let mut file = self.lock_file();
+        file.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io("seek for write_page", e))?;
+        file.write_all(data).map_err(|e| StoreError::io("write_page", e))?;
+        Ok(())
+    }
+
+    /// Flushes file buffers to the OS (no fsync — crash durability in this
+    /// repro is modeled by the failpoint harness, not the kernel cache).
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.lock_file().flush().map_err(|e| StoreError::io("flush data file", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gj_storage::fault::FailAction;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gj-pager-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("data.gj")
+    }
+
+    #[test]
+    fn pages_roundtrip_and_eof_reads_are_zero_padded() {
+        let path = scratch("roundtrip");
+        let pager = Pager::create(&path, None).unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xab;
+        page[PAGE_SIZE - 1] = 0xcd;
+        pager.write_page(3, &page).unwrap();
+        assert_eq!(pager.num_pages().unwrap(), 4);
+        let read = pager.read_page(3).unwrap();
+        assert_eq!(read[0], 0xab);
+        assert_eq!(read[PAGE_SIZE - 1], 0xcd);
+        // Past EOF: all zeros, no error.
+        assert!(pager.read_page(10).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn page_flush_trip_is_a_typed_error() {
+        let path = scratch("trip");
+        let fp = Arc::new(FailpointRegistry::new());
+        fp.arm(sites::PAGE_FLUSH, FailAction::Trip);
+        let pager = Pager::create(&path, Some(Arc::clone(&fp))).unwrap();
+        let err = pager.write_page(0, &[0u8; PAGE_SIZE]).unwrap_err();
+        assert_eq!(err, StoreError::Fault(sites::PAGE_FLUSH));
+        assert_eq!(fp.fired().as_deref(), Some(sites::PAGE_FLUSH));
+    }
+
+    #[test]
+    fn oversized_writes_are_rejected() {
+        let path = scratch("oversize");
+        let pager = Pager::create(&path, None).unwrap();
+        let err = pager.write_page(0, &vec![0u8; PAGE_SIZE + 1]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+}

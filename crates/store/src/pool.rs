@@ -1,0 +1,315 @@
+//! A fixed-capacity buffer pool with pin counts and a clock replacer.
+//!
+//! The pool caches whole pages of one [`Pager`] file in memory. Readers call
+//! [`BufferPool::fetch`], which pins the frame and returns a [`PageGuard`];
+//! while any guard for a page is alive the frame cannot be evicted. Dropping
+//! the guard unpins it. Writers call [`BufferPool::write_page`], which dirties
+//! the frame in memory; dirty frames reach disk when they are evicted by the
+//! clock sweep or when [`BufferPool::flush_all`] runs (checkpoints do both —
+//! a checkpoint routes every page through a small pool on purpose so eviction
+//! writeback is exercised by real traffic, not only by unit tests).
+//!
+//! Replacement is the classic clock (second-chance) scheme: each frame has a
+//! reference bit set on every hit; the sweeping hand clears reference bits and
+//! evicts the first unpinned frame whose bit is already clear. If every frame
+//! is pinned the pool refuses with [`StoreError::PoolExhausted`] rather than
+//! blocking — callers hold guards briefly, so exhaustion is a caller bug or a
+//! deliberately undersized test pool, and either way a typed error beats a
+//! deadlock.
+
+use crate::error::StoreError;
+use crate::pager::{Pager, PAGE_SIZE};
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Counters describing pool traffic since creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read the pager.
+    pub misses: u64,
+    /// Frames recycled by the clock sweep.
+    pub evictions: u64,
+    /// Dirty frames written back to disk (evictions and flushes).
+    pub flushes: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: u32,
+    data: Arc<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    pins: usize,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    /// Frame slots; `None` until first use.
+    frames: Vec<Option<Frame>>,
+    /// page number → slot index.
+    map: HashMap<u32, usize>,
+    /// Clock hand: next slot the sweep examines.
+    hand: usize,
+}
+
+/// The buffer pool (see the module docs).
+#[derive(Debug)]
+pub struct BufferPool {
+    pager: Pager,
+    state: Mutex<PoolState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// A pinned page. Dereferences to the page bytes; dropping it unpins the frame.
+#[derive(Debug)]
+pub struct PageGuard<'a> {
+    pool: &'a BufferPool,
+    page: u32,
+    data: Arc<[u8; PAGE_SIZE]>,
+}
+
+impl Deref for PageGuard<'_> {
+    type Target = [u8; PAGE_SIZE];
+
+    fn deref(&self) -> &Self::Target {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.page);
+    }
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `pager`. Capacity is clamped to ≥ 1.
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let state =
+            PoolState { frames: (0..capacity).map(|_| None).collect(), ..Default::default() };
+        BufferPool {
+            pager,
+            state: Mutex::new(state),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pager (page-count queries during catalog validation).
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Frame capacity of the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Traffic counters since creation.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fetches `page`, pinning its frame until the returned guard drops.
+    pub fn fetch(&self, page: u32) -> Result<PageGuard<'_>, StoreError> {
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.map.get(&page) {
+            if let Some(frame) = state.frames[slot].as_mut() {
+                frame.pins += 1;
+                frame.referenced = true;
+                let data = Arc::clone(&frame.data);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PageGuard { pool: self, page, data });
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let slot = self.free_slot(&mut state)?;
+        let data: Arc<[u8; PAGE_SIZE]> = Arc::new(*self.pager.read_page(page)?);
+        state.frames[slot] =
+            Some(Frame { page, data: Arc::clone(&data), dirty: false, pins: 1, referenced: true });
+        state.map.insert(page, slot);
+        Ok(PageGuard { pool: self, page, data })
+    }
+
+    /// Stages `data` as the new contents of `page`, dirty in memory. The bytes
+    /// reach disk on eviction or [`flush_all`](Self::flush_all).
+    pub fn write_page(&self, page: u32, data: &[u8]) -> Result<(), StoreError> {
+        if data.len() > PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "page write of {} bytes exceeds page size {PAGE_SIZE}",
+                data.len()
+            )));
+        }
+        let mut full = [0u8; PAGE_SIZE];
+        full[..data.len()].copy_from_slice(data);
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.map.get(&page) {
+            if let Some(frame) = state.frames[slot].as_mut() {
+                frame.data = Arc::new(full);
+                frame.dirty = true;
+                frame.referenced = true;
+                return Ok(());
+            }
+        }
+        let slot = self.free_slot(&mut state)?;
+        state.frames[slot] =
+            Some(Frame { page, data: Arc::new(full), dirty: true, pins: 0, referenced: true });
+        state.map.insert(page, slot);
+        Ok(())
+    }
+
+    /// Writes every dirty frame back to the pager and clears its dirty bit.
+    pub fn flush_all(&self) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        for slot in 0..state.frames.len() {
+            let (page, data) = match &state.frames[slot] {
+                Some(f) if f.dirty => (f.page, Arc::clone(&f.data)),
+                _ => continue,
+            };
+            self.pager.write_page(page, &data[..])?;
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            if let Some(frame) = state.frames[slot].as_mut() {
+                frame.dirty = false;
+            }
+        }
+        self.pager.flush()
+    }
+
+    /// Finds a slot for a new frame: an empty slot, or a clock-sweep victim
+    /// (flushing it first if dirty). Errors when every frame is pinned.
+    fn free_slot(&self, state: &mut PoolState) -> Result<usize, StoreError> {
+        if let Some(slot) = state.frames.iter().position(Option::is_none) {
+            return Ok(slot);
+        }
+        // Clock sweep: two full revolutions guarantee every unpinned frame has
+        // had its reference bit cleared and been revisited.
+        for _ in 0..2 * self.capacity {
+            let slot = state.hand;
+            state.hand = (state.hand + 1) % self.capacity;
+            let Some(frame) = state.frames[slot].as_mut() else { continue };
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if frame.dirty {
+                let (page, data) = (frame.page, Arc::clone(&frame.data));
+                self.pager.write_page(page, &data[..])?;
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            let page = frame.page;
+            state.frames[slot] = None;
+            state.map.remove(&page);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return Ok(slot);
+        }
+        Err(StoreError::PoolExhausted { capacity: self.capacity })
+    }
+
+    fn unpin(&self, page: u32) {
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.map.get(&page) {
+            if let Some(frame) = state.frames[slot].as_mut() {
+                frame.pins = frame.pins.saturating_sub(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(tag: &str, capacity: usize) -> BufferPool {
+        let dir = std::env::temp_dir().join(format!("gj-pool-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pager = Pager::create(&dir.join("data.gj"), None).unwrap();
+        BufferPool::new(pager, capacity)
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let pool = pool("hits", 4);
+        pool.write_page(0, &page_of(1)).unwrap();
+        pool.flush_all().unwrap();
+        let a = pool.fetch(0).unwrap();
+        let b = pool.fetch(0).unwrap();
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 1);
+        drop((a, b));
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 2, "both fetches hit the staged frame");
+        assert_eq!(stats.flushes, 1);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_frames_back() {
+        let pool = pool("evict", 2);
+        for p in 0..4u32 {
+            pool.write_page(p, &page_of(p as u8 + 1)).unwrap();
+        }
+        // Capacity 2 with 4 staged pages forces evictions with writeback.
+        assert!(pool.stats().evictions >= 2);
+        assert!(pool.stats().flushes >= 2);
+        pool.flush_all().unwrap();
+        for p in 0..4u32 {
+            let guard = pool.fetch(p).unwrap();
+            assert_eq!(guard[0], p as u8 + 1, "page {p} survived eviction");
+        }
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let pool = pool("pin", 2);
+        pool.write_page(0, &page_of(1)).unwrap();
+        pool.write_page(1, &page_of(2)).unwrap();
+        pool.flush_all().unwrap();
+        let g0 = pool.fetch(0).unwrap();
+        let g1 = pool.fetch(1).unwrap();
+        let err = pool.fetch(2).unwrap_err();
+        assert_eq!(err, StoreError::PoolExhausted { capacity: 2 });
+        drop(g1);
+        let g2 = pool.fetch(2).unwrap();
+        assert_eq!(g2[0], 0, "page 2 was never written: zero-padded read");
+        assert_eq!(g0[0], 1, "pinned page 0 still resident");
+    }
+
+    #[test]
+    fn guard_drop_unpins() {
+        let pool = pool("unpin", 1);
+        pool.write_page(0, &page_of(9)).unwrap();
+        pool.flush_all().unwrap();
+        drop(pool.fetch(0).unwrap());
+        // With the single frame unpinned, a different page can displace it.
+        let g = pool.fetch(5).unwrap();
+        assert_eq!(g[0], 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! The store proper: catalog, checkpoint protocol, and WAL recovery.
+//!
+//! ## On-disk layout
+//!
+//! A store is a directory holding two files:
+//!
+//! * `data.gj` — the checkpoint image, in [`PAGE_SIZE`] pages:
+//!   * page 0: header (`"GJSTORE1"` magic, version, page size, catalog length,
+//!     catalog checksum);
+//!   * pages 1..=k: the serialized catalog (name, arity, rows, extent location
+//!     and checksum per relation; plus the graph's node count and edge extent);
+//!   * remaining pages: extents — each relation's `rows × arity` flat values as
+//!     little-endian `i64`s, and the graph's canonical edge list as `u32` pairs.
+//! * `wal.gj` — the write-ahead log of mutations since the image was taken
+//!   (format in [`crate::wal`]).
+//!
+//! ## Crash safety
+//!
+//! * **Mutations** ([`Store::log_add_relation`] / [`Store::log_add_graph`])
+//!   append a checksummed redo record to the WAL *before* the in-memory apply;
+//!   a crash mid-append leaves a torn tail the next recovery scan discards, so
+//!   the store reopens to exactly the pre- or post-mutation state, never a torn
+//!   one.
+//! * **Checkpoints** ([`Store::checkpoint`]) write a complete fresh image to
+//!   `data.gj.tmp` (every page through a deliberately small buffer pool, so
+//!   eviction writeback runs under real traffic), then atomically rename it
+//!   over `data.gj`, then truncate the WAL. The rename is the commit point: a
+//!   crash before it leaves the old image + intact WAL; a crash after it leaves
+//!   the new image, against which replaying the old WAL is harmless because
+//!   redo records are idempotent full replacements.
+//! * **Recovery** ([`Store::open`]) reads the image catalog lazily (extents
+//!   stay on disk until first use), replays the WAL's valid prefix in order,
+//!   and truncates the torn tail. Replay itself only builds in-memory state, so
+//!   a crash *during* recovery loses nothing: the next open replays again.
+
+use crate::codec::{fnv1a32, ByteReader, ByteWriter};
+use crate::error::StoreError;
+use crate::pager::{Pager, PAGE_SIZE};
+use crate::pool::{BufferPool, PoolStats};
+use crate::wal::{Wal, WalRecord};
+use gj_storage::fault::{sites, FailpointHit, FailpointRegistry};
+use gj_storage::{Graph, Relation, Val};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+const MAGIC: [u8; 8] = *b"GJSTORE1";
+const VERSION: u32 = 1;
+/// Frames in the read pool of an open store.
+const OPEN_POOL_FRAMES: usize = 64;
+/// Frames in the write pool used during a checkpoint — small on purpose, so
+/// image writes overflow the pool and exercise clock eviction + writeback.
+const CHECKPOINT_POOL_FRAMES: usize = 8;
+
+/// Location + integrity data for one relation extent in the image.
+#[derive(Debug, Clone)]
+struct RelationEntry {
+    arity: u32,
+    rows: u64,
+    first_page: u32,
+    crc: u32,
+}
+
+/// Location + integrity data for the graph extent in the image.
+#[derive(Debug, Clone)]
+struct GraphEntry {
+    num_nodes: u64,
+    num_edges: u64,
+    first_page: u32,
+    crc: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Catalog {
+    relations: BTreeMap<String, RelationEntry>,
+    graph: Option<GraphEntry>,
+}
+
+#[derive(Debug)]
+struct StoreState {
+    pool: BufferPool,
+    catalog: Catalog,
+    wal: Wal,
+    /// Relations whose latest version lives in the WAL, already materialized.
+    overrides: BTreeMap<String, Relation>,
+    /// Graph whose latest version lives in the WAL.
+    graph_override: Option<Graph>,
+}
+
+/// A disk-backed relation store (see the module docs for the protocol).
+///
+/// All methods take `&self`; the store is shared behind an `Arc` by the lazy
+/// relation loaders `gj-core` installs. Locks are poison-tolerant — a panic
+/// injected by the fault harness never wedges the store.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    failpoints: Option<Arc<FailpointRegistry>>,
+    state: Mutex<StoreState>,
+}
+
+impl Store {
+    /// Creates an empty store directory (overwriting any existing image).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<Store, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create store dir", e))?;
+        write_image(dir, failpoints.clone(), &[], None)?;
+        let wal_path = dir.join("wal.gj");
+        std::fs::write(&wal_path, b"").map_err(|e| StoreError::io("create wal", e))?;
+        Store::open(dir, failpoints)
+    }
+
+    /// Opens an existing store: reads the header + catalog, replays the WAL's
+    /// valid prefix (each record passes the `recovery_replay` failpoint), and
+    /// truncates any torn tail.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        failpoints: Option<Arc<FailpointRegistry>>,
+    ) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let pager = Pager::open(&dir.join("data.gj"), failpoints.clone())?;
+        let pool = BufferPool::new(pager, OPEN_POOL_FRAMES);
+        let catalog = read_catalog(&pool)?;
+        let (wal, records) = Wal::open(&dir.join("wal.gj"), failpoints.clone())?;
+
+        let mut overrides = BTreeMap::new();
+        let mut graph_override = None;
+        for record in records {
+            if let Some(fp) = &failpoints {
+                match fp.hit(sites::RECOVERY_REPLAY) {
+                    Some(FailpointHit::Trip) => {
+                        return Err(StoreError::Fault(sites::RECOVERY_REPLAY))
+                    }
+                    Some(FailpointHit::Panic) => {
+                        // gj-lint: allow(no-panic-in-engines) — fault-injection failpoint: the panic IS the simulated crash under test
+                        panic!("failpoint panic: {}", sites::RECOVERY_REPLAY);
+                    }
+                    None => {}
+                }
+            }
+            apply_record(record, &mut overrides, &mut graph_override);
+        }
+
+        let state = StoreState { pool, catalog, wal, overrides, graph_override };
+        Ok(Store { dir, failpoints, state: Mutex::new(state) })
+    }
+
+    /// The store's directory on disk.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, StoreState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Names of every relation visible in the store (image catalog plus any
+    /// WAL-replayed replacements), in sorted order.
+    pub fn relation_names(&self) -> Vec<String> {
+        let state = self.lock_state();
+        let mut names: Vec<String> = state.catalog.relations.keys().cloned().collect();
+        for name in state.overrides.keys() {
+            if !state.catalog.relations.contains_key(name) {
+                names.push(name.clone());
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Materializes one relation: the WAL-replayed version if the log replaced
+    /// it, otherwise the image extent read through the buffer pool and
+    /// checksum-verified.
+    pub fn load_relation(&self, name: &str) -> Result<Relation, StoreError> {
+        let state = self.lock_state();
+        if let Some(r) = state.overrides.get(name) {
+            return Ok(r.clone());
+        }
+        let entry = state
+            .catalog
+            .relations
+            .get(name)
+            .ok_or_else(|| StoreError::MissingRelation(name.to_string()))?
+            .clone();
+        let total = entry.rows * entry.arity as u64 * 8;
+        let bytes = read_extent(&state.pool, entry.first_page, total, entry.crc, "relation")?;
+        let values: Vec<Val> = bytes
+            .chunks_exact(8)
+            .map(|c| Val::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect();
+        Ok(Relation::from_flat(entry.arity as usize, values))
+    }
+
+    /// Materializes the graph, if one was persisted or committed.
+    pub fn load_graph(&self) -> Result<Option<Graph>, StoreError> {
+        let state = self.lock_state();
+        if let Some(g) = &state.graph_override {
+            return Ok(Some(g.clone()));
+        }
+        let Some(entry) = state.catalog.graph.clone() else { return Ok(None) };
+        let total = entry.num_edges * 8;
+        let bytes = read_extent(&state.pool, entry.first_page, total, entry.crc, "graph")?;
+        let edges: Vec<(u32, u32)> = bytes
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                )
+            })
+            .collect();
+        Ok(Some(Graph::new(entry.num_nodes as usize, edges)))
+    }
+
+    /// Durably records `add_relation(name, relation)`: WAL append first, then
+    /// the in-memory apply. On any error (including an injected fault) nothing
+    /// is applied.
+    pub fn log_add_relation(&self, name: &str, relation: &Relation) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        state.wal.append(&WalRecord::add_relation(name, relation))?;
+        state.overrides.insert(name.to_string(), relation.clone());
+        Ok(())
+    }
+
+    /// Durably records `add_graph(graph)`. Mirrors `Database::add_graph`
+    /// semantics: the derived `"edge"` relation is replaced along with the
+    /// graph, so replay order reproduces the in-memory state exactly.
+    pub fn log_add_graph(&self, graph: &Graph) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        state.wal.append(&WalRecord::add_graph(graph))?;
+        state.overrides.insert("edge".to_string(), graph.edge_relation());
+        state.graph_override = Some(graph.clone());
+        Ok(())
+    }
+
+    /// Writes a fresh checkpoint image containing exactly `relations` and
+    /// `graph`, commits it by atomic rename, then truncates the WAL. See the
+    /// module docs for the crash-safety argument.
+    pub fn checkpoint<'a>(
+        &self,
+        relations: &[(&'a str, &'a Relation)],
+        graph: Option<&Graph>,
+    ) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        write_image(&self.dir, self.failpoints.clone(), relations, graph)?;
+        // The rename committed: rebuild the read side over the new image.
+        let pager = Pager::open(&self.dir.join("data.gj"), self.failpoints.clone())?;
+        let pool = BufferPool::new(pager, OPEN_POOL_FRAMES);
+        let catalog = read_catalog(&pool)?;
+        state.pool = pool;
+        state.catalog = catalog;
+        state.overrides.clear();
+        state.graph_override = None;
+        state.wal.truncate()
+    }
+
+    /// Buffer-pool traffic counters for the current image's read pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.lock_state().pool.stats()
+    }
+}
+
+/// Applies one redo record to the in-memory override maps (recovery replay and
+/// the post-append apply share these exact semantics).
+fn apply_record(
+    record: WalRecord,
+    overrides: &mut BTreeMap<String, Relation>,
+    graph_override: &mut Option<Graph>,
+) {
+    match record {
+        WalRecord::AddRelation { name, arity, values } => {
+            overrides.insert(name, Relation::from_flat(arity as usize, values));
+        }
+        WalRecord::AddGraph { num_nodes, edges } => {
+            let graph = Graph::new(num_nodes as usize, edges);
+            overrides.insert("edge".to_string(), graph.edge_relation());
+            *graph_override = Some(graph);
+        }
+    }
+}
+
+/// Reads `total` bytes starting at `first_page` through the pool and verifies
+/// the extent checksum.
+fn read_extent(
+    pool: &BufferPool,
+    first_page: u32,
+    total: u64,
+    crc: u32,
+    what: &'static str,
+) -> Result<Vec<u8>, StoreError> {
+    let mut bytes = Vec::with_capacity(total as usize);
+    let mut remaining = total as usize;
+    let mut page = first_page;
+    while remaining > 0 {
+        let guard = pool.fetch(page)?;
+        let take = remaining.min(PAGE_SIZE);
+        bytes.extend_from_slice(&guard[..take]);
+        remaining -= take;
+        page += 1;
+    }
+    if fnv1a32(&bytes) != crc {
+        return Err(StoreError::Corrupt(format!("{what} extent checksum mismatch")));
+    }
+    Ok(bytes)
+}
+
+/// Serializes the catalog. Byte length is independent of the page-number
+/// fields (fixed-width), which `write_image` relies on to lay out extents.
+fn encode_catalog(catalog: &Catalog) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(catalog.relations.len() as u32);
+    for (name, e) in &catalog.relations {
+        w.put_str(name);
+        w.put_u32(e.arity);
+        w.put_u64(e.rows);
+        w.put_u32(e.first_page);
+        w.put_u32(e.crc);
+    }
+    match &catalog.graph {
+        None => w.put_u8(0),
+        Some(g) => {
+            w.put_u8(1);
+            w.put_u64(g.num_nodes);
+            w.put_u64(g.num_edges);
+            w.put_u32(g.first_page);
+            w.put_u32(g.crc);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StoreError> {
+    let mut r = ByteReader::new(bytes, "catalog");
+    let mut catalog = Catalog::default();
+    let count = r.get_u32()?;
+    for _ in 0..count {
+        let name = r.get_str()?;
+        let entry = RelationEntry {
+            arity: r.get_u32()?,
+            rows: r.get_u64()?,
+            first_page: r.get_u32()?,
+            crc: r.get_u32()?,
+        };
+        if entry.arity == 0 {
+            return Err(StoreError::Corrupt(format!("catalog: relation '{name}' has arity 0")));
+        }
+        catalog.relations.insert(name, entry);
+    }
+    if r.get_u8()? == 1 {
+        catalog.graph = Some(GraphEntry {
+            num_nodes: r.get_u64()?,
+            num_edges: r.get_u64()?,
+            first_page: r.get_u32()?,
+            crc: r.get_u32()?,
+        });
+    }
+    Ok(catalog)
+}
+
+/// Reads and validates the header + catalog of an image through `pool`.
+fn read_catalog(pool: &BufferPool) -> Result<Catalog, StoreError> {
+    let header = pool.fetch(0)?;
+    let mut r = ByteReader::new(&header[..], "header");
+    let mut magic = [0u8; 8];
+    for b in &mut magic {
+        *b = r.get_u8()?;
+    }
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt("bad magic (not a gj-store data file)".to_string()));
+    }
+    let version = r.get_u32()?;
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!("unsupported store version {version}")));
+    }
+    let page_size = r.get_u32()?;
+    if page_size as usize != PAGE_SIZE {
+        return Err(StoreError::Corrupt(format!(
+            "page size mismatch (file {page_size}, build {PAGE_SIZE})"
+        )));
+    }
+    let catalog_len = r.get_u64()? as usize;
+    let catalog_crc = r.get_u32()?;
+    drop(header);
+
+    let mut bytes = Vec::with_capacity(catalog_len);
+    let mut page = 1u32;
+    while bytes.len() < catalog_len {
+        let guard = pool.fetch(page)?;
+        let take = (catalog_len - bytes.len()).min(PAGE_SIZE);
+        bytes.extend_from_slice(&guard[..take]);
+        page += 1;
+    }
+    if fnv1a32(&bytes) != catalog_crc {
+        return Err(StoreError::Corrupt("catalog checksum mismatch".to_string()));
+    }
+    decode_catalog(&bytes)
+}
+
+/// Writes a complete image for `relations` + `graph` to `<dir>/data.gj.tmp`
+/// and atomically renames it over `<dir>/data.gj`. Every page write passes the
+/// `page_flush` failpoint (via the pager), so a simulated crash can land on any
+/// individual page; until the rename, the old image is untouched.
+fn write_image(
+    dir: &Path,
+    failpoints: Option<Arc<FailpointRegistry>>,
+    relations: &[(&str, &Relation)],
+    graph: Option<&Graph>,
+) -> Result<(), StoreError> {
+    // Serialize extents and build a catalog with placeholder page numbers; the
+    // catalog's byte length does not depend on those numbers.
+    let mut extents: Vec<Vec<u8>> = Vec::new();
+    let mut catalog = Catalog::default();
+    for (name, relation) in relations {
+        let mut bytes = Vec::with_capacity(relation.flat_values().len() * 8);
+        for &v in relation.flat_values() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        catalog.relations.insert(
+            name.to_string(),
+            RelationEntry {
+                arity: relation.arity() as u32,
+                rows: relation.len() as u64,
+                first_page: 0,
+                crc: fnv1a32(&bytes),
+            },
+        );
+        extents.push(bytes);
+    }
+    let graph_bytes = graph.map(|g| {
+        let mut bytes = Vec::with_capacity(g.edges().len() * 8);
+        for &(a, b) in g.edges() {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        catalog.graph = Some(GraphEntry {
+            num_nodes: g.num_nodes() as u64,
+            num_edges: g.edges().len() as u64,
+            first_page: 0,
+            crc: fnv1a32(&bytes),
+        });
+        bytes
+    });
+
+    let catalog_pages = encode_catalog(&catalog).len().div_ceil(PAGE_SIZE).max(1) as u32;
+    let mut next_page = 1 + catalog_pages;
+    // BTreeMap iteration matches the `relations` insertion scan only if names
+    // are unique; assign pages by re-walking the same sorted order.
+    let sorted_names: Vec<String> = catalog.relations.keys().cloned().collect();
+    let extent_of: BTreeMap<&str, &Vec<u8>> =
+        relations.iter().zip(&extents).map(|((n, _), b)| (*n, b)).collect();
+    for name in &sorted_names {
+        let bytes_len = extent_of.get(name.as_str()).map_or(0, |b| b.len());
+        if let Some(entry) = catalog.relations.get_mut(name) {
+            entry.first_page = next_page;
+            next_page += bytes_len.div_ceil(PAGE_SIZE) as u32;
+        }
+    }
+    if let Some(entry) = &mut catalog.graph {
+        entry.first_page = next_page;
+    }
+
+    let catalog_bytes = encode_catalog(&catalog);
+    let tmp = dir.join("data.gj.tmp");
+    let pool = BufferPool::new(Pager::create(&tmp, failpoints)?, CHECKPOINT_POOL_FRAMES);
+    for name in &sorted_names {
+        let Some(entry) = catalog.relations.get(name.as_str()) else { continue };
+        let Some(bytes) = extent_of.get(name.as_str()) else { continue };
+        for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+            pool.write_page(entry.first_page + i as u32, chunk)?;
+        }
+    }
+    if let (Some(entry), Some(bytes)) = (&catalog.graph, &graph_bytes) {
+        for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+            pool.write_page(entry.first_page + i as u32, chunk)?;
+        }
+    }
+    for (i, chunk) in catalog_bytes.chunks(PAGE_SIZE).enumerate() {
+        pool.write_page(1 + i as u32, chunk)?;
+    }
+    let mut header = ByteWriter::new();
+    header.put_bytes(&MAGIC);
+    header.put_u32(VERSION);
+    header.put_u32(PAGE_SIZE as u32);
+    header.put_u64(catalog_bytes.len() as u64);
+    header.put_u32(fnv1a32(&catalog_bytes));
+    pool.write_page(0, &header.into_bytes())?;
+    pool.flush_all()?;
+    drop(pool);
+    std::fs::rename(&tmp, dir.join("data.gj")).map_err(|e| StoreError::io("commit image", e))
+}

@@ -5,13 +5,18 @@
 //! integration and property tests (`tests/`); the library itself lives in the
 //! workspace crates and is re-exported here for convenience:
 //!
-//! * [`graphjoin`] — the public façade ([`graphjoin::Database`], engines, catalog);
+//! * [`graphjoin`] — the public façade ([`graphjoin::Database`], engines, catalog,
+//!   disk persistence via [`graphjoin::Database::open`] / `persist`);
+//! * [`gj_service`] — the concurrent serving layer (sessions, bounded admission,
+//!   the session-history serializability checker);
 //! * `gj-storage`, `gj-query`, `gj-runtime`, `gj-lftj`, `gj-minesweeper`,
-//!   `gj-baselines`, `gj-datagen` — the individual building blocks;
+//!   `gj-baselines`, `gj-datagen`, `gj-store` — the individual building blocks;
 //! * `gj-bench` (not re-exported) — the table/figure harness binaries.
 //!
 //! Start with the repository-level `README.md` (quickstart, bench instructions)
 //! and `ARCHITECTURE.md` (crate dependency graph, the prepare/execute split, the
-//! `Sink` protocol, the parallel ordering guarantee, per-engine feature matrix).
+//! `Sink` protocol, the parallel ordering guarantee, per-engine feature matrix,
+//! and the "Persistence & serving" section for the disk store and service).
 
+pub use gj_service;
 pub use graphjoin;

@@ -17,13 +17,14 @@ fn all_variants() -> Vec<ExecError> {
         ExecError::DeadlineExceeded,
         ExecError::Cancelled,
         ExecError::WorkerPanicked { payload: "boom".to_string() },
+        ExecError::Saturated { active: 9, capacity: 8 },
     ]
 }
 
 #[test]
 fn every_exec_error_kind_string_is_pinned() {
     let kinds: Vec<&str> = all_variants().iter().map(ExecError::kind).collect();
-    assert_eq!(kinds, ["budget", "deadline", "cancelled", "panic"]);
+    assert_eq!(kinds, ["budget", "deadline", "cancelled", "panic", "saturated"]);
 }
 
 #[test]
@@ -36,6 +37,7 @@ fn every_display_rendering_is_pinned() {
             "deadline exceeded",
             "cancelled",
             "worker panicked: boom",
+            "service saturated (9 in flight, capacity 8)",
         ]
     );
 }

@@ -16,7 +16,7 @@
 
 use graphjoin::{
     fault::sites, CancelToken, CatalogQuery, Database, Engine, EngineError, ExecError, ExecLimits,
-    FailAction, FailpointRegistry, Graph, MsConfig, QueryBudget, Relation, RunOutcome,
+    FailAction, FailpointRegistry, Graph, MsConfig, QueryBudget, Relation, RunOutcome, StoreError,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::{Arc, Once};
@@ -321,4 +321,187 @@ fn count_outcome_reports_completion_and_attributed_aborts() {
 
     let overrun = prepared.count_outcome(1, &QueryBudget::new().with_max_rows(3));
     assert_eq!(tripped.outcome.label(), overrun.outcome.label(), "both are budget aborts");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery sweeps for the disk-store sites (`wal_append`, `page_flush`,
+// `recovery_replay`): at every armed offset, a simulated crash (panic) or a
+// typed fault (trip) must leave the store recoverable to exactly the
+// pre-mutation or post-mutation state — never a torn, partially-applied one.
+// ---------------------------------------------------------------------------
+
+/// A scratch store directory, cleaned before use.
+fn store_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gj-fault-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The durable mutations every sweep applies, in order. Replacing `edge`
+/// exercises the biggest extent; `v9` is a brand-new catalog entry.
+fn sweep_commits() -> Vec<(&'static str, Relation)> {
+    vec![
+        ("v1", Relation::from_values(vec![1, 2, 3, 5, 8])),
+        ("edge", Relation::from_flat(2, vec![0, 1, 1, 0, 1, 2, 2, 1, 0, 2, 2, 0])),
+        ("v9", Relation::from_values(vec![42])),
+    ]
+}
+
+/// Structural + behavioural equality: identical relation catalogs, identical
+/// relation contents, and byte-identical parallel query answers.
+fn assert_same_database(ctx: &str, actual: &Database, expected: &Database) {
+    let names: Vec<String> = expected.instance().relation_names().map(str::to_string).collect();
+    let actual_names: Vec<String> =
+        actual.instance().relation_names().map(str::to_string).collect();
+    assert_eq!(actual_names, names, "{ctx}: relation catalogs differ");
+    for name in &names {
+        assert_eq!(
+            actual.instance().relation(name),
+            expected.instance().relation(name),
+            "{ctx}: relation '{name}' differs"
+        );
+    }
+    let q = CatalogQuery::ThreeClique.query();
+    let lhs = actual.prepare(&q, &Engine::Lftj).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    let rhs = expected.prepare(&q, &Engine::Lftj).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(
+        lhs.par_collect(4).unwrap_or_else(|e| panic!("{ctx}: {e}")),
+        rhs.par_collect(4).unwrap_or_else(|e| panic!("{ctx}: {e}")),
+        "{ctx}: parallel query answers differ"
+    );
+}
+
+/// `wal_append` sweep: a crash or typed fault at every append offset must
+/// recover to *exactly* the committed prefix — the torn half-record a panic
+/// leaves behind is discarded, a tripped append writes nothing.
+#[test]
+fn wal_append_crashes_recover_to_the_committed_prefix() {
+    quiet_failpoint_panics();
+    let commits = sweep_commits();
+    for action in [FailAction::Panic, FailAction::Trip] {
+        for offset in 0..=commits.len() as u64 {
+            let ctx = format!("wal_append {action:?} offset {offset}");
+            let dir = store_scratch(&format!("wal-{action:?}-{offset}"));
+            let base = test_database(77);
+            base.persist(&dir).unwrap_or_else(|e| panic!("{ctx}: persist: {e}"));
+
+            let fp = Arc::new(FailpointRegistry::new());
+            fp.arm_after(sites::WAL_APPEND, action, offset, 1);
+            let mut db = Database::open_with_failpoints(&dir, Some(Arc::clone(&fp)))
+                .unwrap_or_else(|e| panic!("{ctx}: open: {e}"));
+            let mut reference = base.clone();
+            let mut applied = 0usize;
+            for (name, rel) in &commits {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    db.commit_relation(*name, rel.clone()).map(|_| ())
+                }));
+                match outcome {
+                    Ok(Ok(())) => {
+                        reference.add_relation(*name, rel.clone());
+                        applied += 1;
+                    }
+                    Ok(Err(err)) => {
+                        assert_eq!(err, StoreError::Fault(sites::WAL_APPEND), "{ctx}");
+                        break; // typed rejection: nothing was written
+                    }
+                    Err(_) => break, // simulated crash mid-append (torn record)
+                }
+            }
+            assert_eq!(
+                applied,
+                (offset as usize).min(commits.len()),
+                "{ctx}: exactly the pre-fault commits succeed"
+            );
+            drop(db);
+
+            let reopened = Database::open(&dir).unwrap_or_else(|e| panic!("{ctx}: reopen: {e}"));
+            assert_same_database(&ctx, &reopened, &reference);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// `page_flush` sweep: a crash or typed fault at any page write *during a
+/// checkpoint* must be invisible after reopen — the checkpoint builds a
+/// temporary image and the WAL is only truncated after the atomic rename, so
+/// the committed state survives regardless of which flush died.
+#[test]
+fn page_flush_crashes_during_checkpoint_lose_no_committed_state() {
+    quiet_failpoint_panics();
+    let commit = Relation::from_values(vec![9, 8, 7]);
+    for action in [FailAction::Panic, FailAction::Trip] {
+        for offset in [0u64, 1, 2, 5, 9] {
+            let ctx = format!("page_flush {action:?} offset {offset}");
+            let dir = store_scratch(&format!("flush-{action:?}-{offset}"));
+            let base = test_database(78);
+            base.persist(&dir).unwrap_or_else(|e| panic!("{ctx}: persist: {e}"));
+
+            let fp = Arc::new(FailpointRegistry::new());
+            let mut db = Database::open_with_failpoints(&dir, Some(Arc::clone(&fp)))
+                .unwrap_or_else(|e| panic!("{ctx}: open: {e}"));
+            db.commit_relation("v1", commit.clone()).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            let mut reference = base.clone();
+            reference.add_relation("v1", commit.clone());
+
+            fp.arm_after(sites::PAGE_FLUSH, action, offset, 1);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.checkpoint()));
+            match outcome {
+                // Deep offsets can land beyond the image's page count: then the
+                // checkpoint simply completes, which is equally fine — the
+                // invariant below holds either way.
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => assert_eq!(err, StoreError::Fault(sites::PAGE_FLUSH), "{ctx}"),
+                Err(_) => {} // simulated crash mid-image-write
+            }
+            drop(db);
+
+            let reopened = Database::open(&dir).unwrap_or_else(|e| panic!("{ctx}: reopen: {e}"));
+            assert_same_database(&ctx, &reopened, &reference);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// `recovery_replay` sweep: a crash or typed fault while *replaying* the WAL
+/// is restartable — replay is read-only, so a clean retry always sees the full
+/// committed state, no matter which record the previous attempt died on.
+#[test]
+fn recovery_replay_crashes_are_restartable_without_loss() {
+    quiet_failpoint_panics();
+    let commits = sweep_commits();
+    let dir = store_scratch("replay");
+    let base = test_database(79);
+    base.persist(&dir).unwrap();
+    let mut reference = base.clone();
+    {
+        let mut db = Database::open(&dir).unwrap();
+        for (name, rel) in &commits {
+            db.commit_relation(*name, rel.clone()).unwrap();
+            reference.add_relation(*name, rel.clone());
+        }
+    }
+
+    for action in [FailAction::Panic, FailAction::Trip] {
+        for offset in 0..commits.len() as u64 {
+            let ctx = format!("recovery_replay {action:?} offset {offset}");
+            let fp = Arc::new(FailpointRegistry::new());
+            fp.arm_after(sites::RECOVERY_REPLAY, action, offset, 1);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Database::open_with_failpoints(&dir, Some(Arc::clone(&fp)))
+            }));
+            match outcome {
+                Ok(Err(err)) => {
+                    assert_eq!(err, StoreError::Fault(sites::RECOVERY_REPLAY), "{ctx}")
+                }
+                Err(_) => {} // simulated crash mid-replay
+                Ok(Ok(_)) => panic!("{ctx}: the armed replay must not succeed"),
+            }
+            // A clean retry replays everything: recovery lost nothing.
+            let reopened =
+                Database::open(&dir).unwrap_or_else(|e| panic!("{ctx}: clean reopen: {e}"));
+            assert_same_database(&ctx, &reopened, &reference);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -392,6 +392,63 @@ fn randomized_cancellation_never_corrupts_a_prepared_query() {
     }
 }
 
+/// Number of cases the persistence corpus draws (each case persists a store,
+/// reopens it and runs every engine twice, so it is a slice of the main corpus).
+const PERSIST_CASES: u64 = 16;
+
+/// Persistence differential: every random database, persisted to a paged disk
+/// store and reopened through lazy catalog slots, must be query-indistinguishable
+/// from the in-RAM original — identical counts and **byte-identical**
+/// `par_collect` rows for every engine, with hydration actually deferred until
+/// the first query touches a relation.
+#[test]
+fn persisted_and_reopened_databases_are_query_identical() {
+    let scratch = std::env::temp_dir().join(format!("gj-fuzz-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    for case in 0..PERSIST_CASES {
+        let seed = case_seed(3000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = random_database(&mut rng);
+        let query = random_query(&mut rng, 3000 + case);
+        let ctx = format!("persist case {case} seed {seed:#018x} [{query}]");
+
+        let dir = scratch.join(format!("case-{case}"));
+        db.persist(&dir).unwrap_or_else(|e| panic!("{ctx}: persist failed: {e}"));
+        let reopened = Database::open(&dir).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+        assert!(
+            !reopened.instance().is_resident("edge"),
+            "{ctx}: open must not hydrate relation extents"
+        );
+
+        for engine in fuzz_engines() {
+            let label = format!("{ctx} {}", engine.label());
+            let mem = db
+                .prepare(&query, &engine)
+                .unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+            let disk = reopened
+                .prepare(&query, &engine)
+                .unwrap_or_else(|e| panic!("{label}: reopened prepare failed: {e}"));
+            assert_eq!(
+                disk.count().unwrap_or_else(|e| panic!("{label}: {e}")),
+                mem.count().unwrap_or_else(|e| panic!("{label}: {e}")),
+                "{label}: reopened count disagrees"
+            );
+            assert_eq!(
+                disk.par_collect(4).unwrap_or_else(|e| panic!("{label}: {e}")),
+                mem.par_collect(4).unwrap_or_else(|e| panic!("{label}: {e}")),
+                "{label}: reopened par_collect is not byte-identical"
+            );
+        }
+        for name in query.relation_names() {
+            assert!(
+                reopened.instance().is_resident(name),
+                "{ctx}: queries hydrate the relations they touch ({name})"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// The corpus stays meaningful: the generator must produce a healthy share of
 /// non-empty answers and some multi-row results (otherwise the differential
 /// assertions above would be vacuous).
