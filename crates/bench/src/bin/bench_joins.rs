@@ -28,7 +28,11 @@
 //!   their state behind (the pairwise engines pool their buffers and merge-join
 //!   left sort permutations in the plan), so the rerun column tracks the
 //!   steady-state per-request cost under repeated parallel traffic, next to the
-//!   cold `par4_run_ms`.
+//!   cold `par4_run_ms`;
+//! * `edits_per_s` / `edit_run_ms` — the incremental-update trajectory: one
+//!   batch of edge inserts + deletes applied through the delta-trie path
+//!   (every cached permutation patched, none rebuilt — asserted), then a warm
+//!   post-edit execution over the merged base + delta indexes.
 //!
 //! Besides the trie engines, the pairwise baselines (`psql` = hash join,
 //! `monetdb` = sort-merge join) are benchmarked on the sample-restricted acyclic
@@ -247,6 +251,28 @@ fn main() {
             });
             assert_eq!(warm_built, 0, "a warm prepare must build nothing");
 
+            // Incremental-edit columns: clone the warm database, apply one
+            // batch of edge edits through the delta-trie path, and time (a)
+            // the edit itself (`edits_per_s` — every cached permutation is
+            // delta-patched in O(edit × permutations), never rebuilt) and (b)
+            // a warm post-edit execution (`edit_run_ms` — the steady-state
+            // per-request cost of serving right after an update).
+            let edit_batch: Vec<(u32, u32)> = (0..256u32)
+                .map(|i| (num_nodes as u32 + 2 * i, num_nodes as u32 + 2 * i + 1))
+                .collect();
+            let mut edited = db.clone();
+            let edit_start = Instant::now();
+            let ins = edited.insert_edges(&edit_batch).expect("insert_edges");
+            let del = edited.delete_edges(&edit_batch[..128]).expect("delete_edges");
+            let edit_secs = edit_start.elapsed().as_secs_f64();
+            let edits_per_s = (ins + del) as f64 / edit_secs.max(1e-9);
+            let post = edited.prepare(&q, engine).expect("post-edit prepare");
+            assert!(
+                !expects_indexes || post.indexes_built() == 0,
+                "edits must delta-patch cached indexes, not rebuild them"
+            );
+            let (edit_run_ms, _) = min_ms(opts.reps, || post.count().expect("post-edit count"));
+
             // Cold-start from disk: open the persisted store, prepare against a
             // fresh (per-open) index cache, count. Lazy slots hydrate the
             // relations the query touches through the buffer pool.
@@ -285,12 +311,12 @@ fn main() {
             let svc8_qps = (8 * svc_iters) as f64 / svc_secs.max(1e-9);
 
             println!(
-                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   par4 rerun {:>9.3} ms ({:>4.2}x)   open {:>9.3} ms   svc8 {:>8.1} qps   count {}",
-                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, open_ms, svc8_qps, count
+                "{:<10} {:<8} prepare {:>9.3} ms (warm {:>7.4} ms, {} threads)   run {:>9.3} ms   rerun {:>9.3} ms   par4 {:>9.3} ms ({:>4.2}x)   par4 rerun {:>9.3} ms ({:>4.2}x)   edits {:>9.0}/s   post-edit run {:>9.3} ms   open {:>9.3} ms   svc8 {:>8.1} qps   count {}",
+                q.name, label, prepare_ms, warm_prepare_ms, threads, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, edits_per_s, edit_run_ms, open_ms, svc8_qps, count
             );
             records.push(format!(
-                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"open_ms\": {:.3}, \"svc8_qps\": {:.1}, \"build_threads\": {}, \"count\": {}, \"outcome\": \"{}\"}}",
-                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, open_ms, svc8_qps, threads, count, probe.label()
+                "    {{\"query\": \"{}\", \"engine\": \"{}\", \"prepare_ms\": {:.3}, \"warm_prepare_ms\": {:.4}, \"run_ms\": {:.3}, \"rerun_ms\": {:.3}, \"par4_run_ms\": {:.3}, \"par4_speedup\": {:.2}, \"par4_rerun_ms\": {:.3}, \"par4_rerun_speedup\": {:.2}, \"edits_per_s\": {:.0}, \"edit_run_ms\": {:.3}, \"open_ms\": {:.3}, \"svc8_qps\": {:.1}, \"build_threads\": {}, \"count\": {}, \"outcome\": \"{}\"}}",
+                q.name, label, prepare_ms, warm_prepare_ms, run_ms, rerun_ms, par4_run_ms, par4_speedup, par4_rerun_ms, par4_rerun_speedup, edits_per_s, edit_run_ms, open_ms, svc8_qps, threads, count, probe.label()
             ));
         }
     }

@@ -80,6 +80,12 @@ pub enum EngineError {
     /// or a panic caught at a worker boundary (see [`ExecError`]). Surfaced by the
     /// `try_*` executions of a [`PreparedQuery`] and by panic-safe preparation.
     Exec(ExecError),
+    /// An incremental edit batch was rejected: unknown relation, arity mismatch, or
+    /// sentinel/out-of-domain values (see [`Database::insert_rows`]).
+    Edit(String),
+    /// The attached disk store failed during a durable mutation (see
+    /// `Database::commit_edits` in the persistence module).
+    Store(gj_store::StoreError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -89,11 +95,19 @@ impl std::fmt::Display for EngineError {
             EngineError::Baseline(err) => write!(f, "baseline execution failed: {err}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             EngineError::Exec(err) => write!(f, "execution aborted: {err}"),
+            EngineError::Edit(msg) => write!(f, "edit rejected: {msg}"),
+            EngineError::Store(err) => write!(f, "store error: {err}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<gj_store::StoreError> for EngineError {
+    fn from(err: gj_store::StoreError) -> Self {
+        EngineError::Store(err)
+    }
+}
 
 impl From<BaselineError> for EngineError {
     fn from(err: BaselineError) -> Self {
@@ -181,6 +195,124 @@ impl Database {
         self.instance.add_relation("edge", graph.edge_relation());
         self.graph = Some(graph);
         self
+    }
+
+    /// Inserts `rows` into relation `name` incrementally: the stored relation is
+    /// merged in O(n + k), and every cached trie index gains the rows through its
+    /// delta layer in O(k × permutations) — no index is rebuilt (see
+    /// [`IndexCache::apply_edits`]). Rows already present are ignored. Returns the
+    /// number of rows actually inserted.
+    ///
+    /// Like `add_relation`, the edit is memory-only even on a disk-backed
+    /// database; use `commit_edits` (persistence module) for a WAL-durable edit.
+    pub fn insert_rows(&mut self, name: &str, rows: &[Vec<Val>]) -> Result<usize, EngineError> {
+        self.edit_rows(name, rows, &[])
+    }
+
+    /// Deletes `rows` from relation `name` incrementally (tombstones in the cached
+    /// indexes' delta layers; the base tries are untouched). Rows not present are
+    /// ignored. Returns the number of rows actually deleted.
+    pub fn delete_rows(&mut self, name: &str, rows: &[Vec<Val>]) -> Result<usize, EngineError> {
+        self.edit_rows(name, &[], rows)
+    }
+
+    /// Applies one edit batch to relation `name`: `del` rows leave, `ins` rows
+    /// enter, and a row named in both is deleted (the same convention as
+    /// [`Relation::with_edits`]). Returns `inserted + deleted` effective rows.
+    ///
+    /// If the relation is the `"edge"` view of an attached [`Graph`], the graph is
+    /// re-derived from the edited relation (growing `num_nodes` to fit new
+    /// endpoints) so the specialised graph engine keeps serving.
+    pub fn edit_rows(
+        &mut self,
+        name: &str,
+        ins: &[Vec<Val>],
+        del: &[Vec<Val>],
+    ) -> Result<usize, EngineError> {
+        let (eff_ins, eff_del) = self.stage_edits(name, ins, del)?;
+        self.apply_effective_edits(name, &eff_ins, &eff_del)
+    }
+
+    /// Validates an edit batch against relation `name` and reduces it to its
+    /// *effective* deltas: inserts that are new (and not simultaneously
+    /// deleted), deletes that currently exist — exactly what the cache's delta
+    /// invariants require, and what makes the edit count meaningful. Shared by
+    /// [`edit_rows`](Self::edit_rows) and the durable `commit_edits` path,
+    /// which must validate *before* touching the WAL.
+    pub(crate) fn stage_edits(
+        &self,
+        name: &str,
+        ins: &[Vec<Val>],
+        del: &[Vec<Val>],
+    ) -> Result<(Relation, Relation), EngineError> {
+        let current = self
+            .instance
+            .relation(name)
+            .ok_or_else(|| EngineError::Edit(format!("unknown relation {name:?}")))?;
+        let arity = current.arity();
+        for row in ins.iter().chain(del) {
+            if row.len() != arity {
+                return Err(EngineError::Edit(format!(
+                    "row {row:?} has arity {}, relation {name:?} has arity {arity}",
+                    row.len()
+                )));
+            }
+            if !row.iter().all(|&v| gj_storage::is_finite(v)) {
+                return Err(EngineError::Edit(format!("row {row:?} contains a sentinel value")));
+            }
+        }
+        let del_batch = Relation::from_rows(arity, del.to_vec());
+        let eff_ins = Relation::from_rows(
+            arity,
+            ins.iter()
+                .filter(|r| !current.contains(r) && !del_batch.contains(r))
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        let eff_del = Relation::from_rows(
+            arity,
+            del.iter().filter(|r| current.contains(r)).cloned().collect::<Vec<_>>(),
+        );
+        Ok((eff_ins, eff_del))
+    }
+
+    /// Applies pre-staged effective deltas (see [`stage_edits`](Self::stage_edits))
+    /// to the in-memory state: relation, graph view, and cached indexes.
+    pub(crate) fn apply_effective_edits(
+        &mut self,
+        name: &str,
+        eff_ins: &Relation,
+        eff_del: &Relation,
+    ) -> Result<usize, EngineError> {
+        if eff_ins.is_empty() && eff_del.is_empty() {
+            return Ok(0);
+        }
+        let current = self
+            .instance
+            .relation(name)
+            .ok_or_else(|| EngineError::Edit(format!("unknown relation {name:?}")))?;
+        let updated = current.with_edits(eff_ins, eff_del);
+        let changed = eff_ins.len() + eff_del.len();
+        if name == "edge" && self.graph.is_some() {
+            self.graph = Some(Arc::new(graph_from_edge_relation(&updated, self.graph())?));
+        }
+        self.cache.apply_edits(name, eff_ins, eff_del, &updated);
+        self.instance.add_relation(name, updated);
+        Ok(changed)
+    }
+
+    /// Inserts undirected edges incrementally: both orientations enter the
+    /// `"edge"` relation (self-loops are ignored, matching [`Graph::new`]), every
+    /// cached index is delta-updated, and the attached graph — if any — grows to
+    /// fit new endpoints. Returns the number of directed rows actually inserted.
+    pub fn insert_edges(&mut self, edges: &[(u32, u32)]) -> Result<usize, EngineError> {
+        self.edit_rows("edge", &symmetrize(edges), &[])
+    }
+
+    /// Deletes undirected edges incrementally (both orientations leave the
+    /// `"edge"` relation). Returns the number of directed rows actually deleted.
+    pub fn delete_edges(&mut self, edges: &[(u32, u32)]) -> Result<usize, EngineError> {
+        self.edit_rows("edge", &[], &symmetrize(edges))
     }
 
     /// The underlying instance (relation catalog).
@@ -326,6 +458,37 @@ impl Database {
     }
 }
 
+/// Both orientations of each undirected edge as relation rows, self-loops dropped.
+fn symmetrize(edges: &[(u32, u32)]) -> Vec<Vec<Val>> {
+    let mut rows = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in edges {
+        if a != b {
+            rows.push(vec![Val::from(a), Val::from(b)]);
+            rows.push(vec![Val::from(b), Val::from(a)]);
+        }
+    }
+    rows
+}
+
+/// Re-derives the graph view from an edited (symmetric) `"edge"` relation. The node
+/// count never shrinks — ids are stable — and grows to fit the largest endpoint.
+fn graph_from_edge_relation(rel: &Relation, old: Option<&Graph>) -> Result<Graph, EngineError> {
+    let mut edges = Vec::with_capacity(rel.len());
+    let mut max_endpoint: i64 = -1;
+    for row in rel.iter() {
+        let (a, b) = (row[0], row[1]);
+        let (Ok(a), Ok(b)) = (u32::try_from(a), u32::try_from(b)) else {
+            return Err(EngineError::Edit(format!(
+                "edge ({a}, {b}) has endpoints outside the graph node domain"
+            )));
+        };
+        max_endpoint = max_endpoint.max(i64::from(a)).max(i64::from(b));
+        edges.push((a, b));
+    }
+    let num_nodes = (max_endpoint + 1) as usize;
+    Ok(Graph::new(num_nodes.max(old.map_or(0, Graph::num_nodes)), edges))
+}
+
 /// Structural equality of two queries up to variable names: same atoms (relation name
 /// + variable indices) and same filters.
 pub(crate) fn same_shape(a: &Query, b: &Query) -> bool {
@@ -468,6 +631,76 @@ mod tests {
         // that consume trie indexes).
         assert_eq!(db.count(&CatalogQuery::ThreeClique.query(), &Engine::Lftj).unwrap(), 1);
         assert!(!db.cache().is_empty());
+    }
+
+    #[test]
+    fn incremental_edits_keep_every_engine_correct_without_rebuilds() {
+        let mut db = two_triangle_db();
+        let q = CatalogQuery::ThreeClique.query();
+        // Warm the cache for the trie-consuming engines.
+        assert_eq!(db.count(&q, &Engine::Lftj).unwrap(), 2);
+        // Close the triangle (0, 3): edges (0,1),(1,3) and (0,2),(2,3) exist.
+        assert_eq!(db.insert_edges(&[(0, 3)]).unwrap(), 2);
+        // Delete edge (0, 1): kills triangles {0,1,2} and {0,1,3}.
+        assert_eq!(db.delete_edges(&[(0, 1)]).unwrap(), 2);
+        let expected = naive_count(db.instance(), &q);
+        for engine in [
+            Engine::Lftj,
+            Engine::minesweeper(),
+            Engine::HashJoin(ExecLimits::default()),
+            Engine::SortMergeJoin(ExecLimits::default()),
+            Engine::GraphEngine,
+        ] {
+            let prepared = db.prepare(&q, &engine).unwrap();
+            assert_eq!(
+                prepared.indexes_built(),
+                0,
+                "{}: edits must not rebuild cached indexes",
+                engine.label()
+            );
+            assert_eq!(prepared.count().unwrap(), expected, "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn edits_are_idempotent_and_report_effective_rows() {
+        let mut db = two_triangle_db();
+        assert_eq!(db.insert_edges(&[(0, 1)]).unwrap(), 0, "edge already present");
+        assert_eq!(db.delete_edges(&[(0, 4)]).unwrap(), 0, "edge never existed");
+        assert_eq!(db.insert_edges(&[(2, 2)]).unwrap(), 0, "self-loops are dropped");
+        assert_eq!(db.insert_rows("v1", &[vec![1], vec![9]]).unwrap(), 1);
+        assert_eq!(db.delete_rows("v1", &[vec![9], vec![7]]).unwrap(), 1);
+        // A row named in both halves of one batch is deleted (delete wins).
+        assert_eq!(db.edit_rows("v1", &[vec![0]], &[vec![0]]).unwrap(), 1);
+        assert!(!db.instance().relation("v1").unwrap().contains(&[0]));
+    }
+
+    #[test]
+    fn malformed_edit_batches_are_rejected() {
+        let mut db = two_triangle_db();
+        assert!(matches!(db.insert_rows("nope", &[vec![1]]), Err(EngineError::Edit(_))));
+        assert!(matches!(db.insert_rows("v1", &[vec![1, 2]]), Err(EngineError::Edit(_))));
+        assert!(matches!(
+            db.insert_rows("v1", &[vec![gj_storage::POS_INF]]),
+            Err(EngineError::Edit(_))
+        ));
+        // A failed batch leaves the relation untouched.
+        assert_eq!(db.instance().relation("v1").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn edge_edits_grow_the_graph_view() {
+        let mut db = two_triangle_db();
+        assert_eq!(db.graph().unwrap().num_nodes(), 5);
+        // Endpoint 7 is outside the current node range; the graph must grow.
+        db.insert_edges(&[(4, 7), (3, 7)]).unwrap();
+        assert_eq!(db.graph().unwrap().num_nodes(), 8);
+        db.insert_edges(&[(0, 7)]).unwrap();
+        // Deleting never shrinks the id space.
+        db.delete_edges(&[(0, 7)]).unwrap();
+        assert_eq!(db.graph().unwrap().num_nodes(), 8);
+        let q = CatalogQuery::ThreeClique.query();
+        assert_eq!(db.count(&q, &Engine::GraphEngine).unwrap(), naive_count(db.instance(), &q));
     }
 
     #[test]

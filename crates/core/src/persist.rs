@@ -18,10 +18,10 @@
 //! `EngineError::Exec(ExecError::WorkerPanicked)` — queries fail cleanly, the
 //! database object stays usable.
 
-use crate::database::Database;
+use crate::database::{Database, EngineError};
 use gj_query::RelationLoader;
 use gj_storage::fault::FailpointRegistry;
-use gj_storage::{Graph, Relation};
+use gj_storage::{Graph, Relation, Val};
 use gj_store::{Store, StoreError};
 use std::path::Path;
 use std::sync::Arc;
@@ -115,6 +115,36 @@ impl Database {
         store.log_add_graph(&graph)?;
         self.add_graph(graph);
         Ok(self)
+    }
+
+    /// Durably applies one incremental edit batch to relation `name`, WAL
+    /// first: the *effective* delta (inserts not already present, deletes that
+    /// exist) is appended to the attached store's WAL as a delta-sized edit
+    /// record, then applied in memory through the same incremental path as
+    /// [`Database::edit_rows`] — cached trie indexes absorb the edit in their
+    /// delta layers without a rebuild. A crash before the next checkpoint
+    /// replays the edit against the image base on reopen.
+    ///
+    /// A batch that changes nothing returns `Ok(0)` without touching the WAL.
+    /// Returns [`EngineError::Store`]\([`StoreError::NotAttached`]) when the
+    /// database has no store, [`EngineError::Edit`] on a malformed batch (the
+    /// WAL is untouched in both cases).
+    ///
+    /// [`EngineError::Store`]: crate::EngineError::Store
+    /// [`EngineError::Edit`]: crate::EngineError::Edit
+    pub fn commit_edits(
+        &mut self,
+        name: &str,
+        ins: &[Vec<Val>],
+        del: &[Vec<Val>],
+    ) -> Result<usize, EngineError> {
+        let (eff_ins, eff_del) = self.stage_edits(name, ins, del)?;
+        if eff_ins.is_empty() && eff_del.is_empty() {
+            return Ok(0);
+        }
+        let store = self.store().ok_or(StoreError::NotAttached)?;
+        store.log_edit(name, &eff_ins, &eff_del)?;
+        self.apply_effective_edits(name, &eff_ins, &eff_del)
     }
 
     /// Folds the WAL into a fresh checkpoint image of the attached store:
@@ -233,11 +263,43 @@ mod tests {
     }
 
     #[test]
+    fn committed_edits_replay_incrementally_from_the_wal() {
+        let dir = scratch("edit-commits");
+        sample_db().persist(&dir).unwrap();
+        let mut db = Database::open(&dir).unwrap();
+        // v1 starts as [0, 1, 3]; the edit inserts 5 and deletes 0.
+        let changed = db.commit_edits("v1", &[vec![5]], &[vec![0]]).unwrap();
+        assert_eq!(changed, 2);
+        assert_eq!(db.instance().relation("v1").unwrap().flat_values(), &[1, 3, 5]);
+        // A no-op batch (5 already present, 9 absent) leaves the WAL alone.
+        let wal_len = std::fs::metadata(dir.join("wal.gj")).unwrap().len();
+        assert!(wal_len > 0, "effective edit appended a WAL record");
+        assert_eq!(db.commit_edits("v1", &[vec![5]], &[vec![9]]).unwrap(), 0);
+        assert_eq!(std::fs::metadata(dir.join("wal.gj")).unwrap().len(), wal_len);
+        // Malformed batches fail before the WAL too.
+        let err = db.commit_edits("v1", &[vec![1, 2]], &[]).unwrap_err();
+        assert!(matches!(err, EngineError::Edit(_)));
+        assert_eq!(std::fs::metadata(dir.join("wal.gj")).unwrap().len(), wal_len);
+        drop(db);
+
+        let reopened = Database::open(&dir).unwrap();
+        assert_eq!(
+            reopened.instance().relation("v1").unwrap().flat_values(),
+            &[1, 3, 5],
+            "edit record replayed against the image base"
+        );
+    }
+
+    #[test]
     fn commit_without_a_store_is_a_typed_error() {
         let mut db = sample_db();
         let err = db.commit_relation("x", Relation::from_values(vec![1])).unwrap_err();
         assert_eq!(err, StoreError::NotAttached);
         assert_eq!(db.checkpoint().unwrap_err(), StoreError::NotAttached);
+        assert_eq!(
+            db.commit_edits("v1", &[vec![9]], &[]).unwrap_err(),
+            EngineError::Store(StoreError::NotAttached)
+        );
     }
 
     #[test]

@@ -558,9 +558,17 @@ impl<'db> PreparedQuery<'db> {
                 // CDS carry-over only pays when workers claim several morsels
                 // each; with at most one morsel per worker (granularity 1, the
                 // acyclic default) there is no later range to re-seed, so the
-                // constraint recording would be pure overhead.
+                // constraint recording would be pure overhead. It is also a
+                // wash on β-cyclic queries: there the CDS holds only the
+                // skeletonised (Idea 7) constraints, and re-seeding those
+                // into a disjoint first-attribute range almost never prunes —
+                // at granularity 8 (Table 5's cyclic setting) the recording
+                // cost exceeds the savings, so carry-over stays off unless
+                // the query is β-acyclic.
                 let mut config = config.clone();
-                config.cds_carryover = config.cds_carryover && morsels.len() > threads;
+                config.cds_carryover = config.cds_carryover
+                    && morsels.len() > threads
+                    && gj_query::Hypergraph::of_query(&bq.query).is_beta_acyclic();
                 let source = MsMorsels::new(bq, config);
                 let report = try_drive(&source, morsels, threads, sink, monitor)?;
                 let extras = ms_extras(&source.totals());
@@ -1137,6 +1145,44 @@ mod tests {
         let mut sink = CountSink::new();
         let stats = lftj.run_parallel(&mut sink, 2).unwrap();
         assert!(stats.extra("bindings_explored").unwrap() >= stats.rows);
+    }
+
+    /// Ablation for the carry-over auto-disable: a β-cyclic query at the
+    /// paper's cyclic granularity (`f = 8`) would arm the CDS constraint
+    /// carry-over (many morsels per worker) but re-seeding skeletonised
+    /// constraints across first-attribute ranges is a wash, so the default
+    /// config turns it off there — while a β-acyclic query at the same
+    /// granularity keeps carrying constraints forward.
+    #[test]
+    fn cds_carryover_auto_disables_on_cyclic_queries() {
+        let mut db = Database::new();
+        db.add_graph(gj_datagen::erdos_renyi(60, 220, 19));
+        db.add_relation("v1", Relation::from_values((0..60_i64).step_by(3).collect::<Vec<_>>()));
+        db.add_relation("v2", Relation::from_values((0..60_i64).step_by(2).collect::<Vec<_>>()));
+        let engine = Engine::Minesweeper(MsConfig { granularity: 8, ..MsConfig::default() });
+        assert!(MsConfig::default().cds_carryover, "carry-over is on by default");
+
+        let cyclic = CatalogQuery::ThreeClique.query();
+        let prepared = db.prepare(&cyclic, &engine).unwrap();
+        let mut sink = CountSink::new();
+        let stats = prepared.run_parallel(&mut sink, 2).unwrap();
+        assert!(stats.morsels > 2, "granularity 8 over-splits, so carry-over *would* arm");
+        assert_eq!(
+            stats.extra("carried_constraints"),
+            Some(0),
+            "cyclic GAO: carry-over auto-disabled"
+        );
+        assert_eq!(stats.rows, prepared.count().unwrap());
+
+        let acyclic = CatalogQuery::ThreePath.query();
+        let prepared = db.prepare(&acyclic, &engine).unwrap();
+        let mut sink = CountSink::new();
+        let stats = prepared.run_parallel(&mut sink, 2).unwrap();
+        assert!(
+            stats.extra("carried_constraints").unwrap() > 0,
+            "acyclic GAO at the same granularity still re-seeds later morsels"
+        );
+        assert_eq!(stats.rows, prepared.count().unwrap());
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub fn count_last_level_run(
         }
     }
 
-    // Extension lists of every atom containing the last attribute.
-    let mut slices: Vec<&[Val]> = Vec::new();
+    // Extension lists of every atom containing the last attribute (owned when the
+    // atom's index merges a delta layer, borrowed otherwise).
+    let mut lists: Vec<std::borrow::Cow<'_, [Val]>> = Vec::new();
     for prober in probers {
         if prober.positions().last() != Some(&last) {
             continue;
@@ -61,12 +62,13 @@ pub fn count_last_level_run(
         let prefix: Vec<Val> =
             prober.positions()[..prober.positions().len() - 1].iter().map(|&p| t[p]).collect();
         match prober.extensions(&prefix) {
-            Some(slice) => slices.push(slice),
+            Some(list) => lists.push(list),
             // `t` was verified as an output, so the prefix must exist; be defensive
             // anyway and fall back to counting just `t`.
             None => return (1, bump_prefix(t)),
         }
     }
+    let slices: Vec<&[Val]> = lists.iter().map(|l| &**l).collect();
     if slices.is_empty() {
         // Every variable of a valid query occurs in some atom, so this cannot happen;
         // count just the verified tuple to stay safe.

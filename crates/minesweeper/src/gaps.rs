@@ -91,12 +91,12 @@ impl AtomProber {
         &self.positions
     }
 
-    /// The sorted list of values extending `prefix` (given in the atom's own GAO
-    /// attribute order) in this atom's index, or `None` when the prefix is absent.
+    /// The sorted list of **live** values extending `prefix` (given in the atom's
+    /// own GAO attribute order) in this atom's index, or `None` when the prefix is
+    /// absent. Borrowed for solid indexes; merged across delta layers otherwise.
     /// Used by the #Minesweeper-style batch counting (Idea 8).
-    pub fn extensions(&self, prefix: &[Val]) -> Option<&[Val]> {
-        let (lo, hi) = self.index.prefix_range(prefix)?;
-        Some(&self.index.level_values(prefix.len())[lo..hi])
+    pub fn extensions(&self, prefix: &[Val]) -> Option<std::borrow::Cow<'_, [Val]>> {
+        self.index.extensions(prefix)
     }
 
     /// Probes the relation around the free tuple `t` (in GAO order).

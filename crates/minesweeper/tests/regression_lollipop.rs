@@ -41,11 +41,21 @@ fn configs() -> Vec<(&'static str, MsConfig)> {
 fn two_lollipop_regression_instance_counts_correctly_in_every_config() {
     let inst = random_instance(23, 30, 0.15);
     let q = CatalogQuery::TwoLollipop.query();
+    // The expectation is computed by two independent reference engines — the
+    // naive join and the serial pairwise baseline — instead of a pinned
+    // literal: the literal was tied to one rand stream (440 under crates.io
+    // rand, 407 under the vendored shim), but the shape of the regression — a
+    // β-cyclic query with filters — is what matters, not the exact count.
     let expected = naive_count(&inst, &q);
-    // Pinned to the deterministic stream of the vendored rand shim (the original
-    // regression instance produced 440 under the crates.io rand stream; the shape
-    // of the regression — a β-cyclic query with filters — is what matters).
-    assert_eq!(expected, 407, "the regression instance changed");
+    let pairwise = gj_baselines::pairwise_count(
+        &inst,
+        &q,
+        gj_baselines::JoinAlgo::Hash,
+        &gj_baselines::ExecLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(pairwise, expected, "reference engines disagree on the instance");
+    assert!(expected > 0, "the regression instance degenerated to an empty answer");
     let bq = BoundQuery::new(&inst, &q, None).unwrap();
     assert_eq!(gj_lftj::count(&bq), expected);
     for (name, cfg) in configs() {

@@ -15,13 +15,61 @@
 //! [`IndexCache::invalidate`] with its name; the `Database` façade in `gj-core`
 //! does this from `add_relation`/`add_graph`.
 
-use gj_storage::{FailpointHit, FailpointRegistry, Relation, TrieIndex};
-use std::collections::HashMap;
+use gj_storage::{FailpointHit, FailpointRegistry, Relation, TrieIndex, Val};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The per-relation slice of the cache: column permutation → shared index.
 type PermMap = HashMap<Vec<usize>, Arc<TrieIndex>>;
+
+/// Everything the cache knows about one relation: its built indexes plus the
+/// cumulative, normalized edit deltas not yet folded into their bases.
+///
+/// The delta invariants (every row in `ins` is absent from the indexes' shared
+/// base, every row in `del` is present in it, and the two sets are disjoint) are
+/// maintained by [`RelEntry::absorb`]; they are exactly the preconditions of
+/// [`TrieIndex::with_edits`].
+#[derive(Debug, Clone, Default)]
+struct RelEntry {
+    perms: PermMap,
+    ins: BTreeSet<Vec<Val>>,
+    del: BTreeSet<Vec<Val>>,
+}
+
+impl RelEntry {
+    /// Folds an *effective* edit batch (inserts not currently live, deletes
+    /// currently live — the `Database` normalizes against its relation before
+    /// calling) into the cumulative sets, preserving the delta invariants:
+    /// deleting a pending insert cancels it, re-inserting a tombstoned base row
+    /// revives it.
+    fn absorb(&mut self, ins: &Relation, del: &Relation) {
+        for row in del.iter() {
+            if !self.ins.remove(row) {
+                self.del.insert(row.to_vec());
+            }
+        }
+        for row in ins.iter() {
+            if !self.del.remove(row) {
+                self.ins.insert(row.to_vec());
+            }
+        }
+    }
+
+    /// The cumulative sets as sorted relations ready for [`TrieIndex::with_edits`].
+    fn delta_relations(&self, arity: usize) -> (Relation, Relation) {
+        let ins = Relation::from_rows(arity, self.ins.iter().cloned().collect::<Vec<_>>());
+        let del = Relation::from_rows(arity, self.del.iter().cloned().collect::<Vec<_>>());
+        (ins, del)
+    }
+}
+
+/// Pending deltas above this size are folded into a fresh solid base
+/// (`max(64, live_rows / 8)`): big enough that a steady edit trickle almost never
+/// compacts, small enough that merged-iteration overhead stays bounded.
+fn compaction_threshold(live_rows: usize) -> usize {
+    64.max(live_rows / 8)
+}
 
 /// A thread-safe cache of trie indexes keyed by `(relation name, permutation)`.
 ///
@@ -35,8 +83,8 @@ type PermMap = HashMap<Vec<usize>, Arc<TrieIndex>>;
 /// recovered state is consistent.
 #[derive(Debug, Default)]
 pub struct IndexCache {
-    /// relation name → column permutation → shared index.
-    entries: RwLock<HashMap<String, PermMap>>,
+    /// relation name → built indexes + pending deltas.
+    entries: RwLock<HashMap<String, RelEntry>>,
     /// Fault-injection registry consulted before every trie build (tests only;
     /// `None` in production, costing one mutex lock per *build*, never per hit).
     failpoints: Mutex<Option<Arc<FailpointRegistry>>>,
@@ -85,14 +133,14 @@ impl IndexCache {
 
     /// Looks up the index for `name` under the column permutation `perm`.
     pub fn get(&self, name: &str, perm: &[usize]) -> Option<Arc<TrieIndex>> {
-        read(&self.entries).get(name)?.get(perm).cloned()
+        read(&self.entries).get(name)?.perms.get(perm).cloned()
     }
 
     /// Inserts an index, returning the cached copy (the existing one if another
     /// thread raced the build — all callers then share a single physical index).
     pub fn insert(&self, name: &str, perm: Vec<usize>, index: Arc<TrieIndex>) -> Arc<TrieIndex> {
         let mut entries = write(&self.entries);
-        entries.entry(name.to_string()).or_default().entry(perm).or_insert(index).clone()
+        entries.entry(name.to_string()).or_default().perms.entry(perm).or_insert(index).clone()
     }
 
     /// Returns the cached index for `(name, perm)`, building it from `relation`
@@ -119,7 +167,63 @@ impl IndexCache {
 
     /// Number of physical indexes currently cached.
     pub fn len(&self) -> usize {
-        read(&self.entries).values().map(HashMap::len).sum()
+        read(&self.entries).values().map(|e| e.perms.len()).sum()
+    }
+
+    /// Rows in the pending (uncompacted) delta for relation `name`:
+    /// `inserts + tombstones`, or 0 when nothing is pending.
+    pub fn pending_delta_len(&self, name: &str) -> usize {
+        read(&self.entries).get(name).map_or(0, |e| e.ins.len() + e.del.len())
+    }
+
+    /// Applies an **effective** edit batch (inserts not previously live, deletes
+    /// previously live — disjoint) to every cached index of relation `name`, in
+    /// O(delta × permutations) — the shared base tries are never rebuilt.
+    /// `updated` is the post-edit relation, used only when the accumulated delta
+    /// crosses `compaction_threshold`: then every permutation is rebuilt solid
+    /// from it and the delta sets are cleared. Returns the number of indexes
+    /// compacted (0 for a pure delta update).
+    ///
+    /// A relation with no cached indexes needs no work: the next miss builds a
+    /// solid index straight from the updated relation.
+    pub fn apply_edits(
+        &self,
+        name: &str,
+        ins: &Relation,
+        del: &Relation,
+        updated: &Relation,
+    ) -> usize {
+        let mut entries = write(&self.entries);
+        let Some(entry) = entries.get_mut(name) else { return 0 };
+        if entry.perms.is_empty() {
+            // Nothing built yet; forget any pending bookkeeping too — future
+            // builds start from `updated` directly.
+            entry.ins.clear();
+            entry.del.clear();
+            return 0;
+        }
+        entry.absorb(ins, del);
+        if entry.ins.len() + entry.del.len() > compaction_threshold(updated.len()) {
+            self.fire_trie_build_locked();
+            for (perm, index) in entry.perms.iter_mut() {
+                *index = Arc::new(TrieIndex::build(updated, perm));
+            }
+            entry.ins.clear();
+            entry.del.clear();
+            return entry.perms.len();
+        }
+        let (ins_rel, del_rel) = entry.delta_relations(updated.arity());
+        for index in entry.perms.values_mut() {
+            *index = Arc::new(index.with_edits(&ins_rel, &del_rel));
+        }
+        0
+    }
+
+    /// [`IndexCache::fire_trie_build`] is called with `entries` held during
+    /// compaction; the failpoint mutex is separate, so this is just a named alias
+    /// making the lock order (entries → failpoints) visible.
+    fn fire_trie_build_locked(&self) {
+        self.fire_trie_build();
     }
 
     /// Whether the cache holds no indexes.
@@ -295,6 +399,78 @@ mod tests {
         assert!(Arc::ptr_eq(&before, &rebuilt), "no spurious rebuild after recovery");
         cache.get_or_build("edge", &r, &[1, 0]);
         assert_eq!(cache.len(), 2, "writes keep working on a poisoned cache");
+    }
+
+    #[test]
+    fn apply_edits_updates_every_perm_without_rebuilding_the_base() {
+        let cache = IndexCache::new();
+        let r = edge();
+        let before_01 = cache.get_or_build("edge", &r, &[0, 1]);
+        let before_10 = cache.get_or_build("edge", &r, &[1, 0]);
+        let ins = Relation::from_pairs(vec![(5, 6)]);
+        let del = Relation::from_pairs(vec![(0, 1)]);
+        let updated = r.with_edits(&ins, &del);
+        assert_eq!(cache.apply_edits("edge", &ins, &del, &updated), 0, "no compaction");
+        let after_01 = cache.get("edge", &[0, 1]).unwrap();
+        let after_10 = cache.get("edge", &[1, 0]).unwrap();
+        assert!(after_01.shares_base(&before_01), "base trie shared, not rebuilt");
+        assert!(after_10.shares_base(&before_10));
+        assert!(after_01.has_delta() && after_10.has_delta());
+        assert_eq!(cache.pending_delta_len("edge"), 2);
+        assert!(after_01.contains(&[5, 6]) && !after_01.contains(&[0, 1]));
+        assert!(after_10.contains(&[6, 5]) && !after_10.contains(&[1, 0]));
+        assert_eq!(after_01.num_rows(), updated.len());
+    }
+
+    #[test]
+    fn apply_edits_normalizes_cancelling_batches() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        let row = Relation::from_pairs(vec![(7, 8)]);
+        let none = Relation::empty(2);
+        let after_ins = r.with_edits(&row, &none);
+        cache.apply_edits("edge", &row, &none, &after_ins);
+        assert_eq!(cache.pending_delta_len("edge"), 1);
+        // Deleting the pending insert cancels it instead of tombstoning.
+        cache.apply_edits("edge", &none, &row, &r);
+        assert_eq!(cache.pending_delta_len("edge"), 0);
+        let idx = cache.get("edge", &[0, 1]).unwrap();
+        assert!(!idx.contains(&[7, 8]));
+        // Deleting a base row then re-inserting it revives the tombstone.
+        let base_row = Relation::from_pairs(vec![(0, 1)]);
+        cache.apply_edits("edge", &none, &base_row, &r.with_edits(&none, &base_row));
+        cache.apply_edits("edge", &base_row, &none, &r);
+        assert_eq!(cache.pending_delta_len("edge"), 0);
+        assert!(cache.get("edge", &[0, 1]).unwrap().contains(&[0, 1]));
+    }
+
+    #[test]
+    fn oversized_deltas_compact_into_fresh_solid_bases() {
+        let cache = IndexCache::new();
+        let r = edge();
+        let before = cache.get_or_build("edge", &r, &[0, 1]);
+        // 65 inserts on a 4-row relation crosses max(64, len/8).
+        let ins = Relation::from_pairs((0..65).map(|i| (100 + i, i)).collect::<Vec<_>>());
+        let none = Relation::empty(2);
+        let updated = r.with_edits(&ins, &none);
+        assert_eq!(cache.apply_edits("edge", &ins, &none, &updated), 1, "one perm compacted");
+        let after = cache.get("edge", &[0, 1]).unwrap();
+        assert!(!after.has_delta(), "compaction folds the delta away");
+        assert!(!after.shares_base(&before), "compaction builds a fresh base");
+        assert_eq!(after.num_rows(), updated.len());
+        assert_eq!(cache.pending_delta_len("edge"), 0);
+    }
+
+    #[test]
+    fn apply_edits_without_cached_indexes_is_a_no_op() {
+        let cache = IndexCache::new();
+        let r = edge();
+        let ins = Relation::from_pairs(vec![(9, 9)]);
+        let none = Relation::empty(2);
+        assert_eq!(cache.apply_edits("edge", &ins, &none, &r.with_edits(&ins, &none)), 0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.pending_delta_len("edge"), 0);
     }
 
     #[test]

@@ -123,6 +123,76 @@ impl Service {
         epoch
     }
 
+    /// Applies one incremental edit batch to relation `name` (`ins` rows
+    /// enter, `del` rows leave — see [`Database::edit_rows`]) and returns the
+    /// resulting epoch. The database is copied-on-write under the write lock:
+    /// the copy's cached trie indexes absorb the edit through their delta
+    /// layers (no rebuild), in-flight queries keep their old snapshot, and
+    /// the resulting relation is recorded as an update event so
+    /// [`verify_history`](Self::verify_history) replays it exactly. A batch
+    /// that changes nothing returns the current epoch without bumping it.
+    pub fn edit_relation(
+        &self,
+        name: &str,
+        ins: &[Vec<i64>],
+        del: &[Vec<i64>],
+    ) -> Result<u64, EngineError> {
+        self.apply_edit(name, |db| db.edit_rows(name, ins, del))
+    }
+
+    /// Incrementally inserts rows into relation `name` for all future
+    /// snapshots (see [`edit_relation`](Self::edit_relation)).
+    pub fn insert_rows(&self, name: &str, rows: &[Vec<i64>]) -> Result<u64, EngineError> {
+        self.edit_relation(name, rows, &[])
+    }
+
+    /// Incrementally deletes rows from relation `name` for all future
+    /// snapshots (see [`edit_relation`](Self::edit_relation)).
+    pub fn delete_rows(&self, name: &str, rows: &[Vec<i64>]) -> Result<u64, EngineError> {
+        self.edit_relation(name, &[], rows)
+    }
+
+    /// Incrementally inserts undirected edges (both orientations of the
+    /// `"edge"` relation; the attached graph view grows to fit new
+    /// endpoints). Returns the resulting epoch.
+    pub fn insert_edges(&self, edges: &[(u32, u32)]) -> Result<u64, EngineError> {
+        self.apply_edit("edge", |db| db.insert_edges(edges))
+    }
+
+    /// Incrementally deletes undirected edges (both orientations leave the
+    /// `"edge"` relation). Returns the resulting epoch.
+    pub fn delete_edges(&self, edges: &[(u32, u32)]) -> Result<u64, EngineError> {
+        self.apply_edit("edge", |db| db.delete_edges(edges))
+    }
+
+    /// Shared copy-on-write edit path: runs `edit` against a clone of the
+    /// current database, and publishes the clone (bumping the epoch and
+    /// recording the resulting relation) only if it changed something. The
+    /// edit validates before any state is touched, so a rejected batch leaves
+    /// the service exactly as it was.
+    fn apply_edit(
+        &self,
+        name: &str,
+        edit: impl FnOnce(&mut Database) -> Result<usize, EngineError>,
+    ) -> Result<u64, EngineError> {
+        let mut guard = self.inner.db.write().unwrap_or_else(PoisonError::into_inner);
+        let mut next = (*guard.1).clone();
+        let changed = edit(&mut next)?;
+        if changed == 0 {
+            return Ok(guard.0);
+        }
+        let relation = next
+            .instance()
+            .relation(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Edit(format!("edited relation {name:?} vanished")))?;
+        guard.0 += 1;
+        guard.1 = Arc::new(next);
+        let epoch = guard.0;
+        self.inner.history.record(SessionEvent::Update { epoch, name: name.to_string(), relation });
+        Ok(epoch)
+    }
+
     /// The current snapshot (epoch advances as updates land).
     pub fn snapshot(&self) -> Arc<Database> {
         self.inner.snapshot().1

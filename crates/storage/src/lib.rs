@@ -52,4 +52,4 @@ pub use fault::{FailAction, FailpointHit, FailpointRegistry};
 pub use graph::{Csr, Graph};
 pub use relation::Relation;
 pub use trie::{ProbeResult, TrieIndex, TrieIterator};
-pub use value::{Tuple, Val, NEG_INF, POS_INF};
+pub use value::{is_finite, Tuple, Val, NEG_INF, POS_INF};

@@ -237,6 +237,55 @@ impl Relation {
     pub fn iter(&self) -> impl Iterator<Item = &[Val]> {
         self.values.chunks_exact(self.arity)
     }
+
+    /// Returns a new relation with `ins` rows added and `del` rows removed, in one
+    /// O(len + edits) sorted merge (deletes win over simultaneous inserts of the
+    /// same row; inserting an existing row or deleting an absent one is a no-op).
+    ///
+    /// This is the *eager* half of incremental maintenance: the relation catalog is
+    /// updated immediately (so baseline engines that read rows directly stay
+    /// consistent), while the trie indexes absorb the same edits as delta layers
+    /// ([`TrieIndex::with_edits`](crate::trie::TrieIndex::with_edits)) instead of
+    /// being rebuilt.
+    pub fn with_edits(&self, ins: &Relation, del: &Relation) -> Relation {
+        assert_eq!(ins.arity(), self.arity, "insert batch arity mismatch");
+        assert_eq!(del.arity(), self.arity, "delete batch arity mismatch");
+        let mut values = Vec::with_capacity(self.values.len() + ins.values.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut push = |row: &[Val]| {
+            if !del.contains(row) {
+                values.extend_from_slice(row);
+            }
+        };
+        while i < self.len && j < ins.len {
+            match self.row(i).cmp(ins.row(j)) {
+                Ordering::Less => {
+                    push(self.row(i));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    push(ins.row(j));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    push(self.row(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.len {
+            push(self.row(i));
+            i += 1;
+        }
+        while j < ins.len {
+            push(ins.row(j));
+            j += 1;
+        }
+        let len = values.len() / self.arity;
+        let max_value = values.iter().copied().max();
+        Relation { arity: self.arity, len, values, max_value }
+    }
 }
 
 /// Asserts that `perm` is a permutation of `0..arity`. Both [`Relation::permute`]
@@ -369,5 +418,34 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.arity(), 3);
         assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn with_edits_merges_inserts_and_deletes() {
+        let r = Relation::from_pairs(vec![(1, 2), (2, 3), (5, 5)]);
+        let ins = Relation::from_pairs(vec![(0, 9), (2, 3), (7, 1)]);
+        let del = Relation::from_pairs(vec![(5, 5), (8, 8)]);
+        let out = r.with_edits(&ins, &del);
+        assert_eq!(out.to_rows(), vec![vec![0, 9], vec![1, 2], vec![2, 3], vec![7, 1]]);
+        assert_eq!(out.max_value(), Some(9));
+        // Empty edit batches are the identity.
+        let same = r.with_edits(&Relation::empty(2), &Relation::empty(2));
+        assert_eq!(same, r);
+    }
+
+    #[test]
+    fn with_edits_delete_wins_over_simultaneous_insert() {
+        let r = Relation::from_pairs(vec![(1, 1)]);
+        let ins = Relation::from_pairs(vec![(2, 2)]);
+        let del = Relation::from_pairs(vec![(2, 2)]);
+        assert_eq!(r.with_edits(&ins, &del).to_rows(), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn with_edits_can_empty_a_relation() {
+        let r = Relation::from_values(vec![1, 2]);
+        let out = r.with_edits(&Relation::empty(1), &Relation::from_values(vec![1, 2]));
+        assert!(out.is_empty());
+        assert_eq!(out.max_value(), None);
     }
 }

@@ -1,4 +1,4 @@
-//! Flat trie indexes and trie iterators.
+//! Flat trie indexes, delta layers, and trie iterators.
 //!
 //! Both LeapFrog TrieJoin and Minesweeper assume every input relation is indexed by a
 //! search tree consistent with the global attribute order (GAO) — Section 4.1 and
@@ -11,59 +11,52 @@
 //! * `O(log)` per-level prefix probes with greatest-lower-bound / least-upper-bound
 //!   answers, which is exactly what Minesweeper's `seekGap` (Idea 3) needs to build a
 //!   maximal gap box around a free tuple.
+//!
+//! # Delta layers (incremental maintenance)
+//!
+//! A [`TrieIndex`] is an immutable **base** trie (`TrieCore`, shared through an
+//! `Arc` by every updated version of the index) plus an optional **delta layer**: two
+//! small sorted tries holding inserted rows and tombstoned deletes
+//! ([`TrieIndex::with_edits`]). The logical content is `(base \ deletes) ∪ inserts`,
+//! and the merge happens *lazily at the iterator level*: [`TrieIterator`] and
+//! [`TrieIndex::probe`] walk base and insert tries in lockstep, presenting one sorted
+//! stream with tombstoned leaves skipped, so every engine sees the updated relation
+//! without the base ever being rebuilt. An edit batch therefore costs
+//! O(delta × permutations) instead of O(relation × permutations); the
+//! [`IndexCache`](../../gj_query/struct.IndexCache.html) folds deltas back into a
+//! fresh base once they cross its compaction threshold.
 
 use crate::relation::Relation;
 use crate::value::{Val, NEG_INF, POS_INF};
+use std::borrow::Cow;
+use std::sync::Arc;
 
-/// A trie (prefix tree) index over a [`Relation`] in a chosen attribute order.
-///
-/// Level `d` stores one entry per distinct length-`d+1` prefix of the (permuted)
-/// relation; the entry records the last value of that prefix. `child_start[d][i]`
-/// gives the index in level `d+1` where the children of entry `i` begin, so the
-/// children of entry `i` occupy `child_start[d][i] .. child_start[d][i + 1]`.
+/// The immutable flat-trie layer: one sorted value array per level plus child-range
+/// offsets. Level `d` stores one entry per distinct length-`d+1` prefix of the
+/// (permuted) relation; `child_start[d][i]` gives the index in level `d+1` where the
+/// children of entry `i` begin, so the children of entry `i` occupy
+/// `child_start[d][i] .. child_start[d][i + 1]`.
 ///
 /// The example of Figure 1 in the paper — `R(A2, A4, A5)` indexed in the order
 /// `A2, A4, A5` — produces level 0 = `[5, 7, 10]`, level 1 = `[1, 4, 9, 4]`, and
 /// level 2 = `[4, 7, 12, 6, 8, 13, 1]`.
 #[derive(Debug, Clone)]
-pub struct TrieIndex {
+struct TrieCore {
     arity: usize,
     num_rows: usize,
-    /// Column permutation used to build the index: output level `d` corresponds to
-    /// source column `perm[d]` of the original relation.
-    perm: Vec<usize>,
-    /// Largest value in the underlying relation, cached at build time (probe loops —
-    /// Minesweeper binds it per free tuple — must not rescan the levels).
-    max_value: Option<Val>,
     values: Vec<Vec<Val>>,
     child_start: Vec<Vec<usize>>,
 }
 
-/// Result of probing a trie index with a full projected tuple (Minesweeper, Idea 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProbeResult {
-    /// The whole tuple is present in the relation.
-    Found,
-    /// The prefix of length `depth` is present but extending it with the probed value
-    /// is not. `(lower, upper)` is the maximal open interval around the probed value
-    /// that contains no value extending that prefix; the ends are `NEG_INF` /
-    /// `POS_INF` when the probe falls before the first or after the last child.
-    Gap { depth: usize, lower: Val, upper: Val },
-}
-
-impl TrieIndex {
-    /// Builds a trie index over `relation`, indexing the columns in the order given by
-    /// `perm` (`perm[d]` is the source column that becomes trie level `d`).
-    ///
-    /// `perm` must be a permutation of `0..relation.arity()`.
+impl TrieCore {
+    /// Builds the flat trie over `relation` in the column order given by `perm`.
     ///
     /// The build is **zero-materialization**: it sorts a row-index permutation of the
     /// relation's flat buffer ([`Relation::sorted_row_order`] — a no-op for the
     /// identity permutation, since relations store their rows sorted) and streams the
     /// trie levels directly out of the buffer through that order. No permuted copy of
-    /// the relation is ever created, so building the six GAO-consistent `edge`
-    /// indexes of a 4-clique query allocates only the level arrays themselves.
-    pub fn build(relation: &Relation, perm: &[usize]) -> Self {
+    /// the relation is ever created.
+    fn build(relation: &Relation, perm: &[usize]) -> Self {
         let arity = relation.arity();
         // sorted_row_order validates that perm is a permutation of 0..arity.
         let order = relation.sorted_row_order(perm);
@@ -108,13 +101,78 @@ impl TrieIndex {
             child_start[d].push(values[d + 1].len());
         }
 
+        TrieCore { arity, num_rows: relation.len(), values, child_start }
+    }
+
+    fn root_range(&self) -> (usize, usize) {
+        (0, self.values.first().map_or(0, Vec::len))
+    }
+
+    fn children_range(&self, depth: usize, idx: usize) -> (usize, usize) {
+        let cs = &self.child_start[depth];
+        (cs[idx], cs[idx + 1])
+    }
+
+    /// Binary search for `v` among the entries `lo..hi` of level `d`.
+    fn find_in(&self, d: usize, lo: usize, hi: usize, v: Val) -> Option<usize> {
+        let vals = &self.values[d][lo..hi];
+        vals.binary_search(&v).ok().map(|i| lo + i)
+    }
+}
+
+/// A trie (prefix tree) index over a [`Relation`] in a chosen attribute order: an
+/// `Arc`-shared immutable base trie plus an optional delta layer of inserts and
+/// tombstoned deletes (see the [module docs](self) for the layer semantics).
+///
+/// Engines consume it through [`TrieIndex::iter`] and [`TrieIndex::probe`], both of
+/// which merge the layers into one logical sorted stream.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    base: Arc<TrieCore>,
+    delta: Option<DeltaLayer>,
+    /// Column permutation used to build the index: output level `d` corresponds to
+    /// source column `perm[d]` of the original relation.
+    perm: Vec<usize>,
+    /// Live row count: `base - deletes + inserts`.
+    num_rows: usize,
+    /// Upper bound on the largest live value (exact for solid indexes; deletes may
+    /// make it an overestimate, which is all Minesweeper's domain bound needs).
+    max_value: Option<Val>,
+}
+
+/// The mutable-by-replacement half of a [`TrieIndex`]: a sorted insert trie and a
+/// sorted tombstone trie, both built with the base's column permutation. Deletes
+/// apply to the base only — the logical content is `(base \ del) ∪ ins`.
+#[derive(Debug, Clone)]
+struct DeltaLayer {
+    ins: TrieCore,
+    del: TrieCore,
+}
+
+/// Result of probing a trie index with a full projected tuple (Minesweeper, Idea 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The whole tuple is present in the relation.
+    Found,
+    /// The prefix of length `depth` is present but extending it with the probed value
+    /// is not. `(lower, upper)` is the maximal open interval around the probed value
+    /// that contains no value extending that prefix; the ends are `NEG_INF` /
+    /// `POS_INF` when the probe falls before the first or after the last child.
+    Gap { depth: usize, lower: Val, upper: Val },
+}
+
+impl TrieIndex {
+    /// Builds a solid (delta-free) trie index over `relation`, indexing the columns in
+    /// the order given by `perm` (`perm[d]` is the source column that becomes trie
+    /// level `d`). `perm` must be a permutation of `0..relation.arity()`.
+    pub fn build(relation: &Relation, perm: &[usize]) -> Self {
+        let core = TrieCore::build(relation, perm);
         TrieIndex {
-            arity,
-            num_rows: relation.len(),
+            num_rows: core.num_rows,
+            base: Arc::new(core),
+            delta: None,
             perm: perm.to_vec(),
             max_value: relation.max_value(),
-            values,
-            child_start,
         }
     }
 
@@ -124,12 +182,71 @@ impl TrieIndex {
         Self::build(relation, &perm)
     }
 
-    /// Number of indexed attributes (trie depth).
-    pub fn arity(&self) -> usize {
-        self.arity
+    /// Returns an updated index over the same shared base trie, with `ins` rows
+    /// inserted and `del` rows tombstoned — O(|ins| + |del|) work, the base is
+    /// **not** rebuilt (any previous delta layer is replaced, so the batches must be
+    /// cumulative against the base).
+    ///
+    /// Preconditions (maintained by the `IndexCache` normalization): `del` rows are
+    /// present in the base, `ins` rows are absent from it, and both are disjoint.
+    /// The logical content becomes `(base \ del) ∪ ins`.
+    pub fn with_edits(&self, ins: &Relation, del: &Relation) -> TrieIndex {
+        assert_eq!(ins.arity(), self.arity(), "insert batch arity mismatch");
+        assert_eq!(del.arity(), self.arity(), "delete batch arity mismatch");
+        let delta = DeltaLayer {
+            ins: TrieCore::build(ins, &self.perm),
+            del: TrieCore::build(del, &self.perm),
+        };
+        TrieIndex {
+            base: Arc::clone(&self.base),
+            num_rows: self.base.num_rows - del.len() + ins.len(),
+            max_value: self.base_max_value().max(ins.max_value()),
+            delta: Some(delta),
+            perm: self.perm.clone(),
+        }
     }
 
-    /// Number of rows in the underlying relation.
+    /// The base layer's exact max value (what `max_value` was at build time).
+    fn base_max_value(&self) -> Option<Val> {
+        // A delta never lowers the recorded base bound; recompute from the stored
+        // overestimate minus the insert contribution is impossible, so the solid
+        // build's value is carried through `max_value` when there is no delta.
+        match &self.delta {
+            None => self.max_value,
+            Some(_) => {
+                // The deepest level of the base holds every row's last value, but the
+                // true bound was cached at solid-build time; walking levels would be
+                // O(n). `with_edits` is only ever applied to a chain that started
+                // solid, so the stored max is base_max ∪ previous inserts — still a
+                // sound upper bound to carry forward.
+                self.max_value
+            }
+        }
+    }
+
+    /// Whether this index carries a delta layer (updates not yet compacted).
+    pub fn has_delta(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Rows in the delta layer (`inserts + tombstones`; 0 for a solid index). The
+    /// `IndexCache` compares this against its compaction threshold.
+    pub fn delta_len(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.ins.num_rows + d.del.num_rows)
+    }
+
+    /// Whether this index and `other` share the same physical base trie (true for
+    /// every index produced from the same solid ancestor by [`TrieIndex::with_edits`]).
+    pub fn shares_base(&self, other: &TrieIndex) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
+    }
+
+    /// Number of indexed attributes (trie depth).
+    pub fn arity(&self) -> usize {
+        self.base.arity
+    }
+
+    /// Number of live rows (`base - deletes + inserts`).
     pub fn num_rows(&self) -> usize {
         self.num_rows
     }
@@ -139,56 +256,154 @@ impl TrieIndex {
         &self.perm
     }
 
-    /// The distinct values at trie level `d` (grouped by parent, each group sorted).
+    /// The distinct values at trie level `d` of the **base** layer (grouped by
+    /// parent, each group sorted). Solid indexes only — delta-carrying indexes must
+    /// be read through [`TrieIndex::iter`] / [`TrieIndex::first_level_values`] /
+    /// [`TrieIndex::extensions`].
     pub fn level_values(&self, d: usize) -> &[Val] {
-        &self.values[d]
+        debug_assert!(self.delta.is_none(), "level_values() reads the base layer only");
+        &self.base.values[d]
     }
 
-    /// The largest value appearing anywhere in the relation, or `None` when it is
-    /// empty. Minesweeper uses this to bound its search: values beyond the data
-    /// cannot appear in any output tuple. Cached at build time — calling it per
-    /// bind is free.
+    /// An upper bound on the largest value appearing in the live relation (`None`
+    /// when the index never held a row). Minesweeper uses this to bound its search:
+    /// values beyond the data cannot appear in any output tuple, and an overestimate
+    /// (deletes are not subtracted) only costs a little search headroom, never
+    /// correctness. Cached at build/edit time — calling it per bind is free.
     pub fn max_value(&self) -> Option<Val> {
         self.max_value
     }
 
-    /// The range of entries at level 0 (children of the conceptual root).
+    /// The range of entries at level 0 of the base layer (children of the conceptual
+    /// root). Solid indexes only, like [`TrieIndex::level_values`].
     pub fn root_range(&self) -> (usize, usize) {
-        (0, self.values.first().map_or(0, Vec::len))
+        debug_assert!(self.delta.is_none(), "root_range() reads the base layer only");
+        self.base.root_range()
     }
 
-    /// The range of children (at level `depth + 1`) of entry `idx` at level `depth`.
+    /// The range of children (at level `depth + 1`) of entry `idx` at level `depth`
+    /// of the base layer. Solid indexes only.
     pub fn children_range(&self, depth: usize, idx: usize) -> (usize, usize) {
-        let cs = &self.child_start[depth];
-        (cs[idx], cs[idx + 1])
+        debug_assert!(self.delta.is_none(), "children_range() reads the base layer only");
+        self.base.children_range(depth, idx)
     }
 
-    /// The raw child-offset array of level `d` (one entry per level-`d` value plus a
-    /// closing sentinel). Exposed so equivalence tests can compare two builds
-    /// structurally; engine code should use [`TrieIndex::children_range`].
+    /// The raw child-offset array of level `d` of the base layer (one entry per
+    /// level-`d` value plus a closing sentinel). Exposed so equivalence tests can
+    /// compare two builds structurally; engine code should use
+    /// [`TrieIndex::children_range`]. Solid indexes only.
     pub fn child_offsets(&self, d: usize) -> &[usize] {
-        &self.child_start[d]
+        debug_assert!(self.delta.is_none(), "child_offsets() reads the base layer only");
+        &self.base.child_start[d]
     }
 
-    /// Locates the node reached by following `prefix` from the root.
+    /// The merged, sorted, distinct first-level key set: base level 0 unioned with
+    /// any delta inserts' level 0. Borrowed (zero-copy) for solid indexes. This is
+    /// what parallel partitioning must split over — a delta-only key outside the
+    /// base's min/max still owns output rows.
+    ///
+    /// Keys whose whole subtree is tombstoned may still appear; they contribute no
+    /// rows, which partitioning tolerates (boundaries affect load balance only).
+    pub fn first_level_values(&self) -> Cow<'_, [Val]> {
+        let base0 = self.base.values.first().map_or(&[][..], Vec::as_slice);
+        match &self.delta {
+            None => Cow::Borrowed(base0),
+            Some(delta) => {
+                let ins0 = delta.ins.values.first().map_or(&[][..], Vec::as_slice);
+                if ins0.is_empty() {
+                    return Cow::Borrowed(base0);
+                }
+                Cow::Owned(merge_union(base0, ins0))
+            }
+        }
+    }
+
+    /// Locates the node reached by following `prefix` from the root of the **base**
+    /// layer. Solid indexes only; delta-aware callers use [`TrieIndex::extensions`].
     ///
     /// Returns the `(lo, hi)` range of that node's children at level `prefix.len()`,
     /// or `None` if the prefix is not present in the relation. An empty prefix returns
     /// the root range. A full-length prefix cannot be located this way (it has no
     /// children); use [`TrieIndex::contains`] instead.
     pub fn prefix_range(&self, prefix: &[Val]) -> Option<(usize, usize)> {
-        assert!(prefix.len() < self.arity, "prefix must be shorter than the arity");
-        let (mut lo, mut hi) = self.root_range();
+        debug_assert!(self.delta.is_none(), "prefix_range() reads the base layer only");
+        assert!(prefix.len() < self.arity(), "prefix must be shorter than the arity");
+        let (mut lo, mut hi) = self.base.root_range();
         for (d, &v) in prefix.iter().enumerate() {
-            let idx = self.find_in(d, lo, hi, v)?;
-            let (clo, chi) = self.children_range(d, idx);
+            let idx = self.base.find_in(d, lo, hi, v)?;
+            let (clo, chi) = self.base.children_range(d, idx);
             lo = clo;
             hi = chi;
         }
         Some((lo, hi))
     }
 
-    /// Whether the full tuple `t` (of length `arity`) is present.
+    /// The sorted **live** values extending `prefix` at level `prefix.len()`, merged
+    /// across the layers: base children minus tombstones (when the extension is the
+    /// last attribute), unioned with delta-insert children. `None` when the prefix
+    /// exists in no layer. Borrowed (zero-copy) for solid indexes — this is the
+    /// delta-aware replacement for `prefix_range` + `level_values`.
+    pub fn extensions(&self, prefix: &[Val]) -> Option<Cow<'_, [Val]>> {
+        assert!(prefix.len() < self.arity(), "prefix must be shorter than the arity");
+        let Some(delta) = &self.delta else {
+            let (lo, hi) = self.walk_core(&self.base, prefix)?;
+            return Some(Cow::Borrowed(&self.base.values[prefix.len()][lo..hi]));
+        };
+        let d = prefix.len();
+        let base = self.walk_core(&self.base, prefix);
+        let ins = self.walk_core(&delta.ins, prefix);
+        if base.is_none() && ins.is_none() {
+            return None;
+        }
+        let base_vals = base.map_or(&[][..], |(lo, hi)| &self.base.values[d][lo..hi]);
+        let ins_vals = ins.map_or(&[][..], |(lo, hi)| &delta.ins.values[d][lo..hi]);
+        // Tombstones remove full tuples, so they only filter the last level; an
+        // interior dead key still heads (possibly empty) live subtrees below it.
+        let del_vals = if d + 1 == self.arity() {
+            self.walk_core(&delta.del, prefix)
+                .map_or(&[][..], |(lo, hi)| &delta.del.values[d][lo..hi])
+        } else {
+            &[]
+        };
+        if del_vals.is_empty() && ins_vals.is_empty() {
+            return Some(Cow::Borrowed(base_vals));
+        }
+        let mut out = Vec::with_capacity(base_vals.len() + ins_vals.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base_vals.len() || j < ins_vals.len() {
+            let take_base =
+                j >= ins_vals.len() || (i < base_vals.len() && base_vals[i] <= ins_vals[j]);
+            if take_base {
+                let v = base_vals[i];
+                if j < ins_vals.len() && ins_vals[j] == v {
+                    j += 1;
+                }
+                i += 1;
+                if del_vals.binary_search(&v).is_err() {
+                    out.push(v);
+                }
+            } else {
+                out.push(ins_vals[j]);
+                j += 1;
+            }
+        }
+        Some(Cow::Owned(out))
+    }
+
+    /// Follows `prefix` down `core`, returning the child range at the next level.
+    fn walk_core(&self, core: &TrieCore, prefix: &[Val]) -> Option<(usize, usize)> {
+        let (mut lo, mut hi) = core.root_range();
+        for (d, &v) in prefix.iter().enumerate() {
+            let idx = core.find_in(d, lo, hi, v)?;
+            let (clo, chi) = core.children_range(d, idx);
+            lo = clo;
+            hi = chi;
+        }
+        Some((lo, hi))
+    }
+
+    /// Whether the full tuple `t` (of length `arity`) is live: present in the insert
+    /// delta, or present in the base and not tombstoned.
     pub fn contains(&self, t: &[Val]) -> bool {
         matches!(self.probe(t), ProbeResult::Found)
     }
@@ -198,21 +413,83 @@ impl TrieIndex {
     /// This is Minesweeper's `seekGap`: walk the trie level by level; at the first
     /// level `d` where `t[d]` is absent among the children of the matched prefix,
     /// return the maximal open gap interval `(lower, upper)` around `t[d]` at that
-    /// level. If every level matches, the tuple is in the relation.
+    /// level. If every level matches (with the tuple live under the delta layer), the
+    /// tuple is in the relation.
+    ///
+    /// With a delta layer the walk descends base and insert tries in lockstep.
+    /// Last-level gap endpoints are always **live** values (Minesweeper's Idea 4 memo
+    /// treats a finite last-attribute endpoint as a member); interior endpoints may
+    /// head tombstoned subtrees — the interval is still free of live values, just not
+    /// always maximal.
     pub fn probe(&self, t: &[Val]) -> ProbeResult {
-        assert_eq!(t.len(), self.arity, "probe tuple must have the index arity");
-        let (mut lo, mut hi) = self.root_range();
+        let Some(delta) = &self.delta else {
+            return self.probe_solid(t);
+        };
+        assert_eq!(t.len(), self.arity(), "probe tuple must have the index arity");
+        let arity = self.arity();
+        let mut b = Some(self.base.root_range());
+        let mut i = Some(delta.ins.root_range());
+        let mut del = Some(delta.del.root_range());
         for (d, &tv) in t.iter().enumerate() {
-            match self.find_in(d, lo, hi, tv) {
+            let b_idx = b.and_then(|(lo, hi)| self.base.find_in(d, lo, hi, tv));
+            let i_idx = i.and_then(|(lo, hi)| delta.ins.find_in(d, lo, hi, tv));
+            let d_idx = del.and_then(|(lo, hi)| delta.del.find_in(d, lo, hi, tv));
+            let leaf = d + 1 == arity;
+            if leaf {
+                // Live: inserted, or in the base and not tombstoned.
+                if i_idx.is_some() || (b_idx.is_some() && d_idx.is_none()) {
+                    return ProbeResult::Found;
+                }
+                let b_vals = b.map_or(&[][..], |(lo, hi)| &self.base.values[d][lo..hi]);
+                let i_vals = i.map_or(&[][..], |(lo, hi)| &delta.ins.values[d][lo..hi]);
+                let d_vals = del.map_or(&[][..], |(lo, hi)| &delta.del.values[d][lo..hi]);
+                let (lower, upper) = live_leaf_gap(b_vals, i_vals, d_vals, tv);
+                return ProbeResult::Gap { depth: d, lower, upper };
+            }
+            if b_idx.is_none() && i_idx.is_none() {
+                // Interior gap: tightest bracket over both present layers. Endpoints
+                // may head dead subtrees — sound (the interval holds no live value),
+                // merely non-maximal.
+                let (mut lower, mut upper) = (NEG_INF, POS_INF);
+                for (vals, range) in [(&self.base.values[d], b), (&delta.ins.values[d], i)] {
+                    let Some((lo, hi)) = range else { continue };
+                    let vals = &vals[lo..hi];
+                    let pos = vals.partition_point(|&x| x < tv);
+                    if pos > 0 {
+                        lower = lower.max(vals[pos - 1]);
+                    }
+                    if pos < vals.len() {
+                        upper = upper.min(vals[pos]);
+                    }
+                }
+                return ProbeResult::Gap { depth: d, lower, upper };
+            }
+            b = b_idx.map(|idx| self.base.children_range(d, idx));
+            i = i_idx.map(|idx| delta.ins.children_range(d, idx));
+            del = match (del, d_idx) {
+                (Some(_), Some(idx)) => Some(delta.del.children_range(d, idx)),
+                _ => None,
+            };
+        }
+        unreachable!("the loop returns at the leaf level");
+    }
+
+    /// The solid-index probe: one layer, no liveness checks.
+    fn probe_solid(&self, t: &[Val]) -> ProbeResult {
+        assert_eq!(t.len(), self.arity(), "probe tuple must have the index arity");
+        let core = &self.base;
+        let (mut lo, mut hi) = core.root_range();
+        for (d, &tv) in t.iter().enumerate() {
+            match core.find_in(d, lo, hi, tv) {
                 Some(idx) => {
-                    if d + 1 < self.arity {
-                        let (clo, chi) = self.children_range(d, idx);
+                    if d + 1 < core.arity {
+                        let (clo, chi) = core.children_range(d, idx);
                         lo = clo;
                         hi = chi;
                     }
                 }
                 None => {
-                    let vals = &self.values[d][lo..hi];
+                    let vals = &core.values[d][lo..hi];
                     // partition_point: number of values < tv in the node.
                     let pos = vals.partition_point(|&x| x < tv);
                     let lower = if pos == 0 { NEG_INF } else { vals[pos - 1] };
@@ -224,16 +501,73 @@ impl TrieIndex {
         ProbeResult::Found
     }
 
-    /// Binary search for `v` among the entries `lo..hi` of level `d`.
-    fn find_in(&self, d: usize, lo: usize, hi: usize, v: Val) -> Option<usize> {
-        let vals = &self.values[d][lo..hi];
-        vals.binary_search(&v).ok().map(|i| lo + i)
-    }
-
     /// Creates a fresh [`TrieIterator`] positioned at the root.
     pub fn iter(&self) -> TrieIterator<'_> {
         TrieIterator::new(self)
     }
+}
+
+/// Merges two sorted distinct slices into one sorted distinct vector.
+fn merge_union(a: &[Val], b: &[Val]) -> Vec<Val> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The maximal open interval around `tv` containing no **live** last-level value,
+/// where live = `(base \ del) ∪ ins` over the three sorted leaf slices.
+fn live_leaf_gap(base: &[Val], ins: &[Val], del: &[Val], tv: Val) -> (Val, Val) {
+    // Greatest live value < tv: scan the base downwards past tombstones, take the
+    // best of that and the insert side.
+    let mut lower = NEG_INF;
+    let mut pos = base.partition_point(|&x| x < tv);
+    while pos > 0 {
+        let v = base[pos - 1];
+        if del.binary_search(&v).is_err() {
+            lower = v;
+            break;
+        }
+        pos -= 1;
+    }
+    let ipos = ins.partition_point(|&x| x < tv);
+    if ipos > 0 {
+        lower = lower.max(ins[ipos - 1]);
+    }
+    // Least live value > tv, symmetric.
+    let mut upper = POS_INF;
+    let mut pos = base.partition_point(|&x| x <= tv);
+    while pos < base.len() {
+        let v = base[pos];
+        if del.binary_search(&v).is_err() {
+            upper = v;
+            break;
+        }
+        pos += 1;
+    }
+    let ipos = ins.partition_point(|&x| x <= tv);
+    if ipos < ins.len() {
+        upper = upper.min(ins[ipos]);
+    }
+    (lower, upper)
 }
 
 /// LeapFrog TrieJoin iterator over a [`TrieIndex`].
@@ -247,37 +581,62 @@ impl TrieIndex {
 /// * [`seek`](TrieIterator::seek) — advance to the least sibling `>= v` (galloping +
 ///   binary search);
 /// * [`at_end`](TrieIterator::at_end) — whether the current level is exhausted.
+///
+/// Over a delta-carrying index the iterator walks base and insert tries in lockstep
+/// and skips tombstoned leaves, so the stream is exactly the sorted live relation —
+/// engines never see the layers. Solid indexes take a dedicated single-layer path
+/// with no merge overhead.
 #[derive(Debug, Clone)]
-pub struct TrieIterator<'a> {
-    index: &'a TrieIndex,
-    /// One frame per open level: (current position, lo, hi) within `values[depth]`.
-    stack: Vec<(usize, usize, usize)>,
-    /// Set when `next`/`seek` runs past `hi` at the current level.
-    at_end: bool,
+pub struct TrieIterator<'a>(Iter<'a>);
+
+#[derive(Debug, Clone)]
+enum Iter<'a> {
+    Solid(SolidIter<'a>),
+    Merged(MergedIter<'a>),
 }
 
 impl<'a> TrieIterator<'a> {
     /// Creates an iterator positioned at the root (no level open).
     pub fn new(index: &'a TrieIndex) -> Self {
-        TrieIterator { index, stack: Vec::with_capacity(index.arity()), at_end: false }
+        TrieIterator(match &index.delta {
+            None => Iter::Solid(SolidIter {
+                core: &index.base,
+                stack: Vec::with_capacity(index.arity()),
+                at_end: false,
+            }),
+            Some(delta) => Iter::Merged(MergedIter {
+                base: &index.base,
+                ins: &delta.ins,
+                del: &delta.del,
+                stack: Vec::with_capacity(index.arity()),
+                at_end: false,
+            }),
+        })
     }
 
     /// The number of currently open levels (0 = at root).
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        match &self.0 {
+            Iter::Solid(it) => it.stack.len(),
+            Iter::Merged(it) => it.stack.len(),
+        }
     }
 
     /// Whether the iterator has run past the last sibling at the current level.
     pub fn at_end(&self) -> bool {
-        self.at_end
+        match &self.0 {
+            Iter::Solid(it) => it.at_end,
+            Iter::Merged(it) => it.at_end,
+        }
     }
 
     /// The value at the current position. Panics if no level is open or the level is
     /// exhausted.
     pub fn key(&self) -> Val {
-        assert!(!self.at_end, "key() called on an exhausted level");
-        let &(pos, _, _) = self.stack.last().expect("key() called at the root");
-        self.index.values[self.stack.len() - 1][pos]
+        match &self.0 {
+            Iter::Solid(it) => it.key(),
+            Iter::Merged(it) => it.key(),
+        }
     }
 
     /// Opens the next trie level, positioning at the first child of the current node.
@@ -285,31 +644,26 @@ impl<'a> TrieIterator<'a> {
     /// At the root this opens level 0. Panics if the maximum depth is already open or
     /// if the current level is exhausted.
     pub fn open(&mut self) {
-        assert!(self.stack.len() < self.index.arity(), "open() past the last level");
-        assert!(!self.at_end, "open() on an exhausted level");
-        let (lo, hi) = if self.stack.is_empty() {
-            self.index.root_range()
-        } else {
-            let depth = self.stack.len() - 1;
-            let &(pos, _, _) = self.stack.last().unwrap();
-            self.index.children_range(depth, pos)
-        };
-        self.stack.push((lo, lo, hi));
-        self.at_end = lo >= hi;
+        match &mut self.0 {
+            Iter::Solid(it) => it.open(),
+            Iter::Merged(it) => it.open(),
+        }
     }
 
     /// Closes the current level and returns to the parent position.
     pub fn up(&mut self) {
-        self.stack.pop().expect("up() called at the root");
-        self.at_end = false;
+        match &mut self.0 {
+            Iter::Solid(it) => it.up(),
+            Iter::Merged(it) => it.up(),
+        }
     }
 
     /// Advances to the next sibling. Sets `at_end` when the level is exhausted.
     pub fn next(&mut self) {
-        assert!(!self.at_end, "next() on an exhausted level");
-        let frame = self.stack.last_mut().expect("next() called at the root");
-        frame.0 += 1;
-        self.at_end = frame.0 >= frame.2;
+        match &mut self.0 {
+            Iter::Solid(it) => it.next(),
+            Iter::Merged(it) => it.next(),
+        }
     }
 
     /// Positions at the least sibling with value `>= v`, or exhausts the level.
@@ -317,10 +671,61 @@ impl<'a> TrieIterator<'a> {
     /// `seek` never moves backwards; seeking to a value smaller than the current key
     /// is a no-op (as specified by the LFTJ iterator contract).
     pub fn seek(&mut self, v: Val) {
+        match &mut self.0 {
+            Iter::Solid(it) => it.seek(v),
+            Iter::Merged(it) => it.seek(v),
+        }
+    }
+}
+
+/// The single-layer iterator: the original flat-trie walk, byte-for-byte.
+#[derive(Debug, Clone)]
+struct SolidIter<'a> {
+    core: &'a TrieCore,
+    /// One frame per open level: (current position, lo, hi) within `values[depth]`.
+    stack: Vec<(usize, usize, usize)>,
+    /// Set when `next`/`seek` runs past `hi` at the current level.
+    at_end: bool,
+}
+
+impl SolidIter<'_> {
+    fn key(&self) -> Val {
+        assert!(!self.at_end, "key() called on an exhausted level");
+        let &(pos, _, _) = self.stack.last().expect("key() called at the root");
+        self.core.values[self.stack.len() - 1][pos]
+    }
+
+    fn open(&mut self) {
+        assert!(self.stack.len() < self.core.arity, "open() past the last level");
+        assert!(!self.at_end, "open() on an exhausted level");
+        let (lo, hi) = if self.stack.is_empty() {
+            self.core.root_range()
+        } else {
+            let depth = self.stack.len() - 1;
+            let &(pos, _, _) = self.stack.last().unwrap();
+            self.core.children_range(depth, pos)
+        };
+        self.stack.push((lo, lo, hi));
+        self.at_end = lo >= hi;
+    }
+
+    fn up(&mut self) {
+        self.stack.pop().expect("up() called at the root");
+        self.at_end = false;
+    }
+
+    fn next(&mut self) {
+        assert!(!self.at_end, "next() on an exhausted level");
+        let frame = self.stack.last_mut().expect("next() called at the root");
+        frame.0 += 1;
+        self.at_end = frame.0 >= frame.2;
+    }
+
+    fn seek(&mut self, v: Val) {
         assert!(!self.at_end, "seek() on an exhausted level");
         let depth = self.stack.len() - 1;
         let frame = self.stack.last_mut().expect("seek() called at the root");
-        let values = &self.index.values[depth];
+        let values = &self.core.values[depth];
         if values[frame.0] >= v {
             return;
         }
@@ -341,6 +746,178 @@ impl<'a> TrieIterator<'a> {
         }
         self.at_end = frame.0 >= frame.2;
     }
+}
+
+/// Which layer(s) the merged iterator's current key came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Base,
+    Ins,
+    Both,
+}
+
+/// One open level of the merged walk: a cursor into the base level range, a cursor
+/// into the insert level range, and a forward-only tombstone cursor used for
+/// last-level liveness checks. `pos == hi` encodes both "exhausted" and "this layer
+/// never matched the path here".
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    b_pos: usize,
+    b_hi: usize,
+    i_pos: usize,
+    i_hi: usize,
+    d_pos: usize,
+    d_hi: usize,
+    src: Src,
+}
+
+/// The two-layer lockstep iterator: presents `min(base, ins)` at every level with
+/// duplicates collapsed, and skips base leaves that appear in the tombstone trie.
+#[derive(Debug, Clone)]
+struct MergedIter<'a> {
+    base: &'a TrieCore,
+    ins: &'a TrieCore,
+    del: &'a TrieCore,
+    stack: Vec<Frame>,
+    at_end: bool,
+}
+
+impl MergedIter<'_> {
+    fn key(&self) -> Val {
+        assert!(!self.at_end, "key() called on an exhausted level");
+        let frame = self.stack.last().expect("key() called at the root");
+        let d = self.stack.len() - 1;
+        match frame.src {
+            Src::Base | Src::Both => self.base.values[d][frame.b_pos],
+            Src::Ins => self.ins.values[d][frame.i_pos],
+        }
+    }
+
+    fn open(&mut self) {
+        assert!(self.stack.len() < self.base.arity, "open() past the last level");
+        assert!(!self.at_end, "open() on an exhausted level");
+        let mut frame = match self.stack.last() {
+            None => {
+                let (b_lo, b_hi) = self.base.root_range();
+                let (i_lo, i_hi) = self.ins.root_range();
+                let (d_lo, d_hi) = self.del.root_range();
+                Frame { b_pos: b_lo, b_hi, i_pos: i_lo, i_hi, d_pos: d_lo, d_hi, src: Src::Base }
+            }
+            Some(parent) => {
+                let pd = self.stack.len() - 1;
+                let key = self.key();
+                let (b_pos, b_hi) = match parent.src {
+                    Src::Base | Src::Both => self.base.children_range(pd, parent.b_pos),
+                    Src::Ins => (0, 0),
+                };
+                let (i_pos, i_hi) = match parent.src {
+                    Src::Ins | Src::Both => self.ins.children_range(pd, parent.i_pos),
+                    Src::Base => (0, 0),
+                };
+                // The tombstone path stays open only while it matches every key on
+                // the way down; its cursor already sits at the first entry >= key.
+                let (d_pos, d_hi) =
+                    if parent.d_pos < parent.d_hi && self.del.values[pd][parent.d_pos] == key {
+                        self.del.children_range(pd, parent.d_pos)
+                    } else {
+                        (0, 0)
+                    };
+                Frame { b_pos, b_hi, i_pos, i_hi, d_pos, d_hi, src: Src::Base }
+            }
+        };
+        let depth = self.stack.len();
+        self.at_end = !self.settle(&mut frame, depth);
+        self.stack.push(frame);
+    }
+
+    fn up(&mut self) {
+        self.stack.pop().expect("up() called at the root");
+        self.at_end = false;
+    }
+
+    fn next(&mut self) {
+        assert!(!self.at_end, "next() on an exhausted level");
+        let depth = self.stack.len() - 1;
+        let mut frame = *self.stack.last().expect("next() called at the root");
+        match frame.src {
+            Src::Base => frame.b_pos += 1,
+            Src::Ins => frame.i_pos += 1,
+            Src::Both => {
+                frame.b_pos += 1;
+                frame.i_pos += 1;
+            }
+        }
+        self.at_end = !self.settle(&mut frame, depth);
+        *self.stack.last_mut().unwrap() = frame;
+    }
+
+    fn seek(&mut self, v: Val) {
+        assert!(!self.at_end, "seek() on an exhausted level");
+        let depth = self.stack.len() - 1;
+        let mut frame = *self.stack.last().expect("seek() called at the root");
+        if self.key() >= v {
+            return;
+        }
+        frame.b_pos += gallop(&self.base.values[depth][frame.b_pos..frame.b_hi], v);
+        frame.i_pos += gallop(&self.ins.values[depth][frame.i_pos..frame.i_hi], v);
+        self.at_end = !self.settle(&mut frame, depth);
+        *self.stack.last_mut().unwrap() = frame;
+    }
+
+    /// Computes the merged key/source at `frame`'s cursors, skipping base leaves
+    /// that are tombstoned. Returns `false` when the level is exhausted.
+    fn settle(&self, frame: &mut Frame, depth: usize) -> bool {
+        let leaf = depth + 1 == self.base.arity;
+        loop {
+            let bv = (frame.b_pos < frame.b_hi).then(|| self.base.values[depth][frame.b_pos]);
+            let iv = (frame.i_pos < frame.i_hi).then(|| self.ins.values[depth][frame.i_pos]);
+            let (key, src) = match (bv, iv) {
+                (None, None) => return false,
+                (Some(b), None) => (b, Src::Base),
+                (None, Some(i)) => (i, Src::Ins),
+                (Some(b), Some(i)) => match b.cmp(&i) {
+                    std::cmp::Ordering::Less => (b, Src::Base),
+                    std::cmp::Ordering::Greater => (i, Src::Ins),
+                    std::cmp::Ordering::Equal => (b, Src::Both),
+                },
+            };
+            // Advance the tombstone cursor to the first entry >= key (forward-only,
+            // amortized linear over the level; deltas are small by construction).
+            while frame.d_pos < frame.d_hi && self.del.values[depth][frame.d_pos] < key {
+                frame.d_pos += 1;
+            }
+            // A tombstone kills a pure-base leaf. (Interior keys pass through: their
+            // live subtrees, if any, are resolved below; insert-side keys are live by
+            // the delta invariants — deletes apply to the base layer.)
+            if leaf
+                && src == Src::Base
+                && frame.d_pos < frame.d_hi
+                && self.del.values[depth][frame.d_pos] == key
+            {
+                frame.b_pos += 1;
+                continue;
+            }
+            frame.src = src;
+            return true;
+        }
+    }
+}
+
+/// Offset of the first element `>= v` in `values` (galloping + binary search — the
+/// same forward-only probe pattern as the solid seek).
+fn gallop(values: &[Val], v: Val) -> usize {
+    if values.first().is_none_or(|&x| x >= v) {
+        return 0;
+    }
+    let mut step = 1;
+    let mut lo = 0;
+    let mut hi = 1;
+    while hi < values.len() && values[hi] < v {
+        lo = hi;
+        hi = (hi + step).min(values.len());
+        step *= 2;
+    }
+    lo + values[lo..hi].partition_point(|&x| x < v)
 }
 
 #[cfg(test)]
@@ -510,5 +1087,229 @@ mod tests {
         }
         it.seek(2998);
         assert!(it.at_end());
+    }
+
+    // ------------------------------------------------------------------
+    // Delta layers
+    // ------------------------------------------------------------------
+
+    /// Walks an index depth-first through the public iterator, collecting the rows.
+    fn enumerate(idx: &TrieIndex) -> Vec<Vec<Val>> {
+        fn rec(
+            it: &mut TrieIterator<'_>,
+            arity: usize,
+            prefix: &mut Vec<Val>,
+            out: &mut Vec<Vec<Val>>,
+        ) {
+            it.open();
+            while !it.at_end() {
+                prefix.push(it.key());
+                if prefix.len() == arity {
+                    out.push(prefix.clone());
+                } else {
+                    rec(it, arity, prefix, out);
+                }
+                prefix.pop();
+                it.next();
+            }
+            it.up();
+        }
+        let mut out = Vec::new();
+        let mut it = idx.iter();
+        rec(&mut it, idx.arity(), &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// An index with a delta layer, and the solid index over the same live rows.
+    fn edited_pair(
+        base: &Relation,
+        perm: &[usize],
+        ins: &Relation,
+        del: &Relation,
+    ) -> (TrieIndex, TrieIndex) {
+        let idx = TrieIndex::build(base, perm).with_edits(ins, del);
+        let solid = TrieIndex::build(&base.with_edits(ins, del), perm);
+        (idx, solid)
+    }
+
+    #[test]
+    fn with_edits_shares_the_base_and_counts_live_rows() {
+        let base = figure1_relation();
+        let solid = TrieIndex::build_natural(&base);
+        let ins = Relation::from_rows(3, vec![vec![6, 6, 6]]);
+        let del = Relation::from_rows(3, vec![vec![7, 4, 6], vec![5, 1, 7]]);
+        let idx = solid.with_edits(&ins, &del);
+        assert!(idx.has_delta());
+        assert!(!solid.has_delta());
+        assert!(idx.shares_base(&solid));
+        assert_eq!(idx.delta_len(), 3);
+        assert_eq!(idx.num_rows(), base.len() - 2 + 1);
+        assert_eq!(idx.perm(), solid.perm());
+    }
+
+    #[test]
+    fn merged_iterator_streams_the_live_relation() {
+        let base = figure1_relation();
+        let ins = Relation::from_rows(3, vec![vec![6, 6, 6], vec![5, 1, 5], vec![11, 0, 0]]);
+        let del = Relation::from_rows(3, vec![vec![7, 4, 6], vec![10, 4, 1]]);
+        for perm in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let (idx, solid) = edited_pair(&base, &perm, &ins, &del);
+            assert_eq!(enumerate(&idx), enumerate(&solid), "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn merged_iterator_handles_delta_only_and_all_deleted() {
+        let base = figure1_relation();
+        // Delete everything; insert a fresh row.
+        let ins = Relation::from_rows(3, vec![vec![1, 2, 3]]);
+        let (idx, solid) = edited_pair(&base, &[0, 1, 2], &ins, &base);
+        assert_eq!(idx.num_rows(), 1);
+        assert_eq!(enumerate(&idx), enumerate(&solid));
+        // Empty base, delta-only content.
+        let empty = Relation::empty(3);
+        let (idx, solid) = edited_pair(&empty, &[0, 1, 2], &ins, &empty);
+        assert_eq!(enumerate(&idx), enumerate(&solid));
+    }
+
+    #[test]
+    fn merged_seek_skips_tombstones_and_finds_inserts() {
+        let base = Relation::from_values(vec![10, 20, 30, 40]);
+        let idx = TrieIndex::build_natural(&base)
+            .with_edits(&Relation::from_values(vec![25, 50]), &Relation::from_values(vec![30]));
+        let mut it = idx.iter();
+        it.open();
+        it.seek(21);
+        assert_eq!(it.key(), 25, "insert-side key found by seek");
+        it.seek(26);
+        assert_eq!(it.key(), 40, "tombstoned 30 skipped");
+        it.seek(41);
+        assert_eq!(it.key(), 50, "delta key beyond the base max");
+        it.next();
+        assert!(it.at_end());
+    }
+
+    #[test]
+    fn merged_contains_and_probe_respect_liveness() {
+        let base = figure1_relation();
+        let ins = Relation::from_rows(3, vec![vec![6, 6, 6]]);
+        let del = Relation::from_rows(3, vec![vec![7, 9, 8]]);
+        let idx = TrieIndex::build_natural(&base).with_edits(&ins, &del);
+        assert!(idx.contains(&[6, 6, 6]), "inserted row is live");
+        assert!(!idx.contains(&[7, 9, 8]), "tombstoned row is dead");
+        assert!(idx.contains(&[7, 9, 13]), "untouched base row stays live");
+        // Probing the dead row yields a gap whose endpoints are live leaf values.
+        assert_eq!(idx.probe(&[7, 9, 8]), ProbeResult::Gap { depth: 2, lower: NEG_INF, upper: 13 });
+        // A gap bracketed by an inserted first-level key.
+        assert_eq!(idx.probe(&[6, 3, 7]), ProbeResult::Gap { depth: 1, lower: NEG_INF, upper: 6 });
+    }
+
+    #[test]
+    fn merged_probe_is_sound_against_the_live_relation() {
+        let base = figure1_relation();
+        let ins = Relation::from_rows(3, vec![vec![6, 6, 6], vec![5, 2, 2]]);
+        let del = Relation::from_rows(3, vec![vec![5, 1, 7], vec![10, 4, 1]]);
+        let (idx, solid) = edited_pair(&base, &[0, 1, 2], &ins, &del);
+        let live = enumerate(&solid);
+        for a in 0..13 {
+            for b in [0, 1, 2, 4, 6, 9] {
+                for c in [0, 1, 4, 6, 7, 8, 12, 13, 20] {
+                    let t = [a, b, c];
+                    match idx.probe(&t) {
+                        // Found exactly when the tuple is live.
+                        ProbeResult::Found => assert!(live.contains(&t.to_vec()), "{t:?}"),
+                        // A gap may sit deeper than the solid probe's (descending a
+                        // dead path is allowed), but its open interval must contain
+                        // no live value extending the matched prefix — and never the
+                        // probed value itself outside the interval.
+                        ProbeResult::Gap { depth, lower, upper } => {
+                            assert!(!live.contains(&t.to_vec()), "{t:?}: gap on a live tuple");
+                            assert!(
+                                lower < t[depth] && t[depth] < upper,
+                                "{t:?}: probe outside gap"
+                            );
+                            for row in &live {
+                                if row[..depth] == t[..depth] {
+                                    assert!(
+                                        row[depth] <= lower || row[depth] >= upper,
+                                        "{t:?}: live {row:?} inside gap ({lower}, {upper}) at depth {depth}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_leaf_gap_endpoints_are_live() {
+        // Base 10,20,30; delete 20: probing 20 must bracket with live 10 and 30,
+        // never the dead 20 itself.
+        let base = Relation::from_values(vec![10, 20, 30]);
+        let idx = TrieIndex::build_natural(&base)
+            .with_edits(&Relation::empty(1), &Relation::from_values(vec![20]));
+        assert_eq!(idx.probe(&[20]), ProbeResult::Gap { depth: 0, lower: 10, upper: 30 });
+        assert_eq!(idx.probe(&[15]), ProbeResult::Gap { depth: 0, lower: 10, upper: 30 });
+    }
+
+    #[test]
+    fn first_level_values_merges_delta_keys() {
+        let base = Relation::from_pairs(vec![(10, 1), (20, 2)]);
+        let solid = TrieIndex::build_natural(&base);
+        assert!(matches!(solid.first_level_values(), Cow::Borrowed(_)));
+        assert_eq!(&*solid.first_level_values(), &[10, 20]);
+        let idx = solid.with_edits(
+            &Relation::from_pairs(vec![(-5, 0), (10, 9), (99, 1)]),
+            &Relation::from_pairs(vec![(20, 2)]),
+        );
+        // Union of both layers' first keys, sorted distinct; the fully-deleted 20
+        // may remain (harmless for partitioning).
+        assert_eq!(&*idx.first_level_values(), &[-5, 10, 20, 99]);
+    }
+
+    #[test]
+    fn extensions_merge_and_filter_tombstones() {
+        let base = figure1_relation();
+        let ins = Relation::from_rows(3, vec![vec![5, 1, 5], vec![5, 2, 9]]);
+        let del = Relation::from_rows(3, vec![vec![5, 1, 7]]);
+        let idx = TrieIndex::build_natural(&base).with_edits(&ins, &del);
+        // Leaf-level extensions: tombstones filtered, inserts merged.
+        assert_eq!(&*idx.extensions(&[5, 1]).unwrap(), &[4, 5, 12]);
+        // Interior extensions: inserts merged (no tombstone filtering above leaves).
+        assert_eq!(&*idx.extensions(&[5]).unwrap(), &[1, 2]);
+        // Delta-only prefix.
+        assert_eq!(&*idx.extensions(&[5, 2]).unwrap(), &[9]);
+        // Absent from every layer.
+        assert!(idx.extensions(&[6, 6]).is_none());
+        // Solid path stays zero-copy.
+        let solid = TrieIndex::build_natural(&base);
+        assert!(matches!(solid.extensions(&[5, 1]), Some(Cow::Borrowed(_))));
+        assert_eq!(&*solid.extensions(&[5, 1]).unwrap(), &[4, 7, 12]);
+    }
+
+    #[test]
+    fn max_value_is_a_live_upper_bound() {
+        let base = Relation::from_values(vec![10, 20]);
+        let idx = TrieIndex::build_natural(&base)
+            .with_edits(&Relation::from_values(vec![35]), &Relation::empty(1));
+        assert_eq!(idx.max_value(), Some(35), "out-of-range insert raises the bound");
+        let idx = TrieIndex::build_natural(&base)
+            .with_edits(&Relation::empty(1), &Relation::from_values(vec![20]));
+        assert!(idx.max_value() >= Some(10), "after deleting the max the bound may overestimate");
+    }
+
+    #[test]
+    fn with_edits_replaces_a_previous_delta() {
+        let base = Relation::from_values(vec![1, 2, 3]);
+        let solid = TrieIndex::build_natural(&base);
+        let first = solid.with_edits(&Relation::from_values(vec![9]), &Relation::empty(1));
+        // Cumulative batches are applied against the base, replacing the old layer.
+        let second =
+            first.with_edits(&Relation::from_values(vec![9, 10]), &Relation::from_values(vec![1]));
+        assert!(second.shares_base(&solid));
+        assert_eq!(enumerate(&second), vec![vec![2], vec![3], vec![9], vec![10]],);
+        assert_eq!(second.num_rows(), 4);
     }
 }

@@ -141,7 +141,7 @@ impl Store {
                     None => {}
                 }
             }
-            apply_record(record, &mut overrides, &mut graph_override);
+            apply_record(record, &mut overrides, &mut graph_override, &pool, &catalog)?;
         }
 
         let state = StoreState { pool, catalog, wal, overrides, graph_override };
@@ -179,19 +179,8 @@ impl Store {
         if let Some(r) = state.overrides.get(name) {
             return Ok(r.clone());
         }
-        let entry = state
-            .catalog
-            .relations
-            .get(name)
-            .ok_or_else(|| StoreError::MissingRelation(name.to_string()))?
-            .clone();
-        let total = entry.rows * entry.arity as u64 * 8;
-        let bytes = read_extent(&state.pool, entry.first_page, total, entry.crc, "relation")?;
-        let values: Vec<Val> = bytes
-            .chunks_exact(8)
-            .map(|c| Val::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect();
-        Ok(Relation::from_flat(entry.arity as usize, values))
+        load_image_relation(&state.pool, &state.catalog, name)?
+            .ok_or_else(|| StoreError::MissingRelation(name.to_string()))
     }
 
     /// Materializes the graph, if one was persisted or committed.
@@ -236,6 +225,25 @@ impl Store {
         Ok(())
     }
 
+    /// Durably records an incremental edit batch on `name`: WAL append first
+    /// (an [`WalRecord::Edit`] record sized by the delta, not the relation),
+    /// then the in-memory apply via [`Relation::with_edits`]. The relation must
+    /// already exist in the store (override or image); on any error nothing is
+    /// applied.
+    pub fn log_edit(&self, name: &str, ins: &Relation, del: &Relation) -> Result<(), StoreError> {
+        let mut state = self.lock_state();
+        // Resolve the base before appending, so an unknown relation (or an
+        // unreadable extent) fails the commit without dirtying the log.
+        let base = match state.overrides.get(name) {
+            Some(r) => r.clone(),
+            None => load_image_relation(&state.pool, &state.catalog, name)?
+                .ok_or_else(|| StoreError::MissingRelation(name.to_string()))?,
+        };
+        state.wal.append(&WalRecord::edit(name, ins, del))?;
+        state.overrides.insert(name.to_string(), base.with_edits(ins, del));
+        Ok(())
+    }
+
     /// Writes a fresh checkpoint image containing exactly `relations` and
     /// `graph`, commits it by atomic rename, then truncates the WAL. See the
     /// module docs for the crash-safety argument.
@@ -264,12 +272,16 @@ impl Store {
 }
 
 /// Applies one redo record to the in-memory override maps (recovery replay and
-/// the post-append apply share these exact semantics).
+/// the post-append apply share these exact semantics). Edit records need the
+/// image behind them: their base is the relation's current state, loaded from
+/// `pool`/`catalog` when no earlier record replaced it.
 fn apply_record(
     record: WalRecord,
     overrides: &mut BTreeMap<String, Relation>,
     graph_override: &mut Option<Graph>,
-) {
+    pool: &BufferPool,
+    catalog: &Catalog,
+) -> Result<(), StoreError> {
     match record {
         WalRecord::AddRelation { name, arity, values } => {
             overrides.insert(name, Relation::from_flat(arity as usize, values));
@@ -279,7 +291,36 @@ fn apply_record(
             overrides.insert("edge".to_string(), graph.edge_relation());
             *graph_override = Some(graph);
         }
+        WalRecord::Edit { name, arity, ins, del } => {
+            let base = match overrides.get(&name) {
+                Some(r) => r.clone(),
+                None => load_image_relation(pool, catalog, &name)?.ok_or_else(|| {
+                    StoreError::Corrupt(format!("wal edit record for unknown relation '{name}'"))
+                })?,
+            };
+            let ins = Relation::from_flat(arity as usize, ins);
+            let del = Relation::from_flat(arity as usize, del);
+            overrides.insert(name, base.with_edits(&ins, &del));
+        }
     }
+    Ok(())
+}
+
+/// Materializes one relation from the checkpoint image (checksum-verified), or
+/// `None` when the catalog does not list it.
+fn load_image_relation(
+    pool: &BufferPool,
+    catalog: &Catalog,
+    name: &str,
+) -> Result<Option<Relation>, StoreError> {
+    let Some(entry) = catalog.relations.get(name).cloned() else { return Ok(None) };
+    let total = entry.rows * entry.arity as u64 * 8;
+    let bytes = read_extent(pool, entry.first_page, total, entry.crc, "relation")?;
+    let values: Vec<Val> = bytes
+        .chunks_exact(8)
+        .map(|c| Val::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    Ok(Some(Relation::from_flat(entry.arity as usize, values)))
 }
 
 /// Reads `total` bytes starting at `first_page` through the pool and verifies

@@ -29,8 +29,10 @@ const MAX_RECORD_BYTES: u32 = 1 << 30;
 
 const TAG_ADD_RELATION: u8 = 1;
 const TAG_ADD_GRAPH: u8 = 2;
+const TAG_EDIT: u8 = 3;
 
-/// One redo record: a full replacement of a relation or of the graph.
+/// One redo record: a full replacement of a relation or of the graph, or an
+/// incremental edit batch sized by the delta rather than the relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
     /// `add_relation(name, …)`: the relation's complete flat buffer.
@@ -49,6 +51,25 @@ pub enum WalRecord {
         /// Canonical (sorted, deduped, self-loop-free) directed edges.
         edges: Vec<(u32, u32)>,
     },
+    /// `commit_edits(name, …)`: an incremental edit batch. Replay applies
+    /// [`Relation::with_edits`] to the relation's current state (earlier records
+    /// plus the image), so an edit record costs O(delta) bytes — this is what
+    /// keeps a sustained update stream from rewriting full images into the log.
+    ///
+    /// Not idempotent *in isolation* (unlike the full-replacement records), but
+    /// recovery always replays the log's valid prefix exactly once from the
+    /// immutable image, which restores the replace-prefix-twice-lands-same-state
+    /// guarantee at the log level.
+    Edit {
+        /// Relation name.
+        name: String,
+        /// Number of columns.
+        arity: u32,
+        /// Row-major flat values of the inserted rows.
+        ins: Vec<Val>,
+        /// Row-major flat values of the deleted rows.
+        del: Vec<Val>,
+    },
 }
 
 impl WalRecord {
@@ -64,6 +85,17 @@ impl WalRecord {
     /// Builds the record for replacing the graph.
     pub fn add_graph(graph: &Graph) -> Self {
         WalRecord::AddGraph { num_nodes: graph.num_nodes() as u64, edges: graph.edges().to_vec() }
+    }
+
+    /// Builds the record for an incremental edit batch on `name`.
+    pub fn edit(name: &str, ins: &Relation, del: &Relation) -> Self {
+        debug_assert_eq!(ins.arity(), del.arity(), "edit batch arity mismatch");
+        WalRecord::Edit {
+            name: name.to_string(),
+            arity: ins.arity() as u32,
+            ins: ins.flat_values().to_vec(),
+            del: del.flat_values().to_vec(),
+        }
     }
 
     /// Serializes the payload (framing is added by [`Wal::append`]).
@@ -86,6 +118,17 @@ impl WalRecord {
                 for &(a, b) in edges {
                     w.put_u32(a);
                     w.put_u32(b);
+                }
+            }
+            WalRecord::Edit { name, arity, ins, del } => {
+                w.put_u8(TAG_EDIT);
+                w.put_str(name);
+                w.put_u32(*arity);
+                for flat in [ins, del] {
+                    w.put_u64(flat.len() as u64);
+                    for &v in flat {
+                        w.put_val(v);
+                    }
                 }
             }
         }
@@ -121,6 +164,25 @@ impl WalRecord {
                     edges.push((a, b));
                 }
                 Ok(WalRecord::AddGraph { num_nodes, edges })
+            }
+            TAG_EDIT => {
+                let name = r.get_str()?;
+                let arity = r.get_u32()?;
+                let mut batches = [Vec::new(), Vec::new()];
+                for batch in &mut batches {
+                    let len = r.get_u64()? as usize;
+                    if arity == 0 || !len.is_multiple_of(arity as usize) {
+                        return Err(StoreError::Corrupt(format!(
+                            "wal edit record: {len} values are not a multiple of arity {arity}"
+                        )));
+                    }
+                    batch.reserve_exact(len);
+                    for _ in 0..len {
+                        batch.push(r.get_val()?);
+                    }
+                }
+                let [ins, del] = batches;
+                Ok(WalRecord::Edit { name, arity, ins, del })
             }
             tag => Err(StoreError::Corrupt(format!("wal record: unknown tag {tag}"))),
         }
@@ -231,6 +293,7 @@ mod tests {
             WalRecord::AddRelation { name: "u1".into(), arity: 1, values: vec![1, 5, 9] },
             WalRecord::AddGraph { num_nodes: 4, edges: vec![(0, 1), (1, 2), (2, 3)] },
             WalRecord::AddRelation { name: "r".into(), arity: 2, values: vec![1, 2, 3, 4] },
+            WalRecord::Edit { name: "r".into(), arity: 2, ins: vec![5, 6], del: vec![1, 2] },
         ]
     }
 
@@ -259,14 +322,14 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         let (_wal, replayed) = Wal::open(&path, None).unwrap();
-        assert_eq!(replayed, sample_records()[..2], "torn third record dropped");
+        assert_eq!(replayed, sample_records()[..3], "torn final record dropped");
         assert!(
             std::fs::metadata(&path).unwrap().len() < full.len() as u64 - 3,
             "tail truncated back to the last valid frame"
         );
         // Reopening again is stable (recovery is idempotent).
         let (_wal, replayed) = Wal::open(&path, None).unwrap();
-        assert_eq!(replayed, sample_records()[..2]);
+        assert_eq!(replayed, sample_records()[..3]);
     }
 
     #[test]
@@ -318,6 +381,17 @@ mod tests {
         w.put_u8(1);
         w.put_str("x");
         w.put_u32(0);
+        w.put_u64(0);
+        assert!(WalRecord::decode(&w.into_bytes()).is_err());
+        // An edit batch whose flat length is not a multiple of the arity.
+        let mut w = ByteWriter::new();
+        w.put_u8(3);
+        w.put_str("r");
+        w.put_u32(2);
+        w.put_u64(3);
+        for v in [1, 2, 3] {
+            w.put_val(v);
+        }
         w.put_u64(0);
         assert!(WalRecord::decode(&w.into_bytes()).is_err());
     }

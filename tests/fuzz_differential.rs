@@ -449,6 +449,105 @@ fn persisted_and_reopened_databases_are_query_identical() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// Number of (graph, edit-script) cases the incremental-edit corpus draws.
+const EDIT_CASES: u64 = 12;
+/// Edit batches per case, each followed by a full differential check.
+const EDIT_STEPS: usize = 5;
+
+/// A from-scratch twin of `db`: same relations, fresh indexes, shared nothing.
+fn rebuilt_twin(db: &Database) -> Database {
+    let names: Vec<String> = db.instance().relation_names().map(str::to_string).collect();
+    let mut fresh = Database::new();
+    for name in names {
+        let relation = db.instance().relation(&name).expect("resident relation").clone();
+        fresh.add_relation(name, relation);
+    }
+    fresh
+}
+
+/// One random edit batch against relation `name`: up to 3 random inserts (drawn
+/// from a domain wider than the base data, so keys land outside the base trie's
+/// first-level range) and up to 3 deletes sampled from the current rows.
+fn random_edit(rng: &mut StdRng, db: &Database, name: &str) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let current = db.instance().relation(name).expect("editable relation");
+    let arity = current.arity();
+    let ins: Vec<Vec<i64>> = (0..rng.gen_range(0usize..4))
+        .map(|_| (0..arity).map(|_| rng.gen_range(0i64..60)).collect())
+        .collect();
+    let mut del: Vec<Vec<i64>> = Vec::new();
+    if !current.is_empty() {
+        for _ in 0..rng.gen_range(0usize..4) {
+            del.push(current.row(rng.gen_range(0usize..current.len())).to_vec());
+        }
+    }
+    // The occasional no-op delete of an absent row keeps normalization honest.
+    if rng.gen_bool(0.3) {
+        del.push((0..arity).map(|_| rng.gen_range(100i64..160)).collect());
+    }
+    (ins, del)
+}
+
+/// Incremental-edit differential fuzz: random insert/delete batches interleaved
+/// with queries. After every batch, each engine's serial and parallel answers
+/// over the *edited* database (whose cached indexes absorbed the edits through
+/// their delta layers — `indexes_built() == 0`) must match a from-scratch
+/// rebuild over the same logical data. Failures print the case seed.
+#[test]
+fn random_edit_scripts_agree_with_from_scratch_rebuilds() {
+    for case in 0..EDIT_CASES {
+        let seed = case_seed(4000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = random_database(&mut rng);
+        let query = random_query(&mut rng, 4000 + case);
+        let ctx = format!("edit case {case} seed {seed:#018x} [{query}]");
+
+        // Warm every engine before the first edit, so later preparations must
+        // be served by delta-updated indexes rather than rebuilds.
+        for engine in fuzz_engines() {
+            db.prepare(&query, &engine)
+                .unwrap_or_else(|e| panic!("{ctx}: warm prepare failed: {e}"));
+        }
+
+        for step in 0..EDIT_STEPS {
+            let name = ["edge", "r1", "u1"][rng.gen_range(0usize..3)];
+            let (ins, del) = random_edit(&mut rng, &db, name);
+            db.edit_rows(name, &ins, &del)
+                .unwrap_or_else(|e| panic!("{ctx} step {step}: edit on {name} failed: {e}"));
+
+            let fresh = rebuilt_twin(&db);
+            for engine in fuzz_engines() {
+                let label = format!("{ctx} step {step} {}", engine.label());
+                let prepared = db
+                    .prepare(&query, &engine)
+                    .unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+                if matches!(engine, Engine::Lftj | Engine::Minesweeper(_)) {
+                    assert_eq!(
+                        prepared.indexes_built(),
+                        0,
+                        "{label}: edits must update cached indexes, not rebuild them"
+                    );
+                }
+                let twin = fresh
+                    .prepare(&query, &engine)
+                    .unwrap_or_else(|e| panic!("{label}: twin prepare failed: {e}"));
+                let expected = twin.count().unwrap_or_else(|e| panic!("{label}: {e}"));
+                let mut expected_rows = twin.collect().unwrap_or_else(|e| panic!("{label}: {e}"));
+                expected_rows.sort_unstable();
+                let mut got = prepared.collect().unwrap_or_else(|e| panic!("{label}: {e}"));
+                got.sort_unstable();
+                assert_eq!(got, expected_rows, "{label}: sorted collect disagrees with rebuild");
+                for threads in [1usize, 4] {
+                    assert_eq!(
+                        prepared.par_count(threads).unwrap_or_else(|e| panic!("{label}: {e}")),
+                        expected,
+                        "{label} threads {threads}: count disagrees with a from-scratch rebuild"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The corpus stays meaningful: the generator must produce a healthy share of
 /// non-empty answers and some multi-row results (otherwise the differential
 /// assertions above would be vacuous).
