@@ -89,7 +89,7 @@ pub use gj_datagen::{Dataset, DatasetSpec};
 pub use gj_minesweeper::MsConfig;
 pub use gj_query::{
     agm_bound, naive_count, naive_join, BoundQuery, CatalogQuery, Hypergraph, IndexCache, Instance,
-    Query, QueryBuilder, VarId,
+    LdbcQuery, Query, QueryBuilder, VarId,
 };
 // The fault-injection harness (`gj-storage::fault`): named failpoint sites the
 // tests arm through `QueryBudget::with_failpoints` / `IndexCache::set_failpoints`.

@@ -241,7 +241,11 @@ impl Dataset {
                 erdos_renyi(nodes, (nodes as f64 * avg_degree).round() as usize, seed)
             }
             Family::PowerlawCluster { triangle_prob } => {
-                powerlaw_cluster(nodes, avg_degree.round() as usize, triangle_prob, seed)
+                // Scaled-down instances can shrink below the paper's average
+                // degree (e.g. Orkut at a tiny scale); cap it *explicitly*
+                // here — the strict generator rejects oversized degrees.
+                let m = (avg_degree.round() as usize).min(nodes - 1);
+                powerlaw_cluster(nodes, m, triangle_prob, seed)
             }
         }
     }

@@ -1,0 +1,67 @@
+//! Typed errors for the generators.
+//!
+//! Historically the generator surface either panicked (`assert!`) or *silently
+//! clamped* out-of-range parameters — `powerlaw_cluster` used to cap
+//! `edges_per_node` at `num_nodes - 1` without telling the caller, so a config
+//! asking for more neighbours than there are nodes produced a quietly different
+//! graph. Config-shaped inputs (the LDBC generator, degree samplers) now
+//! validate up front and reject with a [`DatagenError`] instead.
+
+use std::fmt;
+
+/// A generator configuration was rejected before any data was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatagenError {
+    /// A degree-style parameter asks for more distinct neighbours/targets than
+    /// the requested population can provide (a simple graph over `available`
+    /// nodes caps every degree at `available - 1`; a sampler without
+    /// replacement caps the draw count at `available`).
+    DegreeOverflow {
+        /// Which parameter overflowed (e.g. `"edges_per_node"`).
+        what: &'static str,
+        /// The requested degree / draw count.
+        requested: usize,
+        /// The population it must fit into.
+        available: usize,
+    },
+    /// A population parameter is empty where the generator needs at least one
+    /// element (e.g. zero persons, zero tags).
+    EmptyDomain {
+        /// Which population is empty (e.g. `"persons"`).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::DegreeOverflow { what, requested, available } => write!(
+                f,
+                "degree parameter {what} = {requested} overflows its population of {available} \
+                 (no silent clamping; shrink the degree or grow the population)"
+            ),
+            DatagenError::EmptyDomain { what } => {
+                write!(f, "population {what} is empty; the generator needs at least one element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter_and_population() {
+        let err =
+            DatagenError::DegreeOverflow { what: "edges_per_node", requested: 9, available: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains("edges_per_node"));
+        assert!(msg.contains('9'));
+        assert!(msg.contains('4'));
+        let err = DatagenError::EmptyDomain { what: "tags" };
+        assert!(err.to_string().contains("tags"));
+    }
+}

@@ -11,6 +11,7 @@
 //!
 //! Both are deterministic in the seed, so every harness run sees the same data.
 
+use crate::error::DatagenError;
 use gj_storage::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,15 +37,40 @@ pub fn erdos_renyi(num_nodes: usize, target_edges: usize, seed: u64) -> Graph {
 /// targets chosen by preferential attachment; after each attachment, with probability
 /// `triangle_prob` the next attachment goes to a random neighbour of the previous
 /// target, closing a triangle.
+///
+/// Panicking wrapper around [`try_powerlaw_cluster`] for callers with
+/// statically-known-good parameters (the dataset catalog, examples, benches).
 pub fn powerlaw_cluster(
     num_nodes: usize,
     edges_per_node: usize,
     triangle_prob: f64,
     seed: u64,
 ) -> Graph {
+    match try_powerlaw_cluster(num_nodes, edges_per_node, triangle_prob, seed) {
+        Ok(graph) => graph,
+        Err(err) => panic!("powerlaw_cluster: {err}"),
+    }
+}
+
+/// Fallible [`powerlaw_cluster`]: rejects `edges_per_node >= num_nodes` with a
+/// typed [`DatagenError`] instead of silently clamping it to `num_nodes - 1`
+/// (which used to change the generated graph without telling the caller).
+pub fn try_powerlaw_cluster(
+    num_nodes: usize,
+    edges_per_node: usize,
+    triangle_prob: f64,
+    seed: u64,
+) -> Result<Graph, DatagenError> {
     assert!(num_nodes >= 2, "need at least two nodes");
     assert!((0.0..=1.0).contains(&triangle_prob), "triangle_prob must be a probability");
-    let m = edges_per_node.max(1).min(num_nodes - 1);
+    if edges_per_node >= num_nodes {
+        return Err(DatagenError::DegreeOverflow {
+            what: "edges_per_node",
+            requested: edges_per_node,
+            available: num_nodes,
+        });
+    }
+    let m = edges_per_node.max(1);
     let mut rng = StdRng::seed_from_u64(seed);
 
     // `targets_pool` holds one entry per edge endpoint, so sampling uniformly from it
@@ -91,7 +117,7 @@ pub fn powerlaw_cluster(
             added += 1;
         }
     }
-    Graph::new_undirected(num_nodes, edges)
+    Ok(Graph::new_undirected(num_nodes, edges))
 }
 
 #[cfg(test)]
@@ -146,10 +172,22 @@ mod tests {
 
     #[test]
     fn degenerate_sizes_still_work() {
-        let g = powerlaw_cluster(2, 3, 0.5, 1);
+        let g = powerlaw_cluster(2, 1, 0.5, 1);
         assert_eq!(g.num_nodes(), 2);
         assert_eq!(g.num_undirected_edges(), 1);
         let g = erdos_renyi(2, 10, 1);
         assert!(g.num_undirected_edges() <= 1);
+    }
+
+    #[test]
+    fn oversized_edges_per_node_is_rejected_not_clamped() {
+        // 3 neighbours per node in a 2-node simple graph cannot exist; the old
+        // behaviour quietly generated the m = 1 graph instead.
+        let err = try_powerlaw_cluster(2, 3, 0.5, 1).unwrap_err();
+        assert_eq!(
+            err,
+            DatagenError::DegreeOverflow { what: "edges_per_node", requested: 3, available: 2 }
+        );
+        assert!(try_powerlaw_cluster(8, 7, 0.5, 1).is_ok());
     }
 }

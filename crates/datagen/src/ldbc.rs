@@ -1,0 +1,549 @@
+//! LDBC-style social-network generator.
+//!
+//! The clique/cycle/path suite in [`crate::catalog`] stresses the engines over a
+//! single `edge` relation. Real graph-query workloads — the LDBC social network
+//! benchmark family analysed by the SIGMOD 2014 Programming Contest follow-ups —
+//! instead join *many typed relations* with wide arities and selective attribute
+//! filters. This module grows the generator in that direction: a typed,
+//! attributed schema emitted as ordinary columnar [`Relation`]s plus a
+//! [`Catalog`] describing arities and value domains.
+//!
+//! ## Schema
+//!
+//! | relation       | columns                | shape |
+//! |----------------|------------------------|-------|
+//! | `person`       | `(person)`             | all person ids |
+//! | `knows`        | `(person, person)`     | symmetric friendship, degree-skewed |
+//! | `post`         | `(post, day)`          | creation day, correlated with the creator's activity window |
+//! | `hasCreator`   | `(post, person)`       | every post has exactly one creator |
+//! | `likes`        | `(person, post, day)`  | ternary; like-day ≥ the post's creation day, biased toward friends' posts |
+//! | `tag`          | `(tag)`                | all tag ids |
+//! | `hasTag`       | `(post, tag)`          | Zipf-skewed tag popularity |
+//! | `tagSample`    | `(tag)`                | selective random tag subset (query parameter) |
+//! | `personSample` | `(person)`             | selective random person subset (query parameter) |
+//!
+//! All ids live in one `i64` value space, carved into **disjoint ranges** —
+//! persons first, then posts, tags, and days — so the untyped join engines can
+//! run the queries unchanged while accidental cross-type value collisions are
+//! impossible. [`Catalog::domain`] reports each range.
+//!
+//! ## Skew and correlation
+//!
+//! * friendship degrees are heavy-tailed ([`crate::sample::powerlaw_degrees`]),
+//!   paired Chung–Lu style so popular people attract popular friends;
+//! * each person posts within a short *activity window* of days, and likes
+//!   arrive a geometric-ish delay **after** the post's creation day — the
+//!   temporal correlation selective "fresh" queries lean on;
+//! * tags follow a Zipf-like popularity curve: a few tags label a large
+//!   fraction of posts, the tail is rare — exactly the regime where a
+//!   selective tag filter changes the best attribute order.
+//!
+//! Everything is deterministic in [`LdbcConfig::seed`].
+
+use crate::error::DatagenError;
+use crate::sample::powerlaw_degrees;
+use gj_storage::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which typed id range a column draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person id.
+    Person,
+    /// A post id.
+    Post,
+    /// A tag id.
+    Tag,
+    /// A day id (timestamps, bucketed to days).
+    Day,
+}
+
+/// A half-open id range `[lo, hi)` in the shared value space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    /// First id in the range.
+    pub lo: i64,
+    /// One past the last id in the range.
+    pub hi: i64,
+}
+
+impl Domain {
+    /// Number of ids in the range.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// Whether `v` falls inside the range.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v < self.hi
+    }
+}
+
+/// Schema metadata for one generated relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationMeta {
+    /// Relation name as registered in the database (e.g. `"hasCreator"`).
+    pub name: &'static str,
+    /// Typed column kinds, one per attribute; `len()` is the arity.
+    pub columns: Vec<EntityKind>,
+    /// Realised row count (after sorting and deduplication).
+    pub rows: usize,
+}
+
+impl RelationMeta {
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// The typed schema description emitted next to the data: per-relation arities
+/// and column kinds, and the id range behind every [`EntityKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Catalog {
+    persons: Domain,
+    posts: Domain,
+    tags: Domain,
+    days: Domain,
+    relations: Vec<RelationMeta>,
+}
+
+impl Catalog {
+    /// The id range backing a typed column kind.
+    pub fn domain(&self, kind: EntityKind) -> Domain {
+        match kind {
+            EntityKind::Person => self.persons,
+            EntityKind::Post => self.posts,
+            EntityKind::Tag => self.tags,
+            EntityKind::Day => self.days,
+        }
+    }
+
+    /// All generated relations, in registration order.
+    pub fn relations(&self) -> &[RelationMeta] {
+        &self.relations
+    }
+
+    /// Metadata for one relation by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationMeta> {
+        self.relations.iter().find(|m| m.name == name)
+    }
+}
+
+/// Size and shape knobs for the generator. All sizes are *requested* means;
+/// the realised relations are sorted and deduplicated, so exact counts vary
+/// slightly. Oversized degree parameters are rejected with a typed
+/// [`DatagenError`], never silently clamped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdbcConfig {
+    /// Number of persons.
+    pub persons: usize,
+    /// Mean friends per person (heavy-tailed around this mean).
+    pub avg_friends: usize,
+    /// Mean posts per person (heavy-tailed around this mean).
+    pub posts_per_person: usize,
+    /// Number of distinct tags.
+    pub tags: usize,
+    /// Mean likes issued per person.
+    pub likes_per_person: usize,
+    /// Mean tags per post.
+    pub tags_per_post: usize,
+    /// Number of day buckets in the timeline.
+    pub days: usize,
+    /// Selectivity of `tagSample` (each tag kept with probability `1/s`).
+    pub tag_selectivity: u32,
+    /// Selectivity of `personSample`.
+    pub person_selectivity: u32,
+    /// Master seed; every derived stream re-seeds deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for LdbcConfig {
+    fn default() -> Self {
+        LdbcConfig {
+            persons: 300,
+            avg_friends: 6,
+            posts_per_person: 3,
+            tags: 40,
+            likes_per_person: 10,
+            tags_per_post: 2,
+            days: 64,
+            tag_selectivity: 8,
+            person_selectivity: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated LDBC-style social network: the columnar relations plus the
+/// [`Catalog`] describing them.
+///
+/// This is the generator entry point:
+///
+/// ```
+/// use gj_datagen::ldbc::{EntityKind, LdbcConfig, SocialNetwork};
+///
+/// let net = SocialNetwork::generate(&LdbcConfig {
+///     persons: 60,
+///     tags: 12,
+///     ..LdbcConfig::default()
+/// })
+/// .unwrap();
+///
+/// // Nine typed relations, ready to register in a `Database`.
+/// assert_eq!(net.relations().len(), 9);
+/// let likes = net.relation("likes").unwrap();
+/// assert_eq!(likes.arity(), 3); // (person, post, day)
+///
+/// // The catalog mirrors the data and carves ids into disjoint typed ranges.
+/// let catalog = net.catalog();
+/// assert_eq!(catalog.relation("likes").unwrap().rows, likes.len());
+/// let persons = catalog.domain(EntityKind::Person);
+/// let posts = catalog.domain(EntityKind::Post);
+/// assert_eq!(persons.lo, 0);
+/// assert_eq!(persons.hi, posts.lo); // disjoint, adjacent ranges
+/// for row in net.relation("hasCreator").unwrap().iter() {
+///     assert!(posts.contains(row[0]) && persons.contains(row[1]));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocialNetwork {
+    catalog: Catalog,
+    relations: Vec<(&'static str, Relation)>,
+}
+
+impl SocialNetwork {
+    /// Generates the network described by `config`. Deterministic in
+    /// `config.seed`; rejects degenerate configurations (no persons, no tags,
+    /// degree means that overflow their population) with a typed error.
+    pub fn generate(config: &LdbcConfig) -> Result<SocialNetwork, DatagenError> {
+        let p = config.persons;
+        if p == 0 {
+            return Err(DatagenError::EmptyDomain { what: "persons" });
+        }
+        if config.tags == 0 {
+            return Err(DatagenError::EmptyDomain { what: "tags" });
+        }
+        if config.days == 0 {
+            return Err(DatagenError::EmptyDomain { what: "days" });
+        }
+        // Strict degree validation (no silent clamping).
+        let friend_degrees = powerlaw_degrees(p, config.avg_friends.max(1), config.seed)?;
+        if config.posts_per_person >= i32::MAX as usize {
+            return Err(DatagenError::DegreeOverflow {
+                what: "posts_per_person",
+                requested: config.posts_per_person,
+                available: i32::MAX as usize,
+            });
+        }
+        if config.tags_per_post > config.tags {
+            return Err(DatagenError::DegreeOverflow {
+                what: "tags_per_post",
+                requested: config.tags_per_post,
+                available: config.tags,
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1db3_c5d7_9b25_4aef);
+
+        // ---- knows: Chung–Lu pairing over the heavy-tailed degree sequence.
+        // Each person enters a pool once per unit of degree; pairing uniform
+        // pool entries makes popular people attract popular friends.
+        let mut pool: Vec<u32> = Vec::new();
+        for (i, &d) in friend_degrees.iter().enumerate() {
+            pool.extend(std::iter::repeat_n(i as u32, d as usize));
+        }
+        let mut friends: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let target_edges = pool.len() / 2;
+        for _ in 0..target_edges {
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            if a != b && !friends[a as usize].contains(&b) {
+                friends[a as usize].push(b);
+                friends[b as usize].push(a);
+            }
+        }
+
+        // ---- posts: heavy-tailed per-person counts; creation days cluster in
+        // the creator's activity window.
+        let post_counts = powerlaw_degrees(
+            p.max(config.posts_per_person.max(1) + 1),
+            config.posts_per_person.max(1),
+            config.seed ^ 0x9e37_79b9,
+        )?;
+        let home_day: Vec<usize> = (0..p).map(|_| rng.gen_range(0..config.days)).collect();
+        let total_posts: usize = post_counts.iter().take(p).map(|&c| c as usize).sum();
+
+        // Id layout: persons, then posts, then tags, then days — adjacent,
+        // disjoint ranges in one i64 space.
+        let person_base = 0i64;
+        let post_base = person_base + p as i64;
+        let tag_base = post_base + total_posts as i64;
+        let day_base = tag_base + config.tags as i64;
+
+        let day_of = |d: usize| day_base + d as i64;
+
+        let mut post_rows: Vec<Vec<i64>> = Vec::with_capacity(total_posts);
+        let mut creator_rows: Vec<Vec<i64>> = Vec::with_capacity(total_posts);
+        // Per-person post ids and per-post creation day (indexed by post offset).
+        let mut posts_of: Vec<Vec<i64>> = vec![Vec::new(); p];
+        let mut post_day: Vec<usize> = Vec::with_capacity(total_posts);
+        let mut next_post = post_base;
+        for person in 0..p {
+            for _ in 0..post_counts[person] {
+                // Activity window: within 8 days of the home day, wrapped.
+                let day = (home_day[person] + rng.gen_range(0..8usize)) % config.days;
+                post_rows.push(vec![next_post, day_of(day)]);
+                creator_rows.push(vec![next_post, person as i64]);
+                posts_of[person].push(next_post);
+                post_day.push(day);
+                next_post += 1;
+            }
+        }
+
+        // ---- likes: biased toward friends' posts; like-day trails the post's
+        // creation day by a geometric-ish delay (temporal correlation).
+        let mut like_rows: Vec<Vec<i64>> = Vec::with_capacity(p * config.likes_per_person);
+        for person in 0..p {
+            for _ in 0..config.likes_per_person {
+                let post = if !friends[person].is_empty() && rng.gen_bool(0.6) {
+                    let f = friends[person][rng.gen_range(0..friends[person].len())] as usize;
+                    if posts_of[f].is_empty() {
+                        continue;
+                    }
+                    posts_of[f][rng.gen_range(0..posts_of[f].len())]
+                } else if total_posts > 0 {
+                    post_base + rng.gen_range(0..total_posts) as i64
+                } else {
+                    continue;
+                };
+                let created = post_day[(post - post_base) as usize];
+                // Geometric-ish delay: mostly same-day or next-day likes.
+                let mut delay = 0usize;
+                while delay < 16 && rng.gen_bool(0.45) {
+                    delay += 1;
+                }
+                let day = (created + delay).min(config.days - 1);
+                like_rows.push(vec![person as i64, post, day_of(day)]);
+            }
+        }
+
+        // ---- hasTag: Zipf-ish popularity — cubing a uniform draw front-loads
+        // low tag indices, so a handful of tags label most posts.
+        let mut tag_rows: Vec<Vec<i64>> = Vec::with_capacity(total_posts * config.tags_per_post);
+        for post in 0..total_posts {
+            for _ in 0..config.tags_per_post {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let t = ((u * u * u) * config.tags as f64) as usize;
+                tag_rows
+                    .push(vec![post_base + post as i64, tag_base + t.min(config.tags - 1) as i64]);
+            }
+        }
+
+        // ---- selective samples (query parameters).
+        let keep = |rng: &mut StdRng, s: u32| rng.gen_bool(1.0 / s.max(1) as f64);
+        let tag_sample: Vec<i64> = (0..config.tags as i64)
+            .filter(|_| keep(&mut rng, config.tag_selectivity))
+            .map(|t| tag_base + t)
+            .collect();
+        let person_sample: Vec<i64> =
+            (0..p as i64).filter(|_| keep(&mut rng, config.person_selectivity)).collect();
+
+        let knows_rows: Vec<Vec<i64>> = friends
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ns)| ns.iter().map(move |&b| vec![a as i64, b as i64]))
+            .collect();
+
+        let relations: Vec<(&'static str, Relation)> = vec![
+            ("person", Relation::from_values(0..p as i64)),
+            ("knows", Relation::from_rows(2, knows_rows)),
+            ("post", Relation::from_rows(2, post_rows)),
+            ("hasCreator", Relation::from_rows(2, creator_rows)),
+            ("likes", Relation::from_rows(3, like_rows)),
+            ("tag", Relation::from_values(tag_base..tag_base + config.tags as i64)),
+            ("hasTag", Relation::from_rows(2, tag_rows)),
+            ("tagSample", Relation::from_values(tag_sample)),
+            ("personSample", Relation::from_values(person_sample)),
+        ];
+
+        use EntityKind::{Day, Person, Post, Tag};
+        let columns: Vec<(&'static str, Vec<EntityKind>)> = vec![
+            ("person", vec![Person]),
+            ("knows", vec![Person, Person]),
+            ("post", vec![Post, Day]),
+            ("hasCreator", vec![Post, Person]),
+            ("likes", vec![Person, Post, Day]),
+            ("tag", vec![Tag]),
+            ("hasTag", vec![Post, Tag]),
+            ("tagSample", vec![Tag]),
+            ("personSample", vec![Person]),
+        ];
+        let metas = relations
+            .iter()
+            .zip(columns)
+            .map(|((name, rel), (meta_name, cols))| {
+                debug_assert_eq!(*name, meta_name);
+                debug_assert_eq!(rel.arity(), cols.len());
+                RelationMeta { name, columns: cols, rows: rel.len() }
+            })
+            .collect();
+
+        let catalog = Catalog {
+            persons: Domain { lo: person_base, hi: post_base },
+            posts: Domain { lo: post_base, hi: tag_base },
+            tags: Domain { lo: tag_base, hi: day_base },
+            days: Domain { lo: day_base, hi: day_base + config.days as i64 },
+            relations: metas,
+        };
+        Ok(SocialNetwork { catalog, relations })
+    }
+
+    /// The schema description: arities, typed columns, id domains.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All `(name, relation)` pairs, ready for `Database::add_relation`.
+    pub fn relations(&self) -> &[(&'static str, Relation)] {
+        &self.relations
+    }
+
+    /// One relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|(n, _)| *n == name).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SocialNetwork {
+        SocialNetwork::generate(&LdbcConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        for ((na, ra), (nb, rb)) in a.relations().iter().zip(b.relations()) {
+            assert_eq!(na, nb);
+            assert_eq!(ra, rb, "{na} differs across identical seeds");
+        }
+        let c = SocialNetwork::generate(&LdbcConfig { seed: 43, ..LdbcConfig::default() }).unwrap();
+        assert_ne!(a.relation("knows"), c.relation("knows"));
+    }
+
+    #[test]
+    fn domains_are_disjoint_and_rows_stay_inside_them() {
+        let net = small();
+        let cat = net.catalog();
+        let kinds = [EntityKind::Person, EntityKind::Post, EntityKind::Tag, EntityKind::Day];
+        for (i, &a) in kinds.iter().enumerate() {
+            assert!(!cat.domain(a).is_empty(), "{a:?} domain empty");
+            for &b in &kinds[i + 1..] {
+                let (da, db) = (cat.domain(a), cat.domain(b));
+                assert!(da.hi <= db.lo || db.hi <= da.lo, "{a:?} and {b:?} overlap");
+            }
+        }
+        for meta in cat.relations() {
+            let rel = net.relation(meta.name).unwrap();
+            assert_eq!(rel.arity(), meta.arity(), "{}", meta.name);
+            assert_eq!(rel.len(), meta.rows, "{}", meta.name);
+            for row in rel.iter() {
+                for (col, &kind) in meta.columns.iter().enumerate() {
+                    assert!(
+                        cat.domain(kind).contains(row[col]),
+                        "{}[{col}] = {} outside its {kind:?} domain",
+                        meta.name,
+                        row[col]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knows_is_symmetric_and_degree_skewed() {
+        let net = small();
+        let knows = net.relation("knows").unwrap();
+        let rows: std::collections::BTreeSet<(i64, i64)> =
+            knows.iter().map(|r| (r[0], r[1])).collect();
+        for &(a, b) in &rows {
+            assert!(rows.contains(&(b, a)), "({a},{b}) present without its mirror");
+        }
+        // Heavy tail: the busiest person has far more friends than the mean.
+        let mut deg = std::collections::BTreeMap::new();
+        for &(a, _) in &rows {
+            *deg.entry(a).or_insert(0usize) += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = rows.len() as f64 / deg.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max degree {max} vs mean {mean}: no skew");
+    }
+
+    #[test]
+    fn likes_never_precede_the_post_creation_day() {
+        let net = small();
+        let post_days: std::collections::BTreeMap<i64, i64> =
+            net.relation("post").unwrap().iter().map(|r| (r[0], r[1])).collect();
+        let likes = net.relation("likes").unwrap();
+        assert!(likes.len() > 100, "expected a dense likes relation");
+        for row in likes.iter() {
+            let created = post_days[&row[1]];
+            assert!(row[2] >= created, "like on day {} of a post created day {created}", row[2]);
+        }
+    }
+
+    #[test]
+    fn tag_popularity_is_skewed() {
+        let net = small();
+        let mut counts = std::collections::BTreeMap::new();
+        for row in net.relation("hasTag").unwrap().iter() {
+            *counts.entry(row[1]).or_insert(0usize) += 1;
+        }
+        let total: usize = counts.values().sum();
+        let top: usize = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.iter().take(v.len().div_ceil(10)).sum()
+        };
+        // The top decile of tags should label well over their uniform share.
+        assert!(top * 3 > total, "top-decile share {top}/{total} is not skewed");
+    }
+
+    #[test]
+    fn every_post_has_exactly_one_creator() {
+        let net = small();
+        let creators = net.relation("hasCreator").unwrap();
+        let posts = net.relation("post").unwrap();
+        assert_eq!(creators.len(), posts.len());
+        let distinct: std::collections::BTreeSet<i64> = creators.iter().map(|r| r[0]).collect();
+        assert_eq!(distinct.len(), creators.len(), "a post with two creators");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let base = LdbcConfig::default();
+        let err = SocialNetwork::generate(&LdbcConfig { persons: 0, ..base.clone() }).unwrap_err();
+        assert_eq!(err, DatagenError::EmptyDomain { what: "persons" });
+        let err = SocialNetwork::generate(&LdbcConfig { tags: 0, ..base.clone() }).unwrap_err();
+        assert_eq!(err, DatagenError::EmptyDomain { what: "tags" });
+        let err = SocialNetwork::generate(&LdbcConfig { days: 0, ..base.clone() }).unwrap_err();
+        assert_eq!(err, DatagenError::EmptyDomain { what: "days" });
+        let err =
+            SocialNetwork::generate(&LdbcConfig { persons: 4, avg_friends: 9, ..base.clone() })
+                .unwrap_err();
+        assert!(matches!(err, DatagenError::DegreeOverflow { what: "avg_degree", .. }));
+        let err =
+            SocialNetwork::generate(&LdbcConfig { tags: 3, tags_per_post: 5, ..base }).unwrap_err();
+        assert!(matches!(err, DatagenError::DegreeOverflow { what: "tags_per_post", .. }));
+    }
+}

@@ -17,12 +17,22 @@
 //!   the paper, with the paper's statistics and the matched generator parameters;
 //! * [`sample`] — the random node samples (`v1`, `v2`, …) with selectivity `s`
 //!   (each node kept with probability `1/s`), as used by the path/tree/comb/lollipop
-//!   queries.
+//!   queries, plus the heavy-tailed [`powerlaw_degrees`] sampler;
+//! * [`ldbc`] — an LDBC-style social network: a typed, attributed multi-relation
+//!   schema (`person`, `knows`, `post`, `hasCreator`, ternary `likes`, `tag`,
+//!   `hasTag`) with degree skew and temporal correlation, described by a
+//!   [`Catalog`];
+//! * [`error`] — typed [`DatagenError`] rejection for out-of-range generator
+//!   parameters (no silent clamping).
 
 pub mod catalog;
+pub mod error;
 pub mod generators;
+pub mod ldbc;
 pub mod sample;
 
 pub use catalog::{Dataset, DatasetSpec};
-pub use generators::{erdos_renyi, powerlaw_cluster};
-pub use sample::{node_sample, sample_relations};
+pub use error::DatagenError;
+pub use generators::{erdos_renyi, powerlaw_cluster, try_powerlaw_cluster};
+pub use ldbc::{Catalog, Domain, EntityKind, LdbcConfig, RelationMeta, SocialNetwork};
+pub use sample::{node_sample, powerlaw_degrees, sample_relations};

@@ -7,6 +7,7 @@
 //! different seeds so `v1` and `v2` are independent draws, and the whole process is
 //! deterministic per (graph size, selectivity, seed).
 
+use crate::error::DatagenError;
 use gj_storage::Relation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +39,46 @@ pub fn sample_relations(
             (name, rel)
         })
         .collect()
+}
+
+/// Draws a heavy-tailed per-node degree sequence with the given mean: each
+/// degree is `avg_degree` scaled by a powerlaw-ish factor (the inverse-square
+/// of a uniform draw, capped), then clamped into `[1, num_nodes - 1]` — the
+/// hard cap every *simple*-graph degree must respect.
+///
+/// Degree parameters that cannot fit the requested node count are **rejected
+/// with a typed error** instead of silently clamped: `avg_degree >=
+/// num_nodes` would force every node to exceed the `num_nodes - 1` simple-graph
+/// ceiling, so the sequence the caller asked for does not exist. (The clamp
+/// above only tames the *tail* of the distribution; the mean the caller
+/// requested stays honest.)
+pub fn powerlaw_degrees(
+    num_nodes: usize,
+    avg_degree: usize,
+    seed: u64,
+) -> Result<Vec<u32>, DatagenError> {
+    if num_nodes == 0 {
+        return Err(DatagenError::EmptyDomain { what: "num_nodes" });
+    }
+    if avg_degree >= num_nodes {
+        return Err(DatagenError::DegreeOverflow {
+            what: "avg_degree",
+            requested: avg_degree,
+            available: num_nodes,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = (num_nodes - 1) as f64;
+    let degrees = (0..num_nodes)
+        .map(|_| {
+            // u^-0.5 has mean 2 on (0, 1]: heavy tail, finite mean. Halving
+            // recentres the sequence on `avg_degree`.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let skew = 0.5 / u.max(1e-12).sqrt();
+            (avg_degree as f64 * skew).round().clamp(1.0, cap) as u32
+        })
+        .collect();
+    Ok(degrees)
 }
 
 #[cfg(test)]
@@ -87,5 +128,37 @@ mod tests {
         for row in sample.iter() {
             assert!(row[0] >= 0 && row[0] < n as i64);
         }
+    }
+
+    #[test]
+    fn powerlaw_degrees_track_the_mean_and_stay_simple_graph_legal() {
+        let n = 20_000;
+        let avg = 8usize;
+        let degrees = powerlaw_degrees(n, avg, 7).unwrap();
+        assert_eq!(degrees.len(), n);
+        let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+        assert!((mean - avg as f64).abs() < avg as f64 * 0.5, "mean degree {mean} vs {avg}");
+        assert!(degrees.iter().all(|&d| d >= 1 && (d as usize) < n));
+        // Heavy tail: the max degree dwarfs the mean.
+        let max = *degrees.iter().max().unwrap() as f64;
+        assert!(max > 4.0 * mean, "max {max} vs mean {mean}: no skew");
+        // Deterministic per seed.
+        assert_eq!(degrees, powerlaw_degrees(n, avg, 7).unwrap());
+        assert_ne!(degrees, powerlaw_degrees(n, avg, 8).unwrap());
+    }
+
+    #[test]
+    fn degree_overflow_is_a_typed_error_not_a_clamp() {
+        // avg_degree == num_nodes can never fit a simple graph: typed rejection.
+        let err = powerlaw_degrees(10, 10, 1).unwrap_err();
+        assert_eq!(
+            err,
+            DatagenError::DegreeOverflow { what: "avg_degree", requested: 10, available: 10 }
+        );
+        assert!(powerlaw_degrees(10, 25, 1).is_err());
+        let err = powerlaw_degrees(0, 1, 1).unwrap_err();
+        assert_eq!(err, DatagenError::EmptyDomain { what: "num_nodes" });
+        // The largest legal mean still works.
+        assert!(powerlaw_degrees(10, 9, 1).is_ok());
     }
 }

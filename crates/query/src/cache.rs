@@ -149,9 +149,39 @@ impl IndexCache {
         if let Some(hit) = self.get(name, perm) {
             return hit;
         }
-        self.fire_trie_build();
-        let built = Arc::new(TrieIndex::build(relation, perm));
+        let built = self.build_index(name, relation, perm);
         self.insert(name, perm.to_vec(), built)
+    }
+
+    /// The entry's cumulative pending deltas for `name`, or `None` when nothing
+    /// is pending.
+    fn pending_deltas(&self, name: &str, arity: usize) -> Option<(Relation, Relation)> {
+        let entries = read(&self.entries);
+        let entry = entries.get(name)?;
+        if entry.ins.is_empty() && entry.del.is_empty() {
+            return None;
+        }
+        Some(entry.delta_relations(arity))
+    }
+
+    /// Builds the index for `(name, perm)` at the same *base epoch* as the
+    /// entry's other permutations. [`TrieIndex::with_edits`] replaces the delta
+    /// layer wholesale, so [`apply_edits`](Self::apply_edits) patches every perm
+    /// with sets cumulative against a common base. A perm built mid-edit-stream
+    /// straight from `relation` would bake those edits into its base, and the
+    /// next cumulative application would corrupt it (a delete-then-reinsert
+    /// cancels out of the sets, silently dropping the row from the late base).
+    /// So when deltas are pending, the solid base is reconstructed by undoing
+    /// them on `relation` and the cumulative layer is re-attached on top.
+    fn build_index(&self, name: &str, relation: &Relation, perm: &[usize]) -> Arc<TrieIndex> {
+        self.fire_trie_build();
+        match self.pending_deltas(name, relation.arity()) {
+            None => Arc::new(TrieIndex::build(relation, perm)),
+            Some((ins, del)) => {
+                let baseline = relation.with_edits(&del, &ins);
+                Arc::new(TrieIndex::build(&baseline, perm).with_edits(&ins, &del))
+            }
+        }
     }
 
     /// Drops every index built over the relation `name`. Must be called whenever
@@ -269,9 +299,8 @@ impl IndexCache {
                 let missing = &missing;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(_, relation, perm)) = missing.get(i) else { break };
-                    self.fire_trie_build();
-                    let index = Arc::new(TrieIndex::build(relation, perm));
+                    let Some(&(name, relation, perm)) = missing.get(i) else { break };
+                    let index = self.build_index(name, relation, perm);
                     built.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(index);
                 });
             }
@@ -460,6 +489,54 @@ mod tests {
         assert!(!after.shares_base(&before), "compaction builds a fresh base");
         assert_eq!(after.num_rows(), updated.len());
         assert_eq!(cache.pending_delta_len("edge"), 0);
+    }
+
+    /// A permutation built *after* edits started must land at the entry's base
+    /// epoch. Regression: a delete, a late perm build, then a re-insert of the
+    /// deleted row cancels out of the cumulative sets — a late perm built
+    /// straight from the current relation would silently lose the row.
+    #[test]
+    fn late_built_perms_survive_a_delete_then_reinsert() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        let row = Relation::from_pairs(vec![(0, 1)]);
+        let none = Relation::empty(2);
+        let shrunk = r.with_edits(&none, &row);
+        cache.apply_edits("edge", &none, &row, &shrunk);
+        // Miss on a second permutation while the delete is still pending.
+        cache.get_or_build("edge", &shrunk, &[1, 0]);
+        // Re-inserting the row revives the tombstone: the cumulative delta is
+        // now empty, so every perm must be back at the full relation.
+        cache.apply_edits("edge", &row, &none, &r);
+        let a = cache.get("edge", &[0, 1]).unwrap();
+        let b = cache.get("edge", &[1, 0]).unwrap();
+        assert!(a.contains(&[0, 1]));
+        assert!(b.contains(&[1, 0]), "late-built perm lost the re-inserted row");
+        assert_eq!(a.num_rows(), r.len());
+        assert_eq!(b.num_rows(), r.len());
+    }
+
+    /// The mirror case: an insert, a late perm build, then a delete of that row
+    /// cancels out of the cumulative sets — a late perm with the row baked into
+    /// its base would keep serving it.
+    #[test]
+    fn late_built_perms_drop_an_insert_then_delete() {
+        let cache = IndexCache::new();
+        let r = edge();
+        cache.get_or_build("edge", &r, &[0, 1]);
+        let row = Relation::from_pairs(vec![(7, 8)]);
+        let none = Relation::empty(2);
+        let grown = r.with_edits(&row, &none);
+        cache.apply_edits("edge", &row, &none, &grown);
+        cache.get_or_build("edge", &grown, &[1, 0]);
+        cache.apply_edits("edge", &none, &row, &r);
+        let a = cache.get("edge", &[0, 1]).unwrap();
+        let b = cache.get("edge", &[1, 0]).unwrap();
+        assert!(!a.contains(&[7, 8]));
+        assert!(!b.contains(&[8, 7]), "late-built perm kept the deleted row");
+        assert_eq!(a.num_rows(), r.len());
+        assert_eq!(b.num_rows(), r.len());
     }
 
     #[test]

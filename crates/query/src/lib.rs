@@ -16,6 +16,9 @@
 //!   the small dense [`lp`] simplex solver;
 //! * [`catalog`] — the exact benchmark queries of Section 5.1 (cliques, cycles,
 //!   paths, trees, combs, lollipops);
+//! * [`ldbc`] — the LDBC-style social-network workload: multi-relation patterns
+//!   (k-hop friends, common-interest triangles, creator–liker–tag paths) over
+//!   the typed schema emitted by `gj-datagen`;
 //! * [`bind`] — database [`Instance`]s and [`BoundQuery`] (query + GAO + one
 //!   GAO-consistent trie index per atom), the common input of every engine;
 //! * [`cache`] — the shared, thread-safe [`IndexCache`] that lets prepared queries
@@ -28,6 +31,7 @@ pub mod cache;
 pub mod catalog;
 pub mod gao;
 pub mod hypergraph;
+pub mod ldbc;
 pub mod lp;
 pub mod naive;
 pub mod query;
@@ -38,5 +42,6 @@ pub use cache::IndexCache;
 pub use catalog::CatalogQuery;
 pub use gao::{acyclic_skeleton, atom_index_perm, is_neo, select_gao};
 pub use hypergraph::Hypergraph;
+pub use ldbc::LdbcQuery;
 pub use naive::{naive_count, naive_join};
 pub use query::{Atom, Query, QueryBuilder, VarId};

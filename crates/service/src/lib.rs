@@ -45,11 +45,14 @@
 pub mod admission;
 /// History recording ([`HistoryLog`]) and the serial replay checker.
 pub mod history;
+/// Seeded traffic-mix traces ([`TrafficOp`]) and their concurrent replay.
+pub mod replay;
 /// The [`Service`] / [`Session`] surface over one shared database.
 pub mod service;
 
 pub use admission::{Gate, Permit};
 pub use history::{check_history, HistoryLog, SessionEvent};
+pub use replay::{generate_trace, replay, replay_verified, ReplayReport, TraceConfig, TrafficOp};
 pub use service::{Service, ServiceConfig, Session};
 
 #[cfg(test)]

@@ -1,0 +1,285 @@
+//! Traffic-mix replay: seeded interleavings of reads and incremental edits.
+//!
+//! The serving layer's history checker ([`check_history`](crate::check_history))
+//! is only as strong as the traffic driven through it. This module generates a
+//! deterministic *traffic trace* — a shuffled mix of pattern queries and
+//! `insert/delete` edit batches over named relations — and replays it through a
+//! [`Service`] from several concurrent sessions. Saturation rejections and
+//! deliberately-cancelled reads are tolerated (and counted); everything that
+//! succeeds must afterwards pass the serial-replay history check.
+//!
+//! The trace generator samples edit rows from the *current* database contents:
+//! deletes pick existing rows, inserts re-shape existing rows by perturbing
+//! their first column, so batches stay inside the relation's value regime
+//! without the generator having to know the schema.
+
+use crate::service::Service;
+use gj_runtime::{CancelToken, ExecError, QueryBudget};
+use graphjoin::{Database, Engine, EngineError, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a traffic trace.
+#[derive(Debug, Clone)]
+pub enum TrafficOp {
+    /// Count the answers of `query` through `engine`. When `cancel` is set the
+    /// read runs under a pre-cancelled token: it must abort with a typed
+    /// `cancelled` error and must *not* be recorded in the history.
+    Read {
+        /// The pattern query to count.
+        query: Query,
+        /// The engine that executes it.
+        engine: Engine,
+        /// Run under a pre-cancelled budget (abort path coverage).
+        cancel: bool,
+    },
+    /// Apply one incremental edit batch to `relation`.
+    Edit {
+        /// The relation the batch targets.
+        relation: String,
+        /// Rows entering the relation.
+        ins: Vec<Vec<i64>>,
+        /// Rows leaving the relation.
+        del: Vec<Vec<i64>>,
+    },
+}
+
+/// Shape knobs for [`generate_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Total operations in the trace.
+    pub ops: usize,
+    /// Fraction of operations that are edit batches (the rest are reads).
+    pub edit_fraction: f64,
+    /// Fraction of *reads* issued with a pre-cancelled token.
+    pub cancel_fraction: f64,
+    /// Maximum rows per edit batch (inserts and deletes each).
+    pub max_batch: usize,
+    /// Seed; traces are deterministic per (database, config).
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { ops: 120, edit_fraction: 0.25, cancel_fraction: 0.1, max_batch: 4, seed: 7 }
+    }
+}
+
+/// Tallies from one [`replay`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Reads that completed and were recorded in the history.
+    pub reads: u64,
+    /// Total rows counted across completed reads.
+    pub read_rows: u64,
+    /// Edit batches applied.
+    pub edits: u64,
+    /// Reads shed with a typed `Saturated` rejection.
+    pub saturated: u64,
+    /// Reads aborted by their pre-cancelled budget.
+    pub cancelled: u64,
+    /// The service epoch after the replay.
+    pub final_epoch: u64,
+}
+
+/// Generates a deterministic traffic trace over `db`.
+///
+/// `queries` supplies the read mix (each read picks one entry uniformly);
+/// `edit_relations` names the relations edit batches may target. Relations
+/// that are missing or empty in `db` are skipped when sampling edit rows, so
+/// a trace never contains an unapplicable batch.
+pub fn generate_trace(
+    db: &Database,
+    queries: &[(Query, Engine)],
+    edit_relations: &[&str],
+    config: &TraceConfig,
+) -> Vec<TrafficOp> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ops = Vec::with_capacity(config.ops);
+    if queries.is_empty() && edit_relations.is_empty() {
+        return ops;
+    }
+    // Tombstone pool per relation: rows deleted earlier in the trace are
+    // preferred re-inserts, so the relation drifts instead of shrinking.
+    let mut deleted: Vec<(String, Vec<i64>)> = Vec::new();
+    for _ in 0..config.ops {
+        let want_edit =
+            !edit_relations.is_empty() && rng.gen_bool(config.edit_fraction.clamp(0.0, 1.0));
+        if !want_edit && !queries.is_empty() {
+            let (query, engine) = &queries[rng.gen_range(0..queries.len())];
+            let cancel = rng.gen_bool(config.cancel_fraction.clamp(0.0, 1.0));
+            ops.push(TrafficOp::Read { query: query.clone(), engine: engine.clone(), cancel });
+            continue;
+        }
+        if edit_relations.is_empty() {
+            continue;
+        }
+        let relation = edit_relations[rng.gen_range(0..edit_relations.len())];
+        let Some(rel) = db.instance().relation(relation) else { continue };
+        if rel.is_empty() {
+            continue;
+        }
+        let batch = 1 + rng.gen_range(0..config.max_batch.max(1));
+        let mut del = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let i = rng.gen_range(0..rel.len());
+            if let Some(row) = rel.iter().nth(i) {
+                del.push(row.to_vec());
+            }
+        }
+        let mut ins = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            // Prefer re-inserting a previously deleted row of this relation.
+            if let Some(pos) = deleted.iter().position(|(r, _)| r == relation) {
+                if rng.gen_bool(0.5) {
+                    ins.push(deleted.swap_remove(pos).1);
+                    continue;
+                }
+            }
+            // Otherwise perturb an existing row's first column a little: the
+            // new row stays in the relation's value regime.
+            let i = rng.gen_range(0..rel.len());
+            if let Some(row) = rel.iter().nth(i) {
+                let mut row = row.to_vec();
+                row[0] += rng.gen_range(1..4i64);
+                ins.push(row);
+            }
+        }
+        for row in &del {
+            deleted.push((relation.to_string(), row.clone()));
+        }
+        ops.push(TrafficOp::Edit { relation: relation.to_string(), ins, del });
+    }
+    ops
+}
+
+/// Replays `trace` through `service` on `workers` concurrent sessions
+/// (operations round-robin across workers) and aggregates a [`ReplayReport`].
+///
+/// Tolerated, counted outcomes: `Saturated` admissions rejections and the
+/// aborts of deliberately-cancelled reads. Any other error — and any worker
+/// panic — fails the replay.
+pub fn replay(
+    service: &Service,
+    trace: &[TrafficOp],
+    workers: usize,
+) -> Result<ReplayReport, EngineError> {
+    let worker_reports =
+        gj_runtime::scoped_workers(workers.max(1), |w| -> Result<ReplayReport, EngineError> {
+            let session = service.session();
+            let mut report = ReplayReport::default();
+            for op in trace.iter().skip(w).step_by(workers.max(1)) {
+                match op {
+                    TrafficOp::Read { query, engine, cancel } => {
+                        let result = if *cancel {
+                            let token = CancelToken::new();
+                            token.cancel();
+                            let budget = QueryBudget::new().with_cancel_token(token);
+                            session.count_with(query, engine, &budget)
+                        } else {
+                            session.count(query, engine)
+                        };
+                        match result {
+                            Ok(count) => {
+                                report.reads += 1;
+                                report.read_rows += count;
+                            }
+                            Err(EngineError::Exec(ExecError::Saturated { .. })) => {
+                                report.saturated += 1;
+                            }
+                            Err(EngineError::Exec(e)) if *cancel && e.kind() == "cancelled" => {
+                                report.cancelled += 1;
+                            }
+                            Err(other) => return Err(other),
+                        }
+                    }
+                    TrafficOp::Edit { relation, ins, del } => {
+                        service.edit_relation(relation, ins, del)?;
+                        report.edits += 1;
+                    }
+                }
+            }
+            Ok(report)
+        });
+    let mut total = ReplayReport::default();
+    for worker in worker_reports {
+        let report = worker.map_err(EngineError::Exec)??;
+        total.reads += report.reads;
+        total.read_rows += report.read_rows;
+        total.edits += report.edits;
+        total.saturated += report.saturated;
+        total.cancelled += report.cancelled;
+    }
+    total.final_epoch = service.epoch();
+    Ok(total)
+}
+
+/// [`replay`] plus the gate: runs the trace, then verifies the recorded
+/// history against `base` (the database the service was created over) with
+/// the serial-replay checker. Returns the report only if the whole
+/// interleaving is serially consistent.
+pub fn replay_verified(
+    service: &Service,
+    base: &Database,
+    trace: &[TrafficOp],
+    workers: usize,
+) -> Result<ReplayReport, EngineError> {
+    let report = replay(service, trace, workers)?;
+    service.verify_history(base).map_err(EngineError::Edit)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use gj_storage::Graph;
+    use graphjoin::CatalogQuery;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.add_graph(Graph::new_undirected(
+            6,
+            vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+        ));
+        db
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_respect_the_mix() {
+        let db = sample();
+        let queries = vec![(CatalogQuery::ThreeClique.query(), Engine::Lftj)];
+        let config = TraceConfig { ops: 200, edit_fraction: 0.3, ..TraceConfig::default() };
+        let a = generate_trace(&db, &queries, &["edge"], &config);
+        let b = generate_trace(&db, &queries, &["edge"], &config);
+        assert_eq!(a.len(), 200);
+        assert_eq!(
+            a.iter().map(|op| matches!(op, TrafficOp::Edit { .. })).collect::<Vec<_>>(),
+            b.iter().map(|op| matches!(op, TrafficOp::Edit { .. })).collect::<Vec<_>>(),
+        );
+        let edits = a.iter().filter(|op| matches!(op, TrafficOp::Edit { .. })).count();
+        assert!(edits > 20 && edits < 120, "edit mix off: {edits}/200");
+        assert!(generate_trace(&db, &[], &[], &config).is_empty());
+    }
+
+    #[test]
+    fn replay_applies_edits_and_passes_the_history_gate() {
+        let db = sample();
+        let base = db.clone();
+        let queries = vec![
+            (CatalogQuery::ThreeClique.query(), Engine::Lftj),
+            (CatalogQuery::ThreeClique.query(), Engine::minesweeper()),
+        ];
+        let config = TraceConfig { ops: 60, seed: 11, ..TraceConfig::default() };
+        let trace = generate_trace(&db, &queries, &["edge"], &config);
+        let service = Service::new(db, ServiceConfig::default());
+        let report = replay_verified(&service, &base, &trace, 3).unwrap();
+        assert!(report.reads > 0, "no reads completed");
+        assert!(report.edits > 0, "no edits applied");
+        assert_eq!(report.final_epoch, service.epoch());
+        assert_eq!(
+            report.reads + report.cancelled + report.saturated + report.edits,
+            trace.len() as u64
+        );
+    }
+}

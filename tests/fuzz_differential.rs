@@ -127,11 +127,19 @@ fn run_case(case: u64, seed: u64) {
     let db = random_database(&mut rng);
     let query = random_query(&mut rng, case);
     let ctx = format!("case {case} seed {seed:#018x} [{query}]");
+    differential_case(&db, &query, &ctx);
+}
 
+/// The shared differential body: every engine must agree with the LFTJ
+/// reference on `query` over `db` — count, sorted collect, and the parallel
+/// entry points at 1 and 4 threads — and every valid hybrid split must agree
+/// on the count. `ctx` (carrying the reproducing seed) prefixes every
+/// assertion.
+fn differential_case(db: &Database, query: &Query, ctx: &str) {
     // Reference: LFTJ's sorted row set.
     let reference = {
         let prepared = db
-            .prepare(&query, &Engine::Lftj)
+            .prepare(query, &Engine::Lftj)
             .unwrap_or_else(|e| panic!("{ctx}: reference prepare failed: {e}"));
         let mut rows =
             prepared.collect().unwrap_or_else(|e| panic!("{ctx}: reference collect failed: {e}"));
@@ -142,7 +150,7 @@ fn run_case(case: u64, seed: u64) {
     for engine in fuzz_engines() {
         let label = format!("{ctx} {}", engine.label());
         let prepared =
-            db.prepare(&query, &engine).unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+            db.prepare(query, &engine).unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
         let count = prepared.count().unwrap_or_else(|e| panic!("{label}: count failed: {e}"));
         assert_eq!(count as usize, reference.len(), "{label}: count disagrees");
 
@@ -185,7 +193,7 @@ fn run_case(case: u64, seed: u64) {
     // must agree with the reference count.
     for split in 1..query.num_vars() {
         let engine = Engine::Hybrid { split, config: MsConfig::default() };
-        if let Ok(prepared) = db.prepare(&query, &engine) {
+        if let Ok(prepared) = db.prepare(query, &engine) {
             let count =
                 prepared.count().unwrap_or_else(|e| panic!("{ctx}: hybrid split {split}: {e}"));
             assert_eq!(
@@ -546,6 +554,165 @@ fn random_edit_scripts_agree_with_from_scratch_rebuilds() {
             }
         }
     }
+}
+
+/// Number of cases the LDBC typed-catalog corpus draws.
+const LDBC_CASES: u64 = 20;
+
+/// A random LDBC social network (small, randomized shape) plus its catalog:
+/// the typed multi-relation schema the single-`edge` corpus never covers.
+fn random_ldbc_database(rng: &mut StdRng) -> (Database, gj_datagen::Catalog) {
+    let config = gj_datagen::LdbcConfig {
+        persons: rng.gen_range(30usize..80),
+        avg_friends: rng.gen_range(3usize..7),
+        posts_per_person: rng.gen_range(2usize..4),
+        tags: rng.gen_range(8usize..20),
+        likes_per_person: rng.gen_range(5usize..12),
+        tags_per_post: rng.gen_range(1usize..3),
+        days: rng.gen_range(16usize..33),
+        tag_selectivity: rng.gen_range(2u32..5),
+        person_selectivity: rng.gen_range(2u32..5),
+        seed: rng.next_u64(),
+    };
+    let net = gj_datagen::SocialNetwork::generate(&config).expect("valid random LDBC config");
+    let mut db = Database::new();
+    for (name, rel) in net.relations() {
+        db.add_relation(*name, rel.clone());
+    }
+    (db, net.catalog().clone())
+}
+
+/// A random *typed* conjunctive query over the LDBC catalog: 2–4 atoms drawn
+/// from the schema, variables shared only between columns of the same
+/// [`EntityKind`](gj_datagen::EntityKind) (so joins are type-correct under the
+/// disjoint id layout), every atom after the first forced to share at least
+/// one variable with the query so far (no accidental cartesian blow-ups), and
+/// 0–2 same-kind `<` filters.
+fn random_ldbc_query(rng: &mut StdRng, catalog: &gj_datagen::Catalog, case: u64) -> Query {
+    use gj_datagen::EntityKind;
+    // Weighted template pool: the binary/ternary joins dominate, the unaries
+    // act as selective restrictions.
+    const TEMPLATES: [&str; 13] = [
+        "knows",
+        "knows",
+        "knows",
+        "likes",
+        "likes",
+        "likes",
+        "hasCreator",
+        "hasCreator",
+        "hasTag",
+        "hasTag",
+        "post",
+        "tagSample",
+        "personSample",
+    ];
+    let prefix = |kind: EntityKind| match kind {
+        EntityKind::Person => "p",
+        EntityKind::Post => "m",
+        EntityKind::Tag => "t",
+        EntityKind::Day => "d",
+    };
+    let mut pools: Vec<(EntityKind, Vec<String>)> = Vec::new();
+    let mint = |pools: &mut Vec<(EntityKind, Vec<String>)>, kind: EntityKind| -> String {
+        let pool = match pools.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, pool)) => pool,
+            None => {
+                pools.push((kind, Vec::new()));
+                &mut pools.last_mut().expect("just pushed").1
+            }
+        };
+        let name = format!("{}{}", prefix(kind), pool.len());
+        pool.push(name.clone());
+        name
+    };
+    let mut builder = QueryBuilder::new(format!("ldbc-fuzz-{case}"));
+    let atoms = rng.gen_range(2usize..5);
+    for atom_idx in 0..atoms {
+        let relation = TEMPLATES[rng.gen_range(0..TEMPLATES.len())];
+        let columns = catalog.relation(relation).expect("catalog relation").columns.clone();
+        // Pick one column to force-share with the query so far (if possible).
+        let shareable: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, kind)| pools.iter().any(|(k, pool)| k == *kind && !pool.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        let forced = (atom_idx > 0 && !shareable.is_empty())
+            .then(|| shareable[rng.gen_range(0..shareable.len())]);
+        let mut vars: Vec<String> = Vec::with_capacity(columns.len());
+        for (i, &kind) in columns.iter().enumerate() {
+            // Candidates: existing vars of this kind not already in this atom
+            // (an atom may not repeat a variable).
+            let pool: Vec<String> = pools
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, p)| p.iter().filter(|v| !vars.contains(v)).cloned().collect())
+                .unwrap_or_default();
+            let reuse = !pool.is_empty() && (forced == Some(i) || rng.gen_bool(0.5));
+            let var = if reuse {
+                pool[rng.gen_range(0..pool.len())].clone()
+            } else {
+                mint(&mut pools, kind)
+            };
+            vars.push(var);
+        }
+        let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        builder = builder.atom(relation, &var_refs);
+    }
+    // Same-kind order filters: comparing across kinds is vacuous under the
+    // disjoint id layout.
+    for _ in 0..rng.gen_range(0u32..3) {
+        if let Some((_, pool)) = pools
+            .iter()
+            .filter(|(_, pool)| pool.len() >= 2)
+            .nth(rng.gen_range(0usize..pools.len().max(1)))
+        {
+            let x = rng.gen_range(0..pool.len());
+            let y = rng.gen_range(0..pool.len());
+            if x != y {
+                builder = builder.lt(&pool[x.min(y)], &pool[x.max(y)]);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// LDBC typed-catalog differential fuzz: random multi-relation queries over
+/// random social networks, every engine × {1, 4} threads against the LFTJ
+/// reference. Failures print the reproducing case seed.
+#[test]
+fn random_ldbc_queries_agree_across_engines_and_thread_counts() {
+    for case in 0..LDBC_CASES {
+        let seed = case_seed(5000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db, catalog) = random_ldbc_database(&mut rng);
+        let query = random_ldbc_query(&mut rng, &catalog, case);
+        let ctx = format!("ldbc case {case} seed {seed:#018x} [{query}]");
+        differential_case(&db, &query, &ctx);
+    }
+}
+
+/// The LDBC corpus stays meaningful: enough non-empty and multi-row answers,
+/// and a healthy share of queries actually touching the ternary `likes`.
+#[test]
+fn ldbc_fuzz_corpus_is_not_vacuous() {
+    let mut non_empty = 0usize;
+    let mut multi_row = 0usize;
+    let mut ternary = 0usize;
+    for case in 0..LDBC_CASES {
+        let seed = case_seed(5000 + case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db, catalog) = random_ldbc_database(&mut rng);
+        let query = random_ldbc_query(&mut rng, &catalog, case);
+        let rows = db.prepare(&query, &Engine::Lftj).unwrap().count().unwrap();
+        non_empty += usize::from(rows > 0);
+        multi_row += usize::from(rows > 8);
+        ternary += usize::from(query.relation_names().contains(&"likes"));
+    }
+    assert!(non_empty as u64 >= LDBC_CASES / 2, "only {non_empty}/{LDBC_CASES} had rows");
+    assert!(multi_row as u64 >= LDBC_CASES / 4, "only {multi_row}/{LDBC_CASES} had > 8 rows");
+    assert!(ternary as u64 >= LDBC_CASES / 5, "only {ternary}/{LDBC_CASES} bound `likes`");
 }
 
 /// The corpus stays meaningful: the generator must produce a healthy share of

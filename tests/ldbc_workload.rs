@@ -1,0 +1,197 @@
+//! Cross-crate tests for the LDBC-style social-network workload: the typed
+//! generator feeds every engine through the whole query suite (serial and
+//! parallel, against the naive reference), and random edit scripts over the
+//! social relations must flow through the delta-trie layers — no index
+//! rebuilds — while agreeing with a from-scratch recompute.
+
+use gj_datagen::{EntityKind, LdbcConfig, SocialNetwork};
+use graphjoin::{naive_count, Database, Engine, ExecLimits, LdbcQuery, MsConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The general-purpose engines (the clique-specialised graph engine does not
+/// run multi-relation patterns).
+fn engines() -> [Engine; 4] {
+    [
+        Engine::Lftj,
+        Engine::Minesweeper(MsConfig::default()),
+        Engine::HashJoin(ExecLimits::default()),
+        Engine::SortMergeJoin(ExecLimits::default()),
+    ]
+}
+
+/// A small but non-degenerate network, deterministic across the test file.
+fn small_network() -> SocialNetwork {
+    SocialNetwork::generate(&LdbcConfig {
+        persons: 120,
+        tags: 24,
+        days: 32,
+        tag_selectivity: 4,
+        person_selectivity: 4,
+        seed: 0x50c1a1,
+        ..LdbcConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn database_of(net: &SocialNetwork) -> Database {
+    let mut db = Database::new();
+    for (name, rel) in net.relations() {
+        db.add_relation(*name, rel.clone());
+    }
+    db
+}
+
+/// Acceptance: the full suite runs through every engine, serial and at 4
+/// threads, and agrees with the naive reference enumerator on every query.
+#[test]
+fn ldbc_suite_agrees_with_naive_across_engines_and_threads() {
+    let net = small_network();
+    let db = database_of(&net);
+    let mut non_empty = 0;
+    for lq in LdbcQuery::all() {
+        let query = lq.query();
+        let expected = naive_count(db.instance(), &query);
+        non_empty += u32::from(expected > 0);
+        for engine in engines() {
+            let prepared = db.prepare(&query, &engine).expect("prepare");
+            assert_eq!(
+                prepared.count().expect("count"),
+                expected,
+                "{} serial {}",
+                lq.name(),
+                engine.label()
+            );
+            assert_eq!(
+                prepared.par_count(4).expect("par_count"),
+                expected,
+                "{} par4 {}",
+                lq.name(),
+                engine.label()
+            );
+        }
+    }
+    // The workload is not vacuous at this scale: almost every query answers.
+    assert!(non_empty >= 9, "only {non_empty}/11 queries had rows");
+}
+
+/// The generated schema honours its catalog: every relation's rows stay inside
+/// the typed domains, and the id ranges of the four entity kinds are disjoint.
+#[test]
+fn generated_rows_respect_the_typed_catalog() {
+    let net = small_network();
+    let catalog = net.catalog();
+    let kinds = [EntityKind::Person, EntityKind::Post, EntityKind::Tag, EntityKind::Day];
+    for (i, &a) in kinds.iter().enumerate() {
+        for &b in &kinds[i + 1..] {
+            let (da, db) = (catalog.domain(a), catalog.domain(b));
+            assert!(da.hi <= db.lo || db.hi <= da.lo, "{a:?}/{b:?} domains overlap");
+        }
+    }
+    for meta in catalog.relations() {
+        let rel = net.relation(meta.name).expect("relation exists");
+        assert_eq!(rel.arity(), meta.arity(), "{}", meta.name);
+        for row in rel.iter() {
+            for (col, &kind) in meta.columns.iter().enumerate() {
+                assert!(
+                    catalog.domain(kind).contains(row[col]),
+                    "{}[{col}] = {} escapes its {kind:?} domain",
+                    meta.name,
+                    row[col]
+                );
+            }
+        }
+    }
+}
+
+/// A from-scratch twin of `db`: same logical relations, fresh indexes.
+fn rebuilt_twin(db: &Database) -> Database {
+    let names: Vec<String> = db.instance().relation_names().map(str::to_string).collect();
+    let mut fresh = Database::new();
+    for name in names {
+        let relation = db.instance().relation(&name).expect("resident relation").clone();
+        fresh.add_relation(name, relation);
+    }
+    fresh
+}
+
+/// One random edit batch against `name`: inserts perturb existing rows (staying
+/// inside the typed value regime), deletes sample current rows.
+fn random_edit(rng: &mut StdRng, db: &Database, name: &str) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let current = db.instance().relation(name).expect("editable relation");
+    let mut ins = Vec::new();
+    let mut del = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        let row = current.row(rng.gen_range(0..current.len()));
+        let mut row = row.to_vec();
+        let col = rng.gen_range(0..row.len());
+        row[col] += rng.gen_range(1..3i64);
+        ins.push(row);
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        del.push(current.row(rng.gen_range(0..current.len())).to_vec());
+    }
+    (ins, del)
+}
+
+/// Satellite: random insert/delete streams over the LDBC relations must be
+/// absorbed by the delta-trie layers (`indexes_built() == 0` on re-prepare)
+/// and leave every engine, serial and at 4 threads, in exact agreement with a
+/// full recompute over the edited data. Failures print the reproducing seed.
+#[test]
+fn ldbc_edit_scripts_agree_with_full_recompute() {
+    const SEED: u64 = 0xed17_5eed;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let net = small_network();
+    let mut db = database_of(&net);
+    let queries = [
+        LdbcQuery::FriendTriangle,
+        LdbcQuery::CreatorFan,
+        LdbcQuery::FreshLikes,
+        LdbcQuery::CommonTagPair,
+    ];
+    let ctx = format!("seed {SEED:#018x}");
+
+    // Warm every engine on every query, so later preparations must be served
+    // by delta-patched indexes rather than rebuilds.
+    for lq in &queries {
+        for engine in engines() {
+            db.prepare(&lq.query(), &engine).expect("warm prepare");
+        }
+    }
+
+    let editable = ["knows", "likes", "hasTag", "post", "hasCreator"];
+    for step in 0..6 {
+        let name = editable[rng.gen_range(0..editable.len())];
+        let (ins, del) = random_edit(&mut rng, &db, name);
+        db.edit_rows(name, &ins, &del)
+            .unwrap_or_else(|e| panic!("{ctx} step {step}: edit on {name} failed: {e}"));
+
+        let fresh = rebuilt_twin(&db);
+        for lq in &queries {
+            let query = lq.query();
+            for engine in engines() {
+                let label = format!("{ctx} step {step} {} {}", lq.name(), engine.label());
+                let prepared = db.prepare(&query, &engine).expect("prepare");
+                if matches!(engine, Engine::Lftj | Engine::Minesweeper(_)) {
+                    assert_eq!(
+                        prepared.indexes_built(),
+                        0,
+                        "{label}: edits must delta-patch cached indexes, not rebuild"
+                    );
+                }
+                let expected =
+                    fresh.prepare(&query, &engine).expect("twin prepare").count().expect("count");
+                assert_eq!(
+                    prepared.count().expect("count"),
+                    expected,
+                    "{label}: serial count disagrees with full recompute"
+                );
+                assert_eq!(
+                    prepared.par_count(4).expect("par_count"),
+                    expected,
+                    "{label}: par4 count disagrees with full recompute"
+                );
+            }
+        }
+    }
+}
